@@ -1,0 +1,538 @@
+//! The *macro*: one logic block, its adjacent connection boxes and one switch
+//! box — the elementary building block of the fabric and the unit of Virtual
+//! Bit-Stream coding (Figure 1 of the paper).
+//!
+//! Two views of the macro are defined here:
+//!
+//! * the **black-box view** used by the VBS connection lists: every signal
+//!   entering or leaving the macro is named by a [`MacroIo`] identifier coded
+//!   on `M = ⌈log2(4W + L + 1)⌉` bits;
+//! * the **raw frame view** used by the conventional bit-stream: the
+//!   [`FrameLayout`] maps every programmable switch of the macro (Equation
+//!   (1)) to a bit position inside an `N_raw`-bit frame.
+
+use crate::error::ArchError;
+use crate::geometry::Side;
+use crate::spec::ArchSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// A black-box I/O of a macro, as coded in a VBS connection list.
+///
+/// The numbering is position-independent: it only refers to sides, tracks and
+/// logic-block pins of *one* macro, never to absolute device coordinates.
+/// This is what makes the Virtual Bit-Stream relocatable.
+///
+/// Index layout (for channel width `W` and `L` logic-block pins):
+///
+/// | index            | meaning                        |
+/// |------------------|--------------------------------|
+/// | `0`              | unconnected / null             |
+/// | `1 ..= W`        | north boundary, track `i - 1`  |
+/// | `W+1 ..= 2W`     | east boundary, track `i-W-1`   |
+/// | `2W+1 ..= 3W`    | south boundary, track `i-2W-1` |
+/// | `3W+1 ..= 4W`    | west boundary, track `i-3W-1`  |
+/// | `4W+1 .. 4W+L+1` | logic-block pin `i - 4W - 1`   |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MacroIo {
+    /// The reserved "unconnected" identifier (index 0).
+    Null,
+    /// A routing track crossing the given boundary of the macro.
+    Boundary {
+        /// Which boundary is crossed.
+        side: Side,
+        /// Track index within the channel (`0 .. W`).
+        track: u16,
+    },
+    /// A logic-block pin (`0 .. L`); pin `K` is the LUT/FF output.
+    Pin(u8),
+}
+
+impl MacroIo {
+    /// Encodes this I/O as its index in `0 .. 4W + L + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the track or pin number is out of range for `spec`; use
+    /// [`MacroIo::validate`] first when handling untrusted data.
+    pub fn index(&self, spec: &ArchSpec) -> u32 {
+        let w = spec.channel_width() as u32;
+        match *self {
+            MacroIo::Null => 0,
+            MacroIo::Boundary { side, track } => {
+                assert!(
+                    (track as u32) < w,
+                    "track {track} out of range for W={w}"
+                );
+                1 + side.index() as u32 * w + track as u32
+            }
+            MacroIo::Pin(p) => {
+                assert!(
+                    p < spec.lb_pins(),
+                    "pin {p} out of range for L={}",
+                    spec.lb_pins()
+                );
+                1 + 4 * w + p as u32
+            }
+        }
+    }
+
+    /// Decodes an index back into a [`MacroIo`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidMacroIoIndex`] if `index` is not a valid
+    /// identifier for `spec`.
+    pub fn from_index(spec: &ArchSpec, index: u32) -> Result<Self, ArchError> {
+        let w = spec.channel_width() as u32;
+        let l = spec.lb_pins() as u32;
+        let count = spec.macro_io_count();
+        if index >= count {
+            return Err(ArchError::InvalidMacroIoIndex {
+                index,
+                io_count: count,
+            });
+        }
+        if index == 0 {
+            return Ok(MacroIo::Null);
+        }
+        let i = index - 1;
+        if i < 4 * w {
+            let side = Side::ALL[(i / w) as usize];
+            let track = (i % w) as u16;
+            Ok(MacroIo::Boundary { side, track })
+        } else {
+            let pin = (i - 4 * w) as u8;
+            debug_assert!((pin as u32) < l);
+            Ok(MacroIo::Pin(pin))
+        }
+    }
+
+    /// Checks that this I/O is representable in `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidTrack`] or [`ArchError::InvalidPin`] when
+    /// out of range.
+    pub fn validate(&self, spec: &ArchSpec) -> Result<(), ArchError> {
+        match *self {
+            MacroIo::Null => Ok(()),
+            MacroIo::Boundary { track, .. } => {
+                if track < spec.channel_width() {
+                    Ok(())
+                } else {
+                    Err(ArchError::InvalidTrack {
+                        track,
+                        channel_width: spec.channel_width(),
+                    })
+                }
+            }
+            MacroIo::Pin(pin) => {
+                if pin < spec.lb_pins() {
+                    Ok(())
+                } else {
+                    Err(ArchError::InvalidPin {
+                        pin,
+                        pin_count: spec.lb_pins(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Whether this I/O is a boundary track crossing.
+    pub fn is_boundary(&self) -> bool {
+        matches!(self, MacroIo::Boundary { .. })
+    }
+
+    /// Whether this I/O is a logic-block pin.
+    pub fn is_pin(&self) -> bool {
+        matches!(self, MacroIo::Pin(_))
+    }
+}
+
+impl fmt::Display for MacroIo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MacroIo::Null => write!(f, "null"),
+            MacroIo::Boundary { side, track } => write!(f, "{side}[{track}]"),
+            MacroIo::Pin(p) => write!(f, "pin{p}"),
+        }
+    }
+}
+
+/// Which channel a logic-block pin connects to through its connection box.
+///
+/// In this architecture, even-numbered pins cross the horizontal channel owned
+/// by the macro (its east wire stubs), odd-numbered pins cross the vertical
+/// channel (its north wire stubs). The LUT output (pin `K = 6`, even) therefore
+/// drives horizontal wires, which matches the classic VPR convention of output
+/// pins facing `ChanX`.
+pub fn pin_channel_side(pin: u8) -> Side {
+    if pin % 2 == 0 {
+        Side::East
+    } else {
+        Side::North
+    }
+}
+
+/// One of the six programmable pass switches of a 4-way (cross-shaped) switch
+/// point, identified by the unordered pair of sides it connects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SbPair {
+    /// North–South (straight vertical).
+    NorthSouth,
+    /// North–East (turn).
+    NorthEast,
+    /// North–West (turn).
+    NorthWest,
+    /// South–East (turn).
+    SouthEast,
+    /// South–West (turn).
+    SouthWest,
+    /// East–West (straight horizontal).
+    EastWest,
+}
+
+impl SbPair {
+    /// All six switch-box pair positions, in frame bit order.
+    pub const ALL: [SbPair; 6] = [
+        SbPair::NorthSouth,
+        SbPair::NorthEast,
+        SbPair::NorthWest,
+        SbPair::SouthEast,
+        SbPair::SouthWest,
+        SbPair::EastWest,
+    ];
+
+    /// Index of this pair within a 6-bit switch-point group.
+    pub const fn index(self) -> usize {
+        match self {
+            SbPair::NorthSouth => 0,
+            SbPair::NorthEast => 1,
+            SbPair::NorthWest => 2,
+            SbPair::SouthEast => 3,
+            SbPair::SouthWest => 4,
+            SbPair::EastWest => 5,
+        }
+    }
+
+    /// The pair of sides connected by this switch.
+    pub const fn sides(self) -> (Side, Side) {
+        match self {
+            SbPair::NorthSouth => (Side::North, Side::South),
+            SbPair::NorthEast => (Side::North, Side::East),
+            SbPair::NorthWest => (Side::North, Side::West),
+            SbPair::SouthEast => (Side::South, Side::East),
+            SbPair::SouthWest => (Side::South, Side::West),
+            SbPair::EastWest => (Side::East, Side::West),
+        }
+    }
+
+    /// The switch connecting two distinct sides, if any.
+    ///
+    /// Returns `None` when `a == b`.
+    pub fn between(a: Side, b: Side) -> Option<SbPair> {
+        if a == b {
+            return None;
+        }
+        Some(match (a.min(b), a.max(b)) {
+            (Side::North, Side::South) => SbPair::NorthSouth,
+            (Side::North, Side::East) => SbPair::NorthEast,
+            (Side::North, Side::West) => SbPair::NorthWest,
+            (Side::East, Side::South) => SbPair::SouthEast,
+            (Side::South, Side::West) => SbPair::SouthWest,
+            (Side::East, Side::West) => SbPair::EastWest,
+            _ => unreachable!("all unordered side pairs covered"),
+        })
+    }
+}
+
+impl fmt::Display for SbPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (a, b) = self.sides();
+        write!(f, "{a}-{b}")
+    }
+}
+
+/// Bit-exact layout of the raw configuration frame of one macro.
+///
+/// The frame holds exactly [`ArchSpec::raw_bits_per_macro`] bits, laid out as:
+///
+/// 1. `N_LB = 2^K + 1` logic-block configuration bits (LUT truth table, then
+///    the flip-flop bypass bit),
+/// 2. `W` switch-box points of 6 bits each (one bit per [`SbPair`]),
+/// 3. for each of the `L` pins, its `W` connection-box crossings: `W − 1`
+///    4-way crossings of 6 bits followed by one 3-way crossing of 3 bits.
+///    Bit 0 of each crossing group is the "pin connected to track" switch; the
+///    remaining bits model the pass transistors of the wire junction and are
+///    driven by the through-traffic of the crossing.
+///
+/// ```
+/// use vbs_arch::{ArchSpec, FrameLayout};
+/// let layout = FrameLayout::new(ArchSpec::paper_example());
+/// assert_eq!(layout.total_bits(), 284);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameLayout {
+    spec: ArchSpec,
+}
+
+impl FrameLayout {
+    /// Creates the frame layout for an architecture.
+    pub const fn new(spec: ArchSpec) -> Self {
+        FrameLayout { spec }
+    }
+
+    /// The architecture this layout was derived from.
+    pub const fn spec(&self) -> &ArchSpec {
+        &self.spec
+    }
+
+    /// Total number of bits in the frame (`N_raw`, Equation (1)).
+    pub const fn total_bits(&self) -> usize {
+        self.spec.raw_bits_per_macro()
+    }
+
+    /// Bit range holding the logic-block configuration.
+    pub const fn lb_config_range(&self) -> Range<usize> {
+        0..self.spec.lb_config_bits()
+    }
+
+    /// Bit range of the LUT truth table within the frame.
+    pub const fn lut_table_range(&self) -> Range<usize> {
+        0..(1usize << self.spec.lut_size())
+    }
+
+    /// Bit position of the flip-flop bypass bit.
+    pub const fn ff_bypass_bit(&self) -> usize {
+        1usize << self.spec.lut_size()
+    }
+
+    /// Bit position of switch-box point `track`, pass switch `pair`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `track >= W`.
+    pub fn sb_bit(&self, track: u16, pair: SbPair) -> usize {
+        assert!(
+            track < self.spec.channel_width(),
+            "switch-box track {track} out of range"
+        );
+        self.spec.lb_config_bits() + 6 * track as usize + pair.index()
+    }
+
+    /// Bit range of the whole switch-box section.
+    pub const fn sb_range(&self) -> Range<usize> {
+        let start = self.spec.lb_config_bits();
+        start..start + 6 * self.spec.channel_width() as usize
+    }
+
+    /// Offset and width (6 or 3 bits) of the connection-box crossing group of
+    /// `pin` over `track`.
+    ///
+    /// The last crossing of each pin (track `W − 1`) is the 3-way, T-shaped
+    /// switch of Equation (1); all others are 6-bit 4-way switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin >= L` or `track >= W`.
+    pub fn crossing_group(&self, pin: u8, track: u16) -> (usize, usize) {
+        let w = self.spec.channel_width() as usize;
+        let l = self.spec.lb_pins();
+        assert!(pin < l, "pin {pin} out of range");
+        assert!((track as usize) < w, "crossing track {track} out of range");
+        let per_pin = 6 * (w - 1) + 3;
+        let base = self.spec.lb_config_bits() + 6 * w + pin as usize * per_pin;
+        let t = track as usize;
+        if t < w - 1 {
+            (base + 6 * t, 6)
+        } else {
+            (base + 6 * (w - 1), 3)
+        }
+    }
+
+    /// Bit position of the "pin connected to track" switch of a crossing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin >= L` or `track >= W`.
+    pub fn crossing_bit(&self, pin: u8, track: u16) -> usize {
+        self.crossing_group(pin, track).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> ArchSpec {
+        ArchSpec::paper_example()
+    }
+
+    #[test]
+    fn io_index_roundtrip_all_values() {
+        let spec = example();
+        for idx in 0..spec.macro_io_count() {
+            let io = MacroIo::from_index(&spec, idx).expect("valid index");
+            assert_eq!(io.index(&spec), idx);
+        }
+    }
+
+    #[test]
+    fn io_index_rejects_out_of_range() {
+        let spec = example();
+        let count = spec.macro_io_count();
+        assert!(matches!(
+            MacroIo::from_index(&spec, count),
+            Err(ArchError::InvalidMacroIoIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn io_numbering_layout_matches_documentation() {
+        let spec = example();
+        let w = spec.channel_width();
+        assert_eq!(MacroIo::Null.index(&spec), 0);
+        assert_eq!(
+            MacroIo::Boundary {
+                side: Side::North,
+                track: 0
+            }
+            .index(&spec),
+            1
+        );
+        assert_eq!(
+            MacroIo::Boundary {
+                side: Side::East,
+                track: 0
+            }
+            .index(&spec),
+            1 + w as u32
+        );
+        assert_eq!(
+            MacroIo::Boundary {
+                side: Side::West,
+                track: (w - 1)
+            }
+            .index(&spec),
+            4 * w as u32
+        );
+        assert_eq!(MacroIo::Pin(0).index(&spec), 4 * w as u32 + 1);
+        assert_eq!(
+            MacroIo::Pin(spec.lb_pins() - 1).index(&spec),
+            spec.macro_io_count() - 1
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_tracks_and_pins() {
+        let spec = example();
+        assert!(MacroIo::Pin(spec.lb_pins()).validate(&spec).is_err());
+        assert!(MacroIo::Boundary {
+            side: Side::North,
+            track: spec.channel_width()
+        }
+        .validate(&spec)
+        .is_err());
+        assert!(MacroIo::Pin(0).validate(&spec).is_ok());
+        assert!(MacroIo::Null.validate(&spec).is_ok());
+    }
+
+    #[test]
+    fn sb_pair_between_covers_all_combinations() {
+        for a in Side::ALL {
+            for b in Side::ALL {
+                let pair = SbPair::between(a, b);
+                if a == b {
+                    assert_eq!(pair, None);
+                } else {
+                    let p = pair.expect("distinct sides always have a switch");
+                    let (x, y) = p.sides();
+                    assert!((x == a && y == b) || (x == b && y == a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sb_pair_indices_are_unique() {
+        let mut seen = [false; 6];
+        for p in SbPair::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn frame_layout_sections_do_not_overlap() {
+        let spec = example();
+        let layout = FrameLayout::new(spec);
+        let mut used = vec![false; layout.total_bits()];
+        for bit in layout.lb_config_range() {
+            assert!(!used[bit]);
+            used[bit] = true;
+        }
+        for t in 0..spec.channel_width() {
+            for pair in SbPair::ALL {
+                let bit = layout.sb_bit(t, pair);
+                assert!(!used[bit], "sb bit {bit} overlaps");
+                used[bit] = true;
+            }
+        }
+        for pin in 0..spec.lb_pins() {
+            for t in 0..spec.channel_width() {
+                let (off, width) = layout.crossing_group(pin, t);
+                for bit in off..off + width {
+                    assert!(!used[bit], "crossing bit {bit} overlaps");
+                    used[bit] = true;
+                }
+            }
+        }
+        assert!(used.iter().all(|&b| b), "layout must cover every frame bit");
+    }
+
+    #[test]
+    fn frame_layout_total_matches_equation_1() {
+        for w in [2u16, 5, 8, 20, 33] {
+            let spec = ArchSpec::new(w, 6).unwrap();
+            let layout = FrameLayout::new(spec);
+            assert_eq!(layout.total_bits(), spec.raw_bits_per_macro());
+        }
+    }
+
+    #[test]
+    fn last_crossing_is_three_way() {
+        let spec = example();
+        let layout = FrameLayout::new(spec);
+        let w = spec.channel_width();
+        for pin in 0..spec.lb_pins() {
+            assert_eq!(layout.crossing_group(pin, w - 1).1, 3);
+            assert_eq!(layout.crossing_group(pin, 0).1, 6);
+        }
+    }
+
+    #[test]
+    fn pin_channel_sides_alternate() {
+        assert_eq!(pin_channel_side(0), Side::East);
+        assert_eq!(pin_channel_side(1), Side::North);
+        assert_eq!(pin_channel_side(6), Side::East);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MacroIo::Null.to_string(), "null");
+        assert_eq!(
+            MacroIo::Boundary {
+                side: Side::West,
+                track: 3
+            }
+            .to_string(),
+            "west[3]"
+        );
+        assert_eq!(MacroIo::Pin(6).to_string(), "pin6");
+        assert_eq!(SbPair::EastWest.to_string(), "east-west");
+    }
+}

@@ -1,0 +1,29 @@
+//! Criterion bench of the run-time controller: de-virtualization throughput,
+//! sequentially and with a worker pool (Section II-C notes the decode is
+//! parallelizable macro by macro).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vbs_bench::run_circuit;
+use vbs_runtime::ReconfigurationController;
+
+fn decode_throughput(c: &mut Criterion) {
+    let circuit = vbs_netlist::mcnc::by_name("s298").expect("table entry");
+    let run = run_circuit(circuit, 0.1, 20).expect("flow");
+    let vbs = run.result.vbs(1).expect("encode");
+    let device = run.result.device().clone();
+
+    let mut group = c.benchmark_group("decode");
+    group.sample_size(20);
+    for workers in [1usize, 4] {
+        let controller = ReconfigurationController::new(device.clone()).with_workers(workers);
+        group.bench_with_input(
+            BenchmarkId::new("devirtualize", workers),
+            &workers,
+            |b, _| b.iter(|| controller.devirtualize(&vbs).expect("decode")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, decode_throughput);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench behind Figure 4: raw bit-stream generation and VBS
+//! encoding of an MCNC-calibrated circuit at the finest grain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vbs_bench::run_circuit;
+use vbs_core::VbsEncoder;
+
+fn fig4_encode(c: &mut Criterion) {
+    let circuit = vbs_netlist::mcnc::by_name("ex5p").expect("table entry");
+    let run = run_circuit(circuit, 0.08, 20).expect("flow");
+    let raw = run.result.raw_bitstream();
+    let routing = run.result.routing();
+    let encoder = VbsEncoder::new(*run.result.device().spec(), 1).expect("encoder");
+
+    let mut group = c.benchmark_group("figure4");
+    group.sample_size(20);
+    group.bench_function("vbs_encode_k1", |b| {
+        b.iter(|| encoder.encode(raw, routing).expect("encode"))
+    });
+    group.bench_function("raw_serialize", |b| b.iter(|| raw.to_bytes()));
+    group.finish();
+}
+
+criterion_group!(benches, fig4_encode);
+criterion_main!(benches);

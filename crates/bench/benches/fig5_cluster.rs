@@ -1,0 +1,29 @@
+//! Criterion bench behind Figure 5: VBS encoding cost as the cluster size
+//! grows (the paper trades size against run-time decoding effort).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vbs_bench::run_circuit;
+use vbs_core::VbsEncoder;
+
+fn fig5_cluster(c: &mut Criterion) {
+    let circuit = vbs_netlist::mcnc::by_name("tseng").expect("table entry");
+    let run = run_circuit(circuit, 0.1, 20).expect("flow");
+    let raw = run.result.raw_bitstream();
+    let routing = run.result.routing();
+    let spec = *run.result.device().spec();
+
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(15);
+    for cluster in [1u16, 2, 4] {
+        let encoder = VbsEncoder::new(spec, cluster).expect("encoder");
+        group.bench_with_input(
+            BenchmarkId::new("encode_cluster", cluster),
+            &cluster,
+            |b, _| b.iter(|| encoder.encode(raw, routing).expect("encode")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5_cluster);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench of the offline CAD flow stages (Figure 3): placement,
+//! routing and raw bit-stream generation for a small circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vbs_arch::{ArchSpec, Device};
+use vbs_bitstream::generate_bitstream;
+use vbs_netlist::generate::SyntheticSpec;
+use vbs_place::{place, PlacerConfig};
+use vbs_route::{route, RouterConfig};
+
+fn flow_stages(c: &mut Criterion) {
+    let netlist = SyntheticSpec::new("bench_flow", 80, 10, 10)
+        .with_seed(5)
+        .build()
+        .expect("netlist");
+    let device = Device::new(ArchSpec::new(12, 6).expect("spec"), 11, 11).expect("device");
+    let placement = place(&netlist, &device, &PlacerConfig::fast(5)).expect("place");
+    let routing = route(&netlist, &device, &placement, &RouterConfig::fast()).expect("route");
+
+    let mut group = c.benchmark_group("flow_stages");
+    group.sample_size(10);
+    group.bench_function("place", |b| {
+        b.iter(|| place(&netlist, &device, &PlacerConfig::fast(5)).expect("place"))
+    });
+    group.bench_function("route", |b| {
+        b.iter(|| route(&netlist, &device, &placement, &RouterConfig::fast()).expect("route"))
+    });
+    group.bench_function("raw_bitstream", |b| {
+        b.iter(|| generate_bitstream(&netlist, &device, &placement, &routing).expect("bitstream"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, flow_stages);
+criterion_main!(benches);

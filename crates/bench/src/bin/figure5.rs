@@ -1,0 +1,73 @@
+//! Regenerates Figure 5 of the paper: effect of the macro cluster size on the
+//! Virtual Bit-Stream size. For each cluster size the harness reports the
+//! minimum, geometric mean and maximum VBS size over the benchmark set, plus
+//! the average compression ratio (the paper reports 41 % at k = 1 dropping to
+//! 9–15 % for larger clusters).
+//!
+//! Usage: `cargo run --release -p vbs-bench --bin figure5 [--scale X|--full] [--limit N]`
+
+use vbs_bench::{geometric_mean, run_circuit, HarnessOptions};
+
+const CLUSTER_SIZES: [u16; 6] = [1, 2, 3, 4, 6, 8];
+
+fn main() {
+    let options = HarnessOptions::from_args(std::env::args().skip(1));
+    println!(
+        "# Figure 5 — VBS size vs cluster size (W = {}, scale {:.2})",
+        options.channel_width, options.scale
+    );
+
+    // Route every circuit once; clustering is a re-encoding of the same
+    // routed task.
+    let runs: Vec<_> = options
+        .circuits()
+        .into_iter()
+        .filter_map(|circuit| match run_circuit(circuit, options.scale, options.channel_width) {
+            Ok(run) => Some(run),
+            Err(e) => {
+                eprintln!("{}: {e}", circuit.name);
+                None
+            }
+        })
+        .collect();
+
+    println!(
+        "{:>7} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "cluster", "min (bits)", "geomean", "max (bits)", "avg ratio", "raw-fallbk"
+    );
+    for k in CLUSTER_SIZES {
+        let mut sizes = Vec::new();
+        let mut ratios = Vec::new();
+        let mut raw_fallbacks = 0usize;
+        for run in &runs {
+            let task_edge = run.result.raw_bitstream().width().min(run.result.raw_bitstream().height());
+            if k > task_edge {
+                continue;
+            }
+            match run.stats(k) {
+                Ok(stats) => {
+                    sizes.push(stats.vbs_bits as f64);
+                    ratios.push(stats.ratio());
+                    raw_fallbacks += stats.raw_records;
+                }
+                Err(e) => eprintln!("{} (k={k}): {e}", run.circuit.name),
+            }
+        }
+        if sizes.is_empty() {
+            continue;
+        }
+        let min = sizes.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = sizes.iter().copied().fold(0.0f64, f64::max);
+        let avg_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!(
+            "{:>7} {:>14.0} {:>14.0} {:>14.0} {:>9.1}% {:>10}",
+            k,
+            min,
+            geometric_mean(&sizes),
+            max,
+            100.0 * avg_ratio,
+            raw_fallbacks
+        );
+    }
+    println!("\npaper reference: 41% at k=1, 9-15% for larger clusters, diminishing beyond k~4");
+}

@@ -1,0 +1,50 @@
+//! Regenerates Table II of the paper: the benchmark set with its array size,
+//! minimum channel width and logic-block count.
+//!
+//! The paper's MCW column comes from VPR's binary search on the real MCNC
+//! netlists; here the synthetic equivalents are searched the same way, so the
+//! comparison shows how closely the substitutes track the originals.
+//!
+//! Usage: `cargo run --release -p vbs-bench --bin table2 [--scale X|--full] [--limit N]`
+
+use vbs_bench::HarnessOptions;
+use vbs_flow::CadFlow;
+
+fn main() {
+    let options = HarnessOptions::from_args(std::env::args().skip(1));
+    println!("# Table II — benchmark set (scale {:.2})", options.scale);
+    println!(
+        "{:<10} {:>5} {:>10} {:>7} {:>12} {:>12}",
+        "name", "size", "MCW(paper)", "LBs", "LBs(built)", "MCW(measured)"
+    );
+    for circuit in options.circuits() {
+        let netlist = match circuit.build_scaled(options.scale) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("{}: generation failed: {e}", circuit.name);
+                continue;
+            }
+        };
+        let edge = circuit.scaled_size(options.scale);
+        let flow = match CadFlow::new(24, 6) {
+            Ok(f) => f.with_seed(circuit.seed()).fast(),
+            Err(e) => {
+                eprintln!("{}: {e}", circuit.name);
+                continue;
+            }
+        };
+        let mcw = match flow.minimum_channel_width(&netlist, edge, edge, 24) {
+            Ok(search) => search.min_channel_width.to_string(),
+            Err(e) => format!("fail ({e})"),
+        };
+        println!(
+            "{:<10} {:>5} {:>10} {:>7} {:>12} {:>12}",
+            circuit.name,
+            circuit.size,
+            circuit.min_channel_width,
+            circuit.logic_blocks,
+            netlist.lut_count(),
+            mcw
+        );
+    }
+}

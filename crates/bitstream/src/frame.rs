@@ -1,0 +1,226 @@
+//! The raw configuration frame of one macro.
+
+use serde::{Deserialize, Serialize};
+use vbs_arch::{ArchSpec, FrameLayout, SbPair};
+use vbs_netlist::TruthTable;
+
+/// The `N_raw`-bit configuration frame of a single macro.
+///
+/// Bits are addressed through [`FrameLayout`]; helpers are provided for the
+/// three sections (logic block, switch box, connection boxes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MacroFrame {
+    spec: ArchSpec,
+    bits: Vec<u64>,
+}
+
+impl MacroFrame {
+    /// Creates an all-zero (fully unprogrammed) frame.
+    pub fn empty(spec: ArchSpec) -> Self {
+        let len = spec.raw_bits_per_macro();
+        MacroFrame {
+            spec,
+            bits: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// The architecture this frame belongs to.
+    pub const fn spec(&self) -> &ArchSpec {
+        &self.spec
+    }
+
+    /// The frame layout used to address bits.
+    pub const fn layout(&self) -> FrameLayout {
+        FrameLayout::new(self.spec)
+    }
+
+    /// Number of bits in the frame (`N_raw`).
+    pub const fn len(&self) -> usize {
+        self.spec.raw_bits_per_macro()
+    }
+
+    /// Whether every bit is zero (the macro is unprogrammed).
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < self.len(), "frame bit {index} out of range");
+        (self.bits[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Writes one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn set_bit(&mut self, index: usize, value: bool) {
+        assert!(index < self.len(), "frame bit {index} out of range");
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.bits[index / 64] |= mask;
+        } else {
+            self.bits[index / 64] &= !mask;
+        }
+    }
+
+    /// Number of bits currently set.
+    pub fn popcount(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Writes the logic-block section: LUT truth table plus flip-flop bypass.
+    pub fn set_logic(&mut self, truth: &TruthTable, registered: bool) {
+        let layout = self.layout();
+        let table = truth.widen(self.spec.lut_size());
+        for (i, bit) in table.iter().enumerate() {
+            self.set_bit(layout.lut_table_range().start + i, bit);
+        }
+        self.set_bit(layout.ff_bypass_bit(), registered);
+    }
+
+    /// Reads the logic-block section back as `(truth table, registered)`.
+    pub fn logic(&self) -> (TruthTable, bool) {
+        let layout = self.layout();
+        let k = self.spec.lut_size();
+        let truth = TruthTable::from_bits(
+            k,
+            layout.lut_table_range().map(|i| self.bit(i)),
+        );
+        (truth, self.bit(layout.ff_bypass_bit()))
+    }
+
+    /// Iterates over the raw logic-data bits (`N_LB` bits) in frame order,
+    /// as stored in a VBS macro record.
+    pub fn logic_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        self.layout().lb_config_range().map(|i| self.bit(i))
+    }
+
+    /// Writes the raw logic-data bits from an iterator (missing bits are left
+    /// unchanged).
+    pub fn set_logic_bits(&mut self, bits: impl IntoIterator<Item = bool>) {
+        let range = self.layout().lb_config_range();
+        for (i, bit) in range.zip(bits) {
+            self.set_bit(i, bit);
+        }
+    }
+
+    /// Sets (or clears) the switch-box pass switch at `track` between the two
+    /// sides of `pair`.
+    pub fn set_sb(&mut self, track: u16, pair: SbPair, value: bool) {
+        let bit = self.layout().sb_bit(track, pair);
+        self.set_bit(bit, value);
+    }
+
+    /// Reads a switch-box pass switch.
+    pub fn sb(&self, track: u16, pair: SbPair) -> bool {
+        self.bit(self.layout().sb_bit(track, pair))
+    }
+
+    /// Sets (or clears) the connection-box switch linking `pin` to `track` of
+    /// its channel.
+    pub fn set_crossing(&mut self, pin: u8, track: u16, value: bool) {
+        let bit = self.layout().crossing_bit(pin, track);
+        self.set_bit(bit, value);
+    }
+
+    /// Reads a connection-box switch.
+    pub fn crossing(&self, pin: u8, track: u16) -> bool {
+        self.bit(self.layout().crossing_bit(pin, track))
+    }
+
+    /// The bits of the routing sections only (switch box + connection boxes),
+    /// used to compare decoded routing against the original.
+    pub fn routing_bits(&self) -> Vec<bool> {
+        let start = self.layout().lb_config_range().end;
+        (start..self.len()).map(|i| self.bit(i)).collect()
+    }
+
+    /// Number of differing bits between two frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two frames have different architectures.
+    pub fn diff_count(&self, other: &MacroFrame) -> usize {
+        assert_eq!(self.spec, other.spec, "comparing frames of different layouts");
+        (0..self.len())
+            .filter(|&i| self.bit(i) != other.bit(i))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ArchSpec {
+        ArchSpec::paper_example()
+    }
+
+    #[test]
+    fn empty_frame_has_equation_1_bits_and_is_zero() {
+        let f = MacroFrame::empty(spec());
+        assert_eq!(f.len(), 284);
+        assert!(f.is_empty());
+        assert_eq!(f.popcount(), 0);
+    }
+
+    #[test]
+    fn logic_roundtrip() {
+        let mut f = MacroFrame::empty(spec());
+        let t = TruthTable::from_fn(6, |i| i % 5 == 0);
+        f.set_logic(&t, true);
+        let (back, registered) = f.logic();
+        assert_eq!(back, t);
+        assert!(registered);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn sb_and_crossing_bits_are_independent() {
+        let mut f = MacroFrame::empty(spec());
+        f.set_sb(2, SbPair::EastWest, true);
+        f.set_crossing(6, 2, true);
+        assert!(f.sb(2, SbPair::EastWest));
+        assert!(f.crossing(6, 2));
+        assert!(!f.sb(2, SbPair::NorthSouth));
+        assert!(!f.crossing(6, 3));
+        assert_eq!(f.popcount(), 2);
+        f.set_sb(2, SbPair::EastWest, false);
+        assert_eq!(f.popcount(), 1);
+    }
+
+    #[test]
+    fn logic_bits_roundtrip_raw() {
+        let mut a = MacroFrame::empty(spec());
+        let t = TruthTable::from_fn(6, |i| i & 3 == 1);
+        a.set_logic(&t, false);
+        let mut b = MacroFrame::empty(spec());
+        b.set_logic_bits(a.logic_bits());
+        assert_eq!(a.logic(), b.logic());
+        assert_eq!(a.diff_count(&b), 0);
+    }
+
+    #[test]
+    fn diff_count_spots_changes() {
+        let mut a = MacroFrame::empty(spec());
+        let b = MacroFrame::empty(spec());
+        a.set_crossing(0, 0, true);
+        a.set_sb(4, SbPair::NorthEast, true);
+        assert_eq!(a.diff_count(&b), 2);
+    }
+
+    #[test]
+    fn routing_bits_exclude_logic() {
+        let mut f = MacroFrame::empty(spec());
+        f.set_logic(&TruthTable::from_fn(6, |_| true), true);
+        assert!(f.routing_bits().iter().all(|&b| !b));
+        f.set_sb(0, SbPair::NorthSouth, true);
+        assert_eq!(f.routing_bits().iter().filter(|&&b| b).count(), 1);
+    }
+}

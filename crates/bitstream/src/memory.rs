@@ -1,0 +1,201 @@
+//! The configuration-memory layer of a whole device.
+//!
+//! The paper describes the configuration memory as "a single memory layer"
+//! spread over the circuit (Section I). [`ConfigMemory`] models that layer:
+//! one frame per macro of the device, into which the run-time controller
+//! writes decoded tasks at their final position.
+
+use crate::error::BitstreamError;
+use crate::frame::MacroFrame;
+use crate::task::TaskBitstream;
+use serde::{Deserialize, Serialize};
+use vbs_arch::{Coord, Device, Rect};
+
+/// The configuration memory of a full device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigMemory {
+    width: u16,
+    height: u16,
+    frames: Vec<MacroFrame>,
+}
+
+impl ConfigMemory {
+    /// Creates a blank configuration memory for `device`.
+    pub fn new(device: &Device) -> Self {
+        ConfigMemory {
+            width: device.width(),
+            height: device.height(),
+            frames: vec![MacroFrame::empty(*device.spec()); device.macro_count() as usize],
+        }
+    }
+
+    /// Device width in macros.
+    pub const fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Device height in macros.
+    pub const fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// The frame of the macro at device-absolute coordinates `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies outside the device.
+    pub fn frame(&self, at: Coord) -> &MacroFrame {
+        &self.frames[self.index(at)]
+    }
+
+    /// Mutable access to a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies outside the device.
+    pub fn frame_mut(&mut self, at: Coord) -> &mut MacroFrame {
+        let idx = self.index(at);
+        &mut self.frames[idx]
+    }
+
+    /// Writes a task bit-stream into the memory with its lower-left corner at
+    /// `origin`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::DoesNotFit`] when the task sticks out of the
+    /// device.
+    pub fn load_task(&mut self, task: &TaskBitstream, origin: Coord) -> Result<(), BitstreamError> {
+        if origin.x as u32 + task.width() as u32 > self.width as u32
+            || origin.y as u32 + task.height() as u32 > self.height as u32
+        {
+            return Err(BitstreamError::DoesNotFit {
+                origin,
+                width: task.width(),
+                height: task.height(),
+            });
+        }
+        for (local, frame) in task.iter_frames() {
+            let at = Coord::new(origin.x + local.x, origin.y + local.y);
+            *self.frame_mut(at) = frame.clone();
+        }
+        Ok(())
+    }
+
+    /// Clears every frame of a rectangular region (task removal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::DoesNotFit`] when the region sticks out of
+    /// the device.
+    pub fn clear_region(&mut self, region: Rect) -> Result<(), BitstreamError> {
+        if region.origin.x as u32 + region.width as u32 > self.width as u32
+            || region.origin.y as u32 + region.height as u32 > self.height as u32
+        {
+            return Err(BitstreamError::DoesNotFit {
+                origin: region.origin,
+                width: region.width,
+                height: region.height,
+            });
+        }
+        let spec = *self.frames[0].spec();
+        for at in region.iter() {
+            *self.frame_mut(at) = MacroFrame::empty(spec);
+        }
+        Ok(())
+    }
+
+    /// Extracts the frames of a region as a task bit-stream (read-back).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::DoesNotFit`] when the region sticks out of
+    /// the device.
+    pub fn read_region(&self, region: Rect) -> Result<TaskBitstream, BitstreamError> {
+        if region.origin.x as u32 + region.width as u32 > self.width as u32
+            || region.origin.y as u32 + region.height as u32 > self.height as u32
+        {
+            return Err(BitstreamError::DoesNotFit {
+                origin: region.origin,
+                width: region.width,
+                height: region.height,
+            });
+        }
+        let spec = *self.frames[0].spec();
+        let mut task = TaskBitstream::empty(spec, region.width, region.height);
+        for at in region.iter() {
+            let local = Coord::new(at.x - region.origin.x, at.y - region.origin.y);
+            *task.frame_mut(local) = self.frame(at).clone();
+        }
+        Ok(task)
+    }
+
+    /// Number of macros whose frame holds at least one set bit.
+    pub fn occupied_macros(&self) -> usize {
+        self.frames.iter().filter(|f| !f.is_empty()).count()
+    }
+
+    fn index(&self, at: Coord) -> usize {
+        assert!(
+            at.x < self.width && at.y < self.height,
+            "coordinate {at} outside device {}x{}",
+            self.width,
+            self.height
+        );
+        at.y as usize * self.width as usize + at.x as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbs_arch::{ArchSpec, SbPair};
+
+    fn memory() -> ConfigMemory {
+        let device = Device::new(ArchSpec::paper_example(), 10, 10).unwrap();
+        ConfigMemory::new(&device)
+    }
+
+    fn small_task() -> TaskBitstream {
+        let mut t = TaskBitstream::empty(ArchSpec::paper_example(), 3, 2);
+        t.frame_mut(Coord::new(1, 1)).set_sb(2, SbPair::EastWest, true);
+        t.frame_mut(Coord::new(0, 0)).set_crossing(0, 0, true);
+        t
+    }
+
+    #[test]
+    fn load_read_roundtrip_at_offset() {
+        let mut mem = memory();
+        let task = small_task();
+        mem.load_task(&task, Coord::new(4, 7)).unwrap();
+        assert!(mem.frame(Coord::new(5, 8)).sb(2, SbPair::EastWest));
+        let back = mem
+            .read_region(Rect::new(Coord::new(4, 7), 3, 2))
+            .unwrap();
+        assert_eq!(back.diff_count(&task).unwrap(), 0);
+        assert_eq!(mem.occupied_macros(), 2);
+    }
+
+    #[test]
+    fn load_rejects_out_of_bounds() {
+        let mut mem = memory();
+        let task = small_task();
+        assert!(matches!(
+            mem.load_task(&task, Coord::new(9, 9)),
+            Err(BitstreamError::DoesNotFit { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_region_erases_frames() {
+        let mut mem = memory();
+        mem.load_task(&small_task(), Coord::new(0, 0)).unwrap();
+        assert!(mem.occupied_macros() > 0);
+        mem.clear_region(Rect::new(Coord::new(0, 0), 3, 2)).unwrap();
+        assert_eq!(mem.occupied_macros(), 0);
+        assert!(matches!(
+            mem.clear_region(Rect::new(Coord::new(8, 8), 5, 5)),
+            Err(BitstreamError::DoesNotFit { .. })
+        ));
+    }
+}

@@ -1,0 +1,734 @@
+//! De-virtualization: expanding a Virtual Bit-Stream back into raw
+//! configuration frames.
+//!
+//! This is the algorithm the run-time reconfiguration controller executes
+//! (Section II-C of the paper): "the VBS data is processed macro by macro and
+//! the connection list is expanded in an in-memory macro configuration". The
+//! expansion is a small, deterministic, stateful router:
+//!
+//! * connection endpoints pin the boundary wires they name, so the decoded
+//!   configuration never drives a wire shared with a neighbouring cluster
+//!   unless the encoder allocated it;
+//! * wires inside the cluster are routed freely but exclusively — two
+//!   different nets can never share one;
+//! * connections that transitively share an endpoint belong to the same net
+//!   and may reuse each other's resources (fanout).
+//!
+//! Because every record only touches its own cluster, records can be decoded
+//! independently (and, in the run-time crate, in parallel).
+
+use crate::cluster::{ClusterGrid, ClusterIo};
+use crate::error::VbsError;
+use crate::format::{ClusterRecord, ClusterRoutes, Connection, Vbs};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use vbs_arch::{Coord, Device, Rect};
+use vbs_arch::WireRef;
+use vbs_bitstream::{edge_to_switch, SwitchSetting, TaskBitstream};
+use vbs_route::{RrGraph, RrNode};
+
+/// Decodes a whole Virtual Bit-Stream into the raw bit-stream of the task
+/// (task-relative frames).
+///
+/// # Errors
+///
+/// Returns a [`VbsError`] when a record cannot be expanded (conflicting or
+/// unroutable connection lists, dangling boundary references, malformed
+/// logic payloads).
+///
+/// ```
+/// # use vbs_arch::ArchSpec;
+/// # use vbs_core::{Vbs, decode};
+/// # fn main() -> Result<(), vbs_core::VbsError> {
+/// let empty = Vbs::new(ArchSpec::paper_example(), 1, 4, 4, Vec::new())?;
+/// let task = decode(&empty)?;
+/// assert_eq!(task.popcount(), 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(vbs: &Vbs) -> Result<TaskBitstream, VbsError> {
+    Devirtualizer::new(vbs)?.run()
+}
+
+/// Decodes a VBS and reports the device rectangle it would occupy when loaded
+/// with its lower-left corner at `origin` — the information the run-time
+/// placer needs for relocation.
+///
+/// # Errors
+///
+/// Propagates the errors of [`decode`].
+pub fn decode_at(vbs: &Vbs, origin: Coord) -> Result<(Rect, TaskBitstream), VbsError> {
+    let task = decode(vbs)?;
+    Ok((Rect::new(origin, task.width(), task.height()), task))
+}
+
+/// The de-virtualization engine for one Virtual Bit-Stream.
+///
+/// The engine borrows the stream and expands records on demand; use
+/// [`Devirtualizer::run`] for the whole task or
+/// [`Devirtualizer::decode_record_into`] to expand a single record (the
+/// run-time controller uses the latter to parallelize decoding).
+#[derive(Debug)]
+pub struct Devirtualizer<'a> {
+    vbs: &'a Vbs,
+    grid: ClusterGrid,
+    geometry: Device,
+}
+
+impl<'a> Devirtualizer<'a> {
+    /// Prepares the decoding of `vbs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbsError::Arch`] if the task dimensions are degenerate.
+    pub fn new(vbs: &'a Vbs) -> Result<Self, VbsError> {
+        let grid = vbs.grid();
+        let geometry = Device::new(*vbs.spec(), vbs.width().max(1), vbs.height().max(1))?;
+        Ok(Devirtualizer {
+            vbs,
+            grid,
+            geometry,
+        })
+    }
+
+    /// Decodes every record into a fresh task bit-stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first record-level failure.
+    pub fn run(&self) -> Result<TaskBitstream, VbsError> {
+        let mut task =
+            TaskBitstream::empty(*self.vbs.spec(), self.vbs.width().max(1), self.vbs.height().max(1));
+        for record in self.vbs.records() {
+            self.decode_record_into(record, &mut task)?;
+        }
+        Ok(task)
+    }
+
+    /// Expands one record into `task` (only the record's own frames are
+    /// touched) and returns the task-relative wires the expansion claimed.
+    ///
+    /// The claimed-wire list is what the offline feedback loop of the encoder
+    /// inspects: a coded record is only kept if its expansion stays within
+    /// the wires the original routing used for the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbsError::DecodeConflict`], [`VbsError::DecodeNoPath`],
+    /// [`VbsError::DanglingBoundary`] or [`VbsError::Malformed`] when the
+    /// record cannot be expanded.
+    pub fn decode_record_into(
+        &self,
+        record: &ClusterRecord,
+        task: &mut TaskBitstream,
+    ) -> Result<Vec<WireRef>, VbsError> {
+        let cluster = record.position;
+        let k = self.grid.cluster_size();
+        let spec = self.vbs.spec();
+        let lb_bits = spec.lb_config_bits();
+
+        if record.logic.len() != self.vbs.logic_bits_per_record() {
+            return Err(VbsError::Malformed {
+                reason: format!(
+                    "record at {cluster} carries {} logic bits, expected {}",
+                    record.logic.len(),
+                    self.vbs.logic_bits_per_record()
+                ),
+            });
+        }
+
+        // 1. Logic sections.
+        for local in 0..(k as usize * k as usize) {
+            let Some(site) = self.grid.macro_at(cluster, local as u16) else {
+                continue;
+            };
+            let bits = record.logic[local * lb_bits..(local + 1) * lb_bits]
+                .iter()
+                .copied();
+            task.frame_mut(site).set_logic_bits(bits);
+        }
+
+        // 2. Routing sections.
+        let mut claimed: Vec<WireRef> = Vec::new();
+        match &record.routes {
+            ClusterRoutes::Raw(raw) => {
+                if raw.len() != self.vbs.raw_routing_bits_per_record() {
+                    return Err(VbsError::Malformed {
+                        reason: format!(
+                            "raw record at {cluster} carries {} routing bits, expected {}",
+                            raw.len(),
+                            self.vbs.raw_routing_bits_per_record()
+                        ),
+                    });
+                }
+                let per_macro = spec.raw_bits_per_macro() - lb_bits;
+                for local in 0..(k as usize * k as usize) {
+                    let Some(site) = self.grid.macro_at(cluster, local as u16) else {
+                        continue;
+                    };
+                    let frame = task.frame_mut(site);
+                    for (i, &bit) in raw[local * per_macro..(local + 1) * per_macro]
+                        .iter()
+                        .enumerate()
+                    {
+                        frame.set_bit(lb_bits + i, bit);
+                    }
+                }
+            }
+            ClusterRoutes::Coded(connections) => {
+                let mut state = ClusterState::new();
+                for connection in connections {
+                    self.route_connection(cluster, connection, &mut state, task)?;
+                }
+                claimed = state.wire_owner.keys().copied().collect();
+                claimed.sort_unstable();
+            }
+        }
+        Ok(claimed)
+    }
+
+    /// Routes one coded connection inside its cluster and writes the switches
+    /// it programs.
+    fn route_connection(
+        &self,
+        cluster: Coord,
+        connection: &Connection,
+        state: &mut ClusterState,
+        task: &mut TaskBitstream,
+    ) -> Result<(), VbsError> {
+        let source = self.io_node(cluster, connection.input)?;
+        let target = self.io_node(cluster, connection.output)?;
+        let group = state.group_of_endpoints(source, target, cluster, connection)?;
+
+        if source == target {
+            return Ok(());
+        }
+
+        let graph = RrGraph::new(&self.geometry);
+        let path = self
+            .local_dijkstra(cluster, &graph, source, target, group, state)
+            .ok_or_else(|| VbsError::DecodeNoPath {
+                cluster,
+                connection: connection.to_string(),
+            })?;
+
+        // Program the switches along the path and claim its wires.
+        for window in path.windows(2) {
+            let (a, b) = (window[0], window[1]);
+            let switch = edge_to_switch(&self.geometry, a, b).map_err(|_| {
+                VbsError::DecodeConflict {
+                    cluster,
+                    connection: connection.to_string(),
+                }
+            })?;
+            let site = switch.site();
+            if self.grid.cluster_of(site) != cluster {
+                return Err(VbsError::DecodeConflict {
+                    cluster,
+                    connection: connection.to_string(),
+                });
+            }
+            let frame = task.frame_mut(site);
+            match switch {
+                SwitchSetting::Crossing { pin, track, .. } => frame.set_crossing(pin, track, true),
+                SwitchSetting::SwitchBox { track, pair, .. } => frame.set_sb(track, pair, true),
+            }
+        }
+        for node in &path {
+            if let RrNode::Wire(w) = node {
+                state.claim(*w, group);
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps a cluster I/O to its routing-resource node (task-relative).
+    fn io_node(&self, cluster: Coord, io: ClusterIo) -> Result<RrNode, VbsError> {
+        match io {
+            ClusterIo::Null => Err(VbsError::Malformed {
+                reason: format!("null i/o used as a connection endpoint in cluster {cluster}"),
+            }),
+            ClusterIo::Boundary { side, offset } => {
+                let wire = self.grid.boundary_wire(cluster, side, offset)?;
+                Ok(RrNode::Wire(wire))
+            }
+            ClusterIo::Pin { local, pin } => {
+                let site =
+                    self.grid
+                        .macro_at(cluster, local)
+                        .ok_or(VbsError::RecordOutOfTask { cluster })?;
+                if pin >= self.vbs.spec().lb_pins() {
+                    return Err(VbsError::InvalidIo {
+                        index: pin as u32,
+                        io_count: self.vbs.spec().lb_pins() as u32,
+                    });
+                }
+                Ok(RrNode::Pin { site, pin })
+            }
+        }
+    }
+
+    /// Deterministic Dijkstra constrained to the cluster: boundary-crossing
+    /// wires may only be used when they are an endpoint or already belong to
+    /// the connection's net; interior wires are exclusive per net.
+    fn local_dijkstra(
+        &self,
+        cluster: Coord,
+        graph: &RrGraph<'_>,
+        source: RrNode,
+        target: RrNode,
+        group: u32,
+        state: &ClusterState,
+    ) -> Option<Vec<RrNode>> {
+        let mut best: HashMap<RrNode, (f32, RrNode)> = HashMap::new();
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+        best.insert(source, (0.0, source));
+        heap.push(Entry {
+            cost: 0.0,
+            node: source,
+        });
+
+        while let Some(Entry { cost, node }) = heap.pop() {
+            if let Some(&(known, _)) = best.get(&node) {
+                if cost > known {
+                    continue;
+                }
+            }
+            if node == target {
+                // Rebuild the path.
+                let mut path = vec![target];
+                let mut cursor = target;
+                while cursor != source {
+                    cursor = best[&cursor].1;
+                    path.push(cursor);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            // Pins other than the endpoints are never expanded through.
+            if matches!(node, RrNode::Pin { .. }) && node != source {
+                continue;
+            }
+            for next in graph.neighbors(node) {
+                let step = match next {
+                    RrNode::Pin { .. } => {
+                        if next != target {
+                            continue;
+                        }
+                        1.0
+                    }
+                    RrNode::Wire(w) => {
+                        if !self.grid.wire_touches(cluster, w) {
+                            continue;
+                        }
+                        match state.owner(w) {
+                            // A wire already carrying a different net can
+                            // never be reused.
+                            Some(owner) if state.resolve(owner) != state.resolve(group) => {
+                                continue
+                            }
+                            // Resources of the same net are nearly free,
+                            // which makes fanout share its trunk.
+                            Some(_) => 0.1,
+                            None => {
+                                if self.grid.wire_io(cluster, w).is_some() {
+                                    // Unallocated boundary-crossing wire:
+                                    // strongly discouraged (it is shared with
+                                    // a neighbouring cluster), used only when
+                                    // no interior path exists. The encoder's
+                                    // feedback loop verifies such choices
+                                    // against the original routing.
+                                    6.0
+                                } else {
+                                    1.0
+                                }
+                            }
+                        }
+                    }
+                };
+                let next_cost = cost + step;
+                let better = match best.get(&next) {
+                    Some(&(known, _)) => next_cost < known - f32::EPSILON,
+                    None => true,
+                };
+                if better {
+                    best.insert(next, (next_cost, node));
+                    heap.push(Entry {
+                        cost: next_cost,
+                        node: next,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Decoding state of one cluster record: which net group owns each wire.
+#[derive(Debug, Default)]
+struct ClusterState {
+    wire_owner: HashMap<vbs_arch::WireRef, u32>,
+    endpoint_group: HashMap<RrNode, u32>,
+    next_group: u32,
+    parent: Vec<u32>,
+}
+
+impl ClusterState {
+    fn new() -> Self {
+        ClusterState::default()
+    }
+
+    fn find(&mut self, g: u32) -> u32 {
+        let root = self.resolve(g);
+        // Path compression.
+        let mut cursor = g;
+        while self.parent[cursor as usize] != root {
+            let next = self.parent[cursor as usize];
+            self.parent[cursor as usize] = root;
+            cursor = next;
+        }
+        root
+    }
+
+    /// Read-only group resolution (no path compression), usable while the
+    /// state is borrowed immutably during path search.
+    fn resolve(&self, g: u32) -> u32 {
+        let mut root = g;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        root
+    }
+
+    fn fresh(&mut self) -> u32 {
+        let g = self.next_group;
+        self.next_group += 1;
+        self.parent.push(g);
+        g
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+        ra
+    }
+
+    /// Resolves the net group of a connection from its two endpoints.
+    ///
+    /// Connections sharing an endpoint (transitively) describe the same
+    /// electrical net — an I/O can only carry one signal — so their groups
+    /// are merged; a fresh group is created when neither endpoint is known.
+    fn group_of_endpoints(
+        &mut self,
+        source: RrNode,
+        target: RrNode,
+        _cluster: Coord,
+        _connection: &Connection,
+    ) -> Result<u32, VbsError> {
+        let existing_source = self.endpoint_node_group(source);
+        let existing_target = self.endpoint_node_group(target);
+        let group = match (existing_source, existing_target) {
+            (None, None) => self.fresh(),
+            (Some(g), None) | (None, Some(g)) => self.find(g),
+            (Some(a), Some(b)) => self.union(a, b),
+        };
+        self.endpoint_group.insert(source, group);
+        self.endpoint_group.insert(target, group);
+        if let RrNode::Wire(w) = source {
+            self.claim(w, group);
+        }
+        if let RrNode::Wire(w) = target {
+            self.claim(w, group);
+        }
+        Ok(group)
+    }
+
+    fn endpoint_node_group(&self, node: RrNode) -> Option<u32> {
+        match node {
+            RrNode::Wire(w) => self
+                .wire_owner
+                .get(&w)
+                .copied()
+                .or_else(|| self.endpoint_group.get(&node).copied()),
+            RrNode::Pin { .. } => self.endpoint_group.get(&node).copied(),
+        }
+    }
+
+    fn owner(&self, wire: vbs_arch::WireRef) -> Option<u32> {
+        self.wire_owner.get(&wire).copied()
+    }
+
+    fn claim(&mut self, wire: vbs_arch::WireRef, group: u32) {
+        self.wire_owner.insert(wire, group);
+    }
+}
+
+#[derive(PartialEq)]
+struct Entry {
+    cost: f32,
+    node: RrNode,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{ClusterRecord, ClusterRoutes};
+    use vbs_arch::{ArchSpec, SbPair, Side};
+
+    fn spec() -> ArchSpec {
+        ArchSpec::paper_example()
+    }
+
+    fn record(connections: Vec<Connection>) -> ClusterRecord {
+        ClusterRecord {
+            position: Coord::new(1, 1),
+            logic: vec![false; spec().lb_config_bits()],
+            routes: ClusterRoutes::Coded(connections),
+        }
+    }
+
+    fn decode_single(connections: Vec<Connection>) -> Result<TaskBitstream, VbsError> {
+        let vbs = Vbs::new(spec(), 1, 4, 4, vec![record(connections)]).unwrap();
+        decode(&vbs)
+    }
+
+    #[test]
+    fn straight_through_connection_sets_one_sb_switch() {
+        let task = decode_single(vec![Connection {
+            input: ClusterIo::Boundary {
+                side: Side::West,
+                offset: 2,
+            },
+            output: ClusterIo::Boundary {
+                side: Side::East,
+                offset: 2,
+            },
+        }])
+        .unwrap();
+        let frame = task.frame(Coord::new(1, 1));
+        assert!(frame.sb(2, SbPair::EastWest));
+        assert_eq!(frame.popcount(), 1);
+    }
+
+    #[test]
+    fn pin_hookup_from_south_uses_sb_and_crossing() {
+        // South boundary to pin 1 (odd -> north channel): needs the
+        // north-south pass switch plus the crossing.
+        let task = decode_single(vec![Connection {
+            input: ClusterIo::Boundary {
+                side: Side::South,
+                offset: 3,
+            },
+            output: ClusterIo::Pin { local: 0, pin: 1 },
+        }])
+        .unwrap();
+        let frame = task.frame(Coord::new(1, 1));
+        assert!(frame.sb(3, SbPair::NorthSouth));
+        assert!(frame.crossing(1, 3));
+        assert_eq!(frame.popcount(), 2);
+    }
+
+    #[test]
+    fn fanout_reuses_already_routed_resources() {
+        // One net entering west and leaving both east and to pin 0.
+        let task = decode_single(vec![
+            Connection {
+                input: ClusterIo::Boundary {
+                    side: Side::West,
+                    offset: 0,
+                },
+                output: ClusterIo::Boundary {
+                    side: Side::East,
+                    offset: 0,
+                },
+            },
+            Connection {
+                input: ClusterIo::Boundary {
+                    side: Side::West,
+                    offset: 0,
+                },
+                output: ClusterIo::Pin { local: 0, pin: 0 },
+            },
+        ])
+        .unwrap();
+        let frame = task.frame(Coord::new(1, 1));
+        assert!(frame.sb(0, SbPair::EastWest));
+        assert!(frame.crossing(0, 0));
+        assert_eq!(frame.popcount(), 2, "the east wire is shared, not re-routed");
+    }
+
+    #[test]
+    fn shared_endpoints_are_one_electrical_net() {
+        // Connections sharing the east[0] endpoint describe one net fanning
+        // in/out through three boundaries: the decoder merges them instead of
+        // duplicating resources.
+        let task = decode_single(vec![
+            Connection {
+                input: ClusterIo::Boundary {
+                    side: Side::West,
+                    offset: 0,
+                },
+                output: ClusterIo::Boundary {
+                    side: Side::East,
+                    offset: 0,
+                },
+            },
+            Connection {
+                input: ClusterIo::Boundary {
+                    side: Side::South,
+                    offset: 0,
+                },
+                output: ClusterIo::Boundary {
+                    side: Side::East,
+                    offset: 0,
+                },
+            },
+        ])
+        .unwrap();
+        let frame = task.frame(Coord::new(1, 1));
+        assert!(frame.sb(0, SbPair::EastWest));
+        assert!(frame.sb(0, SbPair::SouthEast));
+        assert_eq!(frame.popcount(), 2);
+    }
+
+    #[test]
+    fn two_nets_never_share_a_wire() {
+        // Net 1 goes straight through on track 2; net 2 wants to reach pin 0
+        // (an even pin, hooked through the macro's horizontal wires). The
+        // decoder must hook pin 0 through a *different* track than net 1.
+        let task = decode_single(vec![
+            Connection {
+                input: ClusterIo::Boundary {
+                    side: Side::West,
+                    offset: 2,
+                },
+                output: ClusterIo::Boundary {
+                    side: Side::East,
+                    offset: 2,
+                },
+            },
+            Connection {
+                input: ClusterIo::Boundary {
+                    side: Side::South,
+                    offset: 4,
+                },
+                output: ClusterIo::Pin { local: 0, pin: 0 },
+            },
+        ])
+        .unwrap();
+        let frame = task.frame(Coord::new(1, 1));
+        assert!(frame.sb(2, SbPair::EastWest));
+        // Net 2 must not use crossing(0, 2): track 2's horizontal wire belongs
+        // to net 1.
+        assert!(!frame.crossing(0, 2));
+        assert!(frame.crossing(0, 4) || (0..5).any(|t| t != 2 && frame.crossing(0, t)));
+    }
+
+    #[test]
+    fn different_tracks_do_not_conflict() {
+        let task = decode_single(vec![
+            Connection {
+                input: ClusterIo::Boundary {
+                    side: Side::West,
+                    offset: 0,
+                },
+                output: ClusterIo::Boundary {
+                    side: Side::East,
+                    offset: 0,
+                },
+            },
+            Connection {
+                input: ClusterIo::Boundary {
+                    side: Side::West,
+                    offset: 1,
+                },
+                output: ClusterIo::Boundary {
+                    side: Side::East,
+                    offset: 1,
+                },
+            },
+        ])
+        .unwrap();
+        let frame = task.frame(Coord::new(1, 1));
+        assert!(frame.sb(0, SbPair::EastWest));
+        assert!(frame.sb(1, SbPair::EastWest));
+    }
+
+    #[test]
+    fn null_endpoints_are_malformed() {
+        let result = decode_single(vec![Connection {
+            input: ClusterIo::Null,
+            output: ClusterIo::Pin { local: 0, pin: 0 },
+        }]);
+        assert!(matches!(result, Err(VbsError::Malformed { .. })));
+    }
+
+    #[test]
+    fn dangling_boundary_is_reported() {
+        // Cluster (0, 0) has no west neighbour: west boundary wires do not
+        // exist there.
+        let rec = ClusterRecord {
+            position: Coord::new(0, 0),
+            logic: vec![false; spec().lb_config_bits()],
+            routes: ClusterRoutes::Coded(vec![Connection {
+                input: ClusterIo::Boundary {
+                    side: Side::West,
+                    offset: 0,
+                },
+                output: ClusterIo::Pin { local: 0, pin: 0 },
+            }]),
+        };
+        let vbs = Vbs::new(spec(), 1, 4, 4, vec![rec]).unwrap();
+        assert!(matches!(
+            decode(&vbs),
+            Err(VbsError::DanglingBoundary { .. })
+        ));
+    }
+
+    #[test]
+    fn raw_records_restore_their_bits_verbatim() {
+        let s = spec();
+        let routing_bits = s.raw_bits_per_macro() - s.lb_config_bits();
+        let pattern: Vec<bool> = (0..routing_bits).map(|i| i % 11 == 0).collect();
+        let rec = ClusterRecord {
+            position: Coord::new(2, 2),
+            logic: (0..s.lb_config_bits()).map(|i| i % 3 == 0).collect(),
+            routes: ClusterRoutes::Raw(pattern.clone()),
+        };
+        let vbs = Vbs::new(s, 1, 4, 4, vec![rec]).unwrap();
+        let task = decode(&vbs).unwrap();
+        let frame = task.frame(Coord::new(2, 2));
+        for (i, &bit) in pattern.iter().enumerate() {
+            assert_eq!(frame.bit(s.lb_config_bits() + i), bit);
+        }
+        assert!(frame.bit(0));
+    }
+
+    #[test]
+    fn decode_at_reports_the_target_rectangle() {
+        let vbs = Vbs::new(spec(), 1, 3, 2, Vec::new()).unwrap();
+        let (rect, task) = decode_at(&vbs, Coord::new(5, 6)).unwrap();
+        assert_eq!(rect, Rect::new(Coord::new(5, 6), 3, 2));
+        assert_eq!(task.width(), 3);
+    }
+}

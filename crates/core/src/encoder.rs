@@ -1,0 +1,502 @@
+//! The `vbsgen` backend: encoding a placed-and-routed task into a Virtual
+//! Bit-Stream.
+//!
+//! The encoder walks every route tree, assigns each programmed switch to the
+//! cluster that owns it, and abstracts the per-cluster routing into a
+//! connection list: for every connected piece of a net inside a cluster it
+//! emits one connection from the piece's entry I/O to every other black-box
+//! I/O the piece touches (boundary-crossing wires and logic-block pins).
+//! Wires that stay strictly inside a cluster never appear in the list — that
+//! is the clustering gain of Section IV-B.
+//!
+//! Following Section III-B, every coded record goes through the offline
+//! **feedback loop**: it is decoded with the same de-virtualization algorithm
+//! the run-time controller uses, and is only kept if the expansion succeeds
+//! and stays within the wires the original routing allocated to the cluster.
+//! Otherwise the connection list is re-ordered and re-tried, and as a last
+//! resort the record falls back to the raw coding of the cluster (which also
+//! happens when the list would be larger than the raw frames).
+
+use crate::cluster::{ClusterGrid, ClusterIo};
+use crate::decoder::Devirtualizer;
+use crate::error::VbsError;
+use crate::format::{ClusterRecord, ClusterRoutes, Connection, Vbs};
+use std::collections::{HashMap, HashSet};
+use vbs_arch::{ArchSpec, Coord, WireRef};
+use vbs_bitstream::{edge_to_switch, TaskBitstream};
+use vbs_route::{RrNode, Routing};
+
+/// The Virtual Bit-Stream encoder (the paper's `vbsgen`).
+#[derive(Debug, Clone)]
+pub struct VbsEncoder {
+    spec: ArchSpec,
+    cluster_size: u16,
+}
+
+impl VbsEncoder {
+    /// Creates an encoder for the given architecture and cluster size
+    /// (`cluster_size = 1` is the finest grain, one macro per record).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbsError::InvalidClusterSize`] when `cluster_size` is zero.
+    pub fn new(spec: ArchSpec, cluster_size: u16) -> Result<Self, VbsError> {
+        if cluster_size == 0 {
+            return Err(VbsError::InvalidClusterSize { cluster_size });
+        }
+        Ok(VbsEncoder { spec, cluster_size })
+    }
+
+    /// The cluster size this encoder produces.
+    pub const fn cluster_size(&self) -> u16 {
+        self.cluster_size
+    }
+
+    /// Encodes a task whose placement region starts at the device origin
+    /// (the common case when the whole device is the task).
+    ///
+    /// # Errors
+    ///
+    /// See [`VbsEncoder::encode_with_origin`].
+    pub fn encode(&self, raw: &TaskBitstream, routing: &Routing) -> Result<Vbs, VbsError> {
+        self.encode_with_origin(raw, routing, Coord::new(0, 0))
+    }
+
+    /// Encodes a task whose raw bit-stream is `raw` and whose routing was
+    /// computed at device-absolute coordinates; `origin` is the lower-left
+    /// corner of the task on that device, used to translate the routing into
+    /// task-relative coordinates.
+    ///
+    /// # Errors
+    ///
+    /// * [`VbsError::EncoderInputMismatch`] if the raw bit-stream and the
+    ///   routing target different architectures;
+    /// * [`VbsError::InvalidClusterSize`] if the cluster does not fit the
+    ///   task;
+    /// * any decoding error that survives the feedback loop (which indicates
+    ///   a bug rather than an input problem, since raw fallback always
+    ///   succeeds).
+    pub fn encode_with_origin(
+        &self,
+        raw: &TaskBitstream,
+        routing: &Routing,
+        origin: Coord,
+    ) -> Result<Vbs, VbsError> {
+        if raw.spec() != &self.spec {
+            return Err(VbsError::EncoderInputMismatch {
+                reason: "raw bit-stream architecture differs from the encoder's".into(),
+            });
+        }
+        if routing.spec() != &self.spec {
+            return Err(VbsError::EncoderInputMismatch {
+                reason: "routing channel width differs from the encoder's architecture".into(),
+            });
+        }
+        let width = raw.width();
+        let height = raw.height();
+        let grid = ClusterGrid::new(self.spec, self.cluster_size, width, height)?;
+
+        // 1. Group the programmed switches and the wires they touch by
+        //    cluster, net by net.
+        let geometry = vbs_arch::Device::new(self.spec, width.max(1), height.max(1))?;
+        let mut per_cluster: HashMap<Coord, ClusterNets> = HashMap::new();
+        for (net_id, tree) in routing.iter_trees() {
+            // Parent relation in task-relative coordinates.
+            let edges: Vec<(RrNode, RrNode)> = tree
+                .iter_edges()
+                .map(|(p, c)| (rel_node(p, origin), rel_node(c, origin)))
+                .collect();
+            if edges.is_empty() {
+                continue;
+            }
+            let mut parent: HashMap<RrNode, RrNode> = HashMap::new();
+            for (p, c) in &edges {
+                parent.insert(*c, *p);
+            }
+            // Assign each edge to the cluster owning its switch.
+            let mut cluster_edges: HashMap<Coord, Vec<(RrNode, RrNode)>> = HashMap::new();
+            for (p, c) in &edges {
+                let switch =
+                    edge_to_switch(&geometry, *p, *c).map_err(VbsError::Bitstream)?;
+                let cluster = grid.cluster_of(switch.site());
+                cluster_edges.entry(cluster).or_default().push((*p, *c));
+            }
+            for (cluster, edges) in cluster_edges {
+                let entry = per_cluster.entry(cluster).or_default();
+                entry.add_component_connections(&grid, cluster, &edges, &parent, net_id.index());
+                for (p, c) in &edges {
+                    for node in [p, c] {
+                        if let RrNode::Wire(w) = node {
+                            if grid.wire_touches(cluster, *w) {
+                                entry.used_wires.insert(*w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Build one record per occupied cluster, applying the size bound
+        //    and the decode feedback loop.
+        let template = Vbs::new(self.spec, self.cluster_size, width, height, Vec::new())?;
+        let devirt_scratch = Vbs::new(self.spec, self.cluster_size, width, height, Vec::new())?;
+        let devirtualizer = Devirtualizer::new(&devirt_scratch)?;
+        let mut scratch = TaskBitstream::empty(self.spec, width.max(1), height.max(1));
+
+        let mut records: Vec<ClusterRecord> = Vec::new();
+        for cluster in grid.iter_clusters() {
+            let nets = per_cluster.remove(&cluster);
+            let logic = self.logic_bits(&grid, raw, cluster);
+            let has_logic = logic.iter().any(|&b| b);
+            let connections = nets.as_ref().map(|n| n.connections.clone()).unwrap_or_default();
+            if connections.is_empty() && !has_logic {
+                // Empty cluster: no record at all (this is where sparse
+                // regions gain the most).
+                continue;
+            }
+
+            let coded_bits = template.route_count_bits() as usize
+                + 2 * template.io_bits() as usize * connections.len();
+            let raw_bits = template.raw_routing_bits_per_record();
+            let mut routes = if connections.is_empty() {
+                ClusterRoutes::Coded(Vec::new())
+            } else if connections.len() > template.max_routes_per_record() || coded_bits >= raw_bits
+            {
+                self.raw_routes(&grid, raw, cluster)
+            } else {
+                // Feedback loop: decode the candidate record and verify it
+                // stays within the wires the original routing used here.
+                let allowed = nets.as_ref().map(|n| &n.used_wires);
+                let ordered = order_connections(connections.clone());
+                let candidates = [connections.clone(), ordered];
+                let mut accepted = None;
+                for candidate in candidates {
+                    let record = ClusterRecord {
+                        position: cluster,
+                        logic: logic.clone(),
+                        routes: ClusterRoutes::Coded(candidate.clone()),
+                    };
+                    match devirtualizer.decode_record_into(&record, &mut scratch) {
+                        Ok(claimed) => {
+                            let safe = match allowed {
+                                Some(allowed) => claimed.iter().all(|w| {
+                                    grid.wire_io(cluster, *w).is_none() || allowed.contains(w)
+                                }),
+                                None => claimed.is_empty(),
+                            };
+                            if safe {
+                                accepted = Some(candidate);
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                match accepted {
+                    Some(connections) => ClusterRoutes::Coded(connections),
+                    None => self.raw_routes(&grid, raw, cluster),
+                }
+            };
+
+            // Final guard: never let a coded record be larger than raw.
+            if let ClusterRoutes::Coded(c) = &routes {
+                let bits = template.route_count_bits() as usize
+                    + 2 * template.io_bits() as usize * c.len();
+                if bits >= raw_bits && !c.is_empty() {
+                    routes = self.raw_routes(&grid, raw, cluster);
+                }
+            }
+
+            records.push(ClusterRecord {
+                position: cluster,
+                logic,
+                routes,
+            });
+        }
+
+        Vbs::new(self.spec, self.cluster_size, width, height, records)
+    }
+
+    /// Collects the logic bits of a cluster from the raw frames.
+    fn logic_bits(&self, grid: &ClusterGrid, raw: &TaskBitstream, cluster: Coord) -> Vec<bool> {
+        let k = self.cluster_size as usize;
+        let lb = self.spec.lb_config_bits();
+        let mut bits = vec![false; k * k * lb];
+        for local in 0..(k * k) {
+            if let Some(site) = grid.macro_at(cluster, local as u16) {
+                for (i, b) in raw.frame(site).logic_bits().enumerate() {
+                    bits[local * lb + i] = b;
+                }
+            }
+        }
+        bits
+    }
+
+    /// The raw fallback payload of a cluster: the routing sections of its
+    /// frames, verbatim.
+    fn raw_routes(&self, grid: &ClusterGrid, raw: &TaskBitstream, cluster: Coord) -> ClusterRoutes {
+        let k = self.cluster_size as usize;
+        let lb = self.spec.lb_config_bits();
+        let per_macro = self.spec.raw_bits_per_macro() - lb;
+        let mut bits = vec![false; k * k * per_macro];
+        for local in 0..(k * k) {
+            if let Some(site) = grid.macro_at(cluster, local as u16) {
+                let frame = raw.frame(site);
+                for i in 0..per_macro {
+                    bits[local * per_macro + i] = frame.bit(lb + i);
+                }
+            }
+        }
+        ClusterRoutes::Raw(bits)
+    }
+}
+
+/// Accumulated routing information of one cluster during encoding.
+#[derive(Debug, Default)]
+struct ClusterNets {
+    connections: Vec<Connection>,
+    used_wires: HashSet<WireRef>,
+}
+
+impl ClusterNets {
+    /// Adds the connections of one net's presence inside `cluster`:
+    /// one connection from each connected component's entry I/O to every
+    /// other black-box I/O the component touches.
+    fn add_component_connections(
+        &mut self,
+        grid: &ClusterGrid,
+        cluster: Coord,
+        edges: &[(RrNode, RrNode)],
+        parent: &HashMap<RrNode, RrNode>,
+        _net: usize,
+    ) {
+        // Adjacency restricted to this cluster's edges.
+        let mut adjacency: HashMap<RrNode, Vec<RrNode>> = HashMap::new();
+        for (p, c) in edges {
+            adjacency.entry(*p).or_default().push(*c);
+            adjacency.entry(*c).or_default().push(*p);
+        }
+        let mut nodes: Vec<RrNode> = adjacency.keys().copied().collect();
+        nodes.sort_unstable();
+
+        let edge_set: HashSet<(RrNode, RrNode)> = edges.iter().copied().collect();
+        let mut visited: HashSet<RrNode> = HashSet::new();
+        for &start in &nodes {
+            if visited.contains(&start) {
+                continue;
+            }
+            // Flood the component.
+            let mut component = vec![start];
+            visited.insert(start);
+            let mut stack = vec![start];
+            while let Some(n) = stack.pop() {
+                for &next in adjacency.get(&n).into_iter().flatten() {
+                    if visited.insert(next) {
+                        component.push(next);
+                        stack.push(next);
+                    }
+                }
+            }
+            component.sort_unstable();
+
+            // The entry of the component: the node whose tree parent is not
+            // reached through an edge of this cluster (or the net source).
+            let root = component
+                .iter()
+                .copied()
+                .find(|n| match parent.get(n) {
+                    Some(p) => {
+                        !edge_set.contains(&(*p, *n)) && !edge_set.contains(&(*n, *p))
+                    }
+                    None => true,
+                })
+                .unwrap_or(component[0]);
+
+            // Every component node that is a black-box I/O gets one
+            // connection from its nearest I/O ancestor within the component
+            // (often the entry itself). Interior wires never appear, which is
+            // the clustering gain; preserving the ancestor relation keeps the
+            // branching structure of the original tree, so the
+            // de-virtualization reproduces it faithfully.
+            let in_component: HashSet<RrNode> = component.iter().copied().collect();
+            let nearest_io_ancestor = |mut node: RrNode| -> Option<ClusterIo> {
+                loop {
+                    let p = *parent.get(&node)?;
+                    if !in_component.contains(&p) {
+                        return None;
+                    }
+                    if let Some(io) = node_io(grid, cluster, p) {
+                        return Some(io);
+                    }
+                    node = p;
+                }
+            };
+            let root_io = node_io(grid, cluster, root);
+            let mut outputs: Vec<Connection> = Vec::new();
+            for &node in &component {
+                if node == root {
+                    continue;
+                }
+                let Some(io) = node_io(grid, cluster, node) else {
+                    continue;
+                };
+                let input = nearest_io_ancestor(node).or(root_io);
+                if let Some(input) = input {
+                    outputs.push(Connection { input, output: io });
+                }
+            }
+            // Boundary outputs first so the decoder allocates the shared
+            // wires before hooking pins through them.
+            self.connections.extend(order_connections(outputs));
+        }
+    }
+}
+
+/// Maps a task-relative routing node to the black-box I/O of `cluster` it
+/// represents, or `None` for wires interior to the cluster.
+fn node_io(grid: &ClusterGrid, cluster: Coord, node: RrNode) -> Option<ClusterIo> {
+    match node {
+        RrNode::Pin { site, pin } => {
+            (grid.cluster_of(site) == cluster).then(|| grid.pin_io(site, pin))
+        }
+        RrNode::Wire(w) => grid.wire_io(cluster, w),
+    }
+}
+
+/// Canonical connection order: boundary-to-boundary first, then boundary
+/// destinations, then pins; ties broken by index so the order (and hence the
+/// stream) is deterministic.
+fn order_connections(mut connections: Vec<Connection>) -> Vec<Connection> {
+    fn rank(c: &Connection) -> u8 {
+        match (&c.input, &c.output) {
+            (ClusterIo::Boundary { .. }, ClusterIo::Boundary { .. }) => 0,
+            (_, ClusterIo::Boundary { .. }) => 1,
+            (ClusterIo::Boundary { .. }, _) => 2,
+            _ => 3,
+        }
+    }
+    connections.sort_by(|a, b| rank(a).cmp(&rank(b)).then_with(|| format!("{a}").cmp(&format!("{b}"))));
+    connections
+}
+
+/// Translates a device-absolute routing node into task-relative coordinates.
+fn rel_node(node: RrNode, origin: Coord) -> RrNode {
+    match node {
+        RrNode::Pin { site, pin } => RrNode::Pin {
+            site: Coord::new(site.x - origin.x, site.y - origin.y),
+            pin,
+        },
+        RrNode::Wire(w) => RrNode::Wire(WireRef {
+            kind: w.kind,
+            owner: Coord::new(w.owner.x - origin.x, w.owner.y - origin.y),
+            track: w.track,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::decode;
+    use vbs_arch::{ArchSpec, Device};
+    use vbs_netlist::generate::SyntheticSpec;
+    use vbs_place::{place, PlacerConfig};
+    use vbs_route::{route, RouterConfig};
+
+    fn flow(
+        luts: usize,
+        grid: u16,
+        w: u16,
+        seed: u64,
+    ) -> (Device, TaskBitstream, Routing) {
+        let netlist = SyntheticSpec::new("enc", luts, 5, 5).with_seed(seed).build().unwrap();
+        let device = Device::new(ArchSpec::new(w, 6).unwrap(), grid, grid).unwrap();
+        let placement = place(&netlist, &device, &PlacerConfig::fast(seed)).unwrap();
+        let routing = route(&netlist, &device, &placement, &RouterConfig::fast()).unwrap();
+        let raw = vbs_bitstream::generate_bitstream(&netlist, &device, &placement, &routing).unwrap();
+        (device, raw, routing)
+    }
+
+    #[test]
+    fn encoding_compresses_and_decodes_to_consistent_bits() {
+        let (device, raw, routing) = flow(30, 8, 10, 1);
+        let encoder = VbsEncoder::new(*device.spec(), 1).unwrap();
+        let vbs = encoder.encode(&raw, &routing).unwrap();
+        assert!(
+            vbs.size_bits() < raw.size_bits(),
+            "VBS ({}) should be smaller than raw ({})",
+            vbs.size_bits(),
+            raw.size_bits()
+        );
+        let decoded = decode(&vbs).unwrap();
+        assert_eq!(decoded.width(), raw.width());
+        assert_eq!(decoded.height(), raw.height());
+        // The finest grain decode is fully forced, so the frames match the
+        // original raw bit-stream exactly.
+        assert_eq!(decoded.diff_count(&raw).unwrap(), 0);
+    }
+
+    #[test]
+    fn cluster_sizes_reduce_connection_counts() {
+        let (device, raw, routing) = flow(40, 9, 10, 2);
+        let fine = VbsEncoder::new(*device.spec(), 1).unwrap().encode(&raw, &routing).unwrap();
+        let coarse = VbsEncoder::new(*device.spec(), 3).unwrap().encode(&raw, &routing).unwrap();
+        let count = |v: &Vbs| -> usize { v.records().iter().map(|r| r.routes.route_count()).sum() };
+        assert!(
+            count(&coarse) < count(&fine),
+            "clustering must internalize connections ({} !< {})",
+            count(&coarse),
+            count(&fine)
+        );
+        // Clustered streams must still decode.
+        decode(&coarse).unwrap();
+    }
+
+    #[test]
+    fn encoded_stream_roundtrips_through_bytes() {
+        let (device, raw, routing) = flow(25, 8, 10, 3);
+        let vbs = VbsEncoder::new(*device.spec(), 2).unwrap().encode(&raw, &routing).unwrap();
+        let back = Vbs::from_bytes(&vbs.to_bytes()).unwrap();
+        assert_eq!(vbs, back);
+    }
+
+    #[test]
+    fn mismatched_architectures_are_rejected() {
+        let (device, raw, routing) = flow(20, 8, 10, 4);
+        let other = ArchSpec::new(12, 6).unwrap();
+        let encoder = VbsEncoder::new(other, 1).unwrap();
+        assert!(matches!(
+            encoder.encode(&raw, &routing),
+            Err(VbsError::EncoderInputMismatch { .. })
+        ));
+        assert!(VbsEncoder::new(*device.spec(), 0).is_err());
+    }
+
+    #[test]
+    fn empty_clusters_produce_no_records() {
+        let (device, raw, routing) = flow(12, 9, 10, 5);
+        let vbs = VbsEncoder::new(*device.spec(), 1).unwrap().encode(&raw, &routing).unwrap();
+        assert!(vbs.records().len() < 81, "an almost-empty task must skip empty macros");
+        assert!(!vbs.records().is_empty());
+    }
+
+    #[test]
+    fn order_connections_prefers_boundary_destinations() {
+        use vbs_arch::Side;
+        let pin = ClusterIo::Pin { local: 0, pin: 0 };
+        let east = ClusterIo::Boundary {
+            side: Side::East,
+            offset: 0,
+        };
+        let west = ClusterIo::Boundary {
+            side: Side::West,
+            offset: 0,
+        };
+        let ordered = order_connections(vec![
+            Connection { input: west, output: pin },
+            Connection { input: west, output: east },
+        ]);
+        assert_eq!(ordered[0].output, east);
+        assert_eq!(ordered[1].output, pin);
+    }
+}

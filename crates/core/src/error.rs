@@ -1,0 +1,147 @@
+use std::fmt;
+use vbs_arch::Coord;
+
+/// Errors produced while encoding, decoding or parsing Virtual Bit-Streams.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VbsError {
+    /// The requested cluster size is invalid (zero, or larger than the task).
+    InvalidClusterSize {
+        /// The rejected cluster size.
+        cluster_size: u16,
+    },
+    /// A connection endpoint does not name a valid I/O of the cluster.
+    InvalidIo {
+        /// The rejected raw index.
+        index: u32,
+        /// The number of valid identifiers.
+        io_count: u32,
+    },
+    /// A connection references a wire that does not exist on the fabric
+    /// (e.g. a west boundary I/O of the task's leftmost column).
+    DanglingBoundary {
+        /// The cluster position (cluster units).
+        cluster: Coord,
+        /// Description of the offending I/O.
+        io: String,
+    },
+    /// The de-virtualization router could not realize a connection without
+    /// conflicting with previously decoded connections.
+    DecodeConflict {
+        /// The cluster position (cluster units).
+        cluster: Coord,
+        /// Description of the connection that failed.
+        connection: String,
+    },
+    /// The de-virtualization router found no path for a connection.
+    DecodeNoPath {
+        /// The cluster position (cluster units).
+        cluster: Coord,
+        /// Description of the connection that failed.
+        connection: String,
+    },
+    /// A record lies outside the task rectangle.
+    RecordOutOfTask {
+        /// The cluster position (cluster units).
+        cluster: Coord,
+    },
+    /// A serialized VBS is truncated or malformed.
+    Malformed {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The routing and the raw bit-stream passed to the encoder do not
+    /// describe the same task.
+    EncoderInputMismatch {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An architecture-level error surfaced while interpreting the stream.
+    Arch(vbs_arch::ArchError),
+    /// A bit-stream-level error surfaced while reconstructing frames.
+    Bitstream(vbs_bitstream::BitstreamError),
+}
+
+impl fmt::Display for VbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VbsError::InvalidClusterSize { cluster_size } => {
+                write!(f, "invalid cluster size {cluster_size}")
+            }
+            VbsError::InvalidIo { index, io_count } => {
+                write!(f, "i/o index {index} out of range (0..{io_count})")
+            }
+            VbsError::DanglingBoundary { cluster, io } => {
+                write!(f, "cluster {cluster} references a non-existent wire: {io}")
+            }
+            VbsError::DecodeConflict {
+                cluster,
+                connection,
+            } => write!(
+                f,
+                "decoding conflict in cluster {cluster} for connection {connection}"
+            ),
+            VbsError::DecodeNoPath {
+                cluster,
+                connection,
+            } => write!(
+                f,
+                "no de-virtualization path in cluster {cluster} for connection {connection}"
+            ),
+            VbsError::RecordOutOfTask { cluster } => {
+                write!(f, "record at cluster {cluster} lies outside the task")
+            }
+            VbsError::Malformed { reason } => write!(f, "malformed virtual bit-stream: {reason}"),
+            VbsError::EncoderInputMismatch { reason } => {
+                write!(f, "encoder inputs are inconsistent: {reason}")
+            }
+            VbsError::Arch(e) => write!(f, "architecture error: {e}"),
+            VbsError::Bitstream(e) => write!(f, "bit-stream error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VbsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VbsError::Arch(e) => Some(e),
+            VbsError::Bitstream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vbs_arch::ArchError> for VbsError {
+    fn from(e: vbs_arch::ArchError) -> Self {
+        VbsError::Arch(e)
+    }
+}
+
+impl From<vbs_bitstream::BitstreamError> for VbsError {
+    fn from(e: vbs_bitstream::BitstreamError) -> Self {
+        VbsError::Bitstream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VbsError>();
+        let e = VbsError::DecodeConflict {
+            cluster: Coord::new(1, 2),
+            connection: "west[3] -> pin0".into(),
+        };
+        assert!(e.to_string().contains("(1, 2)"));
+    }
+
+    #[test]
+    fn arch_errors_convert() {
+        let arch = vbs_arch::ArchError::InvalidChannelWidth { width: 1 };
+        let e: VbsError = arch.clone().into();
+        assert!(matches!(e, VbsError::Arch(a) if a == arch));
+    }
+}

@@ -1,0 +1,440 @@
+//! The Virtual Bit-Stream binary format (Table I of the paper).
+//!
+//! A VBS is a header followed by one record per *occupied* cluster (a cluster
+//! with at least one route or one configured logic block); empty clusters are
+//! simply absent, which is where most of the compression of sparse regions
+//! comes from. Every field is bit-packed:
+//!
+//! | field | width |
+//! |---|---|
+//! | preamble (version, `k`, `K`, `W`, task width/height, record count) | 69 bits, fixed |
+//! | per record: position X, Y (cluster units) | `⌈log2(max(cols, rows))⌉` each |
+//! | per record: coding mode | 1 bit (`0` = connection list, `1` = raw fallback) |
+//! | per record: logic data | `k² · N_LB` bits |
+//! | coded records: route count | `⌈log2(2·W·k²)⌉` bits |
+//! | coded records: connections | `2 · M_k` bits each |
+//! | raw records: routing sections of the `k²` frames | `k² · (N_raw − N_LB)` bits |
+//!
+//! Differences with the literal Table I are limited to the fixed preamble
+//! (the paper leaves the architecture parameters implicit) and the explicit
+//! mode bit for the raw-macro fallback the paper describes in Section III-B;
+//! both are documented in `DESIGN.md` and amount to a handful of bits per
+//! task.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::cluster::{ClusterGrid, ClusterIo};
+use crate::error::VbsError;
+use serde::{Deserialize, Serialize};
+use vbs_arch::{ArchSpec, Coord};
+
+/// Format version written in the preamble.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// One coded connection: the signal enters the cluster at `input` and must
+/// reach `output`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Connection {
+    /// Where the signal enters (a boundary crossing or a driving pin).
+    pub input: ClusterIo,
+    /// Where the signal must be delivered.
+    pub output: ClusterIo,
+}
+
+impl std::fmt::Display for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.input, self.output)
+    }
+}
+
+/// The routing part of a cluster record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClusterRoutes {
+    /// The abstract connection list (the normal, compressed case).
+    Coded(Vec<Connection>),
+    /// Raw fallback: the routing sections of the cluster's frames, verbatim
+    /// (`k² · (N_raw − N_LB)` bits). Used when the feedback loop cannot find
+    /// a decodable connection list or when the list would be larger than the
+    /// raw coding.
+    Raw(Vec<bool>),
+}
+
+impl ClusterRoutes {
+    /// Number of coded connections (zero for raw records).
+    pub fn route_count(&self) -> usize {
+        match self {
+            ClusterRoutes::Coded(c) => c.len(),
+            ClusterRoutes::Raw(_) => 0,
+        }
+    }
+
+    /// Whether this record uses the raw fallback.
+    pub fn is_raw(&self) -> bool {
+        matches!(self, ClusterRoutes::Raw(_))
+    }
+}
+
+/// One record of the VBS: the configuration of one occupied cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterRecord {
+    /// Cluster position within the task, in cluster units.
+    pub position: Coord,
+    /// Logic data of the `k²` macros (row-major local order), `N_LB` bits
+    /// each.
+    pub logic: Vec<bool>,
+    /// Routing description.
+    pub routes: ClusterRoutes,
+}
+
+/// A complete Virtual Bit-Stream: the relocatable, compressed configuration
+/// of one hardware task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vbs {
+    spec: ArchSpec,
+    cluster_size: u16,
+    width: u16,
+    height: u16,
+    records: Vec<ClusterRecord>,
+}
+
+impl Vbs {
+    /// Assembles a VBS from its parts. Intended for the encoder; most users
+    /// obtain a [`Vbs`] from [`crate::VbsEncoder::encode`] or
+    /// [`Vbs::from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbsError::InvalidClusterSize`] or
+    /// [`VbsError::RecordOutOfTask`] when the parts are inconsistent.
+    pub fn new(
+        spec: ArchSpec,
+        cluster_size: u16,
+        width: u16,
+        height: u16,
+        records: Vec<ClusterRecord>,
+    ) -> Result<Self, VbsError> {
+        let grid = ClusterGrid::new(spec, cluster_size, width, height)?;
+        for record in &records {
+            if record.position.x >= grid.cluster_cols() || record.position.y >= grid.cluster_rows()
+            {
+                return Err(VbsError::RecordOutOfTask {
+                    cluster: record.position,
+                });
+            }
+        }
+        Ok(Vbs {
+            spec,
+            cluster_size,
+            width,
+            height,
+            records,
+        })
+    }
+
+    /// The architecture the stream targets.
+    pub const fn spec(&self) -> &ArchSpec {
+        &self.spec
+    }
+
+    /// Cluster size `k` used by the coding.
+    pub const fn cluster_size(&self) -> u16 {
+        self.cluster_size
+    }
+
+    /// Task width in macros (Table I's "task width").
+    pub const fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Task height in macros.
+    pub const fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// The records, one per occupied cluster.
+    pub fn records(&self) -> &[ClusterRecord] {
+        &self.records
+    }
+
+    /// The cluster tiling of the task.
+    pub fn grid(&self) -> ClusterGrid {
+        ClusterGrid::new(self.spec, self.cluster_size, self.width, self.height)
+            .expect("validated at construction")
+    }
+
+    /// Width of the position fields: `⌈log2(max(cols, rows))⌉`, at least 1.
+    pub fn coord_bits(&self) -> u32 {
+        let grid = self.grid();
+        let m = grid.cluster_cols().max(grid.cluster_rows()) as u32;
+        (u32::BITS - m.saturating_sub(1).leading_zeros()).max(1)
+    }
+
+    /// Width of the route-count field: `⌈log2(2·W·k²)⌉`, the generalization
+    /// of Table I's `⌈log2(2W)⌉` to clusters.
+    pub fn route_count_bits(&self) -> u32 {
+        let k = self.cluster_size as u32;
+        let m = 2 * self.spec.channel_width() as u32 * k * k;
+        (u32::BITS - m.saturating_sub(1).leading_zeros()).max(1)
+    }
+
+    /// Maximum number of connections a coded record can hold.
+    pub fn max_routes_per_record(&self) -> usize {
+        (1usize << self.route_count_bits()) - 1
+    }
+
+    /// Width of one I/O identifier (`M` for `k = 1`).
+    pub fn io_bits(&self) -> u32 {
+        ClusterIo::io_bits(&self.spec, self.cluster_size)
+    }
+
+    /// Number of logic-data bits per record (`k² · N_LB`).
+    pub fn logic_bits_per_record(&self) -> usize {
+        let k = self.cluster_size as usize;
+        k * k * self.spec.lb_config_bits()
+    }
+
+    /// Number of raw routing bits per record (`k² · (N_raw − N_LB)`).
+    pub fn raw_routing_bits_per_record(&self) -> usize {
+        let k = self.cluster_size as usize;
+        k * k * (self.spec.raw_bits_per_macro() - self.spec.lb_config_bits())
+    }
+
+    /// Size of the fixed preamble in bits.
+    pub const fn preamble_bits() -> usize {
+        4 + 8 + 4 + 9 + 12 + 12 + 20
+    }
+
+    /// Total size of the serialized stream, in bits.
+    pub fn size_bits(&self) -> u64 {
+        let mut bits = Self::preamble_bits() as u64;
+        let coord = self.coord_bits() as u64;
+        let io = self.io_bits() as u64;
+        let rc = self.route_count_bits() as u64;
+        for record in &self.records {
+            bits += 2 * coord + 1 + self.logic_bits_per_record() as u64;
+            bits += match &record.routes {
+                ClusterRoutes::Coded(connections) => rc + 2 * io * connections.len() as u64,
+                ClusterRoutes::Raw(raw) => raw.len() as u64,
+            };
+        }
+        bits
+    }
+
+    /// Compression ratio against a raw bit-stream of `raw_bits` bits
+    /// (`VBS size / raw size`, the percentage plotted in Figures 4 and 5).
+    pub fn compression_ratio(&self, raw_bits: u64) -> f64 {
+        self.size_bits() as f64 / raw_bits as f64
+    }
+
+    /// Serializes the stream to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.write_bits(FORMAT_VERSION as u64, 4);
+        w.write_bits(self.cluster_size as u64, 8);
+        w.write_bits(self.spec.lut_size() as u64, 4);
+        w.write_bits(self.spec.channel_width() as u64, 9);
+        w.write_bits(self.width as u64, 12);
+        w.write_bits(self.height as u64, 12);
+        w.write_bits(self.records.len() as u64, 20);
+
+        let coord = self.coord_bits();
+        let io = self.io_bits();
+        let rc = self.route_count_bits();
+        for record in &self.records {
+            w.write_bits(record.position.x as u64, coord);
+            w.write_bits(record.position.y as u64, coord);
+            w.write_bool(record.routes.is_raw());
+            debug_assert_eq!(record.logic.len(), self.logic_bits_per_record());
+            w.write_bools(record.logic.iter().copied());
+            match &record.routes {
+                ClusterRoutes::Coded(connections) => {
+                    w.write_bits(connections.len() as u64, rc);
+                    for c in connections {
+                        w.write_bits(c.input.index(&self.spec, self.cluster_size) as u64, io);
+                        w.write_bits(c.output.index(&self.spec, self.cluster_size) as u64, io);
+                    }
+                }
+                ClusterRoutes::Raw(raw) => {
+                    debug_assert_eq!(raw.len(), self.raw_routing_bits_per_record());
+                    w.write_bools(raw.iter().copied());
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a stream serialized by [`Vbs::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbsError::Malformed`] on truncated or inconsistent input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, VbsError> {
+        let mut r = BitReader::new(bytes);
+        let version = r.read_bits(4)? as u8;
+        if version != FORMAT_VERSION {
+            return Err(VbsError::Malformed {
+                reason: format!("unsupported format version {version}"),
+            });
+        }
+        let cluster_size = r.read_bits(8)? as u16;
+        let lut_size = r.read_bits(4)? as u8;
+        let channel_width = r.read_bits(9)? as u16;
+        let width = r.read_bits(12)? as u16;
+        let height = r.read_bits(12)? as u16;
+        let record_count = r.read_bits(20)? as usize;
+        let spec = ArchSpec::new(channel_width, lut_size).map_err(|e| VbsError::Malformed {
+            reason: format!("invalid architecture in preamble: {e}"),
+        })?;
+
+        let template = Vbs::new(spec, cluster_size, width, height, Vec::new())?;
+        let coord = template.coord_bits();
+        let io = template.io_bits();
+        let rc = template.route_count_bits();
+        let logic_bits = template.logic_bits_per_record();
+        let raw_bits = template.raw_routing_bits_per_record();
+
+        let mut records = Vec::with_capacity(record_count);
+        for _ in 0..record_count {
+            let x = r.read_bits(coord)? as u16;
+            let y = r.read_bits(coord)? as u16;
+            let is_raw = r.read_bool()?;
+            let logic = r.read_bools(logic_bits)?;
+            let routes = if is_raw {
+                ClusterRoutes::Raw(r.read_bools(raw_bits)?)
+            } else {
+                let count = r.read_bits(rc)? as usize;
+                let mut connections = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let input =
+                        ClusterIo::from_index(&spec, cluster_size, r.read_bits(io)? as u32)?;
+                    let output =
+                        ClusterIo::from_index(&spec, cluster_size, r.read_bits(io)? as u32)?;
+                    connections.push(Connection { input, output });
+                }
+                ClusterRoutes::Coded(connections)
+            };
+            records.push(ClusterRecord {
+                position: Coord::new(x, y),
+                logic,
+                routes,
+            });
+        }
+
+        Vbs::new(spec, cluster_size, width, height, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbs_arch::Side;
+
+    fn spec() -> ArchSpec {
+        ArchSpec::paper_example()
+    }
+
+    fn sample_vbs() -> Vbs {
+        let s = spec();
+        let logic_bits = s.lb_config_bits();
+        let records = vec![
+            ClusterRecord {
+                position: Coord::new(0, 0),
+                logic: vec![false; logic_bits],
+                routes: ClusterRoutes::Coded(vec![
+                    Connection {
+                        input: ClusterIo::Pin { local: 0, pin: 6 },
+                        output: ClusterIo::Boundary {
+                            side: Side::East,
+                            offset: 2,
+                        },
+                    },
+                    Connection {
+                        input: ClusterIo::Boundary {
+                            side: Side::West,
+                            offset: 1,
+                        },
+                        output: ClusterIo::Pin { local: 0, pin: 0 },
+                    },
+                ]),
+            },
+            ClusterRecord {
+                position: Coord::new(2, 3),
+                logic: (0..logic_bits).map(|i| i % 7 == 0).collect(),
+                routes: ClusterRoutes::Raw(vec![true; s.raw_bits_per_macro() - logic_bits]),
+            },
+        ];
+        Vbs::new(s, 1, 4, 4, records).unwrap()
+    }
+
+    #[test]
+    fn field_widths_match_table_1() {
+        let v = sample_vbs();
+        // W = 5, L = 7: M = 5 bits, route count on ceil(log2(10)) = 4 bits.
+        assert_eq!(v.io_bits(), 5);
+        assert_eq!(v.route_count_bits(), 4);
+        assert_eq!(v.coord_bits(), 2);
+        assert_eq!(v.logic_bits_per_record(), 65);
+        assert_eq!(v.raw_routing_bits_per_record(), 284 - 65);
+    }
+
+    #[test]
+    fn size_accounting_matches_serialized_length() {
+        let v = sample_vbs();
+        let bytes = v.to_bytes();
+        let bits = v.size_bits();
+        assert_eq!(bytes.len(), (bits as usize).div_ceil(8));
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_everything() {
+        let v = sample_vbs();
+        let bytes = v.to_bytes();
+        let back = Vbs::from_bytes(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected() {
+        let v = sample_vbs();
+        let bytes = v.to_bytes();
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Vbs::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_version_is_rejected() {
+        let v = sample_vbs();
+        let mut bytes = v.to_bytes();
+        bytes[0] ^= 0x0f;
+        assert!(matches!(
+            Vbs::from_bytes(&bytes),
+            Err(VbsError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn records_outside_the_task_are_rejected() {
+        let s = spec();
+        let record = ClusterRecord {
+            position: Coord::new(9, 0),
+            logic: vec![false; s.lb_config_bits()],
+            routes: ClusterRoutes::Coded(Vec::new()),
+        };
+        assert!(matches!(
+            Vbs::new(s, 1, 4, 4, vec![record]),
+            Err(VbsError::RecordOutOfTask { .. })
+        ));
+    }
+
+    #[test]
+    fn compression_ratio_is_size_over_raw() {
+        let v = sample_vbs();
+        let raw = 16 * spec().raw_bits_per_macro() as u64;
+        let ratio = v.compression_ratio(raw);
+        assert!(ratio > 0.0 && ratio < 1.0);
+        assert!((ratio - v.size_bits() as f64 / raw as f64).abs() < 1e-12);
+    }
+}

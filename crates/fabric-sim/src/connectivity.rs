@@ -1,0 +1,332 @@
+//! Electrical connectivity extraction from a raw configuration.
+
+use crate::error::SimError;
+use std::collections::HashMap;
+use vbs_arch::{Coord, SbPair, Side, WireRef};
+use vbs_bitstream::TaskBitstream;
+use vbs_netlist::{BlockKind, Netlist};
+use vbs_place::Placement;
+
+/// One electrical node of the configured fabric: a wire or a logic-block pin,
+/// in task-relative coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FabricNode {
+    /// A routing wire.
+    Wire(WireRef),
+    /// Pin `pin` of the macro at `site`.
+    Pin {
+        /// The macro owning the pin.
+        site: Coord,
+        /// The pin number.
+        pin: u8,
+    },
+}
+
+/// The electrical nets created by a configuration: a partition of the fabric
+/// nodes touched by at least one closed switch.
+#[derive(Debug, Clone)]
+pub struct Connectivity {
+    parent: HashMap<FabricNode, FabricNode>,
+}
+
+impl Connectivity {
+    fn find(&self, mut node: FabricNode) -> FabricNode {
+        while let Some(&p) = self.parent.get(&node) {
+            if p == node {
+                break;
+            }
+            node = p;
+        }
+        node
+    }
+
+    /// Whether two pins are electrically connected by the configuration.
+    pub fn pins_connected(&self, a: (Coord, u8), b: (Coord, u8)) -> bool {
+        let na = FabricNode::Pin {
+            site: a.0,
+            pin: a.1,
+        };
+        let nb = FabricNode::Pin {
+            site: b.0,
+            pin: b.1,
+        };
+        self.parent.contains_key(&na)
+            && self.parent.contains_key(&nb)
+            && self.find(na) == self.find(nb)
+    }
+
+    /// The representative node of the electrical net a pin belongs to, if the
+    /// pin is connected to anything.
+    pub fn net_of_pin(&self, site: Coord, pin: u8) -> Option<FabricNode> {
+        let node = FabricNode::Pin { site, pin };
+        self.parent.contains_key(&node).then(|| self.find(node))
+    }
+
+    /// Number of distinct electrical nets.
+    pub fn net_count(&self) -> usize {
+        let mut roots: Vec<FabricNode> = self
+            .parent
+            .keys()
+            .map(|&n| self.find(n))
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        roots.len()
+    }
+}
+
+struct Builder {
+    parent: HashMap<FabricNode, FabricNode>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            parent: HashMap::new(),
+        }
+    }
+
+    fn find(&mut self, node: FabricNode) -> FabricNode {
+        let p = *self.parent.entry(node).or_insert(node);
+        if p == node {
+            return node;
+        }
+        let root = self.find(p);
+        self.parent.insert(node, root);
+        root
+    }
+
+    fn union(&mut self, a: FabricNode, b: FabricNode) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(rb, ra);
+        }
+    }
+}
+
+/// Rebuilds the electrical nets created by every closed switch of `task`.
+pub fn extract_connectivity(task: &TaskBitstream) -> Connectivity {
+    let spec = *task.spec();
+    let mut b = Builder::new();
+    let in_task = |w: &WireRef| w.owner.x < task.width() && w.owner.y < task.height();
+
+    for (at, frame) in task.iter_frames() {
+        // Switch-box pass switches.
+        for t in 0..spec.channel_width() {
+            for pair in SbPair::ALL {
+                if !frame.sb(t, pair) {
+                    continue;
+                }
+                let (sa, sb) = pair.sides();
+                let wire_at = |side: Side| -> Option<WireRef> {
+                    let w = match side {
+                        Side::East => Some(WireRef::horizontal(at.x, at.y, t)),
+                        Side::North => Some(WireRef::vertical(at.x, at.y, t)),
+                        Side::West => at.x.checked_sub(1).map(|x| WireRef::horizontal(x, at.y, t)),
+                        Side::South => at.y.checked_sub(1).map(|y| WireRef::vertical(at.x, y, t)),
+                    }?;
+                    in_task(&w).then_some(w)
+                };
+                if let (Some(wa), Some(wb)) = (wire_at(sa), wire_at(sb)) {
+                    b.union(FabricNode::Wire(wa), FabricNode::Wire(wb));
+                }
+            }
+        }
+        // Connection-box crossings.
+        for pin in 0..spec.lb_pins() {
+            for t in 0..spec.channel_width() {
+                if !frame.crossing(pin, t) {
+                    continue;
+                }
+                let wire = if pin % 2 == 0 {
+                    WireRef::horizontal(at.x, at.y, t)
+                } else {
+                    WireRef::vertical(at.x, at.y, t)
+                };
+                if in_task(&wire) {
+                    b.union(
+                        FabricNode::Pin { site: at, pin },
+                        FabricNode::Wire(wire),
+                    );
+                }
+            }
+        }
+    }
+    Connectivity { parent: b.parent }
+}
+
+/// Verifies that `task` implements `netlist` under `placement`:
+///
+/// 1. every net's driver pin reaches all of its sink pins,
+/// 2. no two different nets are electrically connected,
+/// 3. every LUT site holds the netlist's truth table and register setting.
+///
+/// # Errors
+///
+/// Returns the first violation as a [`SimError`].
+pub fn verify_against_netlist(
+    task: &TaskBitstream,
+    netlist: &Netlist,
+    placement: &Placement,
+) -> Result<Connectivity, SimError> {
+    if placement.placed_blocks() != netlist.block_count() {
+        return Err(SimError::ShapeMismatch);
+    }
+    let origin = placement.region().origin;
+    let rel = |c: Coord| Coord::new(c.x - origin.x, c.y - origin.y);
+    let connectivity = extract_connectivity(task);
+    let output_pin = task.spec().output_pin();
+
+    // 1. Connectivity of every net, and 2. no shorts between nets.
+    let mut owner_of_root: HashMap<FabricNode, String> = HashMap::new();
+    for (_, net) in netlist.iter_nets() {
+        if net.sinks.is_empty() {
+            continue;
+        }
+        let driver_block = netlist.block(net.driver);
+        let driver_pin = match driver_block.kind {
+            BlockKind::Lut { .. } | BlockKind::InputPad => output_pin,
+            BlockKind::OutputPad => 0,
+        };
+        let driver_site = rel(placement.site(net.driver));
+        let root = connectivity
+            .net_of_pin(driver_site, driver_pin)
+            .ok_or_else(|| SimError::OpenNet {
+                net: net.name.clone(),
+                site: driver_site,
+                pin: driver_pin,
+            })?;
+        if let Some(existing) = owner_of_root.get(&root) {
+            if existing != &net.name {
+                return Err(SimError::Short {
+                    a: existing.clone(),
+                    b: net.name.clone(),
+                });
+            }
+        }
+        owner_of_root.insert(root, net.name.clone());
+        for sink in &net.sinks {
+            let site = rel(placement.site(sink.block));
+            match connectivity.net_of_pin(site, sink.slot) {
+                Some(r) if r == root => {}
+                _ => {
+                    return Err(SimError::OpenNet {
+                        net: net.name.clone(),
+                        site,
+                        pin: sink.slot,
+                    })
+                }
+            }
+        }
+    }
+
+    // 3. Logic contents.
+    let lut_size = task.spec().lut_size();
+    for (block_id, block) in netlist.iter_blocks() {
+        if let BlockKind::Lut { truth, registered } = &block.kind {
+            let site = rel(placement.site(block_id));
+            let (found_truth, found_reg) = task
+                .try_frame(site)
+                .map_err(|_| SimError::ShapeMismatch)?
+                .logic();
+            if found_truth != truth.widen(lut_size) || found_reg != *registered {
+                return Err(SimError::WrongLogic { site });
+            }
+        }
+    }
+
+    Ok(connectivity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbs_arch::{ArchSpec, Device};
+    use vbs_bitstream::generate_bitstream;
+    use vbs_netlist::generate::SyntheticSpec;
+    use vbs_place::{place, PlacerConfig};
+    use vbs_route::{route, RouterConfig};
+
+    fn flow() -> (Netlist, Placement, TaskBitstream) {
+        let netlist = SyntheticSpec::new("sim", 24, 5, 5).with_seed(6).build().unwrap();
+        let device = Device::new(ArchSpec::new(9, 6).unwrap(), 7, 7).unwrap();
+        let placement = place(&netlist, &device, &PlacerConfig::fast(6)).unwrap();
+        let routing = route(&netlist, &device, &placement, &RouterConfig::fast()).unwrap();
+        let raw = generate_bitstream(&netlist, &device, &placement, &routing).unwrap();
+        (netlist, placement, raw)
+    }
+
+    #[test]
+    fn generated_bitstream_verifies_against_its_netlist() {
+        let (netlist, placement, raw) = flow();
+        let connectivity = verify_against_netlist(&raw, &netlist, &placement).unwrap();
+        assert!(connectivity.net_count() > 0);
+    }
+
+    #[test]
+    fn breaking_a_switch_is_detected_as_an_open() {
+        let (netlist, placement, raw) = flow();
+        // Clear every switch-box bit of one frame that carries routing.
+        let mut broken = raw.clone();
+        let victim = raw
+            .iter_frames()
+            .find(|(_, f)| f.routing_bits().iter().any(|&b| b))
+            .map(|(c, _)| c)
+            .unwrap();
+        let spec = *raw.spec();
+        let frame = broken.frame_mut(victim);
+        for t in 0..spec.channel_width() {
+            for pair in SbPair::ALL {
+                frame.set_sb(t, pair, false);
+            }
+        }
+        for pin in 0..spec.lb_pins() {
+            for t in 0..spec.channel_width() {
+                frame.set_crossing(pin, t, false);
+            }
+        }
+        let result = verify_against_netlist(&broken, &netlist, &placement);
+        assert!(matches!(result, Err(SimError::OpenNet { .. })), "{result:?}");
+    }
+
+    #[test]
+    fn corrupting_logic_is_detected() {
+        let (netlist, placement, raw) = flow();
+        let (lut_id, _) = netlist
+            .iter_blocks()
+            .find(|(_, b)| b.kind.is_lut())
+            .unwrap();
+        let site = placement.site(lut_id);
+        let mut broken = raw.clone();
+        let bit = broken.frame(site).bit(0);
+        broken.frame_mut(site).set_bit(0, !bit);
+        assert!(matches!(
+            verify_against_netlist(&broken, &netlist, &placement),
+            Err(SimError::WrongLogic { .. })
+        ));
+    }
+
+    #[test]
+    fn shorting_two_nets_is_detected() {
+        let (netlist, placement, raw) = flow();
+        // Turn on every switch of a frame: this almost certainly bridges two
+        // distinct nets somewhere.
+        let mut broken = raw.clone();
+        let spec = *raw.spec();
+        for x in 0..broken.width() {
+            for y in 0..broken.height() {
+                let frame = broken.frame_mut(Coord::new(x, y));
+                for t in 0..spec.channel_width() {
+                    for pair in SbPair::ALL {
+                        frame.set_sb(t, pair, true);
+                    }
+                }
+            }
+        }
+        assert!(matches!(
+            verify_against_netlist(&broken, &netlist, &placement),
+            Err(SimError::Short { .. }) | Err(SimError::OpenNet { .. })
+        ));
+    }
+}

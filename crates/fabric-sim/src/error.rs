@@ -1,0 +1,72 @@
+use std::fmt;
+use vbs_arch::Coord;
+
+/// Errors reported by the fabric simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Two different nets are electrically connected by the configuration.
+    Short {
+        /// Name of the first net.
+        a: String,
+        /// Name of the second net.
+        b: String,
+    },
+    /// A net does not reach one of its sink pins.
+    OpenNet {
+        /// Name of the net.
+        net: String,
+        /// The macro holding the unreached sink.
+        site: Coord,
+        /// The unreached pin.
+        pin: u8,
+    },
+    /// The LUT content found at a site differs from the netlist.
+    WrongLogic {
+        /// The macro with the wrong logic content.
+        site: Coord,
+    },
+    /// The placement does not match the configuration dimensions.
+    ShapeMismatch,
+    /// Functional evaluation was asked for an unsupported circuit (e.g. a
+    /// combinational loop).
+    Unsupported {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Short { a, b } => write!(f, "nets `{a}` and `{b}` are shorted"),
+            SimError::OpenNet { net, site, pin } => {
+                write!(f, "net `{net}` does not reach pin {pin} of macro {site}")
+            }
+            SimError::WrongLogic { site } => {
+                write!(f, "logic content at macro {site} differs from the netlist")
+            }
+            SimError::ShapeMismatch => write!(f, "placement and configuration shapes differ"),
+            SimError::Unsupported { reason } => write!(f, "unsupported circuit: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OpenNet {
+            net: "n3".into(),
+            site: Coord::new(1, 2),
+            pin: 4,
+        };
+        assert!(e.to_string().contains("pin 4"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors produced by the end-to-end CAD flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Architecture-level failure (bad channel width, LUT size or grid).
+    Arch(vbs_arch::ArchError),
+    /// Placement failure.
+    Place(vbs_place::PlaceError),
+    /// Routing failure.
+    Route(vbs_route::RouteError),
+    /// Raw bit-stream generation failure.
+    Bitstream(vbs_bitstream::BitstreamError),
+    /// Virtual Bit-Stream encoding failure.
+    Vbs(vbs_core::VbsError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Arch(e) => write!(f, "architecture error: {e}"),
+            FlowError::Place(e) => write!(f, "placement error: {e}"),
+            FlowError::Route(e) => write!(f, "routing error: {e}"),
+            FlowError::Bitstream(e) => write!(f, "bit-stream error: {e}"),
+            FlowError::Vbs(e) => write!(f, "virtual bit-stream error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Arch(e) => Some(e),
+            FlowError::Place(e) => Some(e),
+            FlowError::Route(e) => Some(e),
+            FlowError::Bitstream(e) => Some(e),
+            FlowError::Vbs(e) => Some(e),
+        }
+    }
+}
+
+impl From<vbs_arch::ArchError> for FlowError {
+    fn from(e: vbs_arch::ArchError) -> Self {
+        FlowError::Arch(e)
+    }
+}
+
+impl From<vbs_place::PlaceError> for FlowError {
+    fn from(e: vbs_place::PlaceError) -> Self {
+        FlowError::Place(e)
+    }
+}
+
+impl From<vbs_route::RouteError> for FlowError {
+    fn from(e: vbs_route::RouteError) -> Self {
+        FlowError::Route(e)
+    }
+}
+
+impl From<vbs_bitstream::BitstreamError> for FlowError {
+    fn from(e: vbs_bitstream::BitstreamError) -> Self {
+        FlowError::Bitstream(e)
+    }
+}
+
+impl From<vbs_core::VbsError> for FlowError {
+    fn from(e: vbs_core::VbsError) -> Self {
+        FlowError::Vbs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+        let e: FlowError = vbs_place::PlaceError::DeviceTooSmall {
+            blocks: 5,
+            sites: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("placement error"));
+    }
+}

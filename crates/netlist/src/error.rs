@@ -1,0 +1,112 @@
+use crate::ids::{BlockId, NetId};
+use std::fmt;
+
+/// Errors produced while building, validating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A block name was used twice.
+    DuplicateBlockName {
+        /// The conflicting name.
+        name: String,
+    },
+    /// A net name was used twice.
+    DuplicateNetName {
+        /// The conflicting name.
+        name: String,
+    },
+    /// A net has more than one driver.
+    MultipleDrivers {
+        /// The net with multiple drivers.
+        net: NetId,
+    },
+    /// A net has no driver.
+    UndrivenNet {
+        /// The undriven net.
+        net: NetId,
+    },
+    /// A block references a net that does not exist.
+    DanglingNet {
+        /// The referencing block.
+        block: BlockId,
+    },
+    /// A LUT uses more inputs than the architecture allows.
+    TooManyInputs {
+        /// The offending block.
+        block: BlockId,
+        /// Number of inputs used.
+        used: usize,
+        /// Maximum allowed (`K`).
+        max: usize,
+    },
+    /// An identifier is out of range for this netlist.
+    UnknownBlock {
+        /// The unknown block id.
+        block: BlockId,
+    },
+    /// An identifier is out of range for this netlist.
+    UnknownNet {
+        /// The unknown net id.
+        net: NetId,
+    },
+    /// The synthetic generator was given impossible parameters.
+    InvalidGeneratorSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A BLIF file could not be parsed.
+    ParseBlif {
+        /// Line number (1-based) where the problem was found.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateBlockName { name } => {
+                write!(f, "duplicate block name `{name}`")
+            }
+            NetlistError::DuplicateNetName { name } => write!(f, "duplicate net name `{name}`"),
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net {net:?} has more than one driver")
+            }
+            NetlistError::UndrivenNet { net } => write!(f, "net {net:?} has no driver"),
+            NetlistError::DanglingNet { block } => {
+                write!(f, "block {block:?} references a net that does not exist")
+            }
+            NetlistError::TooManyInputs { block, used, max } => write!(
+                f,
+                "block {block:?} uses {used} inputs, more than the {max} allowed"
+            ),
+            NetlistError::UnknownBlock { block } => write!(f, "unknown block {block:?}"),
+            NetlistError::UnknownNet { net } => write!(f, "unknown net {net:?}"),
+            NetlistError::InvalidGeneratorSpec { reason } => {
+                write!(f, "invalid synthetic circuit specification: {reason}")
+            }
+            NetlistError::ParseBlif { line, reason } => {
+                write!(f, "blif parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+        let e = NetlistError::ParseBlif {
+            line: 12,
+            reason: "unexpected token".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+}

@@ -1,0 +1,51 @@
+//! LUT-mapped netlist model for the VBS reproduction flow.
+//!
+//! The Virtual Bit-Stream design flow (Section III of the paper) consumes a
+//! hardware task that has already been synthesized and technology-mapped to
+//! `K`-input LUTs. This crate provides:
+//!
+//! * the [`Netlist`] data model — LUT blocks, I/O pads, nets and pins — which
+//!   the packer, placer, router and bit-stream generators operate on;
+//! * a BLIF-subset reader and writer ([`blif`]) so externally mapped circuits
+//!   can be imported;
+//! * a deterministic **synthetic benchmark generator** ([`generate`]) and the
+//!   [`mcnc`] module, which instantiates the 20 MCNC circuits of Table II of
+//!   the paper (same logic-block count, same array size, same normalized
+//!   channel width) as synthetic equivalents — the original MCNC netlists are
+//!   not redistributable, and the compression results only depend on routing
+//!   density, which the generator is calibrated to reproduce.
+//!
+//! # Example
+//!
+//! ```
+//! use vbs_netlist::{generate::SyntheticSpec, mcnc};
+//!
+//! # fn main() -> Result<(), vbs_netlist::NetlistError> {
+//! // A small random circuit.
+//! let netlist = SyntheticSpec::new("demo", 64, 8, 8).with_seed(7).build()?;
+//! assert_eq!(netlist.lut_count(), 64);
+//! netlist.validate()?;
+//!
+//! // The paper's benchmark set.
+//! assert_eq!(mcnc::TABLE2.len(), 20);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ids;
+mod lut;
+mod model;
+
+pub mod blif;
+pub mod generate;
+pub mod mcnc;
+pub mod stats;
+
+pub use error::NetlistError;
+pub use ids::{BlockId, NetId};
+pub use lut::TruthTable;
+pub use model::{Block, BlockKind, Net, Netlist, PinRef};

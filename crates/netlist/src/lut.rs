@@ -1,0 +1,206 @@
+//! LUT truth tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The truth table of a `K`-input LUT, stored LSB-first: bit `i` is the output
+/// for the input combination whose binary encoding is `i`.
+///
+/// ```
+/// use vbs_netlist::TruthTable;
+/// // A 2-input XOR gate.
+/// let xor = TruthTable::from_fn(2, |i| (i.count_ones() % 2) == 1);
+/// assert!(!xor.evaluate(&[false, false]));
+/// assert!(xor.evaluate(&[true, false]));
+/// assert!(xor.evaluate(&[false, true]));
+/// assert!(!xor.evaluate(&[true, true]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TruthTable {
+    inputs: u8,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Creates an all-zero truth table for a LUT with `inputs` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > 16` (the model only targets small LUTs).
+    pub fn zeros(inputs: u8) -> Self {
+        assert!(inputs <= 16, "LUT size {inputs} unsupported");
+        let bits = 1usize << inputs;
+        TruthTable {
+            inputs,
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Builds a truth table by evaluating `f` on every input combination.
+    pub fn from_fn(inputs: u8, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut table = TruthTable::zeros(inputs);
+        for i in 0..(1usize << inputs) {
+            if f(i) {
+                table.set(i, true);
+            }
+        }
+        table
+    }
+
+    /// Builds a truth table from raw bits, LSB-first; missing bits are zero.
+    pub fn from_bits(inputs: u8, bits: impl IntoIterator<Item = bool>) -> Self {
+        let mut table = TruthTable::zeros(inputs);
+        for (i, b) in bits.into_iter().take(1 << inputs).enumerate() {
+            table.set(i, b);
+        }
+        table
+    }
+
+    /// Number of LUT inputs.
+    pub const fn inputs(&self) -> u8 {
+        self.inputs
+    }
+
+    /// Number of truth-table entries (`2^inputs`).
+    pub const fn len(&self) -> usize {
+        1usize << self.inputs
+    }
+
+    /// Whether the truth table is the constant-zero function.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Reads entry `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^inputs`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len());
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets entry `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^inputs`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len());
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Evaluates the LUT for the given input values (input 0 is the LSB of the
+    /// entry index). Missing inputs are treated as `false`.
+    pub fn evaluate(&self, values: &[bool]) -> bool {
+        let mut index = 0usize;
+        for (i, &v) in values.iter().enumerate().take(self.inputs as usize) {
+            if v {
+                index |= 1 << i;
+            }
+        }
+        self.get(index)
+    }
+
+    /// Iterates over the entries, LSB-first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Re-expresses this truth table for a LUT with `new_inputs >= inputs`
+    /// physical inputs; the extra inputs are don't-care.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_inputs < self.inputs()` or `new_inputs > 16`.
+    pub fn widen(&self, new_inputs: u8) -> TruthTable {
+        assert!(new_inputs >= self.inputs);
+        let mask = self.len() - 1;
+        TruthTable::from_fn(new_inputs, |i| self.get(i & mask))
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lut{}(", self.inputs)?;
+        for bit in self.iter() {
+            f.write_str(if bit { "1" } else { "0" })?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_empty() {
+        let t = TruthTable::zeros(6);
+        assert_eq!(t.len(), 64);
+        assert!(t.is_empty());
+        assert!(!t.get(17));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = TruthTable::zeros(6);
+        t.set(0, true);
+        t.set(63, true);
+        assert!(t.get(0));
+        assert!(t.get(63));
+        assert!(!t.get(1));
+        t.set(63, false);
+        assert!(!t.get(63));
+    }
+
+    #[test]
+    fn evaluate_matches_entry_encoding() {
+        let t = TruthTable::from_fn(3, |i| i == 0b101);
+        assert!(t.evaluate(&[true, false, true]));
+        assert!(!t.evaluate(&[true, true, true]));
+        // Missing inputs default to false.
+        assert!(!t.evaluate(&[true]));
+    }
+
+    #[test]
+    fn widen_preserves_function_on_original_inputs() {
+        let xor = TruthTable::from_fn(2, |i| (i.count_ones() % 2) == 1);
+        let wide = xor.widen(6);
+        assert_eq!(wide.inputs(), 6);
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(
+                    wide.evaluate(&[a, b, false, false, false, false]),
+                    xor.evaluate(&[a, b])
+                );
+                // Don't-care inputs do not change the function.
+                assert_eq!(
+                    wide.evaluate(&[a, b, true, true, false, true]),
+                    xor.evaluate(&[a, b])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_table_uses_multiple_words() {
+        let t = TruthTable::from_fn(8, |i| i % 3 == 0);
+        assert_eq!(t.len(), 256);
+        assert!(t.get(0));
+        assert!(t.get(255));
+        assert!(!t.get(100));
+    }
+
+    #[test]
+    fn display_shows_bits() {
+        let t = TruthTable::from_fn(2, |i| i == 3);
+        assert_eq!(t.to_string(), "lut2(0001)");
+    }
+}

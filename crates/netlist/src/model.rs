@@ -1,0 +1,424 @@
+//! The netlist data model: blocks, nets and pins.
+
+use crate::error::NetlistError;
+use crate::ids::{BlockId, NetId};
+use crate::lut::TruthTable;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What a block of the netlist is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// A `K`-input LUT, optionally followed by the flip-flop of its logic
+    /// block (`registered`).
+    Lut {
+        /// The boolean function computed by the LUT.
+        truth: TruthTable,
+        /// Whether the logic-block flip-flop is used (registered output).
+        registered: bool,
+    },
+    /// A primary input pad; drives one net through the site's output pin.
+    InputPad,
+    /// A primary output pad; consumes one net through the site's pin 0.
+    OutputPad,
+}
+
+impl BlockKind {
+    /// Whether this block occupies a logic block (as opposed to an I/O pad).
+    pub fn is_lut(&self) -> bool {
+        matches!(self, BlockKind::Lut { .. })
+    }
+}
+
+/// A pin of a specific block: `slot` is the LUT input index for input pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PinRef {
+    /// The block the pin belongs to.
+    pub block: BlockId,
+    /// Input slot (LUT input index, `0..K`). Output pads consume on slot 0.
+    pub slot: u8,
+}
+
+/// A block of the netlist (LUT or I/O pad) with its connectivity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Human-readable, unique block name.
+    pub name: String,
+    /// What the block is.
+    pub kind: BlockKind,
+    /// Nets feeding each input slot; `None` for unused slots.
+    pub inputs: Vec<Option<NetId>>,
+    /// The net driven by this block, if any (LUTs and input pads drive one).
+    pub output: Option<NetId>,
+}
+
+impl Block {
+    /// Number of used input slots.
+    pub fn used_inputs(&self) -> usize {
+        self.inputs.iter().filter(|i| i.is_some()).count()
+    }
+}
+
+/// A net: one driver and a set of sink pins.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// Human-readable, unique net name.
+    pub name: String,
+    /// The block driving the net.
+    pub driver: BlockId,
+    /// The pins the net must reach.
+    pub sinks: Vec<PinRef>,
+}
+
+impl Net {
+    /// Fanout of the net (number of sink pins).
+    pub fn fanout(&self) -> usize {
+        self.sinks.len()
+    }
+}
+
+/// A technology-mapped netlist: the hardware task fed to the CAD flow.
+///
+/// Invariants (checked by [`Netlist::validate`]):
+///
+/// * block and net names are unique,
+/// * every net has exactly one driver and at least zero sinks,
+/// * every pin reference points at an existing block/net,
+/// * no LUT uses more than `lut_size` inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    lut_size: u8,
+    blocks: Vec<Block>,
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist for `lut_size`-input LUTs.
+    pub fn new(name: impl Into<String>, lut_size: u8) -> Self {
+        Netlist {
+            name: name.into(),
+            lut_size,
+            blocks: Vec::new(),
+            nets: Vec::new(),
+        }
+    }
+
+    /// The circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The LUT size (`K`) the netlist is mapped to.
+    pub const fn lut_size(&self) -> u8 {
+        self.lut_size
+    }
+
+    /// All blocks, indexable by [`BlockId::index`].
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// All nets, indexable by [`NetId::index`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// Looks up a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Looks up a net.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Number of blocks of any kind.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of LUT blocks (the paper's "LBs" column of Table II).
+    pub fn lut_count(&self) -> usize {
+        self.blocks.iter().filter(|b| b.kind.is_lut()).count()
+    }
+
+    /// Number of primary input pads.
+    pub fn input_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.kind, BlockKind::InputPad))
+            .count()
+    }
+
+    /// Number of primary output pads.
+    pub fn output_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.kind, BlockKind::OutputPad))
+            .count()
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Iterates over `(NetId, &Net)` pairs.
+    pub fn iter_nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Adds a primary input pad driving a fresh net named after the pad.
+    ///
+    /// Returns the pad's block id and the driven net id.
+    pub fn add_input(&mut self, name: impl Into<String>) -> (BlockId, NetId) {
+        let name = name.into();
+        let block_id = BlockId(self.blocks.len() as u32);
+        let net_id = NetId(self.nets.len() as u32);
+        self.blocks.push(Block {
+            name: name.clone(),
+            kind: BlockKind::InputPad,
+            inputs: Vec::new(),
+            output: Some(net_id),
+        });
+        self.nets.push(Net {
+            name,
+            driver: block_id,
+            sinks: Vec::new(),
+        });
+        (block_id, net_id)
+    }
+
+    /// Adds a primary output pad consuming `net`.
+    pub fn add_output(&mut self, name: impl Into<String>, net: NetId) -> BlockId {
+        let block_id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            name: name.into(),
+            kind: BlockKind::OutputPad,
+            inputs: vec![Some(net)],
+            output: None,
+        });
+        if let Some(n) = self.nets.get_mut(net.index()) {
+            n.sinks.push(PinRef {
+                block: block_id,
+                slot: 0,
+            });
+        }
+        block_id
+    }
+
+    /// Adds a LUT block computing `truth` over `input_nets`, driving a fresh
+    /// net named after the block.
+    ///
+    /// Returns the block id and the driven net id.
+    pub fn add_lut(
+        &mut self,
+        name: impl Into<String>,
+        truth: TruthTable,
+        input_nets: &[NetId],
+        registered: bool,
+    ) -> (BlockId, NetId) {
+        let name = name.into();
+        let block_id = BlockId(self.blocks.len() as u32);
+        let net_id = NetId(self.nets.len() as u32);
+        for (slot, net) in input_nets.iter().enumerate() {
+            if let Some(n) = self.nets.get_mut(net.index()) {
+                n.sinks.push(PinRef {
+                    block: block_id,
+                    slot: slot as u8,
+                });
+            }
+        }
+        self.blocks.push(Block {
+            name: name.clone(),
+            kind: BlockKind::Lut { truth, registered },
+            inputs: input_nets.iter().map(|&n| Some(n)).collect(),
+            output: Some(net_id),
+        });
+        self.nets.push(Net {
+            name,
+            driver: block_id,
+            sinks: Vec::new(),
+        });
+        (block_id, net_id)
+    }
+
+    /// Checks every structural invariant of the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`NetlistError`].
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let mut block_names: HashMap<&str, ()> = HashMap::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            if block_names.insert(block.name.as_str(), ()).is_some() {
+                return Err(NetlistError::DuplicateBlockName {
+                    name: block.name.clone(),
+                });
+            }
+        }
+        let mut net_names: HashMap<&str, ()> = HashMap::with_capacity(self.nets.len());
+        for net in &self.nets {
+            if net_names.insert(net.name.as_str(), ()).is_some() {
+                return Err(NetlistError::DuplicateNetName {
+                    name: net.name.clone(),
+                });
+            }
+        }
+        for (id, block) in self.iter_blocks() {
+            if block.kind.is_lut() && block.used_inputs() > self.lut_size as usize {
+                return Err(NetlistError::TooManyInputs {
+                    block: id,
+                    used: block.used_inputs(),
+                    max: self.lut_size as usize,
+                });
+            }
+            for net in block.inputs.iter().flatten() {
+                if net.index() >= self.nets.len() {
+                    return Err(NetlistError::DanglingNet { block: id });
+                }
+            }
+            if let Some(out) = block.output {
+                if out.index() >= self.nets.len() {
+                    return Err(NetlistError::DanglingNet { block: id });
+                }
+                if self.nets[out.index()].driver != id {
+                    return Err(NetlistError::MultipleDrivers { net: out });
+                }
+            }
+        }
+        for (id, net) in self.iter_nets() {
+            let driver = net.driver;
+            if driver.index() >= self.blocks.len() {
+                return Err(NetlistError::UnknownBlock { block: driver });
+            }
+            if self.blocks[driver.index()].output != Some(id) {
+                return Err(NetlistError::UndrivenNet { net: id });
+            }
+            for sink in &net.sinks {
+                if sink.block.index() >= self.blocks.len() {
+                    return Err(NetlistError::UnknownBlock { block: sink.block });
+                }
+                let sink_block = &self.blocks[sink.block.index()];
+                match sink_block.inputs.get(sink.slot as usize) {
+                    Some(Some(n)) if *n == id => {}
+                    _ => return Err(NetlistError::UnknownNet { net: id }),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Connectivity signature of the netlist: for every net (sorted by name),
+    /// the sorted list of `(driver name, sink names+slots)`.
+    ///
+    /// Two netlists with the same signature implement the same hypergraph, no
+    /// matter how their blocks are numbered. Used by the end-to-end tests to
+    /// compare a decoded/relocated configuration against the original circuit.
+    pub fn connectivity_signature(&self) -> Vec<(String, String, Vec<(String, u8)>)> {
+        let mut sig: Vec<(String, String, Vec<(String, u8)>)> = self
+            .nets
+            .iter()
+            .map(|net| {
+                let mut sinks: Vec<(String, u8)> = net
+                    .sinks
+                    .iter()
+                    .map(|s| (self.blocks[s.block.index()].name.clone(), s.slot))
+                    .collect();
+                sinks.sort();
+                (
+                    net.name.clone(),
+                    self.blocks[net.driver.index()].name.clone(),
+                    sinks,
+                )
+            })
+            .collect();
+        sig.sort();
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        let mut n = Netlist::new("tiny", 6);
+        let (_, a) = n.add_input("a");
+        let (_, b) = n.add_input("b");
+        let xor = TruthTable::from_fn(2, |i| (i.count_ones() % 2) == 1).widen(6);
+        let (_, y) = n.add_lut("xor0", xor, &[a, b], false);
+        n.add_output("out", y);
+        n
+    }
+
+    #[test]
+    fn tiny_netlist_is_valid() {
+        let n = tiny();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.lut_count(), 1);
+        assert_eq!(n.input_count(), 2);
+        assert_eq!(n.output_count(), 1);
+        assert_eq!(n.net_count(), 3);
+    }
+
+    #[test]
+    fn fanout_tracks_sinks() {
+        let n = tiny();
+        let (_, net_a) = n.iter_nets().find(|(_, net)| net.name == "a").unwrap();
+        assert_eq!(net_a.fanout(), 1);
+    }
+
+    #[test]
+    fn duplicate_block_names_are_rejected() {
+        let mut n = Netlist::new("dup", 6);
+        n.add_input("x");
+        n.add_input("x");
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::DuplicateBlockName { .. })
+        ));
+    }
+
+    #[test]
+    fn too_many_inputs_rejected() {
+        let mut n = Netlist::new("wide", 2);
+        let (_, a) = n.add_input("a");
+        let (_, b) = n.add_input("b");
+        let (_, c) = n.add_input("c");
+        let t = TruthTable::zeros(2);
+        n.add_lut("bad", t, &[a, b, c], false);
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::TooManyInputs { used: 3, max: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn connectivity_signature_is_stable_under_identical_construction() {
+        assert_eq!(tiny().connectivity_signature(), tiny().connectivity_signature());
+    }
+
+    #[test]
+    fn output_pad_consumes_on_slot_zero() {
+        let n = tiny();
+        let (_, y) = n
+            .iter_nets()
+            .find(|(_, net)| net.name == "xor0")
+            .expect("lut output net");
+        assert!(y.sinks.iter().any(|s| s.slot == 0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Netlist statistics used for reporting and generator calibration.
+
+use crate::model::{BlockKind, Netlist};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of LUT blocks.
+    pub luts: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of registered LUTs.
+    pub registered: usize,
+    /// Average LUT fan-in.
+    pub mean_fanin: f64,
+    /// Average net fanout.
+    pub mean_fanout: f64,
+    /// Largest net fanout.
+    pub max_fanout: usize,
+    /// Total number of pin-to-pin connections (sum of fanouts).
+    pub pin_connections: usize,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut fanin_total = 0usize;
+        let mut registered = 0usize;
+        for (_, block) in netlist.iter_blocks() {
+            if let BlockKind::Lut { registered: r, .. } = &block.kind {
+                fanin_total += block.used_inputs();
+                if *r {
+                    registered += 1;
+                }
+            }
+        }
+        let luts = netlist.lut_count();
+        let mut fanout_total = 0usize;
+        let mut max_fanout = 0usize;
+        for (_, net) in netlist.iter_nets() {
+            fanout_total += net.fanout();
+            max_fanout = max_fanout.max(net.fanout());
+        }
+        let nets = netlist.net_count();
+        NetlistStats {
+            name: netlist.name().to_string(),
+            luts,
+            inputs: netlist.input_count(),
+            outputs: netlist.output_count(),
+            nets,
+            registered,
+            mean_fanin: if luts > 0 {
+                fanin_total as f64 / luts as f64
+            } else {
+                0.0
+            },
+            mean_fanout: if nets > 0 {
+                fanout_total as f64 / nets as f64
+            } else {
+                0.0
+            },
+            max_fanout,
+            pin_connections: fanout_total,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} LUTs ({} registered), {} PIs, {} POs, {} nets, mean fanin {:.2}, mean fanout {:.2}, max fanout {}",
+            self.name,
+            self.luts,
+            self.registered,
+            self.inputs,
+            self.outputs,
+            self.nets,
+            self.mean_fanin,
+            self.mean_fanout,
+            self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::SyntheticSpec;
+
+    #[test]
+    fn stats_are_consistent_with_the_netlist() {
+        let n = SyntheticSpec::new("stats", 150, 12, 10)
+            .with_seed(2)
+            .build()
+            .unwrap();
+        let s = NetlistStats::of(&n);
+        assert_eq!(s.luts, 150);
+        assert_eq!(s.inputs, 12);
+        assert_eq!(s.outputs, 10);
+        assert_eq!(s.nets, 150 + 12);
+        assert!(s.mean_fanin >= 2.0 && s.mean_fanin <= 6.0);
+        assert!(s.mean_fanout > 0.0);
+        assert!(s.max_fanout >= 1);
+        assert!(s.registered <= s.luts);
+        let text = s.to_string();
+        assert!(text.contains("150 LUTs"));
+    }
+
+    #[test]
+    fn empty_lut_count_does_not_divide_by_zero() {
+        let mut n = Netlist::new("ios_only", 6);
+        let (_, a) = n.add_input("a");
+        n.add_output("y", a);
+        let s = NetlistStats::of(&n);
+        assert_eq!(s.luts, 0);
+        assert_eq!(s.mean_fanin, 0.0);
+    }
+}

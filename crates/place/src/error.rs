@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Errors produced by the placer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// The device does not have enough sites for the netlist blocks.
+    DeviceTooSmall {
+        /// Number of blocks to place.
+        blocks: usize,
+        /// Number of available sites.
+        sites: usize,
+    },
+    /// The placement region does not lie inside the device.
+    RegionOutsideDevice,
+    /// A block is not placed (placement queried before completion or after a
+    /// partial construction).
+    Unplaced {
+        /// Index of the unplaced block.
+        block: usize,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::DeviceTooSmall { blocks, sites } => write!(
+                f,
+                "device too small: {blocks} blocks to place on {sites} sites"
+            ),
+            PlaceError::RegionOutsideDevice => {
+                write!(f, "placement region does not fit inside the device")
+            }
+            PlaceError::Unplaced { block } => write!(f, "block {block} has no placement"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_counts() {
+        let e = PlaceError::DeviceTooSmall {
+            blocks: 10,
+            sites: 4,
+        };
+        assert!(e.to_string().contains("10 blocks"));
+        assert!(e.to_string().contains("4 sites"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Packing and placement for the island-style FPGA model.
+//!
+//! The paper's flow (Figure 3) uses VPR to pack the mapped netlist into
+//! logic blocks and to place them on the logic grid. In this architecture one
+//! LUT + optional flip-flop fills exactly one logic block, so packing is the
+//! identity mapping; placement is a classic simulated-annealing optimisation
+//! of the half-perimeter wirelength, following the adaptive schedule of VPR.
+//!
+//! The output of this crate, a [`Placement`], assigns every netlist block
+//! (LUT or I/O pad — the paper treats primary I/O as part of the fabric) to a
+//! distinct macro of the device grid. The router then connects the placed
+//! pins through the routing network.
+//!
+//! # Example
+//!
+//! ```
+//! use vbs_arch::{ArchSpec, Device};
+//! use vbs_netlist::generate::SyntheticSpec;
+//! use vbs_place::{place, PlacerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = SyntheticSpec::new("demo", 30, 6, 6).with_seed(1).build()?;
+//! let device = Device::new(ArchSpec::paper_evaluation(), 8, 8)?;
+//! let placement = place(&netlist, &device, &PlacerConfig::fast(1))?;
+//! assert_eq!(placement.placed_blocks(), netlist.block_count());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annealer;
+mod config;
+mod cost;
+mod error;
+mod placement;
+
+pub use annealer::place;
+pub use config::PlacerConfig;
+pub use cost::{net_bounding_box, wirelength_cost, BoundingBox};
+pub use error::PlaceError;
+pub use placement::Placement;

@@ -1,0 +1,50 @@
+//! PathFinder-style routing for the island-style FPGA model.
+//!
+//! The paper's flow uses VPR to route each hardware task; this crate plays
+//! that role. It provides:
+//!
+//! * [`RrGraph`] — the routing-resource graph derived from the architecture
+//!   model: one node per routing wire and per logic-block pin, with edges
+//!   generated on the fly from the switch-box and connection-box topology;
+//! * [`route`] — a negotiated-congestion (PathFinder) router with A*-directed
+//!   search, producing one [`RouteTree`] per net;
+//! * [`check`] — an independent legality checker (no overused wire, every
+//!   sink reached, every edge realizable by the architecture), used both by
+//!   tests and by the offline VBS feedback loop;
+//! * [`minimum_channel_width`] — the binary search used to regenerate the
+//!   MCW column of Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use vbs_arch::{ArchSpec, Device};
+//! use vbs_netlist::generate::SyntheticSpec;
+//! use vbs_place::{place, PlacerConfig};
+//! use vbs_route::{route, RouterConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = SyntheticSpec::new("demo", 25, 5, 5).with_seed(3).build()?;
+//! let device = Device::new(ArchSpec::new(8, 6)?, 7, 7)?;
+//! let placement = place(&netlist, &device, &PlacerConfig::fast(1))?;
+//! let routing = route(&netlist, &device, &placement, &RouterConfig::default())?;
+//! assert_eq!(routing.tree_count(), netlist.net_count());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod mcw;
+mod result;
+mod router;
+
+pub mod check;
+
+pub use error::RouteError;
+pub use graph::{side_at_sb, RrGraph, RrNode, SwitchBoxView};
+pub use mcw::{minimum_channel_width, McwSearch};
+pub use result::{RouteTree, Routing, RoutingStats};
+pub use router::{route, RouterConfig};

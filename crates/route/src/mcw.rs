@@ -1,0 +1,138 @@
+//! Minimum channel width search (the MCW column of Table II).
+//!
+//! The paper lets VPR "perform its routing using the minimum channel width
+//! guaranteeing a feasible routing". This module reproduces that experiment:
+//! a placement is routed at decreasing channel widths using a binary search
+//! until the smallest routable width is found.
+
+use crate::error::RouteError;
+use crate::router::{route, RouterConfig};
+use vbs_arch::{ArchSpec, Device};
+use vbs_netlist::Netlist;
+use vbs_place::Placement;
+
+/// Result of a minimum-channel-width search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McwSearch {
+    /// The smallest channel width that routed successfully.
+    pub min_channel_width: u16,
+    /// Channel widths that were attempted, in order, with the outcome.
+    pub attempts: Vec<(u16, bool)>,
+}
+
+/// Finds the minimum channel width at which `netlist` routes under
+/// `placement` on a grid of the same dimensions as `device_template`.
+///
+/// The search first doubles from `lower_bound` until a routable width is
+/// found (capped at `upper_bound`), then binary-searches the interval.
+///
+/// # Errors
+///
+/// Returns [`RouteError::McwUpperBoundTooSmall`] when even `upper_bound`
+/// tracks are not enough, or any placement/graph error from the router.
+pub fn minimum_channel_width(
+    netlist: &Netlist,
+    device_template: &Device,
+    placement: &Placement,
+    config: &RouterConfig,
+    lower_bound: u16,
+    upper_bound: u16,
+) -> Result<McwSearch, RouteError> {
+    let lut_size = device_template.spec().lut_size();
+    let width = device_template.width();
+    let height = device_template.height();
+    let mut attempts = Vec::new();
+
+    let try_width = |w: u16, attempts: &mut Vec<(u16, bool)>| -> Result<bool, RouteError> {
+        let spec = ArchSpec::new(w, lut_size).map_err(|_| RouteError::McwUpperBoundTooSmall {
+            upper_bound: w,
+        })?;
+        let device = Device::new(spec, width, height)
+            .expect("template device dimensions are valid by construction");
+        let ok = match route(netlist, &device, placement, config) {
+            Ok(_) => true,
+            Err(RouteError::Unroutable { .. }) => false,
+            Err(other) => return Err(other),
+        };
+        attempts.push((w, ok));
+        Ok(ok)
+    };
+
+    // Exponential probe upwards for the first routable width.
+    let mut lo = lower_bound.max(ArchSpec::MIN_CHANNEL_WIDTH);
+    let mut probe = lo;
+    let mut hi = None;
+    while probe <= upper_bound {
+        if try_width(probe, &mut attempts)? {
+            hi = Some(probe);
+            break;
+        }
+        lo = probe + 1;
+        probe = (probe * 2).min(upper_bound.max(probe + 1));
+        if probe == lo - 1 {
+            break;
+        }
+    }
+    let Some(mut hi) = hi else {
+        return Err(RouteError::McwUpperBoundTooSmall { upper_bound });
+    };
+
+    // Binary search in [lo, hi): hi is known routable.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if try_width(mid, &mut attempts)? {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+
+    Ok(McwSearch {
+        min_channel_width: hi,
+        attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbs_netlist::generate::SyntheticSpec;
+    use vbs_place::{place, PlacerConfig};
+
+    #[test]
+    fn mcw_is_routable_and_tight() {
+        let netlist = SyntheticSpec::new("mcw", 24, 5, 5).with_seed(9).build().unwrap();
+        let device = Device::new(ArchSpec::new(12, 6).unwrap(), 7, 7).unwrap();
+        let placement = place(&netlist, &device, &PlacerConfig::fast(9)).unwrap();
+        let config = RouterConfig::fast();
+        let search =
+            minimum_channel_width(&netlist, &device, &placement, &config, 2, 24).unwrap();
+        let mcw = search.min_channel_width;
+        assert!(mcw >= 2 && mcw <= 24);
+        // Routable at the reported width.
+        let spec = ArchSpec::new(mcw, 6).unwrap();
+        let d = Device::new(spec, 7, 7).unwrap();
+        assert!(route(&netlist, &d, &placement, &config).is_ok());
+        // The attempt log contains at least one success.
+        assert!(search.attempts.iter().any(|&(_, ok)| ok));
+    }
+
+    #[test]
+    fn impossible_upper_bound_is_reported() {
+        // A dense circuit with an upper bound of 2 tracks cannot route.
+        let netlist = SyntheticSpec::new("dense", 40, 6, 6)
+            .with_seed(3)
+            .with_locality(0.0)
+            .build()
+            .unwrap();
+        let device = Device::new(ArchSpec::new(4, 6).unwrap(), 8, 8).unwrap();
+        let placement = place(&netlist, &device, &PlacerConfig::fast(3)).unwrap();
+        let mut config = RouterConfig::fast();
+        config.max_iterations = 4;
+        let result = minimum_channel_width(&netlist, &device, &placement, &config, 2, 2);
+        match result {
+            Err(RouteError::McwUpperBoundTooSmall { upper_bound: 2 }) | Ok(_) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+}

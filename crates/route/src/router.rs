@@ -1,0 +1,499 @@
+//! The negotiated-congestion (PathFinder) router.
+//!
+//! Every net is routed with an A*-directed search over the implicit
+//! routing-resource graph; wires that end up shared by several nets become
+//! progressively more expensive (present congestion) and keep a memory of
+//! past congestion (historical cost), so the nets negotiate until every wire
+//! carries at most one net — the classic PathFinder/VPR scheme.
+
+use crate::error::RouteError;
+use crate::graph::{RrGraph, RrNode};
+use crate::result::{RouteTree, Routing};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use vbs_arch::{Coord, Device};
+use vbs_netlist::{BlockKind, NetId, Netlist};
+use vbs_place::Placement;
+
+/// Router tuning parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Maximum number of PathFinder iterations before giving up.
+    pub max_iterations: usize,
+    /// Present-congestion factor of the first iteration.
+    pub initial_present_factor: f64,
+    /// Multiplier applied to the present-congestion factor each iteration.
+    pub present_factor_growth: f64,
+    /// Weight of the historical congestion added after each iteration.
+    pub history_factor: f64,
+    /// Weight of the A* distance estimate (1.0 = admissible, larger trades
+    /// quality for speed).
+    pub astar_weight: f64,
+    /// Extra margin (in macros) added around each net's bounding box when
+    /// constraining its search region; the margin also grows with the
+    /// iteration count so hard nets eventually see the whole device.
+    pub bounding_box_margin: u16,
+}
+
+impl RouterConfig {
+    /// Configuration favouring speed, used by tests and quick sweeps.
+    pub fn fast() -> Self {
+        RouterConfig {
+            max_iterations: 30,
+            astar_weight: 1.3,
+            ..RouterConfig::default()
+        }
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_iterations: 50,
+            initial_present_factor: 0.6,
+            present_factor_growth: 1.8,
+            history_factor: 1.0,
+            astar_weight: 1.15,
+            bounding_box_margin: 3,
+        }
+    }
+}
+
+/// Routes every net of `netlist` on `device` under `placement`.
+///
+/// # Errors
+///
+/// * [`RouteError::PlacementIncomplete`] if the placement does not cover the
+///   netlist;
+/// * [`RouteError::NoPath`] if some sink is unreachable regardless of
+///   congestion (should not happen on a well-formed device);
+/// * [`RouteError::Unroutable`] if congestion cannot be resolved within
+///   [`RouterConfig::max_iterations`] — typically the channel width is too
+///   small for the circuit.
+pub fn route(
+    netlist: &Netlist,
+    device: &Device,
+    placement: &Placement,
+    config: &RouterConfig,
+) -> Result<Routing, RouteError> {
+    if placement.placed_blocks() != netlist.block_count() {
+        return Err(RouteError::PlacementIncomplete);
+    }
+    let graph = RrGraph::new(device);
+    let node_count = graph.node_count();
+    let wire_count = graph.wire_count();
+
+    // Net terminals in graph terms.
+    let output_pin = device.spec().output_pin();
+    let mut terminals: Vec<(RrNode, Vec<RrNode>)> = Vec::with_capacity(netlist.net_count());
+    for (_, net) in netlist.iter_nets() {
+        let driver_block = netlist.block(net.driver);
+        let driver_site = placement.site(net.driver);
+        // LUTs and input pads drive through the logic block output pin.
+        let source = match driver_block.kind {
+            BlockKind::Lut { .. } | BlockKind::InputPad => RrNode::Pin {
+                site: driver_site,
+                pin: output_pin,
+            },
+            BlockKind::OutputPad => RrNode::Pin {
+                site: driver_site,
+                pin: 0,
+            },
+        };
+        let sinks: Vec<RrNode> = net
+            .sinks
+            .iter()
+            .map(|s| RrNode::Pin {
+                site: placement.site(s.block),
+                pin: s.slot,
+            })
+            .collect();
+        terminals.push((source, sinks));
+    }
+
+    let mut occupancy: Vec<u16> = vec![0; wire_count];
+    let mut history: Vec<f32> = vec![0.0; wire_count];
+    let mut trees: Vec<RouteTree> = terminals
+        .iter()
+        .map(|(source, _)| RouteTree::new(*source))
+        .collect();
+
+    let mut search = SearchState::new(node_count);
+    let mut present_factor = config.initial_present_factor;
+
+    for iteration in 0..config.max_iterations {
+        for (net_index, (source, sinks)) in terminals.iter().enumerate() {
+            if sinks.is_empty() {
+                continue;
+            }
+            // Rip up the previous tree of this net.
+            for wire in trees[net_index].iter_wires() {
+                let idx = graph.index(RrNode::Wire(wire));
+                occupancy[idx] = occupancy[idx].saturating_sub(1);
+            }
+            let tree = route_net(
+                &graph,
+                *source,
+                sinks,
+                &occupancy,
+                &history,
+                present_factor,
+                config,
+                iteration,
+                &mut search,
+            )
+            .map_err(|sink| RouteError::NoPath {
+                net: NetId(net_index as u32),
+                sink,
+            })?;
+            for wire in tree.iter_wires() {
+                let idx = graph.index(RrNode::Wire(wire));
+                occupancy[idx] += 1;
+            }
+            trees[net_index] = tree;
+        }
+
+        // Congestion accounting.
+        let mut overused = 0usize;
+        for idx in 0..wire_count {
+            if occupancy[idx] > 1 {
+                overused += 1;
+                history[idx] += config.history_factor as f32 * (occupancy[idx] - 1) as f32;
+            }
+        }
+        if overused == 0 {
+            return Ok(Routing::new(*device.spec(), trees, iteration + 1));
+        }
+        present_factor *= config.present_factor_growth;
+    }
+
+    let overused = occupancy.iter().filter(|&&o| o > 1).count();
+    Err(RouteError::Unroutable {
+        overused_wires: overused,
+        iterations: config.max_iterations,
+    })
+}
+
+/// Scratch buffers reused across net routings to avoid re-allocation.
+struct SearchState {
+    stamp: u32,
+    visited_stamp: Vec<u32>,
+    best_cost: Vec<f32>,
+    came_from: Vec<u32>,
+    neighbors: Vec<RrNode>,
+}
+
+impl SearchState {
+    fn new(node_count: usize) -> Self {
+        SearchState {
+            stamp: 0,
+            visited_stamp: vec![0; node_count],
+            best_cost: vec![f32::INFINITY; node_count],
+            came_from: vec![u32::MAX; node_count],
+            neighbors: Vec::with_capacity(16),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Stamp wrapped: clear everything once.
+            self.visited_stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 1;
+        }
+    }
+
+    fn cost(&self, node: usize) -> f32 {
+        if self.visited_stamp[node] == self.stamp {
+            self.best_cost[node]
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    fn record(&mut self, node: usize, cost: f32, from: u32) {
+        self.visited_stamp[node] = self.stamp;
+        self.best_cost[node] = cost;
+        self.came_from[node] = from;
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    estimate: f32,
+    cost: f32,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want the smallest
+        // estimate on top.
+        other
+            .estimate
+            .total_cmp(&self.estimate)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Routes one net: expands the tree sink by sink (closest sink first).
+///
+/// Returns `Err(description)` naming the first unreachable sink.
+#[allow(clippy::too_many_arguments)]
+fn route_net(
+    graph: &RrGraph<'_>,
+    source: RrNode,
+    sinks: &[RrNode],
+    occupancy: &[u16],
+    history: &[f32],
+    present_factor: f64,
+    config: &RouterConfig,
+    iteration: usize,
+    search: &mut SearchState,
+) -> Result<RouteTree, String> {
+    let mut tree = RouteTree::new(source);
+
+    // Search region: net bounding box plus a growing margin.
+    let margin = config.bounding_box_margin + 2 * iteration as u16;
+    let (lo, hi) = net_region(source, sinks, graph.device(), margin);
+
+    // Closest sinks first: the tree grows outwards and later sinks can reuse
+    // earlier branches.
+    let mut ordered: Vec<RrNode> = sinks.to_vec();
+    ordered.sort_by_key(|s| source.position().manhattan(s.position()));
+
+    for sink in ordered {
+        if tree.contains(sink) {
+            continue;
+        }
+        search.begin();
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        let sink_pos = sink.position();
+        let sink_idx = graph.index(sink);
+
+        // Seed the frontier with the whole current tree at cost zero.
+        for (tree_idx, &node) in tree.nodes().iter().enumerate() {
+            let idx = graph.index(node);
+            // came_from encodes "already in tree" as u32::MAX - 1 - tree index.
+            search.record(idx, 0.0, u32::MAX - 1 - tree_idx as u32);
+            heap.push(HeapEntry {
+                estimate: config.astar_weight as f32
+                    * node.position().manhattan(sink_pos) as f32,
+                cost: 0.0,
+                node: idx,
+            });
+        }
+
+        let mut found = false;
+        while let Some(entry) = heap.pop() {
+            if entry.cost > search.cost(entry.node) {
+                continue;
+            }
+            if entry.node == sink_idx {
+                found = true;
+                break;
+            }
+            let node = graph.node(entry.node);
+            // Pins are never route-throughs: only the target sink pin may be
+            // entered, and only source/tree pins may be expanded from.
+            if let RrNode::Pin { .. } = node {
+                if entry.cost > 0.0 {
+                    continue;
+                }
+            }
+            graph.neighbors_into(node, &mut search.neighbors);
+            let neighbors = std::mem::take(&mut search.neighbors);
+            for &next in &neighbors {
+                let next_idx = graph.index(next);
+                match next {
+                    RrNode::Pin { .. } => {
+                        if next_idx != sink_idx {
+                            continue;
+                        }
+                    }
+                    RrNode::Wire(w) => {
+                        let p = w.owner;
+                        if p.x < lo.x || p.y < lo.y || p.x > hi.x || p.y > hi.y {
+                            continue;
+                        }
+                    }
+                }
+                let step = node_cost(next, next_idx, occupancy, history, present_factor);
+                let new_cost = entry.cost + step;
+                if new_cost < search.cost(next_idx) {
+                    search.record(next_idx, new_cost, entry.node as u32);
+                    heap.push(HeapEntry {
+                        estimate: new_cost
+                            + config.astar_weight as f32
+                                * next.position().manhattan(sink_pos) as f32,
+                        cost: new_cost,
+                        node: next_idx,
+                    });
+                }
+            }
+            search.neighbors = neighbors;
+        }
+
+        if !found {
+            return Err(format!("{sink}"));
+        }
+
+        // Trace the path back into the tree.
+        let mut path: Vec<usize> = Vec::new();
+        let mut cursor = sink_idx;
+        let parent_tree_index: usize;
+        loop {
+            let from = search.came_from[cursor];
+            if from >= u32::MAX - 1 - (tree.len() as u32) {
+                // Reached a node that was already in the tree.
+                parent_tree_index = (u32::MAX - 1 - from) as usize;
+                break;
+            }
+            path.push(cursor);
+            cursor = from as usize;
+        }
+        let mut parent = parent_tree_index;
+        for &node_idx in path.iter().rev() {
+            parent = tree.push(graph.node(node_idx), parent);
+        }
+    }
+
+    Ok(tree)
+}
+
+/// Congestion-aware cost of entering a node.
+fn node_cost(
+    node: RrNode,
+    node_idx: usize,
+    occupancy: &[u16],
+    history: &[f32],
+    present_factor: f64,
+) -> f32 {
+    match node {
+        RrNode::Pin { .. } => 1.0,
+        RrNode::Wire(_) => {
+            let occ = occupancy[node_idx] as f32;
+            let hist = history[node_idx];
+            // Capacity is one net per wire.
+            let over = (occ + 1.0 - 1.0).max(0.0);
+            (1.0 + hist) * (1.0 + present_factor as f32 * over)
+        }
+    }
+}
+
+/// Bounding region of a net (clamped to the device), expanded by `margin`.
+fn net_region(source: RrNode, sinks: &[RrNode], device: &Device, margin: u16) -> (Coord, Coord) {
+    let mut min_x = source.position().x;
+    let mut min_y = source.position().y;
+    let mut max_x = min_x;
+    let mut max_y = min_y;
+    for s in sinks {
+        let p = s.position();
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    let lo = Coord::new(min_x.saturating_sub(margin), min_y.saturating_sub(margin));
+    let hi = Coord::new(
+        (max_x + margin).min(device.width() - 1),
+        (max_y + margin).min(device.height() - 1),
+    );
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_routing;
+    use vbs_arch::ArchSpec;
+    use vbs_netlist::generate::SyntheticSpec;
+    use vbs_place::{place, PlacerConfig};
+
+    fn flow(luts: usize, w: u16, grid: u16, seed: u64) -> (Netlist, Device, Placement, Routing) {
+        let netlist = SyntheticSpec::new("route_test", luts, 6, 6)
+            .with_seed(seed)
+            .build()
+            .unwrap();
+        let device = Device::new(ArchSpec::new(w, 6).unwrap(), grid, grid).unwrap();
+        let placement = place(&netlist, &device, &PlacerConfig::fast(seed)).unwrap();
+        let routing = route(&netlist, &device, &placement, &RouterConfig::fast()).unwrap();
+        (netlist, device, placement, routing)
+    }
+
+    #[test]
+    fn small_circuit_routes_legally() {
+        let (netlist, device, placement, routing) = flow(30, 10, 8, 1);
+        check_routing(&netlist, &device, &placement, &routing).expect("legal routing");
+        assert!(routing.total_wirelength() > 0);
+    }
+
+    #[test]
+    fn every_net_tree_starts_at_its_driver_pin() {
+        let (netlist, device, placement, routing) = flow(25, 10, 8, 2);
+        let output_pin = device.spec().output_pin();
+        for (net_id, tree) in routing.iter_trees() {
+            let net = netlist.net(net_id);
+            let expected_site = placement.site(net.driver);
+            match tree.source() {
+                RrNode::Pin { site, pin } => {
+                    assert_eq!(site, expected_site);
+                    assert!(pin == output_pin || pin == 0);
+                }
+                other => panic!("source is not a pin: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn no_wire_is_shared_between_nets() {
+        let (_, _, _, routing) = flow(40, 12, 9, 3);
+        assert!(routing.wire_occupancy().values().all(|&o| o <= 1));
+    }
+
+    #[test]
+    fn congested_device_reports_unroutable() {
+        // Many blocks, tiny channel width: the router must give up cleanly.
+        let netlist = SyntheticSpec::new("dense", 60, 6, 6)
+            .with_seed(4)
+            .with_locality(0.0)
+            .build()
+            .unwrap();
+        let device = Device::new(ArchSpec::new(2, 6).unwrap(), 9, 9).unwrap();
+        let placement = place(&netlist, &device, &PlacerConfig::fast(4)).unwrap();
+        let mut config = RouterConfig::fast();
+        config.max_iterations = 6;
+        match route(&netlist, &device, &placement, &config) {
+            Err(RouteError::Unroutable { .. }) | Ok(_) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_placement_is_rejected() {
+        let netlist = SyntheticSpec::new("x", 10, 3, 3).with_seed(1).build().unwrap();
+        let device = Device::new(ArchSpec::new(8, 6).unwrap(), 6, 6).unwrap();
+        let small = SyntheticSpec::new("y", 5, 3, 3).with_seed(1).build().unwrap();
+        let placement = place(&small, &device, &PlacerConfig::fast(1)).unwrap();
+        assert!(matches!(
+            route(&netlist, &device, &placement, &RouterConfig::fast()),
+            Err(RouteError::PlacementIncomplete)
+        ));
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let (_, _, _, a) = flow(30, 10, 8, 7);
+        let (_, _, _, b) = flow(30, 10, 8, 7);
+        assert_eq!(a, b);
+    }
+}

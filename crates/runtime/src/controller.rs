@@ -1,0 +1,217 @@
+//! The reconfiguration controller: fetch, de-virtualize, write.
+
+use crate::error::RuntimeError;
+use parking_lot::Mutex;
+use std::time::Instant;
+use vbs_arch::{Coord, Device, Rect};
+use vbs_bitstream::{ConfigMemory, TaskBitstream};
+use vbs_core::{Devirtualizer, Vbs};
+
+/// Timing and composition report of one de-virtualization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeReport {
+    /// Number of records expanded.
+    pub records: usize,
+    /// Number of worker threads used (1 = sequential).
+    pub workers: usize,
+    /// Wall-clock decode time in microseconds.
+    pub micros: u128,
+    /// Size of the decoded raw configuration in bits.
+    pub raw_bits: u64,
+}
+
+/// The run-time reconfiguration controller of Figure 2.
+///
+/// It owns the device's [`ConfigMemory`] and de-virtualizes Virtual
+/// Bit-Streams into it at load time. Decoding can use a pool of worker
+/// threads because every record only touches its own cluster's frames — the
+/// parallelism the paper highlights in Section II-C.
+#[derive(Debug)]
+pub struct ReconfigurationController {
+    device: Device,
+    memory: ConfigMemory,
+    workers: usize,
+}
+
+impl ReconfigurationController {
+    /// Creates a controller for `device` with a blank configuration memory,
+    /// decoding sequentially.
+    pub fn new(device: Device) -> Self {
+        let memory = ConfigMemory::new(&device);
+        ReconfigurationController {
+            device,
+            memory,
+            workers: 1,
+        }
+    }
+
+    /// Sets the number of de-virtualization worker threads (at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The device this controller manages.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Read access to the configuration memory.
+    pub fn memory(&self) -> &ConfigMemory {
+        &self.memory
+    }
+
+    /// De-virtualizes `vbs` without writing it to the fabric, returning the
+    /// raw task configuration and a timing report. Used by the decode
+    /// throughput experiments and by [`ReconfigurationController::load`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Decode`] when the stream cannot be expanded.
+    pub fn devirtualize(&self, vbs: &Vbs) -> Result<(TaskBitstream, DecodeReport), RuntimeError> {
+        let start = Instant::now();
+        let devirtualizer = Devirtualizer::new(vbs)?;
+        let mut task =
+            TaskBitstream::empty(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
+
+        if self.workers <= 1 || vbs.records().len() < 2 {
+            for record in vbs.records() {
+                devirtualizer.decode_record_into(record, &mut task)?;
+            }
+        } else {
+            // Parallel decode: workers expand disjoint record subsets into
+            // private task images which are merged afterwards — each record
+            // only touches its own cluster, so the merge is conflict-free.
+            let records = vbs.records();
+            let chunk = records.len().div_ceil(self.workers);
+            let failures: Mutex<Vec<vbs_core::VbsError>> = Mutex::new(Vec::new());
+            let partials: Mutex<Vec<TaskBitstream>> = Mutex::new(Vec::new());
+            crossbeam::scope(|scope| {
+                for slice in records.chunks(chunk) {
+                    let devirt = &devirtualizer;
+                    let failures = &failures;
+                    let partials = &partials;
+                    let spec = *vbs.spec();
+                    let (w, h) = (vbs.width().max(1), vbs.height().max(1));
+                    scope.spawn(move |_| {
+                        let mut local = TaskBitstream::empty(spec, w, h);
+                        for record in slice {
+                            if let Err(e) = devirt.decode_record_into(record, &mut local) {
+                                failures.lock().push(e);
+                                return;
+                            }
+                        }
+                        partials.lock().push(local);
+                    });
+                }
+            })
+            .expect("decode workers never panic");
+            if let Some(e) = failures.into_inner().into_iter().next() {
+                return Err(RuntimeError::Decode(e));
+            }
+            for partial in partials.into_inner() {
+                merge_frames(&mut task, &partial);
+            }
+        }
+
+        let report = DecodeReport {
+            records: vbs.records().len(),
+            workers: self.workers,
+            micros: start.elapsed().as_micros(),
+            raw_bits: task.size_bits(),
+        };
+        Ok((task, report))
+    }
+
+    /// De-virtualizes `vbs` and writes it into the configuration memory with
+    /// its lower-left corner at `origin` — the full run-time load path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Decode`] or [`RuntimeError::Memory`] on
+    /// failure; the configuration memory is left untouched in that case.
+    pub fn load(&mut self, vbs: &Vbs, origin: Coord) -> Result<DecodeReport, RuntimeError> {
+        let (task, report) = self.devirtualize(vbs)?;
+        self.memory.load_task(&task, origin)?;
+        Ok(report)
+    }
+
+    /// Clears a region of the configuration memory (task removal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Memory`] when the region is out of bounds.
+    pub fn unload(&mut self, region: Rect) -> Result<(), RuntimeError> {
+        self.memory.clear_region(region)?;
+        Ok(())
+    }
+}
+
+/// ORs every frame of `from` into `into` (frames are disjoint by
+/// construction, so this is a plain copy of the non-empty ones).
+fn merge_frames(into: &mut TaskBitstream, from: &TaskBitstream) {
+    for (at, frame) in from.iter_frames() {
+        if !frame.is_empty() {
+            *into.frame_mut(at) = frame.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbs_arch::ArchSpec;
+    use vbs_flow::CadFlow;
+    use vbs_netlist::generate::SyntheticSpec;
+
+    fn task_vbs() -> (Device, Vbs, TaskBitstream) {
+        let netlist = SyntheticSpec::new("ctrl", 20, 4, 4).with_seed(13).build().unwrap();
+        let flow = CadFlow::new(9, 6).unwrap().with_grid(7, 7).with_seed(13).fast();
+        let result = flow.run(&netlist).unwrap();
+        let vbs = result.vbs(1).unwrap();
+        let device = Device::new(ArchSpec::new(9, 6).unwrap(), 20, 12).unwrap();
+        (device, vbs, result.raw_bitstream().clone())
+    }
+
+    #[test]
+    fn sequential_and_parallel_decode_agree() {
+        let (device, vbs, raw) = task_vbs();
+        let sequential = ReconfigurationController::new(device.clone());
+        let parallel = ReconfigurationController::new(device).with_workers(4);
+        let (a, ra) = sequential.devirtualize(&vbs).unwrap();
+        let (b, rb) = parallel.devirtualize(&vbs).unwrap();
+        assert_eq!(a.diff_count(&b).unwrap(), 0);
+        assert_eq!(a.diff_count(&raw).unwrap(), 0);
+        assert_eq!(ra.records, rb.records);
+        assert_eq!(rb.workers, 4);
+    }
+
+    #[test]
+    fn load_places_the_task_at_the_requested_origin() {
+        let (device, vbs, raw) = task_vbs();
+        let mut controller = ReconfigurationController::new(device);
+        controller.load(&vbs, Coord::new(5, 3)).unwrap();
+        // The configuration memory region matches the decoded task.
+        let region = Rect::new(Coord::new(5, 3), vbs.width(), vbs.height());
+        let readback = controller.memory().read_region(region).unwrap();
+        assert_eq!(readback.diff_count(&raw).unwrap(), 0);
+        // Somewhere else the fabric is still blank.
+        assert!(controller
+            .memory()
+            .frame(Coord::new(0, 0))
+            .is_empty());
+        controller.unload(region).unwrap();
+        assert_eq!(controller.memory().occupied_macros(), 0);
+    }
+
+    #[test]
+    fn loading_out_of_bounds_fails_cleanly() {
+        let (device, vbs, _) = task_vbs();
+        let mut controller = ReconfigurationController::new(device);
+        assert!(matches!(
+            controller.load(&vbs, Coord::new(19, 11)),
+            Err(RuntimeError::Memory(_))
+        ));
+        assert_eq!(controller.memory().occupied_macros(), 0);
+    }
+}

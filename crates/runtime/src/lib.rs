@@ -1,0 +1,32 @@
+//! Run-time management of compressed configurations (Section II-C of the
+//! paper).
+//!
+//! The paper's architecture (Figure 2) keeps Virtual Bit-Streams in an
+//! external memory; a **reconfiguration controller** fetches the VBS of a
+//! task, de-virtualizes it for the physical location chosen at run time and
+//! writes the resulting raw frames into the device's configuration memory.
+//! Because the de-virtualization works macro by macro, it can be
+//! parallelized; because the VBS is position independent, the same stream can
+//! be loaded anywhere the task fits (relocation).
+//!
+//! This crate models that run-time layer in software:
+//!
+//! * [`VbsRepository`] — the external memory holding the serialized VBS of
+//!   every task;
+//! * [`ReconfigurationController`] — fetch + decode (sequentially or with a
+//!   worker pool) + write to the configuration memory;
+//! * [`TaskManager`] — on-line placement of tasks on the fabric: finds a free
+//!   rectangle, loads, unloads and relocates running tasks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod error;
+mod manager;
+mod repository;
+
+pub use controller::{DecodeReport, ReconfigurationController};
+pub use error::RuntimeError;
+pub use manager::{LoadedTask, TaskHandle, TaskManager};
+pub use repository::VbsRepository;

@@ -1,0 +1,272 @@
+//! On-line task management: placing, loading, relocating and evicting
+//! hardware tasks on the fabric at run time.
+
+use crate::controller::ReconfigurationController;
+use crate::error::RuntimeError;
+use crate::repository::VbsRepository;
+use vbs_arch::{Coord, Rect};
+
+/// Identifier of a loaded task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskHandle(pub u64);
+
+/// A task currently configured on the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedTask {
+    /// Handle identifying this instance.
+    pub handle: TaskHandle,
+    /// Name of the task in the repository.
+    pub name: String,
+    /// Region of the fabric the task occupies.
+    pub region: Rect,
+}
+
+/// The on-line manager: keeps track of which rectangles of the fabric are
+/// busy, picks a position for each incoming task (first-fit, bottom-left) and
+/// drives the [`ReconfigurationController`] to load, unload and relocate
+/// tasks. Relocation reuses the *same* Virtual Bit-Stream — no offline
+/// re-implementation is needed, which is the head-line capability of the
+/// paper.
+#[derive(Debug)]
+pub struct TaskManager {
+    controller: ReconfigurationController,
+    repository: VbsRepository,
+    loaded: Vec<LoadedTask>,
+    next_handle: u64,
+}
+
+impl TaskManager {
+    /// Creates a manager over a controller and a task repository.
+    pub fn new(controller: ReconfigurationController, repository: VbsRepository) -> Self {
+        TaskManager {
+            controller,
+            repository,
+            loaded: Vec::new(),
+            next_handle: 1,
+        }
+    }
+
+    /// The tasks currently loaded, in load order.
+    pub fn loaded_tasks(&self) -> &[LoadedTask] {
+        &self.loaded
+    }
+
+    /// Read access to the repository.
+    pub fn repository(&self) -> &VbsRepository {
+        &self.repository
+    }
+
+    /// Mutable access to the repository (to register new tasks at run time).
+    pub fn repository_mut(&mut self) -> &mut VbsRepository {
+        &mut self.repository
+    }
+
+    /// Read access to the controller (and through it the config memory).
+    pub fn controller(&self) -> &ReconfigurationController {
+        &self.controller
+    }
+
+    /// Loads a task at an explicit position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RegionBusy`] when the target rectangle
+    /// overlaps a loaded task, plus any fetch/decode/memory error.
+    pub fn load_at(&mut self, name: &str, origin: Coord) -> Result<TaskHandle, RuntimeError> {
+        let vbs = self.repository.fetch(name)?;
+        let region = Rect::new(origin, vbs.width(), vbs.height());
+        if let Some(busy) = self.loaded.iter().find(|t| t.region.intersects(&region)) {
+            return Err(RuntimeError::RegionBusy {
+                region: busy.region,
+            });
+        }
+        self.controller.load(&vbs, origin)?;
+        let handle = TaskHandle(self.next_handle);
+        self.next_handle += 1;
+        self.loaded.push(LoadedTask {
+            handle,
+            name: name.to_string(),
+            region,
+        });
+        Ok(handle)
+    }
+
+    /// Loads a task wherever it fits (bottom-left first-fit scan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoFreeRegion`] when the fabric cannot host the
+    /// task, plus any fetch/decode/memory error.
+    pub fn load(&mut self, name: &str) -> Result<TaskHandle, RuntimeError> {
+        let vbs = self.repository.fetch(name)?;
+        let origin = self
+            .find_free_region(vbs.width(), vbs.height())
+            .ok_or(RuntimeError::NoFreeRegion {
+                width: vbs.width(),
+                height: vbs.height(),
+            })?;
+        self.load_at(name, origin)
+    }
+
+    /// Unloads a task and clears its region of the configuration memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownHandle`] for stale handles.
+    pub fn unload(&mut self, handle: TaskHandle) -> Result<(), RuntimeError> {
+        let index = self
+            .loaded
+            .iter()
+            .position(|t| t.handle == handle)
+            .ok_or(RuntimeError::UnknownHandle { id: handle.0 })?;
+        let task = self.loaded.remove(index);
+        self.controller.unload(task.region)?;
+        Ok(())
+    }
+
+    /// Relocates a loaded task to a new origin by re-decoding its VBS there —
+    /// the "fast relocation" use case of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RegionBusy`] if the destination overlaps
+    /// another task, [`RuntimeError::UnknownHandle`] for stale handles, plus
+    /// any decode/memory error. On error the task stays where it was.
+    pub fn relocate(&mut self, handle: TaskHandle, origin: Coord) -> Result<(), RuntimeError> {
+        let index = self
+            .loaded
+            .iter()
+            .position(|t| t.handle == handle)
+            .ok_or(RuntimeError::UnknownHandle { id: handle.0 })?;
+        let (name, old_region) = {
+            let t = &self.loaded[index];
+            (t.name.clone(), t.region)
+        };
+        let vbs = self.repository.fetch(&name)?;
+        let new_region = Rect::new(origin, vbs.width(), vbs.height());
+        if let Some(busy) = self
+            .loaded
+            .iter()
+            .find(|t| t.handle != handle && t.region.intersects(&new_region))
+        {
+            return Err(RuntimeError::RegionBusy {
+                region: busy.region,
+            });
+        }
+        // Decode first so a failure leaves the old instance running.
+        self.controller.load(&vbs, origin)?;
+        self.controller.unload(old_region)?;
+        self.loaded[index].region = new_region;
+        Ok(())
+    }
+
+    /// Bottom-left first-fit search for a free `width` × `height` rectangle.
+    fn find_free_region(&self, width: u16, height: u16) -> Option<Coord> {
+        let device = self.controller.device();
+        if width > device.width() || height > device.height() {
+            return None;
+        }
+        for y in 0..=(device.height() - height) {
+            for x in 0..=(device.width() - width) {
+                let candidate = Rect::new(Coord::new(x, y), width, height);
+                if !self.loaded.iter().any(|t| t.region.intersects(&candidate)) {
+                    return Some(Coord::new(x, y));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbs_arch::{ArchSpec, Device};
+    use vbs_flow::CadFlow;
+    use vbs_netlist::generate::SyntheticSpec;
+
+    fn manager() -> TaskManager {
+        let netlist = SyntheticSpec::new("task_a", 18, 4, 4).with_seed(21).build().unwrap();
+        let flow = CadFlow::new(9, 6).unwrap().with_grid(6, 6).with_seed(21).fast();
+        let result = flow.run(&netlist).unwrap();
+        let mut repo = VbsRepository::new();
+        repo.store("task_a", &result.vbs(1).unwrap());
+        repo.store("task_b", &result.vbs(2).unwrap());
+        let device = Device::new(ArchSpec::new(9, 6).unwrap(), 16, 8).unwrap();
+        TaskManager::new(ReconfigurationController::new(device), repo)
+    }
+
+    #[test]
+    fn first_fit_loads_tasks_side_by_side() {
+        let mut m = manager();
+        let a = m.load("task_a").unwrap();
+        let b = m.load("task_b").unwrap();
+        assert_eq!(m.loaded_tasks().len(), 2);
+        let ra = m.loaded_tasks().iter().find(|t| t.handle == a).unwrap().region;
+        let rb = m.loaded_tasks().iter().find(|t| t.handle == b).unwrap().region;
+        assert!(!ra.intersects(&rb));
+        assert!(m.controller().memory().occupied_macros() > 0);
+    }
+
+    #[test]
+    fn overlapping_explicit_loads_are_rejected() {
+        let mut m = manager();
+        m.load_at("task_a", Coord::new(0, 0)).unwrap();
+        assert!(matches!(
+            m.load_at("task_b", Coord::new(1, 1)),
+            Err(RuntimeError::RegionBusy { .. })
+        ));
+    }
+
+    #[test]
+    fn unload_frees_the_region() {
+        let mut m = manager();
+        let a = m.load("task_a").unwrap();
+        assert!(m.controller().memory().occupied_macros() > 0);
+        m.unload(a).unwrap();
+        assert_eq!(m.controller().memory().occupied_macros(), 0);
+        assert!(matches!(
+            m.unload(a),
+            Err(RuntimeError::UnknownHandle { .. })
+        ));
+    }
+
+    #[test]
+    fn relocation_moves_the_configuration() {
+        let mut m = manager();
+        let a = m.load_at("task_a", Coord::new(0, 0)).unwrap();
+        let before = m
+            .controller()
+            .memory()
+            .read_region(Rect::new(Coord::new(0, 0), 6, 6))
+            .unwrap();
+        m.relocate(a, Coord::new(9, 2)).unwrap();
+        let after = m
+            .controller()
+            .memory()
+            .read_region(Rect::new(Coord::new(9, 2), 6, 6))
+            .unwrap();
+        assert_eq!(before.diff_count(&after).unwrap(), 0);
+        // The old region is blank again.
+        let old = m
+            .controller()
+            .memory()
+            .read_region(Rect::new(Coord::new(0, 0), 6, 6))
+            .unwrap();
+        assert_eq!(old.popcount(), 0);
+    }
+
+    #[test]
+    fn fabric_exhaustion_is_reported() {
+        let mut m = manager();
+        let mut loaded = 0;
+        loop {
+            match m.load("task_a") {
+                Ok(_) => loaded += 1,
+                Err(RuntimeError::NoFreeRegion { .. }) => break,
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(loaded >= 2, "a 16x8 fabric holds at least two 6x6 tasks");
+    }
+}

@@ -1,0 +1,102 @@
+//! The external memory holding the Virtual Bit-Streams of every task
+//! (the "external memory" block of Figure 2).
+
+use crate::error::RuntimeError;
+use std::collections::BTreeMap;
+use vbs_core::Vbs;
+
+/// A named store of serialized Virtual Bit-Streams.
+///
+/// Streams are kept in their serialized byte form — exactly what would sit in
+/// an external flash or DDR memory — and are re-parsed on fetch, so the
+/// repository also exercises the binary format end to end.
+#[derive(Debug, Clone, Default)]
+pub struct VbsRepository {
+    streams: BTreeMap<String, Vec<u8>>,
+}
+
+impl VbsRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        VbsRepository::default()
+    }
+
+    /// Stores a task's VBS under `name`, replacing any previous stream with
+    /// the same name. Returns the size of the serialized stream in bytes.
+    pub fn store(&mut self, name: impl Into<String>, vbs: &Vbs) -> usize {
+        let bytes = vbs.to_bytes();
+        let len = bytes.len();
+        self.streams.insert(name.into(), bytes);
+        len
+    }
+
+    /// Stores an already-serialized stream.
+    pub fn store_bytes(&mut self, name: impl Into<String>, bytes: Vec<u8>) {
+        self.streams.insert(name.into(), bytes);
+    }
+
+    /// Fetches and parses the VBS of a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownTask`] for unknown names and
+    /// [`RuntimeError::Decode`] if the stored bytes are corrupted.
+    pub fn fetch(&self, name: &str) -> Result<Vbs, RuntimeError> {
+        let bytes = self
+            .streams
+            .get(name)
+            .ok_or_else(|| RuntimeError::UnknownTask {
+                name: name.to_string(),
+            })?;
+        Vbs::from_bytes(bytes).map_err(RuntimeError::from)
+    }
+
+    /// Raw serialized size of a stored task, in bytes.
+    pub fn stored_size(&self, name: &str) -> Option<usize> {
+        self.streams.get(name).map(Vec::len)
+    }
+
+    /// Names of the stored tasks, sorted.
+    pub fn task_names(&self) -> Vec<&str> {
+        self.streams.keys().map(String::as_str).collect()
+    }
+
+    /// Number of stored tasks.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbs_arch::ArchSpec;
+
+    #[test]
+    fn store_fetch_roundtrip() {
+        let vbs = Vbs::new(ArchSpec::paper_example(), 1, 3, 3, Vec::new()).unwrap();
+        let mut repo = VbsRepository::new();
+        let size = repo.store("empty", &vbs);
+        assert!(size > 0);
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.stored_size("empty"), Some(size));
+        assert_eq!(repo.fetch("empty").unwrap(), vbs);
+        assert!(matches!(
+            repo.fetch("missing"),
+            Err(RuntimeError::UnknownTask { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_streams_surface_as_decode_errors() {
+        let mut repo = VbsRepository::new();
+        repo.store_bytes("bad", vec![0xff; 3]);
+        assert!(matches!(repo.fetch("bad"), Err(RuntimeError::Decode(_))));
+        assert_eq!(repo.task_names(), vec!["bad"]);
+    }
+}

@@ -1,0 +1,44 @@
+//! `vbs-repro` — reproduction of *"Design Flow and Run-Time Management for
+//! Compressed FPGA Configurations"* (Huriaux, Courtay, Sentieys — DATE 2015).
+//!
+//! This facade crate re-exports the whole workspace so the examples,
+//! integration tests and downstream users can depend on one crate:
+//!
+//! * [`arch`] — island-style FPGA architecture model (macros, Equation (1));
+//! * [`netlist`] — LUT netlists, BLIF subset, MCNC-calibrated generator;
+//! * [`place`] / [`route`] — the VPR-role substrates (annealing placement,
+//!   PathFinder routing, minimum channel width search);
+//! * [`bitstream`] — raw configuration frames and the device config memory;
+//! * [`vbs`] — the Virtual Bit-Stream format, encoder and decoder (the
+//!   paper's contribution);
+//! * [`runtime`] — the run-time reconfiguration controller and task manager;
+//! * [`fabric_sim`] — functional verification of configurations;
+//! * [`flow`] — the end-to-end CAD flow driver.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vbs_repro::flow::CadFlow;
+//! use vbs_repro::netlist::generate::SyntheticSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = SyntheticSpec::new("hello", 24, 5, 5).with_seed(1).build()?;
+//! let result = CadFlow::new(8, 6)?.with_grid(7, 7).with_seed(1).fast().run(&netlist)?;
+//! let vbs = result.vbs(1)?;
+//! println!("raw {} bits, VBS {} bits", result.raw_bitstream().size_bits(), vbs.size_bits());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vbs_arch as arch;
+pub use vbs_bitstream as bitstream;
+pub use vbs_core as vbs;
+pub use vbs_fabric_sim as fabric_sim;
+pub use vbs_flow as flow;
+pub use vbs_netlist as netlist;
+pub use vbs_place as place;
+pub use vbs_route as route;
+pub use vbs_runtime as runtime;

@@ -1,0 +1,113 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+use vbs_repro::arch::{ArchSpec, Coord, MacroIo, Side};
+use vbs_repro::netlist::TruthTable;
+use vbs_repro::vbs::bitio::{BitReader, BitWriter};
+use vbs_repro::vbs::{ClusterIo, Vbs};
+
+proptest! {
+    /// Bit-level serialization is lossless for arbitrary field sequences.
+    #[test]
+    fn bitio_roundtrips(fields in proptest::collection::vec((0u64..u32::MAX as u64, 1u32..33), 1..64)) {
+        let mut writer = BitWriter::new();
+        for (value, width) in &fields {
+            let masked = value & ((1u64 << width) - 1);
+            writer.write_bits(masked, *width);
+        }
+        let bytes = writer.into_bytes();
+        let mut reader = BitReader::new(&bytes);
+        for (value, width) in &fields {
+            let masked = value & ((1u64 << width) - 1);
+            prop_assert_eq!(reader.read_bits(*width).unwrap(), masked);
+        }
+    }
+
+    /// Every macro I/O index decodes back to the I/O that produced it, for
+    /// any supported channel width and LUT size.
+    #[test]
+    fn macro_io_index_roundtrip(w in 2u16..40, k in 2u8..9, idx_seed in 0u32..10_000) {
+        let spec = ArchSpec::new(w, k).unwrap();
+        let idx = idx_seed % spec.macro_io_count();
+        let io = MacroIo::from_index(&spec, idx).unwrap();
+        prop_assert_eq!(io.index(&spec), idx);
+    }
+
+    /// Cluster I/O numbering is a bijection for every cluster size.
+    #[test]
+    fn cluster_io_index_roundtrip(w in 2u16..24, cluster in 1u16..5, idx_seed in 0u32..100_000) {
+        let spec = ArchSpec::new(w, 6).unwrap();
+        let idx = idx_seed % ClusterIo::io_count(&spec, cluster);
+        let io = ClusterIo::from_index(&spec, cluster, idx).unwrap();
+        prop_assert_eq!(io.index(&spec, cluster), idx);
+    }
+
+    /// Equation (1) never undercounts: the raw frame is always strictly
+    /// larger than the logic section and grows monotonically with W.
+    #[test]
+    fn equation_1_is_monotone(w in 2u16..128, k in 2u8..9) {
+        let spec = ArchSpec::new(w, k).unwrap();
+        prop_assert!(spec.raw_bits_per_macro() > spec.lb_config_bits());
+        if w > 2 {
+            let smaller = ArchSpec::new(w - 1, k).unwrap();
+            prop_assert!(spec.raw_bits_per_macro() > smaller.raw_bits_per_macro());
+        }
+        // The break-even point of Section II-B is always at least one
+        // connection: coding a single route never loses against raw.
+        prop_assert!(spec.break_even_connections() >= 1);
+    }
+
+    /// Truth tables evaluate consistently with their entry encoding.
+    #[test]
+    fn truth_table_eval_matches_entries(bits in proptest::collection::vec(any::<bool>(), 64), probe in 0usize..64) {
+        let table = TruthTable::from_bits(6, bits.iter().copied());
+        let inputs: Vec<bool> = (0..6).map(|i| (probe >> i) & 1 == 1).collect();
+        prop_assert_eq!(table.evaluate(&inputs), bits[probe]);
+    }
+
+    /// Widening a truth table never changes the function on the original
+    /// inputs.
+    #[test]
+    fn truth_table_widen_preserves_function(bits in proptest::collection::vec(any::<bool>(), 16), probe in 0usize..16) {
+        let narrow = TruthTable::from_bits(4, bits.iter().copied());
+        let wide = narrow.widen(6);
+        let inputs: Vec<bool> = (0..4).map(|i| (probe >> i) & 1 == 1).collect();
+        prop_assert_eq!(wide.evaluate(&inputs), narrow.evaluate(&inputs));
+    }
+
+    /// An empty VBS serializes and parses back for any task shape, and its
+    /// size accounting matches the byte length.
+    #[test]
+    fn empty_vbs_roundtrips(w in 1u16..64, h in 1u16..64, cluster in 1u16..5) {
+        prop_assume!(cluster <= w.max(h));
+        let spec = ArchSpec::paper_evaluation();
+        let vbs = Vbs::new(spec, cluster, w, h, Vec::new()).unwrap();
+        let bytes = vbs.to_bytes();
+        prop_assert_eq!(bytes.len(), (vbs.size_bits() as usize).div_ceil(8));
+        prop_assert_eq!(Vbs::from_bytes(&bytes).unwrap(), vbs);
+    }
+
+    /// Rectangle intersection is symmetric and consistent with containment.
+    #[test]
+    fn rect_intersection_properties(ax in 0u16..32, ay in 0u16..32, aw in 1u16..16, ah in 1u16..16,
+                                     bx in 0u16..32, by in 0u16..32, bw in 1u16..16, bh in 1u16..16) {
+        use vbs_repro::arch::Rect;
+        let a = Rect::new(Coord::new(ax, ay), aw, ah);
+        let b = Rect::new(Coord::new(bx, by), bw, bh);
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        if a.contains_rect(&b) {
+            prop_assert!(a.intersects(&b));
+        }
+        // A rectangle always intersects itself and contains itself.
+        prop_assert!(a.intersects(&a));
+        prop_assert!(a.contains_rect(&a));
+    }
+
+    /// Sides: opposite is an involution and preserves the channel axis.
+    #[test]
+    fn side_opposite_involution(side_idx in 0usize..4) {
+        let side = Side::ALL[side_idx];
+        prop_assert_eq!(side.opposite().opposite(), side);
+        prop_assert_eq!(side.is_horizontal(), side.opposite().is_horizontal());
+    }
+}

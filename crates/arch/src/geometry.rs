@@ -7,7 +7,9 @@ use std::fmt;
 ///
 /// `x` grows eastwards, `y` grows northwards, matching the VPR convention the
 /// paper inherits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Coord {
     /// Column (grows eastwards).
     pub x: u16,
@@ -215,7 +217,9 @@ impl fmt::Display for Side {
 }
 
 /// A routing track index inside a channel (`0 .. W`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TrackId(pub u16);
 
 impl TrackId {

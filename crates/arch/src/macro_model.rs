@@ -61,10 +61,7 @@ impl MacroIo {
         match *self {
             MacroIo::Null => 0,
             MacroIo::Boundary { side, track } => {
-                assert!(
-                    (track as u32) < w,
-                    "track {track} out of range for W={w}"
-                );
+                assert!((track as u32) < w, "track {track} out of range for W={w}");
                 1 + side.index() as u32 * w + track as u32
             }
             MacroIo::Pin(p) => {
@@ -170,7 +167,7 @@ impl fmt::Display for MacroIo {
 /// drives horizontal wires, which matches the classic VPR convention of output
 /// pins facing `ChanX`.
 pub fn pin_channel_side(pin: u8) -> Side {
-    if pin % 2 == 0 {
+    if pin.is_multiple_of(2) {
         Side::East
     } else {
         Side::North
@@ -485,9 +482,9 @@ mod tests {
         for pin in 0..spec.lb_pins() {
             for t in 0..spec.channel_width() {
                 let (off, width) = layout.crossing_group(pin, t);
-                for bit in off..off + width {
-                    assert!(!used[bit], "crossing bit {bit} overlaps");
-                    used[bit] = true;
+                for (bit, flag) in used.iter_mut().enumerate().skip(off).take(width) {
+                    assert!(!*flag, "crossing bit {bit} overlaps");
+                    *flag = true;
                 }
             }
         }

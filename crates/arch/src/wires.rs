@@ -80,14 +80,14 @@ impl WireRef {
         match side {
             Side::East => Some(WireRef::horizontal(at.x, at.y, track)),
             Side::North => Some(WireRef::vertical(at.x, at.y, track)),
-            Side::West => at
-                .x
-                .checked_sub(1)
-                .map(|x| WireRef::horizontal(x, at.y, track)),
-            Side::South => at
-                .y
-                .checked_sub(1)
-                .map(|y| WireRef::vertical(at.x, y, track)),
+            Side::West => {
+                at.x.checked_sub(1)
+                    .map(|x| WireRef::horizontal(x, at.y, track))
+            }
+            Side::South => {
+                at.y.checked_sub(1)
+                    .map(|y| WireRef::vertical(at.x, y, track))
+            }
         }
     }
 
@@ -140,8 +140,8 @@ impl WireRef {
             return false;
         }
         match self.kind {
-            WireKind::Horizontal => pin % 2 == 0,
-            WireKind::Vertical => pin % 2 == 1,
+            WireKind::Horizontal => pin.is_multiple_of(2),
+            WireKind::Vertical => !pin.is_multiple_of(2),
         }
     }
 
@@ -170,7 +170,11 @@ impl WireRef {
 
 impl fmt::Display for WireRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}({},{})[{}]", self.kind, self.owner.x, self.owner.y, self.track)
+        write!(
+            f,
+            "{}({},{})[{}]",
+            self.kind, self.owner.x, self.owner.y, self.track
+        )
     }
 }
 

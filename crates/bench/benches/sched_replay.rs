@@ -1,0 +1,49 @@
+//! Criterion bench of the on-line scheduler: replaying a seeded 200-load
+//! trace through the policy/compaction configurations, decode cache warm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vbs_bench::sched_workload::{sched_device, sched_repository, sched_trace};
+use vbs_runtime::{BestFit, FirstFit, PlacementPolicy, ReconfigurationController, TaskManager};
+use vbs_sched::{replay, LruEviction, Scheduler, SchedulerConfig};
+
+fn sched_replay(c: &mut Criterion) {
+    let repository = sched_repository();
+    let trace = sched_trace(200, 2015);
+
+    let mut group = c.benchmark_group("sched_replay");
+    group.sample_size(10);
+    type PolicyMaker = fn() -> Box<dyn PlacementPolicy>;
+    let configs: Vec<(&str, PolicyMaker, bool)> = vec![
+        ("first_fit", || Box::new(FirstFit), false),
+        ("best_fit_compaction", || Box::new(BestFit), true),
+    ];
+    for (name, make_policy, compaction) in configs {
+        group.bench_with_input(
+            BenchmarkId::new("replay_400_events", name),
+            &compaction,
+            |b, &compaction| {
+                b.iter(|| {
+                    let manager = TaskManager::new(
+                        ReconfigurationController::new(sched_device(11, 11)),
+                        repository.clone(),
+                    )
+                    .with_policy(make_policy());
+                    let mut scheduler = Scheduler::with_config(
+                        manager,
+                        Box::new(LruEviction),
+                        SchedulerConfig {
+                            eviction_limit: 1,
+                            compaction,
+                            ..SchedulerConfig::default()
+                        },
+                    );
+                    replay(&mut scheduler, &trace)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sched_replay);
+criterion_main!(benches);

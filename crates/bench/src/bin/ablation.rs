@@ -97,7 +97,8 @@ fn main() {
             let device = run.result.device().clone();
             for workers in [1usize, 2, 4, 8] {
                 let controller = ReconfigurationController::new(
-                    Device::new(*device.spec(), device.width(), device.height()).expect("same dims"),
+                    Device::new(*device.spec(), device.width(), device.height())
+                        .expect("same dims"),
                 )
                 .with_workers(workers);
                 match controller.devirtualize(&vbs) {

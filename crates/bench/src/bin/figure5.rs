@@ -22,13 +22,15 @@ fn main() {
     let runs: Vec<_> = options
         .circuits()
         .into_iter()
-        .filter_map(|circuit| match run_circuit(circuit, options.scale, options.channel_width) {
-            Ok(run) => Some(run),
-            Err(e) => {
-                eprintln!("{}: {e}", circuit.name);
-                None
-            }
-        })
+        .filter_map(
+            |circuit| match run_circuit(circuit, options.scale, options.channel_width) {
+                Ok(run) => Some(run),
+                Err(e) => {
+                    eprintln!("{}: {e}", circuit.name);
+                    None
+                }
+            },
+        )
         .collect();
 
     println!(
@@ -40,7 +42,11 @@ fn main() {
         let mut ratios = Vec::new();
         let mut raw_fallbacks = 0usize;
         for run in &runs {
-            let task_edge = run.result.raw_bitstream().width().min(run.result.raw_bitstream().height());
+            let task_edge = run
+                .result
+                .raw_bitstream()
+                .width()
+                .min(run.result.raw_bitstream().height());
             if k > task_edge {
                 continue;
             }

@@ -1,0 +1,119 @@
+//! Scheduler throughput experiment: replays a seeded synthetic workload
+//! through every placement-policy / compaction combination and reports
+//! acceptance, eviction, fragmentation, cache and throughput numbers.
+//!
+//! Usage: `cargo run --release -p vbs-bench --bin scheduler
+//!         [--loads N] [--fabric WxH] [--seed S]`
+
+use std::time::Instant;
+use vbs_bench::sched_workload::{sched_device, sched_repository, sched_trace};
+use vbs_runtime::{
+    BestFit, BottomLeftSkyline, FirstFit, PlacementPolicy, ReconfigurationController, TaskManager,
+};
+use vbs_sched::{replay, LruEviction, Scheduler, SchedulerConfig};
+
+struct Options {
+    loads: usize,
+    fabric: (u16, u16),
+    seed: u64,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        loads: 500,
+        fabric: (11, 11),
+        seed: 2015,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--loads" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    // The trace generator requires at least one load.
+                    options.loads = 1usize.max(v);
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    options.seed = v;
+                    i += 1;
+                }
+            }
+            "--fabric" => {
+                if let Some((w, h)) = args
+                    .get(i + 1)
+                    .and_then(|s| s.split_once('x'))
+                    .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                {
+                    options.fabric = (w, h);
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    options
+}
+
+fn main() {
+    let options = parse_args();
+    let repository = sched_repository();
+    let trace = sched_trace(options.loads, options.seed);
+    println!(
+        "# Scheduler throughput — {} events on a {}x{} fabric (seed {})",
+        trace.len(),
+        options.fabric.0,
+        options.fabric.1,
+        options.seed
+    );
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>10}",
+        "configuration", "accept%", "evict", "reloc", "hit%", "decode µs", "frag", "events/s"
+    );
+
+    type PolicyMaker = fn() -> Box<dyn PlacementPolicy>;
+    let policies: Vec<(&str, PolicyMaker)> = vec![
+        ("first-fit", || Box::new(FirstFit)),
+        ("best-fit", || Box::new(BestFit)),
+        ("skyline", || Box::new(BottomLeftSkyline)),
+    ];
+    for (policy_name, make_policy) in &policies {
+        for compaction in [false, true] {
+            let manager = TaskManager::new(
+                ReconfigurationController::new(sched_device(options.fabric.0, options.fabric.1)),
+                repository.clone(),
+            )
+            .with_policy(make_policy());
+            let mut scheduler = Scheduler::with_config(
+                manager,
+                Box::new(LruEviction),
+                SchedulerConfig {
+                    eviction_limit: 1,
+                    compaction,
+                    ..SchedulerConfig::default()
+                },
+            );
+            let start = Instant::now();
+            let report = replay(&mut scheduler, &trace);
+            let elapsed = start.elapsed();
+            let label = format!(
+                "{policy_name}{}",
+                if compaction { " + compaction" } else { "" }
+            );
+            println!(
+                "{:<28} {:>7.1}% {:>8} {:>8} {:>7.1}% {:>9.1} {:>8.3} {:>10.0}",
+                label,
+                100.0 * report.acceptance_rate(),
+                report.sched.evictions,
+                report.sched.relocations,
+                100.0 * report.cache.hit_rate(),
+                report.sched.mean_decode_micros(),
+                report.sched.mean_fragmentation(),
+                report.events as f64 / elapsed.as_secs_f64(),
+            );
+        }
+    }
+}

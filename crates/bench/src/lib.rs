@@ -14,6 +14,8 @@ use vbs_flow::{CadFlow, FlowError, FlowResult};
 use vbs_netlist::mcnc::McncCircuit;
 use vbs_netlist::NetlistError;
 
+pub mod sched_workload;
+
 /// Default scale factor applied to the MCNC circuits by the harness binaries.
 pub const DEFAULT_SCALE: f64 = 0.12;
 
@@ -154,8 +156,7 @@ pub fn run_circuit(
 ) -> Result<CircuitRun, HarnessError> {
     let netlist = circuit.build_scaled(scale)?;
     let edge = circuit.scaled_size(scale);
-    let flow = CadFlow::new(channel_width, 6)
-        .map_err(FlowError::from)?
+    let flow = CadFlow::new(channel_width, 6)?
         .with_grid(edge, edge)
         .with_seed(circuit.seed())
         .fast();

@@ -54,7 +54,10 @@ impl fmt::Display for BitstreamError {
                 "task of {width}x{height} macros does not fit the device at origin {origin}"
             ),
             BitstreamError::Truncated { expected, found } => {
-                write!(f, "serialized bit-stream truncated: expected {expected} bytes, found {found}")
+                write!(
+                    f,
+                    "serialized bit-stream truncated: expected {expected} bytes, found {found}"
+                )
             }
         }
     }

@@ -88,10 +88,7 @@ impl MacroFrame {
     pub fn logic(&self) -> (TruthTable, bool) {
         let layout = self.layout();
         let k = self.spec.lut_size();
-        let truth = TruthTable::from_bits(
-            k,
-            layout.lut_table_range().map(|i| self.bit(i)),
-        );
+        let truth = TruthTable::from_bits(k, layout.lut_table_range().map(|i| self.bit(i)));
         (truth, self.bit(layout.ff_bypass_bit()))
     }
 
@@ -147,7 +144,10 @@ impl MacroFrame {
     ///
     /// Panics if the two frames have different architectures.
     pub fn diff_count(&self, other: &MacroFrame) -> usize {
-        assert_eq!(self.spec, other.spec, "comparing frames of different layouts");
+        assert_eq!(
+            self.spec, other.spec,
+            "comparing frames of different layouts"
+        );
         (0..self.len())
             .filter(|&i| self.bit(i) != other.bit(i))
             .count()

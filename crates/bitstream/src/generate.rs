@@ -16,8 +16,8 @@ use crate::task::TaskBitstream;
 use vbs_arch::{Coord, Device, SbPair};
 use vbs_netlist::{BlockKind, Netlist};
 use vbs_place::Placement;
-use vbs_route::{RrNode, Routing};
 use vbs_route::check::check_routing;
+use vbs_route::{Routing, RrNode};
 
 /// One programmable switch turned on by a routing edge, located in the frame
 /// of the macro at `site` (device-absolute coordinates).
@@ -190,7 +190,10 @@ mod tests {
     use vbs_route::{route, RouterConfig};
 
     fn flow() -> (Netlist, Device, Placement, Routing) {
-        let netlist = SyntheticSpec::new("bits", 24, 5, 5).with_seed(8).build().unwrap();
+        let netlist = SyntheticSpec::new("bits", 24, 5, 5)
+            .with_seed(8)
+            .build()
+            .unwrap();
         let device = Device::new(ArchSpec::new(8, 6).unwrap(), 7, 7).unwrap();
         let placement = place(&netlist, &device, &PlacerConfig::fast(8)).unwrap();
         let routing = route(&netlist, &device, &placement, &RouterConfig::fast()).unwrap();

@@ -158,7 +158,8 @@ mod tests {
 
     fn small_task() -> TaskBitstream {
         let mut t = TaskBitstream::empty(ArchSpec::paper_example(), 3, 2);
-        t.frame_mut(Coord::new(1, 1)).set_sb(2, SbPair::EastWest, true);
+        t.frame_mut(Coord::new(1, 1))
+            .set_sb(2, SbPair::EastWest, true);
         t.frame_mut(Coord::new(0, 0)).set_crossing(0, 0, true);
         t
     }
@@ -169,9 +170,7 @@ mod tests {
         let task = small_task();
         mem.load_task(&task, Coord::new(4, 7)).unwrap();
         assert!(mem.frame(Coord::new(5, 8)).sb(2, SbPair::EastWest));
-        let back = mem
-            .read_region(Rect::new(Coord::new(4, 7), 3, 2))
-            .unwrap();
+        let back = mem.read_region(Rect::new(Coord::new(4, 7), 3, 2)).unwrap();
         assert_eq!(back.diff_count(&task).unwrap(), 0);
         assert_eq!(mem.occupied_macros(), 2);
     }

@@ -102,6 +102,19 @@ impl TaskBitstream {
         })
     }
 
+    /// Consumes the bit-stream, yielding `(task-relative coordinate, frame)`
+    /// pairs row-major. Lets callers move frames out without cloning them —
+    /// the merge path of the parallel de-virtualizer relies on this.
+    pub fn into_frames(self) -> impl Iterator<Item = (Coord, MacroFrame)> {
+        let w = self.width;
+        self.frames.into_iter().enumerate().map(move |(i, f)| {
+            (
+                Coord::new((i % w as usize) as u16, (i / w as usize) as u16),
+                f,
+            )
+        })
+    }
+
     /// Number of macros whose frame is not entirely zero.
     pub fn occupied_macros(&self) -> usize {
         self.frames.iter().filter(|f| !f.is_empty()).count()
@@ -215,7 +228,8 @@ mod tests {
     #[test]
     fn frame_access_and_bounds() {
         let mut t = TaskBitstream::empty(spec(), 4, 3);
-        t.frame_mut(Coord::new(2, 1)).set_sb(0, SbPair::EastWest, true);
+        t.frame_mut(Coord::new(2, 1))
+            .set_sb(0, SbPair::EastWest, true);
         assert!(t.frame(Coord::new(2, 1)).sb(0, SbPair::EastWest));
         assert_eq!(t.occupied_macros(), 1);
         assert_eq!(t.popcount(), 1);
@@ -229,7 +243,8 @@ mod tests {
     fn byte_roundtrip_preserves_every_bit() {
         let mut t = TaskBitstream::empty(spec(), 3, 2);
         t.frame_mut(Coord::new(0, 0)).set_crossing(3, 1, true);
-        t.frame_mut(Coord::new(2, 1)).set_sb(4, SbPair::NorthWest, true);
+        t.frame_mut(Coord::new(2, 1))
+            .set_sb(4, SbPair::NorthWest, true);
         t.frame_mut(Coord::new(1, 0)).set_bit(283, true);
         let bytes = t.to_bytes();
         let back = TaskBitstream::from_bytes(spec(), 3, 2, &bytes).unwrap();

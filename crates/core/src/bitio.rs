@@ -59,7 +59,7 @@ impl BitWriter {
 
     /// Appends a single bit.
     pub fn write_bool(&mut self, bit: bool) {
-        if self.bit_len % 8 == 0 {
+        if self.bit_len.is_multiple_of(8) {
             self.bytes.push(0);
         }
         if bit {

@@ -325,8 +325,7 @@ impl ClusterGrid {
     /// Iterates over the cluster coordinates of the tiling, row-major.
     pub fn iter_clusters(&self) -> impl Iterator<Item = Coord> + '_ {
         let cols = self.cluster_cols();
-        (0..self.cluster_rows())
-            .flat_map(move |cy| (0..cols).map(move |cx| Coord::new(cx, cy)))
+        (0..self.cluster_rows()).flat_map(move |cy| (0..cols).map(move |cx| Coord::new(cx, cy)))
     }
 }
 
@@ -361,7 +360,7 @@ mod tests {
     fn cluster_of_and_local_index() {
         let g = ClusterGrid::new(spec(), 3, 10, 10).unwrap();
         assert_eq!(g.cluster_of(Coord::new(7, 4)), Coord::new(2, 1));
-        assert_eq!(g.local_index(Coord::new(7, 4)), 1 * 3 + 1);
+        assert_eq!(g.local_index(Coord::new(7, 4)), 3 + 1);
         assert_eq!(g.macro_at(Coord::new(2, 1), 4), Some(Coord::new(7, 4)));
         assert_eq!(g.cluster_cols(), 4);
         assert_eq!(g.cluster_rows(), 4);
@@ -381,7 +380,7 @@ mod tests {
     fn wire_io_distinguishes_interior_and_boundary() {
         let g = ClusterGrid::new(spec(), 2, 6, 6).unwrap();
         let c = Coord::new(0, 0); // macros (0..2, 0..2)
-        // Horizontal wire from (0,0) to (1,0): interior.
+                                  // Horizontal wire from (0,0) to (1,0): interior.
         assert_eq!(g.wire_io(c, WireRef::horizontal(0, 0, 1)), None);
         assert!(g.wire_touches(c, WireRef::horizontal(0, 0, 1)));
         // Horizontal wire from (1,1) to (2,1): east boundary, offset = 1*5+3.

@@ -22,8 +22,8 @@ use crate::error::VbsError;
 use crate::format::{ClusterRecord, ClusterRoutes, Connection, Vbs};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
-use vbs_arch::{Coord, Device, Rect};
 use vbs_arch::WireRef;
+use vbs_arch::{Coord, Device, Rect};
 use vbs_bitstream::{edge_to_switch, SwitchSetting, TaskBitstream};
 use vbs_route::{RrGraph, RrNode};
 
@@ -97,8 +97,11 @@ impl<'a> Devirtualizer<'a> {
     ///
     /// Returns the first record-level failure.
     pub fn run(&self) -> Result<TaskBitstream, VbsError> {
-        let mut task =
-            TaskBitstream::empty(*self.vbs.spec(), self.vbs.width().max(1), self.vbs.height().max(1));
+        let mut task = TaskBitstream::empty(
+            *self.vbs.spec(),
+            self.vbs.width().max(1),
+            self.vbs.height().max(1),
+        );
         for record in self.vbs.records() {
             self.decode_record_into(record, &mut task)?;
         }
@@ -215,12 +218,11 @@ impl<'a> Devirtualizer<'a> {
         // Program the switches along the path and claim its wires.
         for window in path.windows(2) {
             let (a, b) = (window[0], window[1]);
-            let switch = edge_to_switch(&self.geometry, a, b).map_err(|_| {
-                VbsError::DecodeConflict {
+            let switch =
+                edge_to_switch(&self.geometry, a, b).map_err(|_| VbsError::DecodeConflict {
                     cluster,
                     connection: connection.to_string(),
-                }
-            })?;
+                })?;
             let site = switch.site();
             if self.grid.cluster_of(site) != cluster {
                 return Err(VbsError::DecodeConflict {
@@ -253,10 +255,10 @@ impl<'a> Devirtualizer<'a> {
                 Ok(RrNode::Wire(wire))
             }
             ClusterIo::Pin { local, pin } => {
-                let site =
-                    self.grid
-                        .macro_at(cluster, local)
-                        .ok_or(VbsError::RecordOutOfTask { cluster })?;
+                let site = self
+                    .grid
+                    .macro_at(cluster, local)
+                    .ok_or(VbsError::RecordOutOfTask { cluster })?;
                 if pin >= self.vbs.spec().lb_pins() {
                     return Err(VbsError::InvalidIo {
                         index: pin as u32,
@@ -324,9 +326,7 @@ impl<'a> Devirtualizer<'a> {
                         match state.owner(w) {
                             // A wire already carrying a different net can
                             // never be reused.
-                            Some(owner) if state.resolve(owner) != state.resolve(group) => {
-                                continue
-                            }
+                            Some(owner) if state.resolve(owner) != state.resolve(group) => continue,
                             // Resources of the same net are nearly free,
                             // which makes fanout share its trunk.
                             Some(_) => 0.1,
@@ -574,7 +574,11 @@ mod tests {
         let frame = task.frame(Coord::new(1, 1));
         assert!(frame.sb(0, SbPair::EastWest));
         assert!(frame.crossing(0, 0));
-        assert_eq!(frame.popcount(), 2, "the east wire is shared, not re-routed");
+        assert_eq!(
+            frame.popcount(),
+            2,
+            "the east wire is shared, not re-routed"
+        );
     }
 
     #[test]

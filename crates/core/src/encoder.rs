@@ -24,7 +24,7 @@ use crate::format::{ClusterRecord, ClusterRoutes, Connection, Vbs};
 use std::collections::{HashMap, HashSet};
 use vbs_arch::{ArchSpec, Coord, WireRef};
 use vbs_bitstream::{edge_to_switch, TaskBitstream};
-use vbs_route::{RrNode, Routing};
+use vbs_route::{Routing, RrNode};
 
 /// The Virtual Bit-Stream encoder (the paper's `vbsgen`).
 #[derive(Debug, Clone)]
@@ -116,8 +116,7 @@ impl VbsEncoder {
             // Assign each edge to the cluster owning its switch.
             let mut cluster_edges: HashMap<Coord, Vec<(RrNode, RrNode)>> = HashMap::new();
             for (p, c) in &edges {
-                let switch =
-                    edge_to_switch(&geometry, *p, *c).map_err(VbsError::Bitstream)?;
+                let switch = edge_to_switch(&geometry, *p, *c).map_err(VbsError::Bitstream)?;
                 let cluster = grid.cluster_of(switch.site());
                 cluster_edges.entry(cluster).or_default().push((*p, *c));
             }
@@ -148,7 +147,10 @@ impl VbsEncoder {
             let nets = per_cluster.remove(&cluster);
             let logic = self.logic_bits(&grid, raw, cluster);
             let has_logic = logic.iter().any(|&b| b);
-            let connections = nets.as_ref().map(|n| n.connections.clone()).unwrap_or_default();
+            let connections = nets
+                .as_ref()
+                .map(|n| n.connections.clone())
+                .unwrap_or_default();
             if connections.is_empty() && !has_logic {
                 // Empty cluster: no record at all (this is where sparse
                 // regions gain the most).
@@ -305,9 +307,7 @@ impl ClusterNets {
                 .iter()
                 .copied()
                 .find(|n| match parent.get(n) {
-                    Some(p) => {
-                        !edge_set.contains(&(*p, *n)) && !edge_set.contains(&(*n, *p))
-                    }
+                    Some(p) => !edge_set.contains(&(*p, *n)) && !edge_set.contains(&(*n, *p)),
                     None => true,
                 })
                 .unwrap_or(component[0]);
@@ -375,7 +375,11 @@ fn order_connections(mut connections: Vec<Connection>) -> Vec<Connection> {
             _ => 3,
         }
     }
-    connections.sort_by(|a, b| rank(a).cmp(&rank(b)).then_with(|| format!("{a}").cmp(&format!("{b}"))));
+    connections.sort_by(|a, b| {
+        rank(a)
+            .cmp(&rank(b))
+            .then_with(|| format!("{a}").cmp(&format!("{b}")))
+    });
     connections
 }
 
@@ -403,17 +407,16 @@ mod tests {
     use vbs_place::{place, PlacerConfig};
     use vbs_route::{route, RouterConfig};
 
-    fn flow(
-        luts: usize,
-        grid: u16,
-        w: u16,
-        seed: u64,
-    ) -> (Device, TaskBitstream, Routing) {
-        let netlist = SyntheticSpec::new("enc", luts, 5, 5).with_seed(seed).build().unwrap();
+    fn flow(luts: usize, grid: u16, w: u16, seed: u64) -> (Device, TaskBitstream, Routing) {
+        let netlist = SyntheticSpec::new("enc", luts, 5, 5)
+            .with_seed(seed)
+            .build()
+            .unwrap();
         let device = Device::new(ArchSpec::new(w, 6).unwrap(), grid, grid).unwrap();
         let placement = place(&netlist, &device, &PlacerConfig::fast(seed)).unwrap();
         let routing = route(&netlist, &device, &placement, &RouterConfig::fast()).unwrap();
-        let raw = vbs_bitstream::generate_bitstream(&netlist, &device, &placement, &routing).unwrap();
+        let raw =
+            vbs_bitstream::generate_bitstream(&netlist, &device, &placement, &routing).unwrap();
         (device, raw, routing)
     }
 
@@ -439,8 +442,14 @@ mod tests {
     #[test]
     fn cluster_sizes_reduce_connection_counts() {
         let (device, raw, routing) = flow(40, 9, 10, 2);
-        let fine = VbsEncoder::new(*device.spec(), 1).unwrap().encode(&raw, &routing).unwrap();
-        let coarse = VbsEncoder::new(*device.spec(), 3).unwrap().encode(&raw, &routing).unwrap();
+        let fine = VbsEncoder::new(*device.spec(), 1)
+            .unwrap()
+            .encode(&raw, &routing)
+            .unwrap();
+        let coarse = VbsEncoder::new(*device.spec(), 3)
+            .unwrap()
+            .encode(&raw, &routing)
+            .unwrap();
         let count = |v: &Vbs| -> usize { v.records().iter().map(|r| r.routes.route_count()).sum() };
         assert!(
             count(&coarse) < count(&fine),
@@ -455,7 +464,10 @@ mod tests {
     #[test]
     fn encoded_stream_roundtrips_through_bytes() {
         let (device, raw, routing) = flow(25, 8, 10, 3);
-        let vbs = VbsEncoder::new(*device.spec(), 2).unwrap().encode(&raw, &routing).unwrap();
+        let vbs = VbsEncoder::new(*device.spec(), 2)
+            .unwrap()
+            .encode(&raw, &routing)
+            .unwrap();
         let back = Vbs::from_bytes(&vbs.to_bytes()).unwrap();
         assert_eq!(vbs, back);
     }
@@ -475,8 +487,14 @@ mod tests {
     #[test]
     fn empty_clusters_produce_no_records() {
         let (device, raw, routing) = flow(12, 9, 10, 5);
-        let vbs = VbsEncoder::new(*device.spec(), 1).unwrap().encode(&raw, &routing).unwrap();
-        assert!(vbs.records().len() < 81, "an almost-empty task must skip empty macros");
+        let vbs = VbsEncoder::new(*device.spec(), 1)
+            .unwrap()
+            .encode(&raw, &routing)
+            .unwrap();
+        assert!(
+            vbs.records().len() < 81,
+            "an almost-empty task must skip empty macros"
+        );
         assert!(!vbs.records().is_empty());
     }
 
@@ -493,8 +511,14 @@ mod tests {
             offset: 0,
         };
         let ordered = order_connections(vec![
-            Connection { input: west, output: pin },
-            Connection { input: west, output: east },
+            Connection {
+                input: west,
+                output: pin,
+            },
+            Connection {
+                input: west,
+                output: east,
+            },
         ]);
         assert_eq!(ordered[0].output, east);
         assert_eq!(ordered[1].output, pin);

@@ -28,9 +28,8 @@ impl VbsStats {
     /// Computes the statistics of `vbs` against the raw size of the same task
     /// (`width · height · N_raw` bits).
     pub fn of(vbs: &Vbs) -> Self {
-        let raw_bits = vbs.width() as u64
-            * vbs.height() as u64
-            * vbs.spec().raw_bits_per_macro() as u64;
+        let raw_bits =
+            vbs.width() as u64 * vbs.height() as u64 * vbs.spec().raw_bits_per_macro() as u64;
         let mut coded_records = 0;
         let mut raw_records = 0;
         let mut connections = 0;

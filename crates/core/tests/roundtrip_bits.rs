@@ -6,7 +6,10 @@ use vbs_route::{route, RouterConfig};
 
 #[test]
 fn fine_grain_roundtrip_is_bit_exact() {
-    let netlist = SyntheticSpec::new("enc", 30, 5, 5).with_seed(1).build().unwrap();
+    let netlist = SyntheticSpec::new("enc", 30, 5, 5)
+        .with_seed(1)
+        .build()
+        .unwrap();
     let device = Device::new(ArchSpec::new(10, 6).unwrap(), 8, 8).unwrap();
     let placement = place(&netlist, &device, &PlacerConfig::fast(1)).unwrap();
     let routing = route(&netlist, &device, &placement, &RouterConfig::fast()).unwrap();
@@ -15,24 +18,44 @@ fn fine_grain_roundtrip_is_bit_exact() {
     let vbs = encoder.encode(&raw, &routing).unwrap();
     let decoded = decode(&vbs).unwrap();
     let mut n_raw_records = 0;
-    for r in vbs.records() { if matches!(r.routes, ClusterRoutes::Raw(_)) { n_raw_records += 1; } }
+    for r in vbs.records() {
+        if matches!(r.routes, ClusterRoutes::Raw(_)) {
+            n_raw_records += 1;
+        }
+    }
     eprintln!("raw records: {} / {}", n_raw_records, vbs.records().len());
     for (coord, frame) in raw.iter_frames() {
         let d = decoded.frame(coord);
         let diff = frame.diff_count(d);
         if diff > 0 {
-            eprintln!("macro {coord}: {diff} differing bits, orig popcount {}, decoded popcount {}", frame.popcount(), d.popcount());
+            eprintln!(
+                "macro {coord}: {diff} differing bits, orig popcount {}, decoded popcount {}",
+                frame.popcount(),
+                d.popcount()
+            );
             let layout = frame.layout();
             for i in 0..frame.len() {
                 if frame.bit(i) != d.bit(i) {
-                    let section = if i < layout.lb_config_range().end { "logic" } else if i < layout.sb_range().end { "sb" } else { "crossing" };
-                    eprintln!("   bit {i} ({section}): orig={} dec={}", frame.bit(i), d.bit(i));
+                    let section = if i < layout.lb_config_range().end {
+                        "logic"
+                    } else if i < layout.sb_range().end {
+                        "sb"
+                    } else {
+                        "crossing"
+                    };
+                    eprintln!(
+                        "   bit {i} ({section}): orig={} dec={}",
+                        frame.bit(i),
+                        d.bit(i)
+                    );
                 }
             }
             for r in vbs.records() {
                 if r.position == coord {
                     if let ClusterRoutes::Coded(c) = &r.routes {
-                        for conn in c { eprintln!("   conn: {conn}"); }
+                        for conn in c {
+                            eprintln!("   conn: {conn}");
+                        }
                     }
                 }
             }

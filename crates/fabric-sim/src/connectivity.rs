@@ -64,11 +64,7 @@ impl Connectivity {
 
     /// Number of distinct electrical nets.
     pub fn net_count(&self) -> usize {
-        let mut roots: Vec<FabricNode> = self
-            .parent
-            .keys()
-            .map(|&n| self.find(n))
-            .collect();
+        let mut roots: Vec<FabricNode> = self.parent.keys().map(|&n| self.find(n)).collect();
         roots.sort_unstable();
         roots.dedup();
         roots.len()
@@ -145,10 +141,7 @@ pub fn extract_connectivity(task: &TaskBitstream) -> Connectivity {
                     WireRef::vertical(at.x, at.y, t)
                 };
                 if in_task(&wire) {
-                    b.union(
-                        FabricNode::Pin { site: at, pin },
-                        FabricNode::Wire(wire),
-                    );
+                    b.union(FabricNode::Pin { site: at, pin }, FabricNode::Wire(wire));
                 }
             }
         }
@@ -249,7 +242,10 @@ mod tests {
     use vbs_route::{route, RouterConfig};
 
     fn flow() -> (Netlist, Placement, TaskBitstream) {
-        let netlist = SyntheticSpec::new("sim", 24, 5, 5).with_seed(6).build().unwrap();
+        let netlist = SyntheticSpec::new("sim", 24, 5, 5)
+            .with_seed(6)
+            .build()
+            .unwrap();
         let device = Device::new(ArchSpec::new(9, 6).unwrap(), 7, 7).unwrap();
         let placement = place(&netlist, &device, &PlacerConfig::fast(6)).unwrap();
         let routing = route(&netlist, &device, &placement, &RouterConfig::fast()).unwrap();
@@ -287,7 +283,10 @@ mod tests {
             }
         }
         let result = verify_against_netlist(&broken, &netlist, &placement);
-        assert!(matches!(result, Err(SimError::OpenNet { .. })), "{result:?}");
+        assert!(
+            matches!(result, Err(SimError::OpenNet { .. })),
+            "{result:?}"
+        );
     }
 
     #[test]

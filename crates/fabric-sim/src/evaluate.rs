@@ -124,7 +124,10 @@ pub fn evaluate_netlist(
     for (_, block) in netlist.iter_blocks() {
         if let BlockKind::InputPad = block.kind {
             if let Some(net) = block.output {
-                net_values.insert(net.index(), inputs.get(&block.name).copied().unwrap_or(false));
+                net_values.insert(
+                    net.index(),
+                    inputs.get(&block.name).copied().unwrap_or(false),
+                );
             }
         }
     }

@@ -206,8 +206,13 @@ impl FlowResult {
     /// Propagates encoder failures.
     pub fn vbs(&self, cluster_size: u16) -> Result<Vbs, FlowError> {
         let origin = self.placement.region().origin;
-        Ok(VbsEncoder::new(*self.device.spec(), cluster_size)?
-            .encode_with_origin(&self.raw, &self.routing, origin)?)
+        Ok(
+            VbsEncoder::new(*self.device.spec(), cluster_size)?.encode_with_origin(
+                &self.raw,
+                &self.routing,
+                origin,
+            )?,
+        )
     }
 
     /// Convenience wrapper returning the [`VbsStats`] of the task at a given
@@ -227,7 +232,10 @@ mod tests {
     use vbs_netlist::generate::SyntheticSpec;
 
     fn netlist() -> Netlist {
-        SyntheticSpec::new("flow", 28, 5, 5).with_seed(3).build().unwrap()
+        SyntheticSpec::new("flow", 28, 5, 5)
+            .with_seed(3)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -247,7 +255,12 @@ mod tests {
     #[test]
     fn automatic_grid_sizing_fits_the_netlist() {
         let n = netlist();
-        let result = CadFlow::new(10, 6).unwrap().with_seed(3).fast().run(&n).unwrap();
+        let result = CadFlow::new(10, 6)
+            .unwrap()
+            .with_seed(3)
+            .fast()
+            .run(&n)
+            .unwrap();
         assert!(result.device().macro_count() as usize >= n.block_count());
     }
 

@@ -271,8 +271,7 @@ pub fn parse(text: &str, lut_size: u8) -> Result<Netlist, NetlistError> {
                     ),
                 });
             }
-            let input_ids: Vec<NetId> =
-                cover.inputs.iter().map(|s| nets[s]).collect();
+            let input_ids: Vec<NetId> = cover.inputs.iter().map(|s| nets[s]).collect();
             let truth = cover_to_truth(cover.inputs.len() as u8, &cover.minterms, lut_size)
                 .map_err(|reason| NetlistError::ParseBlif {
                     line: cover.line,
@@ -296,10 +295,13 @@ pub fn parse(text: &str, lut_size: u8) -> Result<Netlist, NetlistError> {
     }
 
     for name in &output_names {
-        let net = nets.get(name).copied().ok_or_else(|| NetlistError::ParseBlif {
-            line: 0,
-            reason: format!("primary output `{name}` is never driven"),
-        })?;
+        let net = nets
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::ParseBlif {
+                line: 0,
+                reason: format!("primary output `{name}` is never driven"),
+            })?;
         netlist.add_output(format!("{name}__pad"), net);
     }
 
@@ -429,7 +431,15 @@ mod tests {
         // The latch folded into a registered LUT.
         let registered = n
             .iter_blocks()
-            .filter(|(_, b)| matches!(b.kind, BlockKind::Lut { registered: true, .. }))
+            .filter(|(_, b)| {
+                matches!(
+                    b.kind,
+                    BlockKind::Lut {
+                        registered: true,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(registered, 1);
     }
@@ -446,7 +456,10 @@ mod tests {
     #[test]
     fn rejects_unknown_constructs() {
         let text = ".model m\n.gate nand2 A=a B=b Y=y\n.end\n";
-        assert!(matches!(parse(text, 6), Err(NetlistError::ParseBlif { .. })));
+        assert!(matches!(
+            parse(text, 6),
+            Err(NetlistError::ParseBlif { .. })
+        ));
     }
 
     #[test]

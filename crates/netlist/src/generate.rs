@@ -238,21 +238,36 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = SyntheticSpec::new("d", 100, 12, 9).with_seed(3).build().unwrap();
-        let b = SyntheticSpec::new("d", 100, 12, 9).with_seed(3).build().unwrap();
+        let a = SyntheticSpec::new("d", 100, 12, 9)
+            .with_seed(3)
+            .build()
+            .unwrap();
+        let b = SyntheticSpec::new("d", 100, 12, 9)
+            .with_seed(3)
+            .build()
+            .unwrap();
         assert_eq!(a.connectivity_signature(), b.connectivity_signature());
     }
 
     #[test]
     fn different_seeds_give_different_circuits() {
-        let a = SyntheticSpec::new("d", 100, 12, 9).with_seed(3).build().unwrap();
-        let b = SyntheticSpec::new("d", 100, 12, 9).with_seed(4).build().unwrap();
+        let a = SyntheticSpec::new("d", 100, 12, 9)
+            .with_seed(3)
+            .build()
+            .unwrap();
+        let b = SyntheticSpec::new("d", 100, 12, 9)
+            .with_seed(4)
+            .build()
+            .unwrap();
         assert_ne!(a.connectivity_signature(), b.connectivity_signature());
     }
 
     #[test]
     fn counts_match_the_spec() {
-        let n = SyntheticSpec::new("c", 75, 9, 14).with_seed(1).build().unwrap();
+        let n = SyntheticSpec::new("c", 75, 9, 14)
+            .with_seed(1)
+            .build()
+            .unwrap();
         assert_eq!(n.lut_count(), 75);
         assert_eq!(n.input_count(), 9);
         assert_eq!(n.output_count(), 14);
@@ -265,7 +280,10 @@ mod tests {
         assert!(SyntheticSpec::new("x", 10, 0, 4).build().is_err());
         assert!(SyntheticSpec::new("x", 10, 4, 0).build().is_err());
         assert!(SyntheticSpec::new("x", 2, 2, 100).build().is_err());
-        assert!(SyntheticSpec::new("x", 10, 4, 4).with_lut_size(12).build().is_err());
+        assert!(SyntheticSpec::new("x", 10, 4, 4)
+            .with_lut_size(12)
+            .build()
+            .is_err());
     }
 
     #[test]

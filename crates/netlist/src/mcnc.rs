@@ -119,26 +119,166 @@ impl McncCircuit {
 /// MCNC values but capped so that logic blocks plus pads fit the paper's array
 /// size (this model places I/O pads on grid sites, see `DESIGN.md`).
 pub const TABLE2: [McncCircuit; 20] = [
-    McncCircuit { name: "alu4", size: 35, min_channel_width: 9, logic_blocks: 1173, inputs: 14, outputs: 8 },
-    McncCircuit { name: "apex2", size: 39, min_channel_width: 12, logic_blocks: 1478, inputs: 38, outputs: 3 },
-    McncCircuit { name: "apex4", size: 32, min_channel_width: 15, logic_blocks: 970, inputs: 9, outputs: 19 },
-    McncCircuit { name: "bigkey", size: 27, min_channel_width: 8, logic_blocks: 683, inputs: 24, outputs: 21 },
-    McncCircuit { name: "clma", size: 79, min_channel_width: 15, logic_blocks: 6226, inputs: 8, outputs: 7 },
-    McncCircuit { name: "des", size: 32, min_channel_width: 8, logic_blocks: 554, inputs: 245, outputs: 220 },
-    McncCircuit { name: "diffeq", size: 30, min_channel_width: 10, logic_blocks: 869, inputs: 18, outputs: 13 },
-    McncCircuit { name: "dsip", size: 27, min_channel_width: 9, logic_blocks: 680, inputs: 26, outputs: 22 },
-    McncCircuit { name: "elliptic", size: 47, min_channel_width: 13, logic_blocks: 2134, inputs: 40, outputs: 35 },
-    McncCircuit { name: "ex1010", size: 56, min_channel_width: 16, logic_blocks: 3093, inputs: 10, outputs: 10 },
-    McncCircuit { name: "ex5p", size: 28, min_channel_width: 13, logic_blocks: 740, inputs: 8, outputs: 36 },
-    McncCircuit { name: "frisc", size: 55, min_channel_width: 16, logic_blocks: 2940, inputs: 20, outputs: 64 },
-    McncCircuit { name: "misex3", size: 35, min_channel_width: 11, logic_blocks: 1158, inputs: 14, outputs: 14 },
-    McncCircuit { name: "pdc", size: 61, min_channel_width: 15, logic_blocks: 3629, inputs: 16, outputs: 40 },
-    McncCircuit { name: "s298", size: 37, min_channel_width: 8, logic_blocks: 1301, inputs: 4, outputs: 6 },
-    McncCircuit { name: "s38417", size: 58, min_channel_width: 8, logic_blocks: 3333, inputs: 15, outputs: 15 },
-    McncCircuit { name: "s38584.1", size: 65, min_channel_width: 9, logic_blocks: 4219, inputs: 3, outputs: 3 },
-    McncCircuit { name: "seq", size: 37, min_channel_width: 12, logic_blocks: 1325, inputs: 24, outputs: 20 },
-    McncCircuit { name: "spla", size: 55, min_channel_width: 14, logic_blocks: 3005, inputs: 10, outputs: 10 },
-    McncCircuit { name: "tseng", size: 29, min_channel_width: 8, logic_blocks: 799, inputs: 22, outputs: 20 },
+    McncCircuit {
+        name: "alu4",
+        size: 35,
+        min_channel_width: 9,
+        logic_blocks: 1173,
+        inputs: 14,
+        outputs: 8,
+    },
+    McncCircuit {
+        name: "apex2",
+        size: 39,
+        min_channel_width: 12,
+        logic_blocks: 1478,
+        inputs: 38,
+        outputs: 3,
+    },
+    McncCircuit {
+        name: "apex4",
+        size: 32,
+        min_channel_width: 15,
+        logic_blocks: 970,
+        inputs: 9,
+        outputs: 19,
+    },
+    McncCircuit {
+        name: "bigkey",
+        size: 27,
+        min_channel_width: 8,
+        logic_blocks: 683,
+        inputs: 24,
+        outputs: 21,
+    },
+    McncCircuit {
+        name: "clma",
+        size: 79,
+        min_channel_width: 15,
+        logic_blocks: 6226,
+        inputs: 8,
+        outputs: 7,
+    },
+    McncCircuit {
+        name: "des",
+        size: 32,
+        min_channel_width: 8,
+        logic_blocks: 554,
+        inputs: 245,
+        outputs: 220,
+    },
+    McncCircuit {
+        name: "diffeq",
+        size: 30,
+        min_channel_width: 10,
+        logic_blocks: 869,
+        inputs: 18,
+        outputs: 13,
+    },
+    McncCircuit {
+        name: "dsip",
+        size: 27,
+        min_channel_width: 9,
+        logic_blocks: 680,
+        inputs: 26,
+        outputs: 22,
+    },
+    McncCircuit {
+        name: "elliptic",
+        size: 47,
+        min_channel_width: 13,
+        logic_blocks: 2134,
+        inputs: 40,
+        outputs: 35,
+    },
+    McncCircuit {
+        name: "ex1010",
+        size: 56,
+        min_channel_width: 16,
+        logic_blocks: 3093,
+        inputs: 10,
+        outputs: 10,
+    },
+    McncCircuit {
+        name: "ex5p",
+        size: 28,
+        min_channel_width: 13,
+        logic_blocks: 740,
+        inputs: 8,
+        outputs: 36,
+    },
+    McncCircuit {
+        name: "frisc",
+        size: 55,
+        min_channel_width: 16,
+        logic_blocks: 2940,
+        inputs: 20,
+        outputs: 64,
+    },
+    McncCircuit {
+        name: "misex3",
+        size: 35,
+        min_channel_width: 11,
+        logic_blocks: 1158,
+        inputs: 14,
+        outputs: 14,
+    },
+    McncCircuit {
+        name: "pdc",
+        size: 61,
+        min_channel_width: 15,
+        logic_blocks: 3629,
+        inputs: 16,
+        outputs: 40,
+    },
+    McncCircuit {
+        name: "s298",
+        size: 37,
+        min_channel_width: 8,
+        logic_blocks: 1301,
+        inputs: 4,
+        outputs: 6,
+    },
+    McncCircuit {
+        name: "s38417",
+        size: 58,
+        min_channel_width: 8,
+        logic_blocks: 3333,
+        inputs: 15,
+        outputs: 15,
+    },
+    McncCircuit {
+        name: "s38584.1",
+        size: 65,
+        min_channel_width: 9,
+        logic_blocks: 4219,
+        inputs: 3,
+        outputs: 3,
+    },
+    McncCircuit {
+        name: "seq",
+        size: 37,
+        min_channel_width: 12,
+        logic_blocks: 1325,
+        inputs: 24,
+        outputs: 20,
+    },
+    McncCircuit {
+        name: "spla",
+        size: 55,
+        min_channel_width: 14,
+        logic_blocks: 3005,
+        inputs: 10,
+        outputs: 10,
+    },
+    McncCircuit {
+        name: "tseng",
+        size: 29,
+        min_channel_width: 8,
+        logic_blocks: 799,
+        inputs: 22,
+        outputs: 20,
+    },
 ];
 
 /// Looks up a Table II entry by circuit name.
@@ -189,9 +329,15 @@ mod tests {
     #[test]
     fn table_values_match_the_paper() {
         let clma = by_name("clma").unwrap();
-        assert_eq!((clma.size, clma.min_channel_width, clma.logic_blocks), (79, 15, 6226));
+        assert_eq!(
+            (clma.size, clma.min_channel_width, clma.logic_blocks),
+            (79, 15, 6226)
+        );
         let tseng = by_name("tseng").unwrap();
-        assert_eq!((tseng.size, tseng.min_channel_width, tseng.logic_blocks), (29, 8, 799));
+        assert_eq!(
+            (tseng.size, tseng.min_channel_width, tseng.logic_blocks),
+            (29, 8, 799)
+        );
         let ex1010 = by_name("ex1010").unwrap();
         assert_eq!(ex1010.min_channel_width, 16);
         assert!(by_name("nonexistent").is_none());

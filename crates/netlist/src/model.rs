@@ -6,6 +6,10 @@ use crate::lut::TruthTable;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// One entry of [`Netlist::connectivity_signature`]: net name, driver block
+/// name, and the sorted `(sink block name, sink slot)` pairs.
+pub type NetSignature = (String, String, Vec<(String, u8)>);
+
 /// What a block of the netlist is.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BlockKind {
@@ -328,8 +332,8 @@ impl Netlist {
     /// Two netlists with the same signature implement the same hypergraph, no
     /// matter how their blocks are numbered. Used by the end-to-end tests to
     /// compare a decoded/relocated configuration against the original circuit.
-    pub fn connectivity_signature(&self) -> Vec<(String, String, Vec<(String, u8)>)> {
-        let mut sig: Vec<(String, String, Vec<(String, u8)>)> = self
+    pub fn connectivity_signature(&self) -> Vec<NetSignature> {
+        let mut sig: Vec<NetSignature> = self
             .nets
             .iter()
             .map(|net| {
@@ -403,13 +407,20 @@ mod tests {
         n.add_lut("bad", t, &[a, b, c], false);
         assert!(matches!(
             n.validate(),
-            Err(NetlistError::TooManyInputs { used: 3, max: 2, .. })
+            Err(NetlistError::TooManyInputs {
+                used: 3,
+                max: 2,
+                ..
+            })
         ));
     }
 
     #[test]
     fn connectivity_signature_is_stable_under_identical_construction() {
-        assert_eq!(tiny().connectivity_signature(), tiny().connectivity_signature());
+        assert_eq!(
+            tiny().connectivity_signature(),
+            tiny().connectivity_signature()
+        );
     }
 
     #[test]

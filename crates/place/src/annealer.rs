@@ -82,7 +82,7 @@ pub fn place_in_region(
 
     // Starting temperature: 20 x the standard deviation of random swap deltas
     // (VPR heuristic), measured on a probe pass.
-    let probes = (blocks.min(256)).max(8);
+    let probes = blocks.clamp(8, 256);
     let mut deltas = Vec::with_capacity(probes);
     for _ in 0..probes {
         let block = BlockId(rng.gen_range(0..blocks) as u32);
@@ -130,7 +130,8 @@ pub fn place_in_region(
         };
         temperature *= alpha;
         // Range limit follows the acceptance rate towards the 44% sweet spot.
-        rlim = (rlim * (1.0 - 0.44 + acceptance)).clamp(1.0, region.width.max(region.height) as f64);
+        rlim =
+            (rlim * (1.0 - 0.44 + acceptance)).clamp(1.0, region.width.max(region.height) as f64);
 
         if temperature < config.exit_ratio * cost / nets as f64 {
             break;
@@ -230,10 +231,14 @@ fn neighbor_site(rng: &mut SmallRng, region: Rect, from: Coord, rlim: u16) -> Co
     let rlim = rlim.max(1) as i32;
     let dx = rng.gen_range(-rlim..=rlim);
     let dy = rng.gen_range(-rlim..=rlim);
-    let x = (from.x as i32 + dx)
-        .clamp(region.origin.x as i32, (region.origin.x + region.width - 1) as i32);
-    let y = (from.y as i32 + dy)
-        .clamp(region.origin.y as i32, (region.origin.y + region.height - 1) as i32);
+    let x = (from.x as i32 + dx).clamp(
+        region.origin.x as i32,
+        (region.origin.x + region.width - 1) as i32,
+    );
+    let y = (from.y as i32 + dy).clamp(
+        region.origin.y as i32,
+        (region.origin.y + region.height - 1) as i32,
+    );
     Coord::new(x as u16, y as u16)
 }
 

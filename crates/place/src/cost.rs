@@ -29,9 +29,9 @@ impl BoundingBox {
 /// following the piecewise-linear table used by VPR (Cheng's crossing counts).
 pub(crate) fn fanout_correction(terminals: usize) -> f64 {
     const TABLE: [f64; 25] = [
-        1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991, 1.4493, 1.4974,
-        1.5455, 1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114, 1.8519, 1.8924, 1.9288, 1.9652,
-        2.0015, 2.0379,
+        1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991, 1.4493, 1.4974, 1.5455,
+        1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114, 1.8519, 1.8924, 1.9288, 1.9652, 2.0015,
+        2.0379,
     ];
     if terminals == 0 {
         return 1.0;

@@ -190,12 +190,8 @@ mod tests {
     fn swap_moves_and_exchanges() {
         let d = device();
         let region = Rect::at_origin(4, 4);
-        let mut p = Placement::from_sites(
-            &d,
-            region,
-            vec![Coord::new(0, 0), Coord::new(1, 0)],
-        )
-        .unwrap();
+        let mut p =
+            Placement::from_sites(&d, region, vec![Coord::new(0, 0), Coord::new(1, 0)]).unwrap();
         // Move block 0 to an empty site.
         assert_eq!(p.swap(BlockId(0), Coord::new(2, 2)), None);
         assert_eq!(p.site(BlockId(0)), Coord::new(2, 2));

@@ -106,7 +106,10 @@ mod tests {
     use vbs_place::{place, PlacerConfig};
 
     fn small_flow() -> (Netlist, Device, Placement, Routing) {
-        let netlist = SyntheticSpec::new("check", 20, 4, 4).with_seed(5).build().unwrap();
+        let netlist = SyntheticSpec::new("check", 20, 4, 4)
+            .with_seed(5)
+            .build()
+            .unwrap();
         let device = Device::new(ArchSpec::new(8, 6).unwrap(), 7, 7).unwrap();
         let placement = place(&netlist, &device, &PlacerConfig::fast(5)).unwrap();
         let routing = route(&netlist, &device, &placement, &RouterConfig::fast()).unwrap();

@@ -101,9 +101,7 @@ impl<'a> RrGraph<'a> {
             RrNode::Wire(w) => self.device.wire_index(w),
             RrNode::Pin { site, pin } => {
                 assert!((pin as usize) < self.pins_per_site, "pin out of range");
-                self.wire_nodes
-                    + self.device.macro_index(site) * self.pins_per_site
-                    + pin as usize
+                self.wire_nodes + self.device.macro_index(site) * self.pins_per_site + pin as usize
             }
         }
     }
@@ -126,11 +124,7 @@ impl<'a> RrGraph<'a> {
             let tile = rest / w;
             let track = (rest % w) as u16;
             let owner = self.device.macro_at(tile);
-            RrNode::Wire(WireRef {
-                kind,
-                owner,
-                track,
-            })
+            RrNode::Wire(WireRef { kind, owner, track })
         } else {
             let rest = index - self.wire_nodes;
             let site = self.device.macro_at(rest / self.pins_per_site);
@@ -247,8 +241,14 @@ impl SwitchBoxView for Device {
         let wire = match side {
             Side::East => Some(WireRef::horizontal(sb.x, sb.y, track)),
             Side::North => Some(WireRef::vertical(sb.x, sb.y, track)),
-            Side::West => sb.x.checked_sub(1).map(|x| WireRef::horizontal(x, sb.y, track)),
-            Side::South => sb.y.checked_sub(1).map(|y| WireRef::vertical(sb.x, y, track)),
+            Side::West => {
+                sb.x.checked_sub(1)
+                    .map(|x| WireRef::horizontal(x, sb.y, track))
+            }
+            Side::South => {
+                sb.y.checked_sub(1)
+                    .map(|y| WireRef::vertical(sb.x, y, track))
+            }
         }?;
         if self.wire_exists(wire) {
             Some(wire)
@@ -393,7 +393,9 @@ mod tests {
         let d = device();
         let a = WireRef::horizontal(2, 2, 1); // east wire of (2,2)
         let b = WireRef::vertical(3, 2, 1); // north wire of (3,2)
-        let (sb, sa, sb_side) = d.shared_switch_box(a, b).expect("adjacent wires share a SB");
+        let (sb, sa, sb_side) = d
+            .shared_switch_box(a, b)
+            .expect("adjacent wires share a SB");
         assert_eq!(sb, Coord::new(3, 2));
         assert_eq!(sa, Side::West);
         assert_eq!(sb_side, Side::North);

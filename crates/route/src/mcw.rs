@@ -44,9 +44,8 @@ pub fn minimum_channel_width(
     let mut attempts = Vec::new();
 
     let try_width = |w: u16, attempts: &mut Vec<(u16, bool)>| -> Result<bool, RouteError> {
-        let spec = ArchSpec::new(w, lut_size).map_err(|_| RouteError::McwUpperBoundTooSmall {
-            upper_bound: w,
-        })?;
+        let spec = ArchSpec::new(w, lut_size)
+            .map_err(|_| RouteError::McwUpperBoundTooSmall { upper_bound: w })?;
         let device = Device::new(spec, width, height)
             .expect("template device dimensions are valid by construction");
         let ok = match route(netlist, &device, placement, config) {
@@ -101,14 +100,16 @@ mod tests {
 
     #[test]
     fn mcw_is_routable_and_tight() {
-        let netlist = SyntheticSpec::new("mcw", 24, 5, 5).with_seed(9).build().unwrap();
+        let netlist = SyntheticSpec::new("mcw", 24, 5, 5)
+            .with_seed(9)
+            .build()
+            .unwrap();
         let device = Device::new(ArchSpec::new(12, 6).unwrap(), 7, 7).unwrap();
         let placement = place(&netlist, &device, &PlacerConfig::fast(9)).unwrap();
         let config = RouterConfig::fast();
-        let search =
-            minimum_channel_width(&netlist, &device, &placement, &config, 2, 24).unwrap();
+        let search = minimum_channel_width(&netlist, &device, &placement, &config, 2, 24).unwrap();
         let mcw = search.min_channel_width;
-        assert!(mcw >= 2 && mcw <= 24);
+        assert!((2..=24).contains(&mcw));
         // Routable at the reported width.
         let spec = ArchSpec::new(mcw, 6).unwrap();
         let d = Device::new(spec, 7, 7).unwrap();

@@ -286,8 +286,7 @@ fn route_net(
             // came_from encodes "already in tree" as u32::MAX - 1 - tree index.
             search.record(idx, 0.0, u32::MAX - 1 - tree_idx as u32);
             heap.push(HeapEntry {
-                estimate: config.astar_weight as f32
-                    * node.position().manhattan(sink_pos) as f32,
+                estimate: config.astar_weight as f32 * node.position().manhattan(sink_pos) as f32,
                 cost: 0.0,
                 node: idx,
             });
@@ -480,9 +479,15 @@ mod tests {
 
     #[test]
     fn incomplete_placement_is_rejected() {
-        let netlist = SyntheticSpec::new("x", 10, 3, 3).with_seed(1).build().unwrap();
+        let netlist = SyntheticSpec::new("x", 10, 3, 3)
+            .with_seed(1)
+            .build()
+            .unwrap();
         let device = Device::new(ArchSpec::new(8, 6).unwrap(), 6, 6).unwrap();
-        let small = SyntheticSpec::new("y", 5, 3, 3).with_seed(1).build().unwrap();
+        let small = SyntheticSpec::new("y", 5, 3, 3)
+            .with_seed(1)
+            .build()
+            .unwrap();
         let placement = place(&small, &device, &PlacerConfig::fast(1)).unwrap();
         assert!(matches!(
             route(&netlist, &device, &placement, &RouterConfig::fast()),

@@ -1,7 +1,6 @@
 //! The reconfiguration controller: fetch, de-virtualize, write.
 
 use crate::error::RuntimeError;
-use parking_lot::Mutex;
 use std::time::Instant;
 use vbs_arch::{Coord, Device, Rect};
 use vbs_bitstream::{ConfigMemory, TaskBitstream};
@@ -71,8 +70,7 @@ impl ReconfigurationController {
     pub fn devirtualize(&self, vbs: &Vbs) -> Result<(TaskBitstream, DecodeReport), RuntimeError> {
         let start = Instant::now();
         let devirtualizer = Devirtualizer::new(vbs)?;
-        let mut task =
-            TaskBitstream::empty(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
+        let mut task = TaskBitstream::empty(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
 
         if self.workers <= 1 || vbs.records().len() < 2 {
             for record in vbs.records() {
@@ -82,35 +80,39 @@ impl ReconfigurationController {
             // Parallel decode: workers expand disjoint record subsets into
             // private task images which are merged afterwards — each record
             // only touches its own cluster, so the merge is conflict-free.
+            // Workers allocate their partial image lazily (a chunk whose
+            // records all fail early never pays for one) and the merge moves
+            // frames out of the partials instead of cloning their payloads.
             let records = vbs.records();
             let chunk = records.len().div_ceil(self.workers);
-            let failures: Mutex<Vec<vbs_core::VbsError>> = Mutex::new(Vec::new());
-            let partials: Mutex<Vec<TaskBitstream>> = Mutex::new(Vec::new());
-            crossbeam::scope(|scope| {
-                for slice in records.chunks(chunk) {
-                    let devirt = &devirtualizer;
-                    let failures = &failures;
-                    let partials = &partials;
-                    let spec = *vbs.spec();
-                    let (w, h) = (vbs.width().max(1), vbs.height().max(1));
-                    scope.spawn(move |_| {
-                        let mut local = TaskBitstream::empty(spec, w, h);
-                        for record in slice {
-                            if let Err(e) = devirt.decode_record_into(record, &mut local) {
-                                failures.lock().push(e);
-                                return;
-                            }
-                        }
-                        partials.lock().push(local);
-                    });
+            let spec = *vbs.spec();
+            let (w, h) = (vbs.width().max(1), vbs.height().max(1));
+            let partials: Vec<Result<Option<TaskBitstream>, vbs_core::VbsError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = records
+                        .chunks(chunk)
+                        .map(|slice| {
+                            let devirt = &devirtualizer;
+                            scope.spawn(move || {
+                                let mut local: Option<TaskBitstream> = None;
+                                for record in slice {
+                                    let target = local
+                                        .get_or_insert_with(|| TaskBitstream::empty(spec, w, h));
+                                    devirt.decode_record_into(record, target)?;
+                                }
+                                Ok(local)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|handle| handle.join().expect("decode workers never panic"))
+                        .collect()
+                });
+            for partial in partials {
+                if let Some(partial) = partial.map_err(RuntimeError::Decode)? {
+                    merge_frames(&mut task, partial);
                 }
-            })
-            .expect("decode workers never panic");
-            if let Some(e) = failures.into_inner().into_iter().next() {
-                return Err(RuntimeError::Decode(e));
-            }
-            for partial in partials.into_inner() {
-                merge_frames(&mut task, &partial);
             }
         }
 
@@ -136,6 +138,23 @@ impl ReconfigurationController {
         Ok(report)
     }
 
+    /// Writes an already-decoded task bit-stream into the configuration
+    /// memory at `origin` — the cache-hit load path: a repeated load of the
+    /// same task skips de-virtualization entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Memory`] when the task sticks out of the
+    /// device; the configuration memory is left untouched in that case.
+    pub fn load_decoded(
+        &mut self,
+        task: &TaskBitstream,
+        origin: Coord,
+    ) -> Result<(), RuntimeError> {
+        self.memory.load_task(task, origin)?;
+        Ok(())
+    }
+
     /// Clears a region of the configuration memory (task removal).
     ///
     /// # Errors
@@ -147,12 +166,12 @@ impl ReconfigurationController {
     }
 }
 
-/// ORs every frame of `from` into `into` (frames are disjoint by
-/// construction, so this is a plain copy of the non-empty ones).
-fn merge_frames(into: &mut TaskBitstream, from: &TaskBitstream) {
-    for (at, frame) in from.iter_frames() {
+/// Moves every non-empty frame of `from` into `into` (frames are disjoint by
+/// construction, so no merge conflicts are possible and nothing is cloned).
+fn merge_frames(into: &mut TaskBitstream, from: TaskBitstream) {
+    for (at, frame) in from.into_frames() {
         if !frame.is_empty() {
-            *into.frame_mut(at) = frame.clone();
+            *into.frame_mut(at) = frame;
         }
     }
 }
@@ -165,8 +184,15 @@ mod tests {
     use vbs_netlist::generate::SyntheticSpec;
 
     fn task_vbs() -> (Device, Vbs, TaskBitstream) {
-        let netlist = SyntheticSpec::new("ctrl", 20, 4, 4).with_seed(13).build().unwrap();
-        let flow = CadFlow::new(9, 6).unwrap().with_grid(7, 7).with_seed(13).fast();
+        let netlist = SyntheticSpec::new("ctrl", 20, 4, 4)
+            .with_seed(13)
+            .build()
+            .unwrap();
+        let flow = CadFlow::new(9, 6)
+            .unwrap()
+            .with_grid(7, 7)
+            .with_seed(13)
+            .fast();
         let result = flow.run(&netlist).unwrap();
         let vbs = result.vbs(1).unwrap();
         let device = Device::new(ArchSpec::new(9, 6).unwrap(), 20, 12).unwrap();
@@ -196,10 +222,7 @@ mod tests {
         let readback = controller.memory().read_region(region).unwrap();
         assert_eq!(readback.diff_count(&raw).unwrap(), 0);
         // Somewhere else the fabric is still blank.
-        assert!(controller
-            .memory()
-            .frame(Coord::new(0, 0))
-            .is_empty());
+        assert!(controller.memory().frame(Coord::new(0, 0)).is_empty());
         controller.unload(region).unwrap();
         assert_eq!(controller.memory().occupied_macros(), 0);
     }

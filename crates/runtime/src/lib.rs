@@ -16,7 +16,9 @@
 //! * [`ReconfigurationController`] — fetch + decode (sequentially or with a
 //!   worker pool) + write to the configuration memory;
 //! * [`TaskManager`] — on-line placement of tasks on the fabric: finds a free
-//!   rectangle, loads, unloads and relocates running tasks.
+//!   rectangle, loads, unloads and relocates running tasks;
+//! * [`placement`] — pluggable placement policies (first-fit, best-fit,
+//!   bottom-left skyline) plus the occupancy/fragmentation view they share.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,9 +26,11 @@
 mod controller;
 mod error;
 mod manager;
+pub mod placement;
 mod repository;
 
 pub use controller::{DecodeReport, ReconfigurationController};
 pub use error::RuntimeError;
 pub use manager::{LoadedTask, TaskHandle, TaskManager};
+pub use placement::{BestFit, BottomLeftSkyline, FabricView, FirstFit, PlacementPolicy};
 pub use repository::VbsRepository;

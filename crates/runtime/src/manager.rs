@@ -3,8 +3,10 @@
 
 use crate::controller::ReconfigurationController;
 use crate::error::RuntimeError;
+use crate::placement::{FabricView, FirstFit, PlacementPolicy};
 use crate::repository::VbsRepository;
 use vbs_arch::{Coord, Rect};
+use vbs_bitstream::{BitstreamError, TaskBitstream};
 
 /// Identifier of a loaded task instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,9 +24,10 @@ pub struct LoadedTask {
 }
 
 /// The on-line manager: keeps track of which rectangles of the fabric are
-/// busy, picks a position for each incoming task (first-fit, bottom-left) and
-/// drives the [`ReconfigurationController`] to load, unload and relocate
-/// tasks. Relocation reuses the *same* Virtual Bit-Stream — no offline
+/// busy, picks a position for each incoming task through a pluggable
+/// [`PlacementPolicy`] (first-fit bottom-left by default) and drives the
+/// [`ReconfigurationController`] to load, unload and relocate tasks.
+/// Relocation reuses the *same* Virtual Bit-Stream — no offline
 /// re-implementation is needed, which is the head-line capability of the
 /// paper.
 #[derive(Debug)]
@@ -33,17 +36,41 @@ pub struct TaskManager {
     repository: VbsRepository,
     loaded: Vec<LoadedTask>,
     next_handle: u64,
+    policy: Box<dyn PlacementPolicy>,
 }
 
 impl TaskManager {
-    /// Creates a manager over a controller and a task repository.
+    /// Creates a manager over a controller and a task repository, placing
+    /// with [`FirstFit`].
     pub fn new(controller: ReconfigurationController, repository: VbsRepository) -> Self {
         TaskManager {
             controller,
             repository,
             loaded: Vec::new(),
             next_handle: 1,
+            policy: Box::new(FirstFit),
         }
+    }
+
+    /// Replaces the placement policy used by [`TaskManager::load`].
+    pub fn with_policy(mut self, policy: Box<dyn PlacementPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active placement policy.
+    pub fn policy(&self) -> &dyn PlacementPolicy {
+        self.policy.as_ref()
+    }
+
+    /// A snapshot of the fabric occupancy (device size + loaded regions).
+    pub fn fabric_view(&self) -> FabricView {
+        let device = self.controller.device();
+        FabricView::new(
+            device.width(),
+            device.height(),
+            self.loaded.iter().map(|t| t.region).collect(),
+        )
     }
 
     /// The tasks currently loaded, in load order.
@@ -75,20 +102,29 @@ impl TaskManager {
     pub fn load_at(&mut self, name: &str, origin: Coord) -> Result<TaskHandle, RuntimeError> {
         let vbs = self.repository.fetch(name)?;
         let region = Rect::new(origin, vbs.width(), vbs.height());
-        if let Some(busy) = self.loaded.iter().find(|t| t.region.intersects(&region)) {
-            return Err(RuntimeError::RegionBusy {
-                region: busy.region,
-            });
-        }
+        self.ensure_region_free(&region, None)?;
         self.controller.load(&vbs, origin)?;
-        let handle = TaskHandle(self.next_handle);
-        self.next_handle += 1;
-        self.loaded.push(LoadedTask {
-            handle,
-            name: name.to_string(),
-            region,
-        });
-        Ok(handle)
+        Ok(self.register(name, region))
+    }
+
+    /// Loads an already-decoded task bit-stream at an explicit position —
+    /// the cache-hit path of the scheduler: a repeated load of the same task
+    /// skips the fetch and de-virtualization entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RegionBusy`] when the target rectangle
+    /// overlaps a loaded task, plus any memory error.
+    pub fn load_decoded_at(
+        &mut self,
+        name: &str,
+        task: &TaskBitstream,
+        origin: Coord,
+    ) -> Result<TaskHandle, RuntimeError> {
+        let region = Rect::new(origin, task.width(), task.height());
+        self.ensure_region_free(&region, None)?;
+        self.controller.load_decoded(task, origin)?;
+        Ok(self.register(name, region))
     }
 
     /// Loads a task wherever it fits (bottom-left first-fit scan).
@@ -99,12 +135,12 @@ impl TaskManager {
     /// task, plus any fetch/decode/memory error.
     pub fn load(&mut self, name: &str) -> Result<TaskHandle, RuntimeError> {
         let vbs = self.repository.fetch(name)?;
-        let origin = self
-            .find_free_region(vbs.width(), vbs.height())
-            .ok_or(RuntimeError::NoFreeRegion {
-                width: vbs.width(),
-                height: vbs.height(),
-            })?;
+        let origin =
+            self.find_free_region(vbs.width(), vbs.height())
+                .ok_or(RuntimeError::NoFreeRegion {
+                    width: vbs.width(),
+                    height: vbs.height(),
+                })?;
         self.load_at(name, origin)
     }
 
@@ -125,7 +161,10 @@ impl TaskManager {
     }
 
     /// Relocates a loaded task to a new origin by re-decoding its VBS there —
-    /// the "fast relocation" use case of the paper.
+    /// the "fast relocation" use case of the paper. The destination may
+    /// overlap the task's own current region (a small shift during
+    /// defragmentation): the old region is then cleared *before* the decoded
+    /// stream is written, so the overlap is never corrupted.
     ///
     /// # Errors
     ///
@@ -138,43 +177,106 @@ impl TaskManager {
             .iter()
             .position(|t| t.handle == handle)
             .ok_or(RuntimeError::UnknownHandle { id: handle.0 })?;
-        let (name, old_region) = {
-            let t = &self.loaded[index];
-            (t.name.clone(), t.region)
-        };
+        let name = self.loaded[index].name.clone();
         let vbs = self.repository.fetch(&name)?;
-        let new_region = Rect::new(origin, vbs.width(), vbs.height());
+        // Decode first so a failure leaves the old instance running.
+        let (task, _report) = self.controller.devirtualize(&vbs)?;
+        self.relocate_decoded_at(index, &task, origin)
+    }
+
+    /// Relocates a loaded task using an already-decoded bit-stream (the
+    /// scheduler's cache-hit path). Semantics match [`TaskManager::relocate`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TaskManager::relocate`], plus a memory error when `task` does not
+    /// have the shape of the loaded instance.
+    pub fn relocate_decoded(
+        &mut self,
+        handle: TaskHandle,
+        task: &TaskBitstream,
+        origin: Coord,
+    ) -> Result<(), RuntimeError> {
+        let index = self
+            .loaded
+            .iter()
+            .position(|t| t.handle == handle)
+            .ok_or(RuntimeError::UnknownHandle { id: handle.0 })?;
+        let current = self.loaded[index].region;
+        if task.width() != current.width || task.height() != current.height {
+            return Err(RuntimeError::Memory(BitstreamError::LayoutMismatch));
+        }
+        self.relocate_decoded_at(index, task, origin)
+    }
+
+    fn relocate_decoded_at(
+        &mut self,
+        index: usize,
+        task: &TaskBitstream,
+        origin: Coord,
+    ) -> Result<(), RuntimeError> {
+        let old_region = self.loaded[index].region;
+        let new_region = Rect::new(origin, task.width(), task.height());
+        if new_region == old_region {
+            return Ok(());
+        }
+        let handle = self.loaded[index].handle;
+        self.ensure_region_free(&new_region, Some(handle))?;
+        if new_region.intersects(&old_region) {
+            // Self-overlapping move: writing first would let the subsequent
+            // clear of the old region punch a hole into the fresh
+            // configuration. Validate the destination, then clear-then-load.
+            if !self.fabric_view().in_bounds(&new_region) {
+                return Err(RuntimeError::Memory(BitstreamError::DoesNotFit {
+                    origin,
+                    width: new_region.width,
+                    height: new_region.height,
+                }));
+            }
+            self.controller.unload(old_region)?;
+            self.controller.load_decoded(task, origin)?;
+        } else {
+            // Disjoint move: write the new instance first so a failure
+            // leaves the old one running.
+            self.controller.load_decoded(task, origin)?;
+            self.controller.unload(old_region)?;
+        }
+        self.loaded[index].region = new_region;
+        Ok(())
+    }
+
+    /// Searches a free `width` × `height` rectangle with the active
+    /// placement policy.
+    pub fn find_free_region(&self, width: u16, height: u16) -> Option<Coord> {
+        self.policy.place(width, height, &self.fabric_view())
+    }
+
+    fn ensure_region_free(
+        &self,
+        region: &Rect,
+        ignoring: Option<TaskHandle>,
+    ) -> Result<(), RuntimeError> {
         if let Some(busy) = self
             .loaded
             .iter()
-            .find(|t| t.handle != handle && t.region.intersects(&new_region))
+            .find(|t| Some(t.handle) != ignoring && t.region.intersects(region))
         {
             return Err(RuntimeError::RegionBusy {
                 region: busy.region,
             });
         }
-        // Decode first so a failure leaves the old instance running.
-        self.controller.load(&vbs, origin)?;
-        self.controller.unload(old_region)?;
-        self.loaded[index].region = new_region;
         Ok(())
     }
 
-    /// Bottom-left first-fit search for a free `width` × `height` rectangle.
-    fn find_free_region(&self, width: u16, height: u16) -> Option<Coord> {
-        let device = self.controller.device();
-        if width > device.width() || height > device.height() {
-            return None;
-        }
-        for y in 0..=(device.height() - height) {
-            for x in 0..=(device.width() - width) {
-                let candidate = Rect::new(Coord::new(x, y), width, height);
-                if !self.loaded.iter().any(|t| t.region.intersects(&candidate)) {
-                    return Some(Coord::new(x, y));
-                }
-            }
-        }
-        None
+    fn register(&mut self, name: &str, region: Rect) -> TaskHandle {
+        let handle = TaskHandle(self.next_handle);
+        self.next_handle += 1;
+        self.loaded.push(LoadedTask {
+            handle,
+            name: name.to_string(),
+            region,
+        });
+        handle
     }
 }
 
@@ -186,8 +288,15 @@ mod tests {
     use vbs_netlist::generate::SyntheticSpec;
 
     fn manager() -> TaskManager {
-        let netlist = SyntheticSpec::new("task_a", 18, 4, 4).with_seed(21).build().unwrap();
-        let flow = CadFlow::new(9, 6).unwrap().with_grid(6, 6).with_seed(21).fast();
+        let netlist = SyntheticSpec::new("task_a", 18, 4, 4)
+            .with_seed(21)
+            .build()
+            .unwrap();
+        let flow = CadFlow::new(9, 6)
+            .unwrap()
+            .with_grid(6, 6)
+            .with_seed(21)
+            .fast();
         let result = flow.run(&netlist).unwrap();
         let mut repo = VbsRepository::new();
         repo.store("task_a", &result.vbs(1).unwrap());
@@ -202,8 +311,18 @@ mod tests {
         let a = m.load("task_a").unwrap();
         let b = m.load("task_b").unwrap();
         assert_eq!(m.loaded_tasks().len(), 2);
-        let ra = m.loaded_tasks().iter().find(|t| t.handle == a).unwrap().region;
-        let rb = m.loaded_tasks().iter().find(|t| t.handle == b).unwrap().region;
+        let ra = m
+            .loaded_tasks()
+            .iter()
+            .find(|t| t.handle == a)
+            .unwrap()
+            .region;
+        let rb = m
+            .loaded_tasks()
+            .iter()
+            .find(|t| t.handle == b)
+            .unwrap()
+            .region;
         assert!(!ra.intersects(&rb));
         assert!(m.controller().memory().occupied_macros() > 0);
     }
@@ -254,6 +373,52 @@ mod tests {
             .read_region(Rect::new(Coord::new(0, 0), 6, 6))
             .unwrap();
         assert_eq!(old.popcount(), 0);
+    }
+
+    #[test]
+    fn relocation_onto_own_region_is_not_corrupted() {
+        // Regression test: a destination overlapping the task's current
+        // region used to decode into the new origin and then clear the
+        // overlap away while unloading the old region.
+        let mut m = manager();
+        let a = m.load_at("task_a", Coord::new(0, 0)).unwrap();
+        let region = m.loaded_tasks()[0].region;
+        let before = m.controller().memory().read_region(region).unwrap();
+
+        // Shift one macro to the right: maximal self-overlap.
+        m.relocate(a, Coord::new(1, 0)).unwrap();
+        let shifted = Rect::new(Coord::new(1, 0), region.width, region.height);
+        let after = m.controller().memory().read_region(shifted).unwrap();
+        assert_eq!(before.diff_count(&after).unwrap(), 0);
+
+        // The vacated column is blank and nothing else is configured.
+        let vacated = m
+            .controller()
+            .memory()
+            .read_region(Rect::new(Coord::new(0, 0), 1, region.height))
+            .unwrap();
+        assert_eq!(vacated.popcount(), 0);
+        assert_eq!(
+            m.controller().memory().occupied_macros(),
+            after.occupied_macros()
+        );
+
+        // Diagonal self-overlap keeps working too.
+        m.relocate(a, Coord::new(0, 1)).unwrap();
+        let diagonal = Rect::new(Coord::new(0, 1), region.width, region.height);
+        let moved = m.controller().memory().read_region(diagonal).unwrap();
+        assert_eq!(before.diff_count(&moved).unwrap(), 0);
+    }
+
+    #[test]
+    fn relocation_to_same_origin_is_a_noop() {
+        let mut m = manager();
+        let a = m.load_at("task_a", Coord::new(2, 1)).unwrap();
+        let region = m.loaded_tasks()[0].region;
+        let before = m.controller().memory().read_region(region).unwrap();
+        m.relocate(a, Coord::new(2, 1)).unwrap();
+        let after = m.controller().memory().read_region(region).unwrap();
+        assert_eq!(before.diff_count(&after).unwrap(), 0);
     }
 
     #[test]

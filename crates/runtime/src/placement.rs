@@ -1,0 +1,345 @@
+//! Pluggable on-line placement policies.
+//!
+//! The paper's fast-relocation capability makes *where* to put a task a pure
+//! run-time decision, so the placement heuristic becomes a policy choice.
+//! [`PlacementPolicy`] abstracts it behind one method; the provided
+//! implementations are:
+//!
+//! * [`FirstFit`] — the original bottom-left raster scan (lowest row, then
+//!   lowest column, first rectangle that fits);
+//! * [`BestFit`] — minimum-leftover-area: place in the maximal free
+//!   rectangle whose area exceeds the task's by the least, which preserves
+//!   large contiguous regions for future large tasks;
+//! * [`BottomLeftSkyline`] — classic skyline packing: per-column the fabric
+//!   is only used above the highest loaded task, and the candidate with the
+//!   lowest resulting top edge wins. Wastes holes but keeps the free space
+//!   in one simply-shaped region.
+
+use std::fmt;
+use vbs_arch::{Coord, Rect};
+
+/// A snapshot of the fabric's occupancy: device dimensions plus the regions
+/// of every loaded task. All placement policies and the fragmentation
+/// metrics operate on this view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricView {
+    width: u16,
+    height: u16,
+    occupied: Vec<Rect>,
+}
+
+impl FabricView {
+    /// Creates a view of a `width` × `height` fabric with the given loaded
+    /// regions (assumed pairwise disjoint and in bounds).
+    pub fn new(width: u16, height: u16, occupied: Vec<Rect>) -> Self {
+        FabricView {
+            width,
+            height,
+            occupied,
+        }
+    }
+
+    /// Device width in macros.
+    pub const fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Device height in macros.
+    pub const fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// The loaded regions.
+    pub fn occupied(&self) -> &[Rect] {
+        &self.occupied
+    }
+
+    /// Whether `region` lies entirely on the fabric.
+    pub fn in_bounds(&self, region: &Rect) -> bool {
+        region.origin.x as u32 + region.width as u32 <= self.width as u32
+            && region.origin.y as u32 + region.height as u32 <= self.height as u32
+    }
+
+    /// Whether `region` is in bounds and overlaps no loaded task.
+    pub fn is_free(&self, region: &Rect) -> bool {
+        self.in_bounds(region) && !self.occupied.iter().any(|r| r.intersects(region))
+    }
+
+    /// Total number of macros on the fabric.
+    pub fn total_area(&self) -> u32 {
+        self.width as u32 * self.height as u32
+    }
+
+    /// Number of free macros (loaded regions are disjoint by invariant).
+    pub fn free_area(&self) -> u32 {
+        self.total_area() - self.occupied.iter().map(Rect::area).sum::<u32>()
+    }
+
+    /// All maximal free rectangles: free rectangles that cannot be extended
+    /// in any direction. Computed with a per-row histogram sweep, fine for
+    /// the fabric sizes this workspace simulates.
+    pub fn free_rectangles(&self) -> Vec<Rect> {
+        let (w, h) = (self.width as usize, self.height as usize);
+        if w == 0 || h == 0 {
+            return Vec::new();
+        }
+        let mut blocked = vec![false; w * h];
+        for rect in &self.occupied {
+            for at in rect.iter() {
+                if (at.x as usize) < w && (at.y as usize) < h {
+                    blocked[at.y as usize * w + at.x as usize] = true;
+                }
+            }
+        }
+        let free = |x: usize, y: usize| !blocked[y * w + x];
+
+        // For every row (as the top edge), a histogram of free run heights;
+        // every local maximum of the histogram spans one candidate.
+        let mut candidates: Vec<Rect> = Vec::new();
+        let mut heights = vec![0u16; w];
+        for y in 0..h {
+            for (x, height) in heights.iter_mut().enumerate() {
+                *height = if free(x, y) { *height + 1 } else { 0 };
+            }
+            // Stack of (left index, height); the trailing 0 bar flushes
+            // every open rectangle at the right edge.
+            let mut stack: Vec<(usize, u16)> = Vec::new();
+            for (x, &current) in heights.iter().chain(std::iter::once(&0)).enumerate() {
+                let mut left = x;
+                while let Some(&(l, hgt)) = stack.last() {
+                    if hgt <= current {
+                        break;
+                    }
+                    stack.pop();
+                    left = l;
+                    // Rectangle of height `hgt` spanning columns [l, x).
+                    candidates.push(Rect::new(
+                        Coord::new(l as u16, (y as u16 + 1) - hgt),
+                        (x - l) as u16,
+                        hgt,
+                    ));
+                }
+                if current > 0 && stack.last().is_none_or(|&(_, hgt)| hgt < current) {
+                    stack.push((left, current));
+                }
+            }
+        }
+
+        // Keep only top-maximal rectangles (the sweep already guarantees
+        // left/right/bottom maximality) and dedup.
+        candidates.retain(|r| {
+            let top = r.origin.y + r.height;
+            top as usize == h
+                || (r.origin.x..r.origin.x + r.width).any(|x| !free(x as usize, top as usize))
+        });
+        candidates.sort_by_key(|r| (r.origin.y, r.origin.x, r.width, r.height));
+        candidates.dedup();
+        candidates
+    }
+
+    /// Area of the largest free rectangle, 0 when the fabric is full.
+    pub fn largest_free_rect_area(&self) -> u32 {
+        self.free_rectangles()
+            .iter()
+            .map(Rect::area)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// External fragmentation in `[0, 1]`: the share of free macros *not* in
+    /// the largest free rectangle. 0 when the free space is one rectangle
+    /// (or the fabric is full), approaching 1 as the free space shatters.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_area();
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_rect_area() as f64 / free as f64
+    }
+}
+
+/// A strategy choosing where on the fabric a `width` × `height` task goes.
+pub trait PlacementPolicy: fmt::Debug + Send + Sync {
+    /// Short policy name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Returns the origin of a free `width` × `height` rectangle, or `None`
+    /// when the policy finds no feasible position.
+    fn place(&self, width: u16, height: u16, fabric: &FabricView) -> Option<Coord>;
+}
+
+/// Bottom-left raster-scan first-fit: the original `TaskManager` behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn place(&self, width: u16, height: u16, fabric: &FabricView) -> Option<Coord> {
+        if width == 0 || height == 0 || width > fabric.width() || height > fabric.height() {
+            return None;
+        }
+        for y in 0..=(fabric.height() - height) {
+            for x in 0..=(fabric.width() - width) {
+                let candidate = Rect::new(Coord::new(x, y), width, height);
+                if fabric.is_free(&candidate) {
+                    return Some(candidate.origin);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Minimum-leftover-area best-fit over the maximal free rectangles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BestFit;
+
+impl PlacementPolicy for BestFit {
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+
+    fn place(&self, width: u16, height: u16, fabric: &FabricView) -> Option<Coord> {
+        if width == 0 || height == 0 {
+            return None;
+        }
+        fabric
+            .free_rectangles()
+            .into_iter()
+            .filter(|r| r.width >= width && r.height >= height)
+            .min_by_key(|r| {
+                (
+                    r.area() - width as u32 * height as u32,
+                    r.origin.y,
+                    r.origin.x,
+                )
+            })
+            .map(|r| r.origin)
+    }
+}
+
+/// Skyline packing: tasks sit above the per-column high-water mark, and the
+/// candidate minimizing that mark (then the column) wins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BottomLeftSkyline;
+
+impl PlacementPolicy for BottomLeftSkyline {
+    fn name(&self) -> &'static str {
+        "bottom-left-skyline"
+    }
+
+    fn place(&self, width: u16, height: u16, fabric: &FabricView) -> Option<Coord> {
+        if width == 0 || height == 0 || width > fabric.width() || height > fabric.height() {
+            return None;
+        }
+        let mut skyline = vec![0u16; fabric.width() as usize];
+        for rect in fabric.occupied() {
+            let top = rect.origin.y + rect.height;
+            for x in rect.origin.x..rect.origin.x + rect.width {
+                let col = &mut skyline[x as usize];
+                *col = (*col).max(top);
+            }
+        }
+        let mut best: Option<Coord> = None;
+        for x in 0..=(fabric.width() - width) {
+            let y = (x..x + width)
+                .map(|col| skyline[col as usize])
+                .max()
+                .unwrap_or(0);
+            if y as u32 + height as u32 > fabric.height() as u32 {
+                continue;
+            }
+            if best.is_none_or(|b| (y, x) < (b.y, b.x)) {
+                best = Some(Coord::new(x, y));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(occupied: Vec<Rect>) -> FabricView {
+        FabricView::new(8, 6, occupied)
+    }
+
+    #[test]
+    fn empty_fabric_is_one_free_rectangle() {
+        let v = view(Vec::new());
+        assert_eq!(v.free_rectangles(), vec![Rect::at_origin(8, 6)]);
+        assert_eq!(v.free_area(), 48);
+        assert_eq!(v.fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn free_rectangles_are_maximal_and_cover_holes() {
+        // One 4x6 block in the middle leaves two free columns bands.
+        let v = view(vec![Rect::new(Coord::new(2, 0), 4, 6)]);
+        let rects = v.free_rectangles();
+        assert_eq!(
+            rects,
+            vec![
+                Rect::new(Coord::new(0, 0), 2, 6),
+                Rect::new(Coord::new(6, 0), 2, 6),
+            ]
+        );
+        assert_eq!(v.largest_free_rect_area(), 12);
+        assert!(v.fragmentation() > 0.4);
+    }
+
+    #[test]
+    fn first_fit_scans_bottom_left() {
+        let v = view(vec![Rect::new(Coord::new(0, 0), 3, 2)]);
+        assert_eq!(FirstFit.place(2, 2, &v), Some(Coord::new(3, 0)));
+        assert_eq!(FirstFit.place(8, 6, &v), None);
+        assert_eq!(FirstFit.place(8, 4, &v), Some(Coord::new(0, 2)));
+    }
+
+    #[test]
+    fn best_fit_prefers_the_tightest_hole() {
+        // A 2x2 hole at (0,0)..(2,2) (via two blocks) and lots of open space
+        // to the right: a 2x2 task should take the tight hole, not the
+        // large region first-fit-style.
+        let v = view(vec![
+            Rect::new(Coord::new(2, 0), 1, 6),
+            Rect::new(Coord::new(0, 2), 2, 4),
+        ]);
+        assert_eq!(BestFit.place(2, 2, &v), Some(Coord::new(0, 0)));
+        // First-fit picks the same corner here, but on the mirrored layout
+        // the policies diverge.
+        let v2 = view(vec![
+            Rect::new(Coord::new(5, 0), 1, 6),
+            Rect::new(Coord::new(6, 2), 2, 4),
+        ]);
+        assert_eq!(FirstFit.place(2, 2, &v2), Some(Coord::new(0, 0)));
+        assert_eq!(BestFit.place(2, 2, &v2), Some(Coord::new(6, 0)));
+    }
+
+    #[test]
+    fn skyline_ignores_holes_below_tasks() {
+        // A floating task leaves a hole beneath it; skyline refuses the
+        // hole, first-fit takes it.
+        let v = view(vec![Rect::new(Coord::new(0, 3), 4, 2)]);
+        assert_eq!(FirstFit.place(3, 2, &v), Some(Coord::new(0, 0)));
+        assert_eq!(BottomLeftSkyline.place(3, 2, &v), Some(Coord::new(4, 0)));
+    }
+
+    #[test]
+    fn policies_respect_bounds() {
+        let v = view(Vec::new());
+        for policy in [
+            &FirstFit as &dyn PlacementPolicy,
+            &BestFit,
+            &BottomLeftSkyline,
+        ] {
+            assert_eq!(policy.place(9, 1, &v), None, "{}", policy.name());
+            assert_eq!(policy.place(1, 7, &v), None, "{}", policy.name());
+            assert_eq!(policy.place(8, 6, &v), Some(Coord::new(0, 0)));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! LRU cache of decoded task bit-streams.
+//!
+//! De-virtualizing a Virtual Bit-Stream is the dominant cost of a run-time
+//! load (Section II-C). The decoded image of a task is position independent
+//! — the *same* raw frames are written wherever the task lands — so repeated
+//! loads of one task can reuse a cached [`TaskBitstream`] and skip decoding
+//! entirely. The cache is keyed by `(task name, architecture spec)` so a
+//! repository holding streams for several fabrics never aliases.
+
+use std::sync::Arc;
+use vbs_arch::ArchSpec;
+use vbs_bitstream::TaskBitstream;
+
+/// Hit/miss counters of a [`DecodeCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Loads served from the cache.
+    pub hits: u64,
+    /// Loads that had to decode.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Maximum number of entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when nothing was looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    spec: ArchSpec,
+    task: Arc<TaskBitstream>,
+    last_used: u64,
+}
+
+/// An LRU cache of decoded task bit-streams keyed by `(task, spec)`.
+#[derive(Debug)]
+pub struct DecodeCache {
+    capacity: usize,
+    entries: Vec<Entry>,
+    hits: u64,
+    misses: u64,
+    clock: u64,
+}
+
+impl DecodeCache {
+    /// Creates a cache holding at most `capacity` decoded streams.
+    /// `capacity` 0 disables caching (every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        DecodeCache {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            clock: 0,
+        }
+    }
+
+    /// Looks up the decoded stream of `(name, spec)`, refreshing its LRU
+    /// stamp and counting a hit or a miss.
+    pub fn get(&mut self, name: &str, spec: &ArchSpec) -> Option<Arc<TaskBitstream>> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.name == name && e.spec == *spec)
+        {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits += 1;
+                Some(Arc::clone(&entry.task))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the decoded stream of `(name, spec)`, evicting
+    /// the least recently used entry when the cache is full.
+    pub fn insert(&mut self, name: &str, spec: ArchSpec, task: Arc<TaskBitstream>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if let Some(entry) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.name == name && e.spec == spec)
+        {
+            entry.task = task;
+            entry.last_used = self.clock;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                self.entries.swap_remove(lru);
+            }
+        }
+        self.entries.push(Entry {
+            name: name.to_string(),
+            spec,
+            task,
+            last_used: self.clock,
+        });
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drops every entry of task `name` (all specs). Required after a
+    /// repository re-registers a different stream under an existing name.
+    pub fn invalidate(&mut self, name: &str) {
+        self.entries.retain(|e| e.name != name);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbs_arch::Coord;
+
+    fn task(bit: usize) -> Arc<TaskBitstream> {
+        let mut t = TaskBitstream::empty(ArchSpec::paper_example(), 2, 2);
+        t.frame_mut(Coord::new(0, 0)).set_bit(bit, true);
+        Arc::new(t)
+    }
+
+    #[test]
+    fn hit_after_insert_and_lru_eviction() {
+        let spec = ArchSpec::paper_example();
+        let mut cache = DecodeCache::new(2);
+        assert!(cache.get("a", &spec).is_none());
+        cache.insert("a", spec, task(1));
+        cache.insert("b", spec, task(2));
+        assert!(cache.get("a", &spec).is_some());
+        // "b" is now least recently used; inserting "c" evicts it.
+        cache.insert("c", spec, task(3));
+        assert!(cache.get("b", &spec).is_none());
+        assert!(cache.get("a", &spec).is_some());
+        assert!(cache.get("c", &spec).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+        assert!((stats.hit_rate() - 3.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_specs_do_not_alias() {
+        let a = ArchSpec::paper_example();
+        let b = ArchSpec::paper_evaluation();
+        let mut cache = DecodeCache::new(4);
+        cache.insert("t", a, task(1));
+        assert!(cache.get("t", &b).is_none());
+        assert!(cache.get("t", &a).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let spec = ArchSpec::paper_example();
+        let mut cache = DecodeCache::new(0);
+        cache.insert("a", spec, task(1));
+        assert!(cache.get("a", &spec).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

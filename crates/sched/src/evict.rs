@@ -1,0 +1,103 @@
+//! Eviction policies: which resident task leaves when the fabric is full.
+//!
+//! Because a Virtual Bit-Stream can be re-loaded anywhere later, evicting a
+//! task is cheap in this architecture — its stream stays in the external
+//! memory and (with the decode cache warm) reinstating it costs one memory
+//! write pass. That makes preemptive multi-tenant policies practical.
+
+use std::fmt;
+use vbs_arch::Rect;
+
+/// What the eviction policy knows about one resident task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidentInfo {
+    /// Scheduler job id of the resident.
+    pub job: u64,
+    /// Task name in the repository.
+    pub name: String,
+    /// Fabric region the task occupies.
+    pub region: Rect,
+    /// Request priority the task was loaded with (higher = more important).
+    pub priority: u8,
+    /// Tick the task was loaded at.
+    pub loaded_at: u64,
+    /// Tick of the last load/touch of this task.
+    pub last_used: u64,
+}
+
+/// A strategy ordering eviction victims when a load finds no free region.
+pub trait EvictionPolicy: fmt::Debug + Send + Sync {
+    /// Short policy name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Returns job ids in eviction order (most evictable first). Jobs not
+    /// listed are protected from eviction for this request.
+    fn victims(&self, residents: &[ResidentInfo], incoming_priority: u8) -> Vec<u64>;
+}
+
+/// Evict the least recently used resident first, regardless of priority.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruEviction;
+
+impl EvictionPolicy for LruEviction {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn victims(&self, residents: &[ResidentInfo], _incoming_priority: u8) -> Vec<u64> {
+        let mut order: Vec<&ResidentInfo> = residents.iter().collect();
+        order.sort_by_key(|r| (r.last_used, r.loaded_at, r.job));
+        order.into_iter().map(|r| r.job).collect()
+    }
+}
+
+/// Evict the lowest-priority resident first, and never evict a resident
+/// whose priority is at least the incoming request's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PriorityEviction;
+
+impl EvictionPolicy for PriorityEviction {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn victims(&self, residents: &[ResidentInfo], incoming_priority: u8) -> Vec<u64> {
+        let mut order: Vec<&ResidentInfo> = residents
+            .iter()
+            .filter(|r| r.priority < incoming_priority)
+            .collect();
+        order.sort_by_key(|r| (r.priority, r.last_used, r.job));
+        order.into_iter().map(|r| r.job).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbs_arch::{Coord, Rect};
+
+    fn resident(job: u64, priority: u8, last_used: u64) -> ResidentInfo {
+        ResidentInfo {
+            job,
+            name: format!("t{job}"),
+            region: Rect::new(Coord::new(0, 0), 1, 1),
+            priority,
+            loaded_at: 0,
+            last_used,
+        }
+    }
+
+    #[test]
+    fn lru_orders_by_recency() {
+        let residents = vec![resident(1, 9, 30), resident(2, 0, 10), resident(3, 5, 20)];
+        assert_eq!(LruEviction.victims(&residents, 0), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn priority_protects_equal_or_higher() {
+        let residents = vec![resident(1, 3, 30), resident(2, 7, 10), resident(3, 3, 20)];
+        assert_eq!(PriorityEviction.victims(&residents, 5), vec![3, 1]);
+        assert_eq!(PriorityEviction.victims(&residents, 8), vec![3, 1, 2]);
+        assert!(PriorityEviction.victims(&residents, 3).is_empty());
+    }
+}

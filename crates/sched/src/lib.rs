@@ -1,0 +1,40 @@
+//! On-line reconfiguration scheduling for Virtual Bit-Streams.
+//!
+//! The paper's run-time contribution is a *primitive*: one compressed,
+//! position-independent stream per task that can be de-virtualized anywhere
+//! the task fits. This crate builds the *system* on top of that primitive —
+//! the layer a multi-tenant deployment needs once many tasks contend for one
+//! fabric:
+//!
+//! * [`Scheduler`] — a prioritized request queue (load / unload / relocate
+//!   with deadlines) over the runtime [`vbs_runtime::TaskManager`];
+//! * [`EvictionPolicy`] — who leaves when the fabric is full ([`LruEviction`],
+//!   [`PriorityEviction`]); eviction is cheap here because re-loading a task
+//!   is just another de-virtualization;
+//! * compaction — [`Scheduler::compact`] relocates resident tasks toward the
+//!   bottom-left corner to fight external fragmentation, exercising the
+//!   paper's fast-relocation use case at scale;
+//! * [`DecodeCache`] — an LRU cache of decoded [`vbs_bitstream::TaskBitstream`]s
+//!   keyed by `(task, spec)`, so repeated loads skip de-virtualization;
+//! * [`Trace`] / [`replay`] — a deterministic trace format, a seeded
+//!   synthetic workload generator and a simulator reporting acceptance
+//!   rate, fragmentation, decode time, cache hit rate and relocations.
+//!
+//! Placement is pluggable through [`vbs_runtime::PlacementPolicy`]
+//! (first-fit, best-fit, bottom-left skyline) on the manager the scheduler
+//! is built over.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod evict;
+mod scheduler;
+mod sim;
+mod trace;
+
+pub use cache::{CacheStats, DecodeCache};
+pub use evict::{EvictionPolicy, LruEviction, PriorityEviction, ResidentInfo};
+pub use scheduler::{Outcome, RejectReason, Request, SchedMetrics, Scheduler, SchedulerConfig};
+pub use sim::{replay, SimReport};
+pub use trace::{Trace, TraceError, TraceEvent, TraceOp, WorkloadSpec};

@@ -1,0 +1,626 @@
+//! The on-line reconfiguration scheduler.
+//!
+//! [`Scheduler`] layers a request queue, eviction, defragmentation and the
+//! decode cache on top of the runtime [`TaskManager`]. It is the component
+//! that turns the paper's fast-relocation primitive into a multi-tenant
+//! resource manager: requests arrive with priorities and deadlines, victims
+//! are evicted when the fabric is full, and resident tasks are compacted
+//! toward the bottom-left corner to fight external fragmentation — every
+//! compaction move is a run-time relocation of an unchanged Virtual
+//! Bit-Stream.
+
+use crate::cache::{CacheStats, DecodeCache};
+use crate::evict::{EvictionPolicy, LruEviction, ResidentInfo};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vbs_arch::{Coord, Rect};
+use vbs_bitstream::TaskBitstream;
+use vbs_core::Vbs;
+use vbs_runtime::{RuntimeError, TaskHandle, TaskManager};
+
+/// A request submitted to the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Load a task from the repository somewhere on the fabric.
+    Load {
+        /// Task name in the repository.
+        task: String,
+        /// Priority (higher wins the queue and resists eviction).
+        priority: u8,
+        /// Absolute tick after which the load is worthless.
+        deadline: Option<u64>,
+    },
+    /// Unload a previously loaded job.
+    Unload {
+        /// The job to unload.
+        job: u64,
+    },
+    /// Relocate a resident job to an explicit origin.
+    Relocate {
+        /// The job to move.
+        job: u64,
+        /// Destination origin (lower-left corner).
+        to: Coord,
+    },
+}
+
+/// Why a load request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// No task with this name exists in the repository.
+    UnknownTask,
+    /// No feasible region even after compaction and allowed evictions.
+    NoCapacity,
+    /// The request was processed after its deadline.
+    DeadlineMissed,
+    /// Fetch/decode/memory failure bubbled up from the runtime.
+    Runtime(String),
+}
+
+/// What happened to one processed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The task was configured on the fabric.
+    Loaded {
+        /// The job id assigned at submission.
+        job: u64,
+        /// Runtime handle of the instance.
+        handle: TaskHandle,
+        /// Where it was placed.
+        origin: Coord,
+        /// Jobs evicted to make room, in eviction order.
+        evicted: Vec<u64>,
+        /// Whether the decoded stream came from the cache.
+        cache_hit: bool,
+    },
+    /// The load was dropped.
+    Rejected {
+        /// The job id assigned at submission.
+        job: u64,
+        /// Why it was dropped.
+        reason: RejectReason,
+        /// Jobs evicted on behalf of this request before it still failed
+        /// (empty for pre-placement rejections). Their fabric regions are
+        /// already freed.
+        evicted: Vec<u64>,
+    },
+    /// The job was unloaded.
+    Unloaded {
+        /// The job id.
+        job: u64,
+    },
+    /// The job was not resident (already unloaded or evicted).
+    NotResident {
+        /// The job id.
+        job: u64,
+    },
+    /// The job was moved to a new origin.
+    Relocated {
+        /// The job id.
+        job: u64,
+        /// The new origin.
+        origin: Coord,
+    },
+}
+
+/// Tunables of the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Maximum evictions attempted on behalf of one load request.
+    pub eviction_limit: usize,
+    /// Whether to run a defragmentation pass when placement fails.
+    pub compaction: bool,
+    /// Decoded streams kept in the cache (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            eviction_limit: 2,
+            compaction: true,
+            cache_capacity: 16,
+        }
+    }
+}
+
+/// Aggregate counters of one scheduler's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SchedMetrics {
+    /// Load requests submitted.
+    pub loads_submitted: u64,
+    /// Load requests that ended configured on the fabric.
+    pub loads_accepted: u64,
+    /// Load requests dropped (any [`RejectReason`]).
+    pub loads_rejected: u64,
+    /// Loads dropped specifically for missing their deadline.
+    pub deadline_missed: u64,
+    /// Resident tasks evicted to make room.
+    pub evictions: u64,
+    /// Relocations performed (compaction moves + explicit requests).
+    pub relocations: u64,
+    /// Defragmentation passes that ran.
+    pub compaction_passes: u64,
+    /// Total de-virtualization time spent, in microseconds.
+    pub decode_micros: u128,
+    /// Number of de-virtualizations performed (cache misses).
+    pub decodes: u64,
+    /// Number of fragmentation samples folded into `fragmentation_sum`.
+    pub fragmentation_samples: u64,
+    /// Sum of sampled fragmentation values (one per processed request).
+    pub fragmentation_sum: f64,
+}
+
+impl SchedMetrics {
+    /// Accepted / submitted loads, 1.0 when nothing was submitted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.loads_submitted == 0 {
+            return 1.0;
+        }
+        self.loads_accepted as f64 / self.loads_submitted as f64
+    }
+
+    /// Mean de-virtualization time per decode, in microseconds.
+    pub fn mean_decode_micros(&self) -> f64 {
+        if self.decodes == 0 {
+            return 0.0;
+        }
+        self.decode_micros as f64 / self.decodes as f64
+    }
+
+    /// Mean sampled fragmentation over the run.
+    pub fn mean_fragmentation(&self) -> f64 {
+        if self.fragmentation_samples == 0 {
+            return 0.0;
+        }
+        self.fragmentation_sum / self.fragmentation_samples as f64
+    }
+}
+
+#[derive(Debug)]
+struct Resident {
+    handle: TaskHandle,
+    name: String,
+    priority: u8,
+    loaded_at: u64,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Pending {
+    job: u64,
+    seq: u64,
+    request: Request,
+}
+
+/// The on-line reconfiguration scheduler (see the module docs).
+#[derive(Debug)]
+pub struct Scheduler {
+    manager: TaskManager,
+    eviction: Box<dyn EvictionPolicy>,
+    cache: DecodeCache,
+    config: SchedulerConfig,
+    queue: Vec<Pending>,
+    residents: BTreeMap<u64, Resident>,
+    clock: u64,
+    next_job: u64,
+    next_seq: u64,
+    metrics: SchedMetrics,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over a task manager with LRU eviction and the
+    /// default configuration. The placement policy is whatever `manager`
+    /// was built with.
+    pub fn new(manager: TaskManager) -> Self {
+        Scheduler::with_config(manager, Box::new(LruEviction), SchedulerConfig::default())
+    }
+
+    /// Creates a scheduler with an explicit eviction policy and config.
+    pub fn with_config(
+        manager: TaskManager,
+        eviction: Box<dyn EvictionPolicy>,
+        config: SchedulerConfig,
+    ) -> Self {
+        let cache = DecodeCache::new(config.cache_capacity);
+        Scheduler {
+            manager,
+            eviction,
+            cache,
+            config,
+            queue: Vec::new(),
+            residents: BTreeMap::new(),
+            clock: 0,
+            next_job: 1,
+            next_seq: 0,
+            metrics: SchedMetrics::default(),
+        }
+    }
+
+    /// Read access to the underlying task manager (fabric + repository).
+    pub fn manager(&self) -> &TaskManager {
+        &self.manager
+    }
+
+    /// Mutable access to the task repository, to register tasks at run
+    /// time. Deliberately *not* the whole `TaskManager`: loading, unloading
+    /// and relocating behind the scheduler's back would desynchronize its
+    /// resident table. When a *different* stream is re-registered under an
+    /// existing name, call [`Scheduler::invalidate_cached`] afterwards or
+    /// later loads may serve the stale decoded image.
+    pub fn repository_mut(&mut self) -> &mut vbs_runtime::VbsRepository {
+        self.manager.repository_mut()
+    }
+
+    /// Drops the cached decoded stream(s) of `name` — required after the
+    /// repository replaces the task's VBS under the same name.
+    pub fn invalidate_cached(&mut self, name: &str) {
+        self.cache.invalidate(name);
+    }
+
+    /// Marks a resident job as used "now" for LRU-eviction purposes.
+    /// Loads and explicit relocations touch implicitly; call this when the
+    /// running task does observable work between scheduler requests.
+    pub fn touch(&mut self, job: u64) {
+        let now = self.clock;
+        if let Some(resident) = self.residents.get_mut(&job) {
+            resident.last_used = now;
+        }
+    }
+
+    /// The scheduler's logical clock (advanced by [`Scheduler::advance_to`]).
+    pub const fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Aggregate counters so far.
+    pub const fn metrics(&self) -> &SchedMetrics {
+        &self.metrics
+    }
+
+    /// Decode-cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Jobs currently resident, with the metadata the eviction policies see.
+    pub fn residents(&self) -> Vec<ResidentInfo> {
+        self.residents
+            .iter()
+            .filter_map(|(&job, r)| {
+                self.manager
+                    .loaded_tasks()
+                    .iter()
+                    .find(|t| t.handle == r.handle)
+                    .map(|t| ResidentInfo {
+                        job,
+                        name: r.name.clone(),
+                        region: t.region,
+                        priority: r.priority,
+                        loaded_at: r.loaded_at,
+                        last_used: r.last_used,
+                    })
+            })
+            .collect()
+    }
+
+    /// Advances the logical clock (monotonic; earlier ticks are ignored).
+    pub fn advance_to(&mut self, tick: u64) {
+        self.clock = self.clock.max(tick);
+    }
+
+    /// Enqueues a request and returns its job id (for loads, the id the
+    /// eventual [`Outcome`] refers to; for unloads/relocates, a fresh id
+    /// naming the request itself).
+    pub fn submit(&mut self, request: Request) -> u64 {
+        let job = self.next_job;
+        self.next_job += 1;
+        if matches!(request, Request::Load { .. }) {
+            self.metrics.loads_submitted += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Pending { job, seq, request });
+        job
+    }
+
+    /// Processes every queued request in priority order (unloads first so
+    /// departures free space before arrivals claim it, then loads by
+    /// descending priority, FIFO within a class) and returns the outcomes.
+    pub fn process_pending(&mut self) -> Vec<Outcome> {
+        self.process_pending_tagged()
+            .into_iter()
+            .map(|(_, outcome)| outcome)
+            .collect()
+    }
+
+    /// As [`Scheduler::process_pending`], but each outcome is tagged with
+    /// the id [`Scheduler::submit`] returned for the request that produced
+    /// it (an unload's *outcome* names the job it targeted, which is not
+    /// the request's own id).
+    pub fn process_pending_tagged(&mut self) -> Vec<(u64, Outcome)> {
+        let mut pending = std::mem::take(&mut self.queue);
+        pending.sort_by_key(|p| {
+            (
+                class_rank(&p.request),
+                std::cmp::Reverse(priority_of(&p.request)),
+                p.seq,
+            )
+        });
+        pending
+            .into_iter()
+            .map(|p| {
+                let outcome = self.process_one(p.job, p.request);
+                self.sample_fragmentation();
+                (p.job, outcome)
+            })
+            .collect()
+    }
+
+    /// Submits one request and processes the whole queue immediately —
+    /// convenience for direct (non-batched) callers. Returns the outcome of
+    /// *this* request (matched by request id, so previously queued requests
+    /// targeting the same job cannot be confused with it).
+    pub fn execute(&mut self, request: Request) -> Outcome {
+        let job = self.submit(request);
+        self.process_pending_tagged()
+            .into_iter()
+            .find(|(id, _)| *id == job)
+            .map(|(_, outcome)| outcome)
+            .expect("the submitted request is always processed")
+    }
+
+    /// Runs a defragmentation pass: repeatedly relocates resident tasks
+    /// toward the bottom-left corner (re-using their cached decoded streams)
+    /// until no task can improve. Returns the number of relocations.
+    pub fn compact(&mut self) -> usize {
+        self.metrics.compaction_passes += 1;
+        let mut moves = 0;
+        // Bounded sweeps: each sweep tries every resident once, in
+        // bottom-left order of their current region.
+        for _ in 0..4 {
+            let mut moved_this_sweep = false;
+            let mut sorted = self.residents();
+            sorted.sort_by_key(|r| (r.region.origin.y, r.region.origin.x));
+            for info in sorted {
+                if let Some(better) = self.better_origin(&info) {
+                    if self.relocate_resident(info.job, better).is_ok() {
+                        moves += 1;
+                        moved_this_sweep = true;
+                    }
+                }
+            }
+            if !moved_this_sweep {
+                break;
+            }
+        }
+        self.metrics.relocations += moves as u64;
+        moves
+    }
+
+    /// The best strictly-better origin for a resident under the manager's
+    /// placement policy, with the resident's own region masked out.
+    fn better_origin(&self, info: &ResidentInfo) -> Option<Coord> {
+        let view = self.manager.fabric_view();
+        let others: Vec<Rect> = view
+            .occupied()
+            .iter()
+            .copied()
+            .filter(|r| *r != info.region)
+            .collect();
+        let masked = vbs_runtime::FabricView::new(view.width(), view.height(), others);
+        let candidate =
+            self.manager
+                .policy()
+                .place(info.region.width, info.region.height, &masked)?;
+        let current = info.region.origin;
+        if (candidate.y, candidate.x) < (current.y, current.x) {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+
+    fn relocate_resident(&mut self, job: u64, to: Coord) -> Result<(), RuntimeError> {
+        let (handle, name) = {
+            let r = self
+                .residents
+                .get(&job)
+                .ok_or(RuntimeError::UnknownHandle { id: job })?;
+            (r.handle, r.name.clone())
+        };
+        let decoded = self.decoded_stream(&name)?.0;
+        self.manager.relocate_decoded(handle, &decoded, to)
+    }
+
+    /// Fetches the decoded stream of `name` through the cache. Returns the
+    /// stream and whether it was a cache hit.
+    fn decoded_stream(&mut self, name: &str) -> Result<(Arc<TaskBitstream>, bool), RuntimeError> {
+        let vbs: Vbs = self.manager.repository().fetch(name)?;
+        if let Some(cached) = self.cache.get(name, vbs.spec()) {
+            return Ok((cached, true));
+        }
+        let (task, report) = self.manager.controller().devirtualize(&vbs)?;
+        self.metrics.decodes += 1;
+        self.metrics.decode_micros += report.micros;
+        let task = Arc::new(task);
+        self.cache.insert(name, *vbs.spec(), Arc::clone(&task));
+        Ok((task, false))
+    }
+
+    fn process_one(&mut self, job: u64, request: Request) -> Outcome {
+        match request {
+            Request::Load {
+                task,
+                priority,
+                deadline,
+            } => self.process_load(job, &task, priority, deadline),
+            Request::Unload { job: target } => match self.residents.remove(&target) {
+                Some(resident) => {
+                    self.manager
+                        .unload(resident.handle)
+                        .expect("resident handles are always valid");
+                    Outcome::Unloaded { job: target }
+                }
+                None => Outcome::NotResident { job: target },
+            },
+            Request::Relocate { job: target, to } => match self.relocate_resident(target, to) {
+                Ok(()) => {
+                    self.metrics.relocations += 1;
+                    // An explicit relocation is a use of the task.
+                    self.touch(target);
+                    Outcome::Relocated {
+                        job: target,
+                        origin: to,
+                    }
+                }
+                Err(RuntimeError::UnknownHandle { .. }) => Outcome::NotResident { job: target },
+                Err(e) => Outcome::Rejected {
+                    job: target,
+                    reason: RejectReason::Runtime(e.to_string()),
+                    evicted: Vec::new(),
+                },
+            },
+        }
+    }
+
+    fn process_load(
+        &mut self,
+        job: u64,
+        task: &str,
+        priority: u8,
+        deadline: Option<u64>,
+    ) -> Outcome {
+        if deadline.is_some_and(|d| self.clock > d) {
+            self.metrics.loads_rejected += 1;
+            self.metrics.deadline_missed += 1;
+            return Outcome::Rejected {
+                job,
+                reason: RejectReason::DeadlineMissed,
+                evicted: Vec::new(),
+            };
+        }
+        let decoded = match self.decoded_stream(task) {
+            Ok(d) => d,
+            Err(RuntimeError::UnknownTask { .. }) => {
+                self.metrics.loads_rejected += 1;
+                return Outcome::Rejected {
+                    job,
+                    reason: RejectReason::UnknownTask,
+                    evicted: Vec::new(),
+                };
+            }
+            Err(e) => {
+                self.metrics.loads_rejected += 1;
+                return Outcome::Rejected {
+                    job,
+                    reason: RejectReason::Runtime(e.to_string()),
+                    evicted: Vec::new(),
+                };
+            }
+        };
+        let (stream, cache_hit) = decoded;
+        let (w, h) = (stream.width(), stream.height());
+
+        // A task larger than the device can never fit — reject before
+        // evicting anyone on its behalf.
+        let device = self.manager.controller().device();
+        if w > device.width() || h > device.height() {
+            self.metrics.loads_rejected += 1;
+            return Outcome::Rejected {
+                job,
+                reason: RejectReason::NoCapacity,
+                evicted: Vec::new(),
+            };
+        }
+
+        let mut evicted = Vec::new();
+        let origin = loop {
+            if let Some(origin) = self.manager.find_free_region(w, h) {
+                break Some(origin);
+            }
+            if self.config.compaction && self.compact() > 0 {
+                if let Some(origin) = self.manager.find_free_region(w, h) {
+                    break Some(origin);
+                }
+            }
+            if evicted.len() >= self.config.eviction_limit {
+                break None;
+            }
+            let candidates = self.eviction.victims(&self.residents(), priority);
+            let Some(&victim) = candidates.first() else {
+                break None;
+            };
+            let resident = self
+                .residents
+                .remove(&victim)
+                .expect("eviction candidates are resident");
+            self.manager
+                .unload(resident.handle)
+                .expect("resident handles are always valid");
+            self.metrics.evictions += 1;
+            evicted.push(victim);
+        };
+
+        let Some(origin) = origin else {
+            self.metrics.loads_rejected += 1;
+            return Outcome::Rejected {
+                job,
+                reason: RejectReason::NoCapacity,
+                evicted,
+            };
+        };
+        match self.manager.load_decoded_at(task, &stream, origin) {
+            Ok(handle) => {
+                self.residents.insert(
+                    job,
+                    Resident {
+                        handle,
+                        name: task.to_string(),
+                        priority,
+                        loaded_at: self.clock,
+                        last_used: self.clock,
+                    },
+                );
+                self.metrics.loads_accepted += 1;
+                Outcome::Loaded {
+                    job,
+                    handle,
+                    origin,
+                    evicted,
+                    cache_hit,
+                }
+            }
+            Err(e) => {
+                self.metrics.loads_rejected += 1;
+                Outcome::Rejected {
+                    job,
+                    reason: RejectReason::Runtime(e.to_string()),
+                    evicted,
+                }
+            }
+        }
+    }
+
+    fn sample_fragmentation(&mut self) {
+        let frag = self.manager.fabric_view().fragmentation();
+        self.metrics.fragmentation_samples += 1;
+        self.metrics.fragmentation_sum += frag;
+    }
+}
+
+/// Unloads before relocates before loads, so departures free space first.
+fn class_rank(request: &Request) -> u8 {
+    match request {
+        Request::Unload { .. } => 0,
+        Request::Relocate { .. } => 1,
+        Request::Load { .. } => 2,
+    }
+}
+
+fn priority_of(request: &Request) -> u8 {
+    match request {
+        Request::Load { priority, .. } => *priority,
+        _ => u8::MAX,
+    }
+}

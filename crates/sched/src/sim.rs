@@ -1,0 +1,199 @@
+//! The trace-driven workload simulator.
+//!
+//! [`replay`] drives a [`Scheduler`] through a [`Trace`], batching the
+//! events of each tick into one `process_pending` round (so departures free
+//! space before same-tick arrivals claim it) and collecting a [`SimReport`]
+//! of scheduler, cache and fragmentation metrics at the end. Everything is
+//! deterministic: the same trace against the same scheduler configuration
+//! yields the same report, which is what the policy-comparison benchmarks
+//! and the acceptance tests rely on.
+
+use crate::cache::CacheStats;
+use crate::scheduler::{Outcome, Request, SchedMetrics, Scheduler};
+use crate::trace::{Trace, TraceOp};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Metrics of one trace replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Events replayed.
+    pub events: usize,
+    /// Scheduler counters at the end of the replay.
+    pub sched: SchedMetrics,
+    /// Decode-cache counters at the end of the replay.
+    pub cache: CacheStats,
+    /// Fragmentation of the final fabric state.
+    pub final_fragmentation: f64,
+    /// Unload events whose job was already gone (evicted or rejected).
+    pub departures_already_gone: u64,
+}
+
+impl SimReport {
+    /// Accepted / submitted loads.
+    pub fn acceptance_rate(&self) -> f64 {
+        self.sched.acceptance_rate()
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "events            {:>8}", self.events)?;
+        writeln!(f, "loads submitted   {:>8}", self.sched.loads_submitted)?;
+        writeln!(
+            f,
+            "accepted          {:>8}  ({:.1}%)",
+            self.sched.loads_accepted,
+            100.0 * self.acceptance_rate()
+        )?;
+        writeln!(f, "rejected          {:>8}", self.sched.loads_rejected)?;
+        writeln!(f, "deadline missed   {:>8}", self.sched.deadline_missed)?;
+        writeln!(f, "evictions         {:>8}", self.sched.evictions)?;
+        writeln!(f, "relocations       {:>8}", self.sched.relocations)?;
+        writeln!(
+            f,
+            "decodes           {:>8}  (mean {:.1} µs)",
+            self.sched.decodes,
+            self.sched.mean_decode_micros()
+        )?;
+        writeln!(
+            f,
+            "cache             {:>8} hits / {} misses ({:.1}% hit rate)",
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_rate()
+        )?;
+        writeln!(
+            f,
+            "fragmentation     {:>8.3} mean / {:.3} final",
+            self.sched.mean_fragmentation(),
+            self.final_fragmentation
+        )
+    }
+}
+
+/// Replays `trace` through `scheduler` and reports the metrics of **this
+/// replay only** — on a reused scheduler (e.g. to measure a warm decode
+/// cache), counters accumulated by earlier activity are subtracted out.
+///
+/// Trace job ids are translated to scheduler job ids on the fly; an unload
+/// of a job that was rejected or already evicted counts in
+/// [`SimReport::departures_already_gone`] instead of failing.
+pub fn replay(scheduler: &mut Scheduler, trace: &Trace) -> SimReport {
+    let sched_before = *scheduler.metrics();
+    let cache_before = scheduler.cache_stats();
+    let mut job_map: HashMap<u64, u64> = HashMap::new();
+    // (sched job, trace job) pairs of the current tick's arrivals.
+    let mut load_of_round: Vec<(u64, u64)> = Vec::new();
+    // Departures seen before their arrival was mapped (a zero-duration job
+    // unloads in the same tick it loads, and departures sort first within a
+    // tick): remembered and executed right after the arrival resolves.
+    let mut deferred: HashSet<u64> = HashSet::new();
+    let mut already_gone = 0u64;
+
+    let mut index = 0;
+    while index < trace.events.len() {
+        let tick = trace.events[index].tick;
+        scheduler.advance_to(tick);
+        load_of_round.clear();
+        while index < trace.events.len() && trace.events[index].tick == tick {
+            match &trace.events[index].op {
+                TraceOp::Load {
+                    job,
+                    task,
+                    priority,
+                    deadline,
+                } => {
+                    let sched_job = scheduler.submit(Request::Load {
+                        task: task.clone(),
+                        priority: *priority,
+                        deadline: *deadline,
+                    });
+                    load_of_round.push((sched_job, *job));
+                }
+                TraceOp::Unload { job } => match job_map.remove(job) {
+                    Some(sched_job) => {
+                        scheduler.submit(Request::Unload { job: sched_job });
+                    }
+                    None => {
+                        deferred.insert(*job);
+                    }
+                },
+            }
+            index += 1;
+        }
+        for outcome in scheduler.process_pending() {
+            match outcome {
+                Outcome::Loaded { job, .. } => {
+                    if let Some(&(_, trace_job)) =
+                        load_of_round.iter().find(|(sched, _)| *sched == job)
+                    {
+                        job_map.insert(trace_job, job);
+                    }
+                    // Evicted victims keep their map entries; their later
+                    // unload simply finds the job no longer resident.
+                }
+                Outcome::NotResident { .. } => already_gone += 1,
+                _ => {}
+            }
+        }
+        // Execute departures that arrived before their load resolved.
+        let mut follow_up = false;
+        for &(sched_job, trace_job) in &load_of_round {
+            if deferred.remove(&trace_job) {
+                if job_map.remove(&trace_job).is_some() {
+                    scheduler.submit(Request::Unload { job: sched_job });
+                    follow_up = true;
+                } else {
+                    // The load itself was rejected; its departure is moot.
+                    already_gone += 1;
+                }
+            }
+        }
+        if follow_up {
+            for outcome in scheduler.process_pending() {
+                if matches!(outcome, Outcome::NotResident { .. }) {
+                    already_gone += 1;
+                }
+            }
+        }
+    }
+    // Departures that never matched any arrival.
+    already_gone += deferred.len() as u64;
+
+    SimReport {
+        events: trace.events.len(),
+        sched: metrics_delta(scheduler.metrics(), &sched_before),
+        cache: cache_delta(scheduler.cache_stats(), cache_before),
+        final_fragmentation: scheduler.manager().fabric_view().fragmentation(),
+        departures_already_gone: already_gone,
+    }
+}
+
+/// Counters accumulated between two scheduler snapshots.
+fn metrics_delta(after: &SchedMetrics, before: &SchedMetrics) -> SchedMetrics {
+    SchedMetrics {
+        loads_submitted: after.loads_submitted - before.loads_submitted,
+        loads_accepted: after.loads_accepted - before.loads_accepted,
+        loads_rejected: after.loads_rejected - before.loads_rejected,
+        deadline_missed: after.deadline_missed - before.deadline_missed,
+        evictions: after.evictions - before.evictions,
+        relocations: after.relocations - before.relocations,
+        compaction_passes: after.compaction_passes - before.compaction_passes,
+        decode_micros: after.decode_micros - before.decode_micros,
+        decodes: after.decodes - before.decodes,
+        fragmentation_samples: after.fragmentation_samples - before.fragmentation_samples,
+        fragmentation_sum: after.fragmentation_sum - before.fragmentation_sum,
+    }
+}
+
+/// Hit/miss counters accumulated between two cache snapshots; entry counts
+/// are point-in-time values and reported as-is.
+fn cache_delta(after: CacheStats, before: CacheStats) -> CacheStats {
+    CacheStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        entries: after.entries,
+        capacity: after.capacity,
+    }
+}

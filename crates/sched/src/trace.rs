@@ -1,0 +1,383 @@
+//! Workload traces: a deterministic event stream the simulator replays.
+//!
+//! A trace is a tick-ordered list of `load` / `unload` events referencing
+//! tasks by repository name and jobs by a caller-chosen id. Traces come from
+//! two places: [`Trace::synthetic`] generates one from a seeded RNG (the
+//! reproducible heavy-traffic workloads of the benchmarks), and
+//! [`Trace::from_text`] parses the line-oriented format below so real
+//! workloads can be captured and replayed:
+//!
+//! ```text
+//! # vbs-sched trace v1
+//! load <tick> <job> <task> <priority> [deadline]
+//! unload <tick> <job>
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// One event of a workload trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Tick the event fires at.
+    pub tick: u64,
+    /// What happens.
+    pub op: TraceOp,
+}
+
+/// The operation of a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A task arrives and wants the fabric.
+    Load {
+        /// Trace-local job id (unique per trace).
+        job: u64,
+        /// Task name in the repository.
+        task: String,
+        /// Request priority.
+        priority: u8,
+        /// Optional absolute-tick deadline.
+        deadline: Option<u64>,
+    },
+    /// A previously arrived job departs.
+    Unload {
+        /// The trace-local job id that departs.
+        job: u64,
+    },
+}
+
+/// Errors raised while parsing or serializing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line did not match the expected syntax.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A task name cannot be represented in the whitespace-separated line
+    /// format (empty, contains whitespace, or starts with `#`).
+    BadTaskName {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Malformed { line, reason } => {
+                write!(f, "trace line {line}: {reason}")
+            }
+            TraceError::BadTaskName { name } => {
+                write!(f, "task name {name:?} cannot appear in a trace file")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parameters of the synthetic workload generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Task names to draw from (uniformly).
+    pub tasks: Vec<String>,
+    /// Number of load events to generate (each gets a matching unload).
+    pub loads: usize,
+    /// Mean ticks between arrivals (inter-arrival is uniform in
+    /// `1..=2*mean`).
+    pub mean_interarrival: u64,
+    /// Mean resident duration in ticks (uniform in `1..=2*mean`).
+    pub mean_duration: u64,
+    /// Priorities are drawn uniformly from `0..priority_levels` (min 1).
+    pub priority_levels: u8,
+    /// When set, every load gets `deadline = arrival + slack`.
+    pub deadline_slack: Option<u64>,
+    /// RNG seed; the same spec always yields the same trace.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            tasks: Vec::new(),
+            loads: 100,
+            mean_interarrival: 4,
+            mean_duration: 20,
+            priority_levels: 4,
+            deadline_slack: None,
+            seed: 1,
+        }
+    }
+}
+
+/// A tick-ordered workload trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// The events, sorted by tick (unloads before loads within a tick).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generates a deterministic synthetic trace: `spec.loads` arrivals with
+    /// uniform inter-arrival times, each followed by a departure after a
+    /// uniform duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.tasks` is empty or `spec.loads` is 0.
+    pub fn synthetic(spec: &WorkloadSpec) -> Trace {
+        assert!(!spec.tasks.is_empty(), "workload needs at least one task");
+        assert!(spec.loads > 0, "workload needs at least one load");
+        let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x7ace_5eed_0000_cafe);
+        let mut events = Vec::with_capacity(spec.loads * 2);
+        let mut tick = 0u64;
+        for job in 1..=spec.loads as u64 {
+            tick += rng.gen_range(1..=spec.mean_interarrival.max(1) * 2);
+            let task = spec.tasks[rng.gen_range(0..spec.tasks.len())].clone();
+            let priority = rng.gen_range(0..spec.priority_levels.max(1));
+            let deadline = spec.deadline_slack.map(|s| tick + s);
+            events.push(TraceEvent {
+                tick,
+                op: TraceOp::Load {
+                    job,
+                    task,
+                    priority,
+                    deadline,
+                },
+            });
+            let departure = tick + rng.gen_range(1..=spec.mean_duration.max(1) * 2);
+            events.push(TraceEvent {
+                tick: departure,
+                op: TraceOp::Unload { job },
+            });
+        }
+        let mut trace = Trace { events };
+        trace.normalize();
+        trace
+    }
+
+    /// Sorts events by tick, departures before arrivals within a tick.
+    pub fn normalize(&mut self) {
+        self.events.sort_by_key(|e| {
+            (
+                e.tick,
+                matches!(e.op, TraceOp::Load { .. }) as u8,
+                match &e.op {
+                    TraceOp::Load { job, .. } | TraceOp::Unload { job } => *job,
+                },
+            )
+        });
+    }
+
+    /// Serializes the trace to the line format of the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadTaskName`] when a task name cannot survive
+    /// the whitespace-separated format (repository names are arbitrary
+    /// strings; trace files only support names without whitespace that
+    /// don't start with `#`).
+    pub fn to_text(&self) -> Result<String, TraceError> {
+        let mut out = String::from("# vbs-sched trace v1\n");
+        for event in &self.events {
+            match &event.op {
+                TraceOp::Load {
+                    job,
+                    task,
+                    priority,
+                    deadline,
+                } => {
+                    if task.is_empty()
+                        || task.starts_with('#')
+                        || task.chars().any(char::is_whitespace)
+                    {
+                        return Err(TraceError::BadTaskName { name: task.clone() });
+                    }
+                    out.push_str(&format!(
+                        "load {} {} {} {}",
+                        event.tick, job, task, priority
+                    ));
+                    if let Some(d) = deadline {
+                        out.push_str(&format!(" {d}"));
+                    }
+                    out.push('\n');
+                }
+                TraceOp::Unload { job } => {
+                    out.push_str(&format!("unload {} {}\n", event.tick, job));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the line format of the module docs. Blank lines and `#`
+    /// comments are ignored; events are re-sorted by tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Malformed`] with the offending line number.
+    pub fn from_text(text: &str) -> Result<Trace, TraceError> {
+        let mut events = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let malformed = |reason: &str| TraceError::Malformed {
+                line: idx + 1,
+                reason: reason.to_string(),
+            };
+            let mut fields = line.split_whitespace();
+            let op = fields.next().expect("non-empty line has a first field");
+            match op {
+                "load" => {
+                    let tick = parse_u64(fields.next(), "tick").map_err(|e| malformed(&e))?;
+                    let job = parse_u64(fields.next(), "job").map_err(|e| malformed(&e))?;
+                    let task = fields
+                        .next()
+                        .ok_or_else(|| malformed("missing task name"))?
+                        .to_string();
+                    let priority = parse_u64(fields.next(), "priority")
+                        .map_err(|e| malformed(&e))?
+                        .try_into()
+                        .map_err(|_| malformed("priority exceeds u8"))?;
+                    let deadline = match fields.next() {
+                        Some(d) => Some(parse_u64(Some(d), "deadline").map_err(|e| malformed(&e))?),
+                        None => None,
+                    };
+                    if fields.next().is_some() {
+                        return Err(malformed("trailing fields"));
+                    }
+                    events.push(TraceEvent {
+                        tick,
+                        op: TraceOp::Load {
+                            job,
+                            task,
+                            priority,
+                            deadline,
+                        },
+                    });
+                }
+                "unload" => {
+                    let tick = parse_u64(fields.next(), "tick").map_err(|e| malformed(&e))?;
+                    let job = parse_u64(fields.next(), "job").map_err(|e| malformed(&e))?;
+                    if fields.next().is_some() {
+                        return Err(malformed("trailing fields"));
+                    }
+                    events.push(TraceEvent {
+                        tick,
+                        op: TraceOp::Unload { job },
+                    });
+                }
+                other => return Err(malformed(&format!("unknown op `{other}`"))),
+            }
+        }
+        let mut trace = Trace { events };
+        trace.normalize();
+        Ok(trace)
+    }
+}
+
+fn parse_u64(field: Option<&str>, what: &str) -> Result<u64, String> {
+    field
+        .ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|_| format!("invalid {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            tasks: vec!["a".into(), "b".into()],
+            loads: 25,
+            deadline_slack: Some(7),
+            ..WorkloadSpec::default()
+        }
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_and_paired() {
+        let t1 = Trace::synthetic(&spec());
+        let t2 = Trace::synthetic(&spec());
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 50);
+        let loads = t1
+            .events
+            .iter()
+            .filter(|e| matches!(e.op, TraceOp::Load { .. }))
+            .count();
+        assert_eq!(loads, 25);
+        // Ticks are sorted.
+        assert!(t1.events.windows(2).all(|w| w[0].tick <= w[1].tick));
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_the_trace() {
+        let trace = Trace::synthetic(&spec());
+        let text = trace.to_text().unwrap();
+        let back = Trace::from_text(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn serialization_rejects_unrepresentable_task_names() {
+        let mut trace = Trace::default();
+        trace.events.push(TraceEvent {
+            tick: 1,
+            op: TraceOp::Load {
+                job: 1,
+                task: "my task".into(),
+                priority: 0,
+                deadline: None,
+            },
+        });
+        assert!(matches!(
+            trace.to_text(),
+            Err(TraceError::BadTaskName { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(matches!(
+            Trace::from_text("load 1 2"),
+            Err(TraceError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            Trace::from_text("# ok\nnop 3 4"),
+            Err(TraceError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(
+            Trace::from_text("unload 1 2 3"),
+            Err(TraceError::Malformed { .. })
+        ));
+        let ok = Trace::from_text("\n# comment\nload 3 1 fir 2 9\nunload 5 1\n").unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(
+            ok.events[0].op,
+            TraceOp::Load {
+                job: 1,
+                task: "fir".into(),
+                priority: 2,
+                deadline: Some(9),
+            }
+        );
+    }
+}

@@ -18,8 +18,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("crc_engine", 24, 6, 2),
         ("huffman", 56, 9, 3),
     ] {
-        let netlist = SyntheticSpec::new(name, luts, 6, 6).with_seed(seed).build()?;
-        let result = CadFlow::new(10, 6)?.with_grid(grid, grid).with_seed(seed).fast().run(&netlist)?;
+        let netlist = SyntheticSpec::new(name, luts, 6, 6)
+            .with_seed(seed)
+            .build()?;
+        let result = CadFlow::new(10, 6)?
+            .with_grid(grid, grid)
+            .with_seed(seed)
+            .fast()
+            .run(&netlist)?;
         let vbs = result.vbs(1)?;
         let bytes = repository.store(name, &vbs);
         println!(

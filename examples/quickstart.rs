@@ -9,12 +9,20 @@ use vbs_repro::vbs::{decode, VbsStats};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A technology-mapped hardware task (60 six-input LUTs).
-    let netlist = SyntheticSpec::new("quickstart", 60, 8, 8).with_seed(42).build()?;
-    println!("circuit: {}", vbs_repro::netlist::stats::NetlistStats::of(&netlist));
+    let netlist = SyntheticSpec::new("quickstart", 60, 8, 8)
+        .with_seed(42)
+        .build()?;
+    println!(
+        "circuit: {}",
+        vbs_repro::netlist::stats::NetlistStats::of(&netlist)
+    );
 
     // 2. The offline CAD flow: pack, place, route at W = 20 (the paper's
     //    normalized channel width), generate the raw bit-stream.
-    let result = CadFlow::paper_evaluation().with_seed(42).fast().run(&netlist)?;
+    let result = CadFlow::paper_evaluation()
+        .with_seed(42)
+        .fast()
+        .run(&netlist)?;
     let raw = result.raw_bitstream();
     println!(
         "placed and routed on a {}x{} fabric in {} router iterations",

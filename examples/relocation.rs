@@ -16,8 +16,14 @@ use vbs_repro::runtime::{ReconfigurationController, TaskManager, VbsRepository};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Implement a task once, offline.
-    let netlist = SyntheticSpec::new("relocatable", 30, 6, 6).with_seed(7).build()?;
-    let result = CadFlow::new(12, 6)?.with_grid(7, 7).with_seed(7).fast().run(&netlist)?;
+    let netlist = SyntheticSpec::new("relocatable", 30, 6, 6)
+        .with_seed(7)
+        .build()?;
+    let result = CadFlow::new(12, 6)?
+        .with_grid(7, 7)
+        .with_seed(7)
+        .fast()
+        .run(&netlist)?;
     let vbs = result.vbs(1)?;
     println!(
         "task footprint {}x{}, VBS {} bits ({}% of raw)",
@@ -50,6 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Relocate the first instance somewhere else at run time.
     let first = manager.loaded_tasks()[0].handle;
     manager.relocate(first, Coord::new(0, 9))?;
-    println!("relocated the first instance to (0, 9); {} tasks loaded", manager.loaded_tasks().len());
+    println!(
+        "relocated the first instance to (0, 9); {} tasks loaded",
+        manager.loaded_tasks().len()
+    );
     Ok(())
 }

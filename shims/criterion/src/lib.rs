@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset used by this workspace's benches: benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId` and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical machinery it runs a short warm-up followed by `sample_size`
+//! timed iterations and prints the mean and min wall-clock time per
+//! iteration. Good enough to spot order-of-magnitude regressions offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: a name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-iteration timer handed to the bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: a short warm-up, then `sample_size` measured runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.samples.min(3) {
+            std::hint::black_box(routine());
+        }
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.measured.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        self.run(&id.to_string(), |b| f(b));
+    }
+
+    /// Runs a benchmark identified by a [`BenchmarkId`], passing `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&format!("{}/{}", id.name, id.parameter), |b| f(b, input));
+    }
+
+    /// Finishes the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measured: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.name, label, &bencher.measured);
+    }
+}
+
+/// The benchmark driver (offline stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, mut f: F) {
+        let mut bencher = Bencher {
+            samples: 10,
+            measured: Vec::new(),
+        };
+        f(&mut bencher);
+        report("bench", &name.to_string(), &bencher.measured);
+    }
+}
+
+fn report(group: &str, label: &str, measured: &[Duration]) {
+    if measured.is_empty() {
+        println!("{group}/{label}: no samples recorded");
+        return;
+    }
+    let total: Duration = measured.iter().sum();
+    let mean = total / measured.len() as u32;
+    let min = measured.iter().min().copied().unwrap_or_default();
+    println!(
+        "{group}/{label}: mean {:.3?} min {:.3?} ({} samples)",
+        mean,
+        min,
+        measured.len()
+    );
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles bench functions into a single runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more `criterion_group!` runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut runs = 0u32;
+        group.bench_function("counter", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        // 3 warm-up + 5 measured iterations.
+        assert_eq!(runs, 8);
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! See `shims/serde_derive` for the rationale. `use serde::{Deserialize,
+//! Serialize}` resolves to the no-op derive macros; no trait machinery is
+//! provided because nothing in the workspace bounds on the serde traits.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so the
+//! real serde cannot be vendored. Nothing in the workspace actually
+//! serializes through serde (the VBS format has its own hand-written binary
+//! codec); the derives only annotate types for downstream users. The
+//! stand-in therefore accepts `#[derive(Serialize, Deserialize)]` (including
+//! `#[serde(...)]` field attributes) and expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -12,6 +12,8 @@
 //! * [`vbs`] — the Virtual Bit-Stream format, encoder and decoder (the
 //!   paper's contribution);
 //! * [`runtime`] — the run-time reconfiguration controller and task manager;
+//! * [`sched`] — the on-line scheduler: request queue, eviction,
+//!   defragmentation, decode cache and the trace-driven simulator;
 //! * [`fabric_sim`] — functional verification of configurations;
 //! * [`flow`] — the end-to-end CAD flow driver.
 //!
@@ -42,3 +44,4 @@ pub use vbs_netlist as netlist;
 pub use vbs_place as place;
 pub use vbs_route as route;
 pub use vbs_runtime as runtime;
+pub use vbs_sched as sched;

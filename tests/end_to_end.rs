@@ -20,7 +20,13 @@ fn small_netlist(seed: u64) -> Netlist {
 #[test]
 fn flow_vbs_roundtrip_is_bit_exact_at_finest_grain() {
     let netlist = small_netlist(1);
-    let result = CadFlow::new(10, 6).unwrap().with_grid(8, 8).with_seed(1).fast().run(&netlist).unwrap();
+    let result = CadFlow::new(10, 6)
+        .unwrap()
+        .with_grid(8, 8)
+        .with_seed(1)
+        .fast()
+        .run(&netlist)
+        .unwrap();
     let vbs = result.vbs(1).unwrap();
     assert!(vbs.size_bits() < result.raw_bitstream().size_bits());
     let decoded = decode(&vbs).unwrap();
@@ -30,7 +36,13 @@ fn flow_vbs_roundtrip_is_bit_exact_at_finest_grain() {
 #[test]
 fn decoded_clustered_streams_implement_the_netlist() {
     let netlist = small_netlist(2);
-    let result = CadFlow::new(10, 6).unwrap().with_grid(8, 8).with_seed(2).fast().run(&netlist).unwrap();
+    let result = CadFlow::new(10, 6)
+        .unwrap()
+        .with_grid(8, 8)
+        .with_seed(2)
+        .fast()
+        .run(&netlist)
+        .unwrap();
     for cluster in [1u16, 2, 3, 4] {
         let vbs = result.vbs(cluster).unwrap();
         let decoded = decode(&vbs).unwrap();
@@ -50,11 +62,24 @@ fn clustering_internalizes_connections_and_still_compresses() {
     // offset that, so here we assert the structural effect (far fewer coded
     // connections) and that both grains stay below the raw size.
     let netlist = small_netlist(3);
-    let result = CadFlow::paper_evaluation().with_grid(8, 8).with_seed(3).fast().run(&netlist).unwrap();
+    let result = CadFlow::paper_evaluation()
+        .with_grid(8, 8)
+        .with_seed(3)
+        .fast()
+        .run(&netlist)
+        .unwrap();
     let s1 = VbsStats::of(&result.vbs(1).unwrap());
     let s2 = VbsStats::of(&result.vbs(2).unwrap());
-    assert!(s1.ratio() < 1.0, "finest grain must compress (got {})", s1.ratio());
-    assert!(s2.ratio() < 1.0, "2x2 clusters must compress (got {})", s2.ratio());
+    assert!(
+        s1.ratio() < 1.0,
+        "finest grain must compress (got {})",
+        s1.ratio()
+    );
+    assert!(
+        s2.ratio() < 1.0,
+        "2x2 clusters must compress (got {})",
+        s2.ratio()
+    );
     assert!(
         s2.connections < s1.connections,
         "clustering must internalize connections ({} !< {})",
@@ -70,7 +95,13 @@ fn functional_behaviour_survives_encode_decode() {
         .with_registered_fraction(0.0)
         .build()
         .unwrap();
-    let result = CadFlow::new(9, 6).unwrap().with_grid(6, 6).with_seed(4).fast().run(&netlist).unwrap();
+    let result = CadFlow::new(9, 6)
+        .unwrap()
+        .with_grid(6, 6)
+        .with_seed(4)
+        .fast()
+        .run(&netlist)
+        .unwrap();
     let vbs = result.vbs(2).unwrap();
     let decoded = decode(&vbs).unwrap();
     for pattern in 0u32..8 {
@@ -86,7 +117,13 @@ fn functional_behaviour_survives_encode_decode() {
 #[test]
 fn serialized_vbs_survives_storage_and_relocation() {
     let netlist = small_netlist(5);
-    let result = CadFlow::new(10, 6).unwrap().with_grid(8, 8).with_seed(5).fast().run(&netlist).unwrap();
+    let result = CadFlow::new(10, 6)
+        .unwrap()
+        .with_grid(8, 8)
+        .with_seed(5)
+        .fast()
+        .run(&netlist)
+        .unwrap();
     let vbs = result.vbs(1).unwrap();
 
     // Through bytes (the external memory of Figure 2).
@@ -97,7 +134,8 @@ fn serialized_vbs_survives_storage_and_relocation() {
     let device = Device::new(ArchSpec::new(10, 6).unwrap(), 20, 18).unwrap();
     let mut repo = VbsRepository::new();
     repo.store("task", &vbs);
-    let mut manager = TaskManager::new(ReconfigurationController::new(device).with_workers(2), repo);
+    let mut manager =
+        TaskManager::new(ReconfigurationController::new(device).with_workers(2), repo);
     let handle = manager.load_at("task", Coord::new(2, 3)).unwrap();
     let first = manager
         .controller()
@@ -141,6 +179,9 @@ fn mcnc_calibrated_circuit_flows_at_reduced_scale() {
         .run(&netlist)
         .unwrap();
     let stats = VbsStats::of(&result.vbs(1).unwrap());
-    assert!(stats.ratio() < 0.8, "MCNC-calibrated circuits compress well: {stats}");
+    assert!(
+        stats.ratio() < 0.8,
+        "MCNC-calibrated circuits compress well: {stats}"
+    );
     verify_against_netlist(result.raw_bitstream(), &netlist, result.placement()).unwrap();
 }

@@ -1,10 +1,79 @@
 //! Property-based tests on the core data structures and invariants.
 
 use proptest::prelude::*;
-use vbs_repro::arch::{ArchSpec, Coord, MacroIo, Side};
+use std::sync::OnceLock;
+use vbs_repro::arch::{ArchSpec, Coord, Device, MacroIo, Side};
+use vbs_repro::flow::CadFlow;
+use vbs_repro::netlist::generate::SyntheticSpec;
 use vbs_repro::netlist::TruthTable;
+use vbs_repro::runtime::{
+    BestFit, BottomLeftSkyline, FirstFit, PlacementPolicy, ReconfigurationController, TaskManager,
+    VbsRepository,
+};
+use vbs_repro::sched::{
+    LruEviction, Outcome, PriorityEviction, Request, Scheduler, SchedulerConfig,
+};
 use vbs_repro::vbs::bitio::{BitReader, BitWriter};
 use vbs_repro::vbs::{ClusterIo, Vbs};
+
+/// Two small tasks used by the scheduler sequence property, built through
+/// the CAD flow once per test binary.
+fn sched_repository() -> &'static VbsRepository {
+    static REPO: OnceLock<VbsRepository> = OnceLock::new();
+    REPO.get_or_init(|| {
+        let mut repo = VbsRepository::new();
+        for (name, luts, edge, seed) in [("tiny", 5usize, 3u16, 31u64), ("small", 9, 4, 32)] {
+            let netlist = SyntheticSpec::new(name, luts, 2, 2)
+                .with_seed(seed)
+                .build()
+                .expect("netlist generation");
+            let result = CadFlow::new(9, 6)
+                .expect("flow")
+                .with_grid(edge, edge)
+                .with_seed(seed)
+                .fast()
+                .run(&netlist)
+                .expect("cad flow");
+            repo.store(name, &result.vbs(1).expect("encode"));
+        }
+        repo
+    })
+}
+
+/// Asserts the scheduler's fabric invariants: loaded regions are pairwise
+/// disjoint, in bounds, and the configuration memory is blank outside them.
+fn assert_fabric_invariants(sched: &Scheduler) {
+    let manager = sched.manager();
+    let device = manager.controller().device();
+    let tasks = manager.loaded_tasks();
+    for (i, a) in tasks.iter().enumerate() {
+        assert!(
+            a.region.origin.x as u32 + a.region.width as u32 <= device.width() as u32
+                && a.region.origin.y as u32 + a.region.height as u32 <= device.height() as u32,
+            "region {} out of bounds",
+            a.region
+        );
+        for b in tasks.iter().skip(i + 1) {
+            assert!(
+                !a.region.intersects(&b.region),
+                "regions {} and {} overlap",
+                a.region,
+                b.region
+            );
+        }
+    }
+    for y in 0..device.height() {
+        for x in 0..device.width() {
+            let at = Coord::new(x, y);
+            if !tasks.iter().any(|t| t.region.contains(at)) {
+                assert!(
+                    manager.controller().memory().frame(at).is_empty(),
+                    "macro {at} configured outside any loaded region"
+                );
+            }
+        }
+    }
+}
 
 proptest! {
     /// Bit-level serialization is lossless for arbitrary field sequences.
@@ -109,5 +178,89 @@ proptest! {
         let side = Side::ALL[side_idx];
         prop_assert_eq!(side.opposite().opposite(), side);
         prop_assert_eq!(side.is_horizontal(), side.opposite().is_horizontal());
+    }
+
+    /// Arbitrary load/unload/relocate/evict/compact sequences through the
+    /// scheduler keep the fabric consistent: no two loaded regions
+    /// intersect, every loaded region is in bounds, nothing is configured
+    /// outside a loaded region, and the memory is blank once everything is
+    /// unloaded.
+    #[test]
+    fn scheduler_sequences_preserve_fabric_invariants(
+        policy_idx in 0usize..3,
+        evict_idx in 0usize..2,
+        ops in proptest::collection::vec((0u8..5, 0u8..4, 0u16..10, 0u16..8), 1..24),
+    ) {
+        let policy: Box<dyn PlacementPolicy> = match policy_idx {
+            0 => Box::new(FirstFit),
+            1 => Box::new(BestFit),
+            _ => Box::new(BottomLeftSkyline),
+        };
+        let device = Device::new(ArchSpec::new(9, 6).unwrap(), 9, 7).unwrap();
+        let manager = TaskManager::new(
+            ReconfigurationController::new(device),
+            sched_repository().clone(),
+        )
+        .with_policy(policy);
+        let eviction: Box<dyn vbs_repro::sched::EvictionPolicy> = if evict_idx == 0 {
+            Box::new(LruEviction)
+        } else {
+            Box::new(PriorityEviction)
+        };
+        let mut sched = Scheduler::with_config(
+            manager,
+            eviction,
+            SchedulerConfig {
+                eviction_limit: 2,
+                compaction: true,
+                ..SchedulerConfig::default()
+            },
+        );
+
+        let mut jobs: Vec<u64> = Vec::new();
+        for (tick, &(op, priority, x, y)) in ops.iter().enumerate() {
+            sched.advance_to(tick as u64);
+            match op {
+                0 | 1 => {
+                    let task = if op == 0 { "tiny" } else { "small" };
+                    let outcome = sched.execute(Request::Load {
+                        task: task.into(),
+                        priority,
+                        deadline: None,
+                    });
+                    if let Outcome::Loaded { job, .. } = outcome {
+                        jobs.push(job);
+                    }
+                }
+                2 => {
+                    if !jobs.is_empty() {
+                        let job = jobs[(x as usize + y as usize) % jobs.len()];
+                        sched.execute(Request::Unload { job });
+                    }
+                }
+                3 => {
+                    if !jobs.is_empty() {
+                        let job = jobs[(x as usize) % jobs.len()];
+                        // May fail (busy/out of bounds) — invariants must
+                        // hold either way.
+                        sched.execute(Request::Relocate { job, to: Coord::new(x, y) });
+                    }
+                }
+                _ => {
+                    sched.compact();
+                }
+            }
+            assert_fabric_invariants(&sched);
+        }
+
+        // Drain everything: the fabric must come back blank.
+        for info in sched.residents() {
+            sched.execute(Request::Unload { job: info.job });
+        }
+        assert_fabric_invariants(&sched);
+        prop_assert_eq!(sched.manager().controller().memory().occupied_macros(), 0);
+        let view = sched.manager().fabric_view();
+        prop_assert_eq!(view.free_area(), 9 * 7);
+        prop_assert_eq!(view.fragmentation(), 0.0);
     }
 }

@@ -1,21 +1,33 @@
-//! Scheduler throughput experiment: replays a seeded synthetic workload
-//! through every placement-policy / compaction combination and reports
-//! acceptance, eviction, fragmentation, cache and throughput numbers.
+//! Scheduler throughput experiment.
 //!
-//! Usage: `cargo run --release -p vbs-bench --bin scheduler
-//!         [--loads N] [--fabric WxH] [--seed S]`
+//! Single-fabric mode (default) replays a seeded synthetic workload through
+//! every placement-policy / compaction combination and reports acceptance,
+//! eviction, fragmentation, cache and throughput numbers.
+//!
+//! Multi-fabric mode (`--fabrics K` with K > 1) shards the same workload
+//! over a K-device fleet per shard policy, compares it against K
+//! *independent* single-fabric schedulers each facing the full stream, and
+//! reports per-fabric utilization, migrations and decode-pipeline overlap.
+//!
+//! Usage: `cargo run --release -p vbs-bench --bin scheduler --
+//!         [--loads N] [--fabric WxH] [--seed S]
+//!         [--fabrics K] [--shard-policy P|all]`
+//! with P one of `round-robin`, `least-loaded`, `cache-affinity`.
 
 use std::time::Instant;
-use vbs_bench::sched_workload::{sched_device, sched_repository, sched_trace};
-use vbs_runtime::{
-    BestFit, BottomLeftSkyline, FirstFit, PlacementPolicy, ReconfigurationController, TaskManager,
+use vbs_bench::sched_workload::{sched_fleet, sched_repository, sched_scheduler, sched_trace};
+use vbs_runtime::{BestFit, BottomLeftSkyline, FirstFit, PlacementPolicy, VbsRepository};
+use vbs_sched::{
+    replay, replay_multi, shard_policy_by_name, MultiConfig, SchedulerConfig, Trace,
+    SHARD_POLICY_NAMES,
 };
-use vbs_sched::{replay, LruEviction, Scheduler, SchedulerConfig};
 
 struct Options {
     loads: usize,
     fabric: (u16, u16),
     seed: u64,
+    fabrics: usize,
+    shard_policy: String,
 }
 
 fn parse_args() -> Options {
@@ -23,6 +35,8 @@ fn parse_args() -> Options {
         loads: 500,
         fabric: (11, 11),
         seed: 2015,
+        fabrics: 1,
+        shard_policy: "all".to_string(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -51,6 +65,18 @@ fn parse_args() -> Options {
                     i += 1;
                 }
             }
+            "--fabrics" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    options.fabrics = 1usize.max(v);
+                    i += 1;
+                }
+            }
+            "--shard-policy" => {
+                if let Some(v) = args.get(i + 1) {
+                    options.shard_policy = v.clone();
+                    i += 1;
+                }
+            }
             _ => {}
         }
         i += 1;
@@ -58,17 +84,7 @@ fn parse_args() -> Options {
     options
 }
 
-fn main() {
-    let options = parse_args();
-    let repository = sched_repository();
-    let trace = sched_trace(options.loads, options.seed);
-    println!(
-        "# Scheduler throughput — {} events on a {}x{} fabric (seed {})",
-        trace.len(),
-        options.fabric.0,
-        options.fabric.1,
-        options.seed
-    );
+fn single_fabric_matrix(options: &Options, repository: &VbsRepository, trace: &Trace) {
     println!(
         "{:<28} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>10}",
         "configuration", "accept%", "evict", "reloc", "hit%", "decode µs", "frag", "events/s"
@@ -82,14 +98,12 @@ fn main() {
     ];
     for (policy_name, make_policy) in &policies {
         for compaction in [false, true] {
-            let manager = TaskManager::new(
-                ReconfigurationController::new(sched_device(options.fabric.0, options.fabric.1)),
-                repository.clone(),
-            )
-            .with_policy(make_policy());
-            let mut scheduler = Scheduler::with_config(
-                manager,
-                Box::new(LruEviction),
+            let mut scheduler = sched_scheduler(
+                repository,
+                options.fabric.0,
+                options.fabric.1,
+                0,
+                make_policy(),
                 SchedulerConfig {
                     eviction_limit: 1,
                     compaction,
@@ -97,7 +111,7 @@ fn main() {
                 },
             );
             let start = Instant::now();
-            let report = replay(&mut scheduler, &trace);
+            let report = replay(&mut scheduler, trace);
             let elapsed = start.elapsed();
             let label = format!(
                 "{policy_name}{}",
@@ -115,5 +129,97 @@ fn main() {
                 report.events as f64 / elapsed.as_secs_f64(),
             );
         }
+    }
+}
+
+fn multi_fabric_comparison(options: &Options, repository: &VbsRepository, trace: &Trace) {
+    let config = SchedulerConfig {
+        eviction_limit: 1,
+        compaction: true,
+        ..SchedulerConfig::default()
+    };
+    let k = options.fabrics;
+
+    // Baseline: K independent single-fabric schedulers, each replaying the
+    // full overloaded stream. Aggregate acceptance = accepted / submitted
+    // across all of them (equals the mean single-fabric acceptance).
+    let mut independent_accepted = 0u64;
+    let mut independent_submitted = 0u64;
+    let baseline_start = Instant::now();
+    for i in 0..k {
+        let mut single = sched_scheduler(
+            repository,
+            options.fabric.0,
+            options.fabric.1,
+            i as u32,
+            Box::new(BestFit),
+            config,
+        );
+        let report = replay(&mut single, trace);
+        independent_accepted += report.sched.loads_accepted;
+        independent_submitted += report.sched.loads_submitted;
+    }
+    let baseline_elapsed = baseline_start.elapsed();
+    let independent_rate = independent_accepted as f64 / independent_submitted as f64;
+    println!(
+        "{k} independent fabrics         {:>7.1}% aggregate acceptance ({independent_accepted}/{independent_submitted} loads, {:.2}s)",
+        100.0 * independent_rate,
+        baseline_elapsed.as_secs_f64()
+    );
+    println!();
+
+    let policies: Vec<&str> = if options.shard_policy == "all" {
+        SHARD_POLICY_NAMES.to_vec()
+    } else {
+        vec![options.shard_policy.as_str()]
+    };
+    for policy_name in policies {
+        let shard = shard_policy_by_name(policy_name).expect("validated in main");
+        let mut multi = sched_fleet(
+            repository,
+            k,
+            options.fabric,
+            shard,
+            &|| Box::new(BestFit),
+            config,
+            MultiConfig::default(),
+        );
+        let start = Instant::now();
+        let report = replay_multi(&mut multi, trace);
+        let elapsed = start.elapsed();
+        println!(
+            "== sharded x{k}, {policy_name} == ({:.0} events/s, vs independents {:+.1}%)",
+            report.events as f64 / elapsed.as_secs_f64(),
+            100.0 * (report.acceptance_rate() - independent_rate),
+        );
+        print!("{report}");
+        println!();
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    // Reject a bad shard policy before any replay work happens.
+    if options.shard_policy != "all" && shard_policy_by_name(&options.shard_policy).is_none() {
+        eprintln!(
+            "unknown shard policy {:?} (expected \"all\" or one of {SHARD_POLICY_NAMES:?})",
+            options.shard_policy
+        );
+        std::process::exit(2);
+    }
+    let repository = sched_repository();
+    let trace = sched_trace(options.loads, options.seed);
+    println!(
+        "# Scheduler throughput — {} events on {}x {}x{} fabric(s) (seed {})",
+        trace.len(),
+        options.fabrics,
+        options.fabric.0,
+        options.fabric.1,
+        options.seed
+    );
+    if options.fabrics <= 1 {
+        single_fabric_matrix(&options, &repository, &trace);
+    } else {
+        multi_fabric_comparison(&options, &repository, &trace);
     }
 }

@@ -4,8 +4,13 @@
 use vbs_arch::{ArchSpec, Device};
 use vbs_flow::CadFlow;
 use vbs_netlist::generate::SyntheticSpec;
-use vbs_runtime::VbsRepository;
-use vbs_sched::{Trace, WorkloadSpec};
+use vbs_runtime::{
+    FabricId, PlacementPolicy, ReconfigurationController, TaskManager, VbsRepository,
+};
+use vbs_sched::{
+    LruEviction, MultiConfig, MultiFabricScheduler, Scheduler, SchedulerConfig, ShardPolicy, Trace,
+    WorkloadSpec,
+};
 
 /// Channel width of the scheduler workload fabric.
 pub const SCHED_CHANNEL_WIDTH: u16 = 9;
@@ -57,6 +62,51 @@ pub fn sched_device(width: u16, height: u16) -> Device {
         height,
     )
     .expect("device")
+}
+
+/// One single-fabric scheduler over the workload repository, with LRU
+/// eviction, tagged as fabric `fabric` of a fleet.
+pub fn sched_scheduler(
+    repository: &VbsRepository,
+    width: u16,
+    height: u16,
+    fabric: u32,
+    policy: Box<dyn PlacementPolicy>,
+    config: SchedulerConfig,
+) -> Scheduler {
+    let manager = TaskManager::new(
+        ReconfigurationController::new(sched_device(width, height)),
+        repository.clone(),
+    )
+    .with_policy(policy)
+    .with_fabric_id(FabricId(fabric));
+    Scheduler::with_config(manager, Box::new(LruEviction), config)
+}
+
+/// A K-fabric fleet of identical `fabric`-sized (width, height) devices
+/// over the workload repository, dispatching through `shard`.
+pub fn sched_fleet(
+    repository: &VbsRepository,
+    k: usize,
+    fabric: (u16, u16),
+    shard: Box<dyn ShardPolicy>,
+    make_policy: &dyn Fn() -> Box<dyn PlacementPolicy>,
+    config: SchedulerConfig,
+    multi_config: MultiConfig,
+) -> MultiFabricScheduler {
+    let fabrics = (0..k)
+        .map(|i| {
+            sched_scheduler(
+                repository,
+                fabric.0,
+                fabric.1,
+                i as u32,
+                make_policy(),
+                config,
+            )
+        })
+        .collect();
+    MultiFabricScheduler::new(fabrics, shard, multi_config)
 }
 
 /// A seeded synthetic trace over the workload task mix.

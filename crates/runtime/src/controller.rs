@@ -68,61 +68,7 @@ impl ReconfigurationController {
     ///
     /// Returns [`RuntimeError::Decode`] when the stream cannot be expanded.
     pub fn devirtualize(&self, vbs: &Vbs) -> Result<(TaskBitstream, DecodeReport), RuntimeError> {
-        let start = Instant::now();
-        let devirtualizer = Devirtualizer::new(vbs)?;
-        let mut task = TaskBitstream::empty(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
-
-        if self.workers <= 1 || vbs.records().len() < 2 {
-            for record in vbs.records() {
-                devirtualizer.decode_record_into(record, &mut task)?;
-            }
-        } else {
-            // Parallel decode: workers expand disjoint record subsets into
-            // private task images which are merged afterwards — each record
-            // only touches its own cluster, so the merge is conflict-free.
-            // Workers allocate their partial image lazily (a chunk whose
-            // records all fail early never pays for one) and the merge moves
-            // frames out of the partials instead of cloning their payloads.
-            let records = vbs.records();
-            let chunk = records.len().div_ceil(self.workers);
-            let spec = *vbs.spec();
-            let (w, h) = (vbs.width().max(1), vbs.height().max(1));
-            let partials: Vec<Result<Option<TaskBitstream>, vbs_core::VbsError>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = records
-                        .chunks(chunk)
-                        .map(|slice| {
-                            let devirt = &devirtualizer;
-                            scope.spawn(move || {
-                                let mut local: Option<TaskBitstream> = None;
-                                for record in slice {
-                                    let target = local
-                                        .get_or_insert_with(|| TaskBitstream::empty(spec, w, h));
-                                    devirt.decode_record_into(record, target)?;
-                                }
-                                Ok(local)
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|handle| handle.join().expect("decode workers never panic"))
-                        .collect()
-                });
-            for partial in partials {
-                if let Some(partial) = partial.map_err(RuntimeError::Decode)? {
-                    merge_frames(&mut task, partial);
-                }
-            }
-        }
-
-        let report = DecodeReport {
-            records: vbs.records().len(),
-            workers: self.workers,
-            micros: start.elapsed().as_micros(),
-            raw_bits: task.size_bits(),
-        };
-        Ok((task, report))
+        devirtualize_stream(vbs, self.workers)
     }
 
     /// De-virtualizes `vbs` and writes it into the configuration memory with
@@ -164,6 +110,82 @@ impl ReconfigurationController {
         self.memory.clear_region(region)?;
         Ok(())
     }
+}
+
+/// De-virtualizes a Virtual Bit-Stream into a position-independent raw task
+/// image, outside any controller.
+///
+/// This is the decoded-stream handoff used by multi-fabric decode pipelines:
+/// de-virtualization only depends on the stream itself (the decoded frames
+/// are written wherever the task is later placed), so worker threads can
+/// expand streams for a fabric whose controller is busy writing its
+/// configuration memory, and hand the finished [`TaskBitstream`] over a
+/// channel. [`ReconfigurationController::devirtualize`] is this function
+/// bound to the controller's worker count.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Decode`] when the stream cannot be expanded.
+pub fn devirtualize_stream(
+    vbs: &Vbs,
+    workers: usize,
+) -> Result<(TaskBitstream, DecodeReport), RuntimeError> {
+    let workers = workers.max(1);
+    let start = Instant::now();
+    let devirtualizer = Devirtualizer::new(vbs)?;
+    let mut task = TaskBitstream::empty(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
+
+    if workers <= 1 || vbs.records().len() < 2 {
+        for record in vbs.records() {
+            devirtualizer.decode_record_into(record, &mut task)?;
+        }
+    } else {
+        // Parallel decode: workers expand disjoint record subsets into
+        // private task images which are merged afterwards — each record
+        // only touches its own cluster, so the merge is conflict-free.
+        // Workers allocate their partial image lazily (a chunk whose
+        // records all fail early never pays for one) and the merge moves
+        // frames out of the partials instead of cloning their payloads.
+        let records = vbs.records();
+        let chunk = records.len().div_ceil(workers);
+        let spec = *vbs.spec();
+        let (w, h) = (vbs.width().max(1), vbs.height().max(1));
+        let partials: Vec<Result<Option<TaskBitstream>, vbs_core::VbsError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = records
+                    .chunks(chunk)
+                    .map(|slice| {
+                        let devirt = &devirtualizer;
+                        scope.spawn(move || {
+                            let mut local: Option<TaskBitstream> = None;
+                            for record in slice {
+                                let target =
+                                    local.get_or_insert_with(|| TaskBitstream::empty(spec, w, h));
+                                devirt.decode_record_into(record, target)?;
+                            }
+                            Ok(local)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("decode workers never panic"))
+                    .collect()
+            });
+        for partial in partials {
+            if let Some(partial) = partial.map_err(RuntimeError::Decode)? {
+                merge_frames(&mut task, partial);
+            }
+        }
+    }
+
+    let report = DecodeReport {
+        records: vbs.records().len(),
+        workers,
+        micros: start.elapsed().as_micros(),
+        raw_bits: task.size_bits(),
+    };
+    Ok((task, report))
 }
 
 /// Moves every non-empty frame of `from` into `into` (frames are disjoint by

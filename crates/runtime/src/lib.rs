@@ -29,8 +29,8 @@ mod manager;
 pub mod placement;
 mod repository;
 
-pub use controller::{DecodeReport, ReconfigurationController};
+pub use controller::{devirtualize_stream, DecodeReport, ReconfigurationController};
 pub use error::RuntimeError;
 pub use manager::{LoadedTask, TaskHandle, TaskManager};
-pub use placement::{BestFit, BottomLeftSkyline, FabricView, FirstFit, PlacementPolicy};
+pub use placement::{BestFit, BottomLeftSkyline, FabricId, FabricView, FirstFit, PlacementPolicy};
 pub use repository::VbsRepository;

@@ -3,7 +3,7 @@
 
 use crate::controller::ReconfigurationController;
 use crate::error::RuntimeError;
-use crate::placement::{FabricView, FirstFit, PlacementPolicy};
+use crate::placement::{FabricId, FabricView, FirstFit, PlacementPolicy};
 use crate::repository::VbsRepository;
 use vbs_arch::{Coord, Rect};
 use vbs_bitstream::{BitstreamError, TaskBitstream};
@@ -37,11 +37,12 @@ pub struct TaskManager {
     loaded: Vec<LoadedTask>,
     next_handle: u64,
     policy: Box<dyn PlacementPolicy>,
+    fabric_id: FabricId,
 }
 
 impl TaskManager {
     /// Creates a manager over a controller and a task repository, placing
-    /// with [`FirstFit`].
+    /// with [`FirstFit`] and describing fabric 0.
     pub fn new(controller: ReconfigurationController, repository: VbsRepository) -> Self {
         TaskManager {
             controller,
@@ -49,6 +50,7 @@ impl TaskManager {
             loaded: Vec::new(),
             next_handle: 1,
             policy: Box::new(FirstFit),
+            fabric_id: FabricId::default(),
         }
     }
 
@@ -56,6 +58,18 @@ impl TaskManager {
     pub fn with_policy(mut self, policy: Box<dyn PlacementPolicy>) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Tags this manager's device as one fabric of a multi-fabric fleet;
+    /// [`TaskManager::fabric_view`] snapshots carry the id.
+    pub fn with_fabric_id(mut self, id: FabricId) -> Self {
+        self.fabric_id = id;
+        self
+    }
+
+    /// The fabric this manager drives.
+    pub const fn fabric_id(&self) -> FabricId {
+        self.fabric_id
     }
 
     /// The active placement policy.
@@ -71,6 +85,7 @@ impl TaskManager {
             device.height(),
             self.loaded.iter().map(|t| t.region).collect(),
         )
+        .with_id(self.fabric_id)
     }
 
     /// The tasks currently loaded, in load order.

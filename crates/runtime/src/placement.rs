@@ -18,11 +18,27 @@
 use std::fmt;
 use vbs_arch::{Coord, Rect};
 
+/// Identifier of one fabric (device) in a multi-fabric deployment.
+///
+/// A single-device setup never needs to mention it — everything defaults to
+/// fabric 0 — but once one request stream is sharded over several devices,
+/// occupancy views and per-shard statistics carry the id of the fabric they
+/// describe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FabricId(pub u32);
+
+impl fmt::Display for FabricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fabric{}", self.0)
+    }
+}
+
 /// A snapshot of the fabric's occupancy: device dimensions plus the regions
 /// of every loaded task. All placement policies and the fragmentation
 /// metrics operate on this view.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FabricView {
+    id: FabricId,
     width: u16,
     height: u16,
     occupied: Vec<Rect>,
@@ -30,13 +46,26 @@ pub struct FabricView {
 
 impl FabricView {
     /// Creates a view of a `width` × `height` fabric with the given loaded
-    /// regions (assumed pairwise disjoint and in bounds).
+    /// regions (assumed pairwise disjoint and in bounds). The view describes
+    /// fabric 0; use [`FabricView::with_id`] in multi-fabric setups.
     pub fn new(width: u16, height: u16, occupied: Vec<Rect>) -> Self {
         FabricView {
+            id: FabricId::default(),
             width,
             height,
             occupied,
         }
+    }
+
+    /// Tags the view with the fabric it describes.
+    pub fn with_id(mut self, id: FabricId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// The fabric this view describes.
+    pub const fn id(&self) -> FabricId {
+        self.id
     }
 
     /// Device width in macros.

@@ -123,6 +123,22 @@ impl DecodeCache {
         });
     }
 
+    /// Whether a decoded stream of `(name, spec)` is cached, without
+    /// touching the hit/miss counters or the LRU stamps. The multi-fabric
+    /// decode pipeline uses this to plan which streams still need decoding.
+    pub fn contains(&self, name: &str, spec: &ArchSpec) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.name == name && e.spec == *spec)
+    }
+
+    /// Whether any decoded stream of task `name` is cached (any spec),
+    /// without touching the counters. Shard policies use this to route a
+    /// request to a fabric that already holds the task's decode state.
+    pub fn contains_name(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
     /// Drops every entry (counters are kept).
     pub fn clear(&mut self) {
         self.entries.clear();

@@ -18,7 +18,12 @@
 //!   keyed by `(task, spec)`, so repeated loads skip de-virtualization;
 //! * [`Trace`] / [`replay`] — a deterministic trace format, a seeded
 //!   synthetic workload generator and a simulator reporting acceptance
-//!   rate, fragmentation, decode time, cache hit rate and relocations.
+//!   rate, fragmentation, decode time, cache hit rate and relocations;
+//! * [`MultiFabricScheduler`] — one request stream sharded over K fabrics
+//!   through a pluggable [`ShardPolicy`] ([`RoundRobin`], [`LeastLoaded`],
+//!   [`CacheAffinity`]), with cross-fabric migration of capacity-rejected
+//!   loads and a decode pipeline that overlaps de-virtualization with
+//!   config-memory writes; [`replay_multi`] replays traces against a fleet.
 //!
 //! Placement is pluggable through [`vbs_runtime::PlacementPolicy`]
 //! (first-fit, best-fit, bottom-left skyline) on the manager the scheduler
@@ -29,12 +34,19 @@
 
 mod cache;
 mod evict;
+mod multi;
 mod scheduler;
+mod shard;
 mod sim;
 mod trace;
 
 pub use cache::{CacheStats, DecodeCache};
 pub use evict::{EvictionPolicy, LruEviction, PriorityEviction, ResidentInfo};
+pub use multi::{MultiConfig, MultiFabricScheduler, MultiMetrics};
 pub use scheduler::{Outcome, RejectReason, Request, SchedMetrics, Scheduler, SchedulerConfig};
-pub use sim::{replay, SimReport};
+pub use shard::{
+    shard_policy_by_name, CacheAffinity, FabricStatus, LeastLoaded, RoundRobin, ShardPolicy,
+    SHARD_POLICY_NAMES,
+};
+pub use sim::{replay, replay_multi, FabricReport, MultiSimReport, ReplayTarget, SimReport};
 pub use trace::{Trace, TraceError, TraceEvent, TraceOp, WorkloadSpec};

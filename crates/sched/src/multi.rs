@@ -1,0 +1,556 @@
+//! Multi-fabric scheduling: one request stream sharded over K devices.
+//!
+//! [`MultiFabricScheduler`] turns a fleet of single-fabric [`Scheduler`]s
+//! into one dispatcher. Each submitted load is routed to a fabric by a
+//! pluggable [`ShardPolicy`] (round-robin, least-loaded, cache-affinity) and
+//! joins that fabric's work queue; unloads and relocations follow the job to
+//! wherever it was routed. Two mechanisms keep the fleet busy:
+//!
+//! * **Overlapped decode pipeline** — before a processing round, the
+//!   de-virtualizations the round will need are fanned out to a worker pool
+//!   on [`std::thread::scope`]; workers hand finished streams to per-fabric
+//!   writer threads through channels ([`Scheduler::stage_decoded`]), so one
+//!   fabric's configuration-memory writes overlap another's decodes (and
+//!   the pool's decode of the next stream overlaps this fabric's writes).
+//!   Counter accounting of a staged decode is identical to an on-demand
+//!   one, which is what keeps a K=1 fleet bit-identical to a plain
+//!   [`Scheduler`] — the differential tests pin this down.
+//! * **Cross-fabric migration** — a load rejected for capacity on its
+//!   assigned fabric is re-dispatched to a fabric it has not tried yet
+//!   (chosen by the same shard policy), so one saturated device sheds work
+//!   to the rest of the fleet instead of dropping it.
+//!
+//! Job ids returned by [`MultiFabricScheduler::submit`] are fleet-global;
+//! outcomes are translated back to them, so callers never see per-fabric
+//! ids.
+
+use crate::scheduler::{Outcome, RejectReason, Request, SchedMetrics, Scheduler};
+use crate::shard::{FabricStatus, ShardPolicy};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use vbs_bitstream::TaskBitstream;
+use vbs_core::Vbs;
+use vbs_runtime::devirtualize_stream;
+
+/// Tunables of the multi-fabric dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiConfig {
+    /// Worker threads of the decode pipeline (at least 1).
+    pub decode_workers: usize,
+    /// Whether capacity-rejected loads migrate to an untried fabric.
+    pub migration: bool,
+}
+
+impl Default for MultiConfig {
+    fn default() -> Self {
+        MultiConfig {
+            decode_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            migration: true,
+        }
+    }
+}
+
+/// Fleet-level counters (per-fabric counters live in each shard's
+/// [`SchedMetrics`]). A migrated load counts once here — submitted once,
+/// accepted or rejected once — while every fabric it visited counts it in
+/// its own per-shard view.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MultiMetrics {
+    /// Load requests submitted to the fleet.
+    pub loads_submitted: u64,
+    /// Loads accepted by some fabric.
+    pub loads_accepted: u64,
+    /// Loads rejected by every fabric they were dispatched to.
+    pub loads_rejected: u64,
+    /// Re-dispatches of a capacity-rejected load to another fabric.
+    pub migrations: u64,
+    /// Loads accepted on a fabric other than their first choice.
+    pub migrated_accepts: u64,
+    /// Streams de-virtualized by the pipeline's worker pool.
+    pub staged_decodes: u64,
+    /// Time fabric writers spent blocked waiting on the decode pool, µs.
+    pub pipeline_stall_micros: u128,
+    /// Processing rounds executed (≥1 per `process_pending` call).
+    pub process_rounds: u64,
+}
+
+impl MultiMetrics {
+    /// Accepted / submitted loads, 1.0 when nothing was submitted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.loads_submitted == 0 {
+            return 1.0;
+        }
+        self.loads_accepted as f64 / self.loads_submitted as f64
+    }
+}
+
+/// A load waiting for its final outcome (used to drive migration).
+#[derive(Debug)]
+struct PendingLoad {
+    request: Request,
+    task: String,
+    /// `(fabric, local job)` dispatches, in order. The fabric list doubles
+    /// as the set a migrating load must not retry; the local ids let a
+    /// final rejection prune every id mapping the load created.
+    dispatched: Vec<(usize, u64)>,
+}
+
+impl PendingLoad {
+    fn tried(&self, fabric: usize) -> bool {
+        self.dispatched.iter().any(|&(f, _)| f == fabric)
+    }
+}
+
+/// One request stream sharded across K fabrics (see the module docs).
+#[derive(Debug)]
+pub struct MultiFabricScheduler {
+    fabrics: Vec<Scheduler>,
+    policy: Box<dyn ShardPolicy>,
+    config: MultiConfig,
+    /// `(fabric, local job)` → fleet-global id for load jobs. Entries live
+    /// as long as a shard can still name the job in an outcome: pruned when
+    /// the job is unloaded, reported gone, or finally rejected. An
+    /// *evicted* job keeps its entry until its owner unloads it (eviction
+    /// is not terminal for the owner — the unload must still resolve on the
+    /// right fabric, and the K=1 differential requires the shard to process
+    /// it), so clients should unload jobs they saw evicted.
+    local_to_global: HashMap<(usize, u64), u64>,
+    /// `(fabric, local request id)` → fleet-global id for in-flight unload
+    /// and relocate requests; each entry is consumed by its own outcome.
+    request_tags: HashMap<(usize, u64), u64>,
+    /// Global load job → its current `(fabric, local job)` home.
+    route: HashMap<u64, (usize, u64)>,
+    pending_loads: HashMap<u64, PendingLoad>,
+    /// Outcomes answered without touching any fabric (unroutable targets).
+    synthesized: Vec<(u64, Outcome)>,
+    next_job: u64,
+    metrics: MultiMetrics,
+}
+
+impl MultiFabricScheduler {
+    /// Creates a dispatcher over a fleet of per-fabric schedulers.
+    ///
+    /// Every fabric should target the same architecture spec (any fabric
+    /// must be able to host any task); sizes may differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fabrics` is empty.
+    pub fn new(fabrics: Vec<Scheduler>, policy: Box<dyn ShardPolicy>, config: MultiConfig) -> Self {
+        assert!(!fabrics.is_empty(), "a fleet needs at least one fabric");
+        MultiFabricScheduler {
+            fabrics,
+            policy,
+            config,
+            local_to_global: HashMap::new(),
+            request_tags: HashMap::new(),
+            route: HashMap::new(),
+            pending_loads: HashMap::new(),
+            synthesized: Vec::new(),
+            next_job: 1,
+            metrics: MultiMetrics::default(),
+        }
+    }
+
+    /// Number of fabrics in the fleet.
+    pub fn fabric_count(&self) -> usize {
+        self.fabrics.len()
+    }
+
+    /// Read access to one shard's scheduler.
+    pub fn fabric(&self, index: usize) -> &Scheduler {
+        &self.fabrics[index]
+    }
+
+    /// Read access to every shard.
+    pub fn fabrics(&self) -> &[Scheduler] {
+        &self.fabrics
+    }
+
+    /// The active shard policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Fleet-level counters so far.
+    pub const fn metrics(&self) -> &MultiMetrics {
+        &self.metrics
+    }
+
+    /// Per-shard scheduler counters, indexed like [`Self::fabric`].
+    pub fn fabric_metrics(&self) -> Vec<SchedMetrics> {
+        self.fabrics.iter().map(|f| *f.metrics()).collect()
+    }
+
+    /// Advances the logical clock of every fabric.
+    pub fn advance_to(&mut self, tick: u64) {
+        for fabric in &mut self.fabrics {
+            fabric.advance_to(tick);
+        }
+    }
+
+    /// Everything resident across the fleet as `(fabric index, global job,
+    /// shard-local resident info)` triples.
+    pub fn residents(&self) -> Vec<(usize, u64, crate::ResidentInfo)> {
+        let mut out = Vec::new();
+        for (f, fabric) in self.fabrics.iter().enumerate() {
+            for info in fabric.residents() {
+                let global = self
+                    .local_to_global
+                    .get(&(f, info.job))
+                    .copied()
+                    .expect("every shard job was routed by this dispatcher");
+                out.push((f, global, info));
+            }
+        }
+        out
+    }
+
+    fn statuses(&self, task: &str) -> Vec<FabricStatus> {
+        self.fabrics
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let view = s.manager().fabric_view();
+                FabricStatus {
+                    fabric: i,
+                    id: view.id(),
+                    free_area: view.free_area(),
+                    total_area: view.total_area(),
+                    queued_loads: s.queued_loads(),
+                    residents: s.manager().loaded_tasks().len(),
+                    holds_decoded: s.holds_decoded(task),
+                }
+            })
+            .collect()
+    }
+
+    /// Enqueues a request, routing loads through the shard policy, and
+    /// returns its fleet-global id (semantics as [`Scheduler::submit`]).
+    pub fn submit(&mut self, request: Request) -> u64 {
+        let global = self.next_job;
+        self.next_job += 1;
+        match &request {
+            Request::Load { task, .. } => {
+                self.metrics.loads_submitted += 1;
+                let statuses = self.statuses(task);
+                let pick = self.policy.choose(task, &statuses);
+                let fabric = statuses[pick].fabric;
+                let local = self.fabrics[fabric].submit(request.clone());
+                self.local_to_global.insert((fabric, local), global);
+                self.route.insert(global, (fabric, local));
+                self.pending_loads.insert(
+                    global,
+                    PendingLoad {
+                        task: task.clone(),
+                        request,
+                        dispatched: vec![(fabric, local)],
+                    },
+                );
+            }
+            Request::Unload { job } => match self.route.get(job).copied() {
+                Some((fabric, local)) => {
+                    let local_req = self.fabrics[fabric].submit(Request::Unload { job: local });
+                    self.request_tags.insert((fabric, local_req), global);
+                }
+                None => {
+                    self.synthesized
+                        .push((global, Outcome::NotResident { job: *job }));
+                }
+            },
+            Request::Relocate { job, to } => match self.route.get(job).copied() {
+                Some((fabric, local)) => {
+                    let local_req = self.fabrics[fabric].submit(Request::Relocate {
+                        job: local,
+                        to: *to,
+                    });
+                    self.request_tags.insert((fabric, local_req), global);
+                }
+                None => {
+                    self.synthesized
+                        .push((global, Outcome::NotResident { job: *job }));
+                }
+            },
+        }
+        global
+    }
+
+    /// Processes every queued request, migrating capacity-rejected loads
+    /// until each has either landed or tried every fabric, and returns the
+    /// outcomes (fleet-global ids).
+    pub fn process_pending(&mut self) -> Vec<Outcome> {
+        self.process_pending_tagged()
+            .into_iter()
+            .map(|(_, outcome)| outcome)
+            .collect()
+    }
+
+    /// As [`Self::process_pending`], but each outcome is tagged with the id
+    /// [`Self::submit`] returned for the request that produced it.
+    pub fn process_pending_tagged(&mut self) -> Vec<(u64, Outcome)> {
+        let mut results: Vec<(u64, Outcome)> = std::mem::take(&mut self.synthesized);
+        loop {
+            self.metrics.process_rounds += 1;
+            let round = self.process_round();
+            // Translate the whole round before settling anything: settling
+            // prunes id mappings, and a later outcome of the same round may
+            // still name the pruned job (e.g. an unload and a relocate of
+            // one job in the same batch).
+            let translated: Vec<(u64, Outcome)> = round
+                .into_iter()
+                .map(|(fabric, local_req, outcome)| {
+                    // A request is tagged either by its own unload/relocate
+                    // tag (consumed here) or, for loads, by the job id.
+                    let global = self
+                        .request_tags
+                        .remove(&(fabric, local_req))
+                        .or_else(|| self.local_to_global.get(&(fabric, local_req)).copied())
+                        .expect("every shard request was routed by this dispatcher");
+                    (global, self.translate_outcome(fabric, outcome))
+                })
+                .collect();
+            let mut migrated_any = false;
+            for (global, outcome) in translated {
+                if self.try_migrate(global, &outcome) {
+                    migrated_any = true;
+                    continue; // final outcome pending on another fabric
+                }
+                self.settle(global, &outcome);
+                results.push((global, outcome));
+            }
+            if !migrated_any {
+                break;
+            }
+        }
+        results
+    }
+
+    /// Books the final outcome of a request in the fleet counters and
+    /// prunes the id maps of jobs no shard can name again.
+    fn settle(&mut self, global: u64, outcome: &Outcome) {
+        if let Some(pending) = self.pending_loads.remove(&global) {
+            match outcome {
+                Outcome::Loaded { .. } => {
+                    self.metrics.loads_accepted += 1;
+                    if pending.dispatched.len() > 1 {
+                        self.metrics.migrated_accepts += 1;
+                    }
+                    // Mappings of the fabrics that rejected the load are no
+                    // longer reachable; only the accepting one stays.
+                    if let Some(&home) = self.route.get(&global) {
+                        for dispatch in pending.dispatched {
+                            if dispatch != home {
+                                self.local_to_global.remove(&dispatch);
+                            }
+                        }
+                    }
+                }
+                Outcome::Rejected { .. } => {
+                    self.metrics.loads_rejected += 1;
+                    self.route.remove(&global);
+                    for dispatch in pending.dispatched {
+                        self.local_to_global.remove(&dispatch);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // An unloaded or reported-gone job can never appear in a shard
+        // outcome again: drop its route and id mapping.
+        if let Outcome::Unloaded { job } | Outcome::NotResident { job } = outcome {
+            if let Some(home) = self.route.remove(job) {
+                self.local_to_global.remove(&home);
+            }
+        }
+    }
+
+    /// Re-dispatches a capacity-rejected load to an untried fabric. Returns
+    /// whether the load migrated (its outcome is then deferred).
+    fn try_migrate(&mut self, global: u64, outcome: &Outcome) -> bool {
+        if !self.config.migration {
+            return false;
+        }
+        let Outcome::Rejected {
+            reason: RejectReason::NoCapacity,
+            ..
+        } = outcome
+        else {
+            return false;
+        };
+        let Some(pending) = self.pending_loads.get(&global) else {
+            return false;
+        };
+        let task = pending.task.clone();
+        let request = pending.request.clone();
+        let untried: Vec<FabricStatus> = {
+            let pending = &self.pending_loads[&global];
+            self.statuses(&task)
+                .into_iter()
+                .filter(|s| !pending.tried(s.fabric))
+                .collect()
+        };
+        if untried.is_empty() {
+            return false;
+        }
+        let pick = self.policy.choose(&task, &untried);
+        let target = untried[pick].fabric;
+        let local = self.fabrics[target].submit(request);
+        self.local_to_global.insert((target, local), global);
+        self.route.insert(global, (target, local));
+        self.pending_loads
+            .get_mut(&global)
+            .expect("checked above")
+            .dispatched
+            .push((target, local));
+        self.metrics.migrations += 1;
+        true
+    }
+
+    /// Maps every shard-local id inside an outcome back to its fleet-global
+    /// id.
+    fn translate_outcome(&self, fabric: usize, outcome: Outcome) -> Outcome {
+        let map = |id: u64| -> u64 {
+            self.local_to_global
+                .get(&(fabric, id))
+                .copied()
+                .expect("every shard job was routed by this dispatcher")
+        };
+        match outcome {
+            Outcome::Loaded {
+                job,
+                handle,
+                origin,
+                evicted,
+                cache_hit,
+            } => Outcome::Loaded {
+                job: map(job),
+                handle,
+                origin,
+                evicted: evicted.into_iter().map(map).collect(),
+                cache_hit,
+            },
+            Outcome::Rejected {
+                job,
+                reason,
+                evicted,
+            } => Outcome::Rejected {
+                job: map(job),
+                reason,
+                evicted: evicted.into_iter().map(map).collect(),
+            },
+            Outcome::Unloaded { job } => Outcome::Unloaded { job: map(job) },
+            Outcome::NotResident { job } => Outcome::NotResident { job: map(job) },
+            Outcome::Relocated { job, origin } => Outcome::Relocated {
+                job: map(job),
+                origin,
+            },
+        }
+    }
+
+    /// One pipelined processing round: fan the round's de-virtualizations
+    /// out to the decode pool, hand streams to per-fabric writers through
+    /// channels, and run every busy fabric's queue on its own writer
+    /// thread. Returns `(fabric, local request id, outcome)` triples in
+    /// fabric order.
+    fn process_round(&mut self) -> Vec<(usize, u64, Outcome)> {
+        type StagedMsg = (String, Option<(Arc<TaskBitstream>, u128)>);
+        // One fabric writer's round result: (fabric, tagged outcomes, µs
+        // spent stalled on the decode pool).
+        type WriterResult = (usize, Vec<(u64, Outcome)>, u128);
+
+        let fabric_count = self.fabrics.len();
+        let jobs: VecDeque<(usize, String, Vbs)> = self
+            .fabrics
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                s.pending_decode_fetches()
+                    .into_iter()
+                    .map(move |(name, vbs)| (i, name, vbs))
+            })
+            .collect();
+        let mut expected = vec![0usize; fabric_count];
+        for &(fabric, _, _) in &jobs {
+            expected[fabric] += 1;
+        }
+        self.metrics.staged_decodes += jobs.len() as u64;
+        let workers = self.config.decode_workers.max(1).min(jobs.len());
+
+        let mut senders: Vec<mpsc::Sender<StagedMsg>> = Vec::with_capacity(fabric_count);
+        let mut receivers: Vec<Option<mpsc::Receiver<StagedMsg>>> =
+            Vec::with_capacity(fabric_count);
+        for _ in 0..fabric_count {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let queue = Mutex::new(jobs);
+
+        let mut per_fabric: Vec<WriterResult> = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let queue = &queue;
+                let senders = senders.clone();
+                scope.spawn(move || loop {
+                    let job = queue
+                        .lock()
+                        .expect("decode queue never poisoned")
+                        .pop_front();
+                    let Some((fabric, name, vbs)) = job else {
+                        break;
+                    };
+                    // Failures are not staged: the fabric re-decodes on
+                    // demand and reports the error per request.
+                    let staged = devirtualize_stream(&vbs, 1)
+                        .ok()
+                        .map(|(task, report)| (Arc::new(task), report.micros));
+                    let _ = senders[fabric].send((name, staged));
+                });
+            }
+            drop(senders);
+
+            let mut handles = Vec::new();
+            for (i, sched) in self.fabrics.iter_mut().enumerate() {
+                if expected[i] == 0 && sched.queued_len() == 0 {
+                    continue;
+                }
+                let rx = receivers[i].take().expect("one writer per fabric");
+                let wanted = expected[i];
+                handles.push(scope.spawn(move || {
+                    let mut stall = 0u128;
+                    for _ in 0..wanted {
+                        let waiting = Instant::now();
+                        let Ok((name, staged)) = rx.recv() else {
+                            break;
+                        };
+                        stall += waiting.elapsed().as_micros();
+                        if let Some((stream, micros)) = staged {
+                            sched.stage_decoded(name, stream, micros);
+                        }
+                    }
+                    (i, sched.process_pending_tagged(), stall)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fabric writers never panic"))
+                .collect()
+        });
+
+        per_fabric.sort_by_key(|(i, _, _)| *i);
+        let mut out = Vec::new();
+        for (fabric, outcomes, stall) in per_fabric {
+            self.metrics.pipeline_stall_micros += stall;
+            out.extend(
+                outcomes
+                    .into_iter()
+                    .map(|(local_req, outcome)| (fabric, local_req, outcome)),
+            );
+        }
+        out
+    }
+}

@@ -11,7 +11,7 @@
 
 use crate::cache::{CacheStats, DecodeCache};
 use crate::evict::{EvictionPolicy, LruEviction, ResidentInfo};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use vbs_arch::{Coord, Rect};
 use vbs_bitstream::TaskBitstream;
@@ -149,6 +149,9 @@ pub struct SchedMetrics {
     pub fragmentation_samples: u64,
     /// Sum of sampled fragmentation values (one per processed request).
     pub fragmentation_sum: f64,
+    /// Sum of sampled fabric-utilization values (occupied / total area, one
+    /// sample per processed request, sharing `fragmentation_samples`).
+    pub utilization_sum: f64,
 }
 
 impl SchedMetrics {
@@ -174,6 +177,15 @@ impl SchedMetrics {
             return 0.0;
         }
         self.fragmentation_sum / self.fragmentation_samples as f64
+    }
+
+    /// Mean sampled fabric utilization (occupied share of the device) over
+    /// the run.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.fragmentation_samples == 0 {
+            return 0.0;
+        }
+        self.utilization_sum / self.fragmentation_samples as f64
     }
 }
 
@@ -206,6 +218,10 @@ pub struct Scheduler {
     next_job: u64,
     next_seq: u64,
     metrics: SchedMetrics,
+    /// Streams de-virtualized ahead of time by an external decode pipeline
+    /// (see [`Scheduler::stage_decoded`]), waiting to be consumed by the
+    /// next load of their task.
+    staged: HashMap<String, (Arc<TaskBitstream>, u128)>,
 }
 
 impl Scheduler {
@@ -234,6 +250,7 @@ impl Scheduler {
             next_job: 1,
             next_seq: 0,
             metrics: SchedMetrics::default(),
+            staged: HashMap::new(),
         }
     }
 
@@ -253,9 +270,80 @@ impl Scheduler {
     }
 
     /// Drops the cached decoded stream(s) of `name` — required after the
-    /// repository replaces the task's VBS under the same name.
+    /// repository replaces the task's VBS under the same name. Also drops
+    /// any staged (pipeline-decoded) stream of the task.
     pub fn invalidate_cached(&mut self, name: &str) {
         self.cache.invalidate(name);
+        self.staged.remove(name);
+    }
+
+    /// Hands over a stream de-virtualized by an external decode pipeline.
+    ///
+    /// The next load of `name` consumes the staged stream instead of
+    /// decoding on demand, with identical accounting: the lookup still
+    /// counts a cache miss, `micros` (measured by the decode worker) is
+    /// folded into the decode-time counters, and the stream enters the
+    /// decode cache. Replaying a trace through a pipeline that stages every
+    /// upcoming decode therefore produces bit-identical counters to the
+    /// on-demand path — the differential tests rely on this.
+    pub fn stage_decoded(
+        &mut self,
+        name: impl Into<String>,
+        stream: Arc<TaskBitstream>,
+        micros: u128,
+    ) {
+        self.staged.insert(name.into(), (stream, micros));
+    }
+
+    /// Whether this scheduler already holds decode state for task `name`
+    /// (decode cache, any spec, or a staged stream). Cache-affinity shard
+    /// routing keys on this; counters are not touched.
+    pub fn holds_decoded(&self, name: &str) -> bool {
+        self.cache.contains_name(name) || self.staged.contains_key(name)
+    }
+
+    /// Number of requests of any kind currently queued.
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of load requests currently queued (not yet processed).
+    pub fn queued_loads(&self) -> usize {
+        self.queue
+            .iter()
+            .filter(|p| matches!(p.request, Request::Load { .. }))
+            .count()
+    }
+
+    /// The de-virtualizations the next [`Scheduler::process_pending`] round
+    /// will perform: for every queued load that will reach the decode step
+    /// (deadline not already missed) and whose stream is neither cached nor
+    /// staged, the task name and its fetched VBS — one entry per distinct
+    /// task. A decode pipeline feeds these to its worker pool and hands the
+    /// results back through [`Scheduler::stage_decoded`].
+    pub fn pending_decode_fetches(&self) -> Vec<(String, Vbs)> {
+        let mut out: Vec<(String, Vbs)> = Vec::new();
+        for pending in &self.queue {
+            let Request::Load { task, deadline, .. } = &pending.request else {
+                continue;
+            };
+            if deadline.is_some_and(|d| self.clock > d) {
+                continue;
+            }
+            if self.staged.contains_key(task) || out.iter().any(|(name, _)| name == task) {
+                continue;
+            }
+            // Unknown or corrupted streams are skipped: the on-demand path
+            // reports those errors with the right per-request accounting.
+            let Ok(vbs) = self.manager.repository().fetch(task) else {
+                continue;
+            };
+            if self.cache.contains(task, vbs.spec()) {
+                continue;
+            }
+            out.push((task.clone(), vbs));
+        }
+        out
     }
 
     /// Marks a resident job as used "now" for LRU-eviction purposes.
@@ -436,6 +524,21 @@ impl Scheduler {
     /// Fetches the decoded stream of `name` through the cache. Returns the
     /// stream and whether it was a cache hit.
     fn decoded_stream(&mut self, name: &str) -> Result<(Arc<TaskBitstream>, bool), RuntimeError> {
+        // A stream the decode pipeline expanded ahead of time: it carries
+        // the spec of the stream it was decoded from (this round's fetch),
+        // so the repository fetch is skipped entirely. Accounting matches
+        // the on-demand path: the cache lookup still counts the miss and
+        // the worker-measured decode time is folded in.
+        if let Some((task, micros)) = self.staged.remove(name) {
+            let spec = *task.spec();
+            if let Some(cached) = self.cache.get(name, &spec) {
+                return Ok((cached, true));
+            }
+            self.metrics.decodes += 1;
+            self.metrics.decode_micros += micros;
+            self.cache.insert(name, spec, Arc::clone(&task));
+            return Ok((task, false));
+        }
         let vbs: Vbs = self.manager.repository().fetch(name)?;
         if let Some(cached) = self.cache.get(name, vbs.spec()) {
             return Ok((cached, true));
@@ -603,9 +706,13 @@ impl Scheduler {
     }
 
     fn sample_fragmentation(&mut self) {
-        let frag = self.manager.fabric_view().fragmentation();
+        let view = self.manager.fabric_view();
         self.metrics.fragmentation_samples += 1;
-        self.metrics.fragmentation_sum += frag;
+        self.metrics.fragmentation_sum += view.fragmentation();
+        let total = view.total_area();
+        if total > 0 {
+            self.metrics.utilization_sum += 1.0 - view.free_area() as f64 / total as f64;
+        }
     }
 }
 

@@ -9,10 +9,12 @@
 //! and the acceptance tests rely on.
 
 use crate::cache::CacheStats;
+use crate::multi::{MultiFabricScheduler, MultiMetrics};
 use crate::scheduler::{Outcome, Request, SchedMetrics, Scheduler};
 use crate::trace::{Trace, TraceOp};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use vbs_runtime::FabricId;
 
 /// Metrics of one trace replay.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +74,43 @@ impl fmt::Display for SimReport {
     }
 }
 
+/// What the trace driver needs from a replay target — implemented by the
+/// single-fabric [`Scheduler`] and the [`MultiFabricScheduler`], so both
+/// replay a trace through the *same* event loop (the K=1 differential tests
+/// rely on the loops being literally shared).
+pub trait ReplayTarget {
+    /// Advances the target's logical clock.
+    fn advance_to(&mut self, tick: u64);
+    /// Enqueues a request, returning its job/request id.
+    fn submit(&mut self, request: Request) -> u64;
+    /// Processes everything queued, returning the outcomes.
+    fn process(&mut self) -> Vec<Outcome>;
+}
+
+impl ReplayTarget for Scheduler {
+    fn advance_to(&mut self, tick: u64) {
+        Scheduler::advance_to(self, tick);
+    }
+    fn submit(&mut self, request: Request) -> u64 {
+        Scheduler::submit(self, request)
+    }
+    fn process(&mut self) -> Vec<Outcome> {
+        self.process_pending()
+    }
+}
+
+impl ReplayTarget for MultiFabricScheduler {
+    fn advance_to(&mut self, tick: u64) {
+        MultiFabricScheduler::advance_to(self, tick);
+    }
+    fn submit(&mut self, request: Request) -> u64 {
+        MultiFabricScheduler::submit(self, request)
+    }
+    fn process(&mut self) -> Vec<Outcome> {
+        self.process_pending()
+    }
+}
+
 /// Replays `trace` through `scheduler` and reports the metrics of **this
 /// replay only** — on a reused scheduler (e.g. to measure a warm decode
 /// cache), counters accumulated by earlier activity are subtracted out.
@@ -82,6 +121,20 @@ impl fmt::Display for SimReport {
 pub fn replay(scheduler: &mut Scheduler, trace: &Trace) -> SimReport {
     let sched_before = *scheduler.metrics();
     let cache_before = scheduler.cache_stats();
+    let already_gone = drive(scheduler, trace);
+    SimReport {
+        events: trace.events.len(),
+        sched: metrics_delta(scheduler.metrics(), &sched_before),
+        cache: cache_delta(scheduler.cache_stats(), cache_before),
+        final_fragmentation: scheduler.manager().fabric_view().fragmentation(),
+        departures_already_gone: already_gone,
+    }
+}
+
+/// Drives `target` through `trace` (the shared event loop of [`replay`] and
+/// [`replay_multi`]) and returns the number of departures that found their
+/// job already gone.
+fn drive<T: ReplayTarget>(scheduler: &mut T, trace: &Trace) -> u64 {
     let mut job_map: HashMap<u64, u64> = HashMap::new();
     // (sched job, trace job) pairs of the current tick's arrivals.
     let mut load_of_round: Vec<(u64, u64)> = Vec::new();
@@ -122,7 +175,7 @@ pub fn replay(scheduler: &mut Scheduler, trace: &Trace) -> SimReport {
             }
             index += 1;
         }
-        for outcome in scheduler.process_pending() {
+        for outcome in scheduler.process() {
             match outcome {
                 Outcome::Loaded { job, .. } => {
                     if let Some(&(_, trace_job)) =
@@ -151,7 +204,7 @@ pub fn replay(scheduler: &mut Scheduler, trace: &Trace) -> SimReport {
             }
         }
         if follow_up {
-            for outcome in scheduler.process_pending() {
+            for outcome in scheduler.process() {
                 if matches!(outcome, Outcome::NotResident { .. }) {
                     already_gone += 1;
                 }
@@ -160,13 +213,145 @@ pub fn replay(scheduler: &mut Scheduler, trace: &Trace) -> SimReport {
     }
     // Departures that never matched any arrival.
     already_gone += deferred.len() as u64;
+    already_gone
+}
 
-    SimReport {
+/// Per-shard slice of a [`MultiSimReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricReport {
+    /// The fabric id its task manager was tagged with.
+    pub id: FabricId,
+    /// This shard's scheduler counters over the replay.
+    pub sched: SchedMetrics,
+    /// This shard's decode-cache counters over the replay.
+    pub cache: CacheStats,
+    /// Fragmentation of the shard's final fabric state.
+    pub final_fragmentation: f64,
+}
+
+/// Metrics of one multi-fabric trace replay: fleet-level counters plus one
+/// [`FabricReport`] per shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSimReport {
+    /// Events replayed.
+    pub events: usize,
+    /// Fleet counters accumulated by the replay.
+    pub multi: MultiMetrics,
+    /// Per-shard counters, in fabric order.
+    pub fabrics: Vec<FabricReport>,
+    /// Unload events whose job was already gone (evicted or rejected).
+    pub departures_already_gone: u64,
+}
+
+impl MultiSimReport {
+    /// Fleet acceptance: loads accepted anywhere / loads submitted.
+    pub fn acceptance_rate(&self) -> f64 {
+        self.multi.acceptance_rate()
+    }
+
+    /// Sum of the per-shard scheduler counters (a migrated load counts on
+    /// every fabric it visited — use [`MultiSimReport::acceptance_rate`]
+    /// for deduplicated fleet acceptance).
+    pub fn shard_totals(&self) -> SchedMetrics {
+        let mut total = SchedMetrics::default();
+        for fabric in &self.fabrics {
+            let m = &fabric.sched;
+            total.loads_submitted += m.loads_submitted;
+            total.loads_accepted += m.loads_accepted;
+            total.loads_rejected += m.loads_rejected;
+            total.deadline_missed += m.deadline_missed;
+            total.evictions += m.evictions;
+            total.relocations += m.relocations;
+            total.compaction_passes += m.compaction_passes;
+            total.decode_micros += m.decode_micros;
+            total.decodes += m.decodes;
+            total.fragmentation_samples += m.fragmentation_samples;
+            total.fragmentation_sum += m.fragmentation_sum;
+            total.utilization_sum += m.utilization_sum;
+        }
+        total
+    }
+}
+
+impl fmt::Display for MultiSimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "events            {:>8}", self.events)?;
+        writeln!(f, "loads submitted   {:>8}", self.multi.loads_submitted)?;
+        writeln!(
+            f,
+            "accepted          {:>8}  ({:.1}%)",
+            self.multi.loads_accepted,
+            100.0 * self.acceptance_rate()
+        )?;
+        writeln!(f, "rejected          {:>8}", self.multi.loads_rejected)?;
+        writeln!(
+            f,
+            "migrations        {:>8}  ({} accepted elsewhere)",
+            self.multi.migrations, self.multi.migrated_accepts
+        )?;
+        writeln!(
+            f,
+            "pipeline          {:>8} staged decodes, {} µs writer stall",
+            self.multi.staged_decodes, self.multi.pipeline_stall_micros
+        )?;
+        for (i, fabric) in self.fabrics.iter().enumerate() {
+            writeln!(
+                f,
+                "{:<10} accept {:>4}/{:<4} evict {:>4} reloc {:>4} hit {:>5.1}% util {:>5.1}% frag {:.3}",
+                format!("{} [{}]", fabric.id, i),
+                fabric.sched.loads_accepted,
+                fabric.sched.loads_submitted,
+                fabric.sched.evictions,
+                fabric.sched.relocations,
+                100.0 * fabric.cache.hit_rate(),
+                100.0 * fabric.sched.mean_utilization(),
+                fabric.sched.mean_fragmentation(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays `trace` through a multi-fabric fleet and reports fleet and
+/// per-shard metrics of **this replay only** (counters accumulated by
+/// earlier activity are subtracted out). The event loop is the one
+/// [`replay`] uses, so a K=1 fleet replays a trace exactly like a plain
+/// [`Scheduler`].
+pub fn replay_multi(multi: &mut MultiFabricScheduler, trace: &Trace) -> MultiSimReport {
+    let multi_before = *multi.metrics();
+    let sched_before: Vec<SchedMetrics> = multi.fabric_metrics();
+    let cache_before: Vec<CacheStats> = multi.fabrics().iter().map(|f| f.cache_stats()).collect();
+    let already_gone = drive(multi, trace);
+    let fabrics = multi
+        .fabrics()
+        .iter()
+        .enumerate()
+        .map(|(i, fabric)| FabricReport {
+            id: fabric.manager().fabric_id(),
+            sched: metrics_delta(fabric.metrics(), &sched_before[i]),
+            cache: cache_delta(fabric.cache_stats(), cache_before[i]),
+            final_fragmentation: fabric.manager().fabric_view().fragmentation(),
+        })
+        .collect();
+    MultiSimReport {
         events: trace.events.len(),
-        sched: metrics_delta(scheduler.metrics(), &sched_before),
-        cache: cache_delta(scheduler.cache_stats(), cache_before),
-        final_fragmentation: scheduler.manager().fabric_view().fragmentation(),
+        multi: multi_metrics_delta(multi.metrics(), &multi_before),
+        fabrics,
         departures_already_gone: already_gone,
+    }
+}
+
+/// Fleet counters accumulated between two dispatcher snapshots.
+fn multi_metrics_delta(after: &MultiMetrics, before: &MultiMetrics) -> MultiMetrics {
+    MultiMetrics {
+        loads_submitted: after.loads_submitted - before.loads_submitted,
+        loads_accepted: after.loads_accepted - before.loads_accepted,
+        loads_rejected: after.loads_rejected - before.loads_rejected,
+        migrations: after.migrations - before.migrations,
+        migrated_accepts: after.migrated_accepts - before.migrated_accepts,
+        staged_decodes: after.staged_decodes - before.staged_decodes,
+        pipeline_stall_micros: after.pipeline_stall_micros - before.pipeline_stall_micros,
+        process_rounds: after.process_rounds - before.process_rounds,
     }
 }
 
@@ -184,6 +369,7 @@ fn metrics_delta(after: &SchedMetrics, before: &SchedMetrics) -> SchedMetrics {
         decodes: after.decodes - before.decodes,
         fragmentation_samples: after.fragmentation_samples - before.fragmentation_samples,
         fragmentation_sum: after.fragmentation_sum - before.fragmentation_sum,
+        utilization_sum: after.utilization_sum - before.utilization_sum,
     }
 }
 

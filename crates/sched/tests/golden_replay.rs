@@ -1,0 +1,145 @@
+//! Golden replay tests: two checked-in traces (`tests/traces/` at the
+//! workspace root) replayed against a two-fabric fleet under every shard
+//! policy, with exact counter expectations. A change to shard routing,
+//! migration or eviction behavior shows up here as an explicit diff of the
+//! expected numbers — update them deliberately, with the new values in the
+//! commit message.
+
+mod common;
+
+use common::fleet;
+use vbs_runtime::FirstFit;
+use vbs_sched::{replay_multi, shard_policy_by_name, MultiConfig, SchedulerConfig, Trace};
+
+/// Exact counters of one (trace, policy) replay.
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    accepted: u64,
+    rejected: u64,
+    migrations: u64,
+    evictions: u64,
+    relocations: u64,
+    /// Loads accepted per shard, in fabric order.
+    per_fabric_accepted: [u64; 2],
+}
+
+fn load_trace(name: &str) -> Trace {
+    let path = format!("{}/../../tests/traces/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    Trace::from_text(&text).expect("trace parses")
+}
+
+fn replay_golden(trace: &Trace, policy: &str) -> Golden {
+    let config = SchedulerConfig {
+        eviction_limit: 1,
+        compaction: true,
+        ..SchedulerConfig::default()
+    };
+    let mut multi = fleet(
+        2,
+        8,
+        8,
+        shard_policy_by_name(policy).unwrap(),
+        || Box::new(FirstFit),
+        config,
+        MultiConfig::default(),
+    );
+    let report = replay_multi(&mut multi, trace);
+    Golden {
+        accepted: report.multi.loads_accepted,
+        rejected: report.multi.loads_rejected,
+        migrations: report.multi.migrations,
+        evictions: report.fabrics.iter().map(|f| f.sched.evictions).sum(),
+        relocations: report.fabrics.iter().map(|f| f.sched.relocations).sum(),
+        per_fabric_accepted: [
+            report.fabrics[0].sched.loads_accepted,
+            report.fabrics[1].sched.loads_accepted,
+        ],
+    }
+}
+
+#[test]
+fn steady_trace_counters_are_golden() {
+    let trace = load_trace("steady.trace");
+    for (policy, expected) in [
+        (
+            "round-robin",
+            Golden {
+                accepted: 7,
+                rejected: 0,
+                migrations: 0,
+                evictions: 3,
+                relocations: 0,
+                per_fabric_accepted: [4, 3],
+            },
+        ),
+        (
+            "least-loaded",
+            Golden {
+                accepted: 7,
+                rejected: 0,
+                migrations: 1,
+                evictions: 4,
+                relocations: 0,
+                per_fabric_accepted: [4, 3],
+            },
+        ),
+        (
+            "cache-affinity",
+            Golden {
+                accepted: 7,
+                rejected: 0,
+                migrations: 0,
+                evictions: 4,
+                relocations: 0,
+                per_fabric_accepted: [5, 2],
+            },
+        ),
+    ] {
+        let actual = replay_golden(&trace, policy);
+        assert_eq!(actual, expected, "steady.trace / {policy}");
+    }
+}
+
+#[test]
+fn burst_trace_counters_are_golden() {
+    let trace = load_trace("burst.trace");
+    for (policy, expected) in [
+        (
+            "round-robin",
+            Golden {
+                accepted: 9,
+                rejected: 1,
+                migrations: 1,
+                evictions: 6,
+                relocations: 2,
+                per_fabric_accepted: [5, 4],
+            },
+        ),
+        (
+            "least-loaded",
+            Golden {
+                accepted: 9,
+                rejected: 1,
+                migrations: 1,
+                evictions: 5,
+                relocations: 2,
+                per_fabric_accepted: [4, 5],
+            },
+        ),
+        (
+            "cache-affinity",
+            Golden {
+                accepted: 9,
+                rejected: 1,
+                migrations: 1,
+                evictions: 6,
+                relocations: 2,
+                per_fabric_accepted: [5, 4],
+            },
+        ),
+    ] {
+        let actual = replay_golden(&trace, policy);
+        assert_eq!(actual, expected, "burst.trace / {policy}");
+    }
+}

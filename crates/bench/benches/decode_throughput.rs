@@ -1,10 +1,13 @@
 //! Criterion bench of the run-time controller: de-virtualization throughput,
 //! sequentially and with a worker pool (Section II-C notes the decode is
-//! parallelizable macro by macro).
+//! parallelizable macro by macro), plus the zero-allocation scratch-reuse
+//! path and the streaming decode→write path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vbs_bench::run_circuit;
-use vbs_runtime::ReconfigurationController;
+use vbs_bitstream::TaskBitstream;
+use vbs_core::{DecodeScratch, Devirtualizer, NullSink};
+use vbs_runtime::{devirtualize_into, ReconfigurationController};
 
 fn decode_throughput(c: &mut Criterion) {
     let circuit = vbs_netlist::mcnc::by_name("s298").expect("table entry");
@@ -22,6 +25,37 @@ fn decode_throughput(c: &mut Criterion) {
             |b, _| b.iter(|| controller.devirtualize(&vbs).expect("decode")),
         );
     }
+
+    // Scratch reuse: steady-state zero-allocation decode into a recycled
+    // buffer.
+    let mut scratch = DecodeScratch::new();
+    let mut staging = TaskBitstream::empty(*vbs.spec(), 1, 1);
+    group.bench_function("decode_into (scratch reuse)", |b| {
+        b.iter(|| devirtualize_into(&vbs, &mut staging, &mut scratch).expect("decode"))
+    });
+
+    // Streaming: frames pushed to a sink as each cluster record completes.
+    let devirt = Devirtualizer::new(&vbs).expect("devirtualizer");
+    group.bench_function("decode_streaming (null sink)", |b| {
+        b.iter(|| {
+            let mut sink = NullSink::default();
+            devirt
+                .decode_streaming(&mut staging, &mut scratch, &mut sink)
+                .expect("decode");
+            sink.frames
+        })
+    });
+
+    // Streaming into live configuration memory: decode→resident latency of
+    // a single load with writes overlapped.
+    let mut controller = ReconfigurationController::new(device);
+    group.bench_function("load_streaming (into memory)", |b| {
+        b.iter(|| {
+            controller
+                .load_streaming(&vbs, vbs_arch::Coord::new(0, 0), &mut staging, &mut scratch)
+                .expect("load")
+        })
+    });
     group.finish();
 }
 

@@ -1,0 +1,59 @@
+//! A counting global allocator for allocation-budget regression tests and
+//! the `allocs/load` column of the decode benchmarks.
+//!
+//! Register it in a binary or test crate with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: vbs_bench::CountingAllocator = vbs_bench::CountingAllocator;
+//! ```
+//!
+//! and read [`allocations`] / [`allocated_bytes`] deltas around the code
+//! under measurement. Counting is process-global and lock-free; it is meant
+//! for single-threaded measurement sections (concurrent allocations are
+//! counted correctly but cannot be attributed).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator counting every allocation and reallocation.
+pub struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the counters are lock-free atomics
+// and never allocate.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Total heap allocations (including reallocations) since process start.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested from the allocator since process start.
+pub fn allocated_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}

@@ -1,0 +1,360 @@
+//! Decode→resident throughput baseline: buffered vs scratch-reuse vs
+//! streaming load paths, plus the 4-fabric fleet replay, emitted as
+//! machine-readable `BENCH_decode.json` so perf numbers accumulate per PR.
+//!
+//! Four per-load paths are timed over the scheduler workload task mix on
+//! one `--fabric`-sized device (a load = de-virtualize one VBS and make it
+//! resident in configuration memory):
+//!
+//! * **legacy** — the pre-scratch path exactly as it shipped before this
+//!   subsystem existed: fresh decoded image per load *and* fresh decode
+//!   state per record (`decode_record_into` + `load_decoded`);
+//! * **buffered** — today's one-shot path: one header-pre-reserved scratch
+//!   shared across the records of each load
+//!   (`devirtualize_stream` + `load_decoded`);
+//! * **scratch** — buffered writes, but decode state and the staging image
+//!   come from a persistent [`vbs_core::DecodeScratch`]
+//!   (`devirtualize_into` + `load_decoded`): zero allocations steady-state;
+//! * **streaming** — scratch reuse *and* frame writes overlapped with the
+//!   decode (`load_streaming`): memory writes begin after the first cluster
+//!   record instead of after the last.
+//!
+//! The headline `speedup_streaming_vs_legacy` compares the new steady-state
+//! path against the pre-PR behavior; `speedup_streaming_vs_buffered`
+//! isolates what scratch persistence + streaming buy over today's one-shot
+//! decode.
+//!
+//! The fleet section replays the same seeded trace through a
+//! `--fabrics`-sized multi-fabric scheduler in staged-pipeline mode vs
+//! streaming mode.
+//!
+//! Usage: `cargo run --release -p vbs-bench --bin decode_perf --
+//!         [--loads N] [--fabric WxH] [--fabrics K] [--seed S]
+//!         [--quick] [--out PATH]`
+
+use std::time::{Duration, Instant};
+use vbs_arch::Coord;
+use vbs_bench::sched_workload::{sched_device, sched_fleet, sched_repository, sched_trace};
+use vbs_bench::{allocations, CountingAllocator};
+use vbs_core::{DecodeScratch, Devirtualizer, Vbs};
+use vbs_runtime::{
+    devirtualize_into, devirtualize_stream, BestFit, ReconfigurationController, VbsRepository,
+};
+use vbs_sched::{replay_multi, LeastLoaded, MultiConfig, SchedulerConfig};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+struct Options {
+    loads: usize,
+    fabric: (u16, u16),
+    fabrics: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        loads: 500,
+        fabric: (11, 11),
+        fabrics: 4,
+        seed: 2015,
+        out: "BENCH_decode.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => options.loads = options.loads.min(60),
+            "--loads" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    options.loads = 1usize.max(v);
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    options.seed = v;
+                    i += 1;
+                }
+            }
+            "--fabrics" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    options.fabrics = 1usize.max(v);
+                    i += 1;
+                }
+            }
+            "--fabric" => {
+                if let Some((w, h)) = args
+                    .get(i + 1)
+                    .and_then(|s| s.split_once('x'))
+                    .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                {
+                    options.fabric = (w, h);
+                    i += 1;
+                }
+            }
+            "--out" => {
+                if let Some(v) = args.get(i + 1) {
+                    options.out = v.clone();
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    options
+}
+
+/// One timed per-load path over `loads` round-robin loads of the task mix.
+struct PathResult {
+    name: &'static str,
+    elapsed: Duration,
+    frames: u64,
+    allocs: u64,
+    loads: usize,
+}
+
+impl PathResult {
+    fn ns_per_frame(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.frames.max(1) as f64
+    }
+
+    fn ns_per_load(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.loads.max(1) as f64
+    }
+
+    fn loads_per_sec(&self) -> f64 {
+        self.loads as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn allocs_per_load(&self) -> f64 {
+        self.allocs as f64 / self.loads.max(1) as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"ns_per_frame\": {:.1}, \"ns_per_load\": {:.0}, \"loads_per_sec\": {:.1}, \"allocs_per_load\": {:.1}}}",
+            self.ns_per_frame(),
+            self.ns_per_load(),
+            self.loads_per_sec(),
+            self.allocs_per_load()
+        )
+    }
+}
+
+fn streams(repository: &VbsRepository) -> Vec<Vbs> {
+    vbs_bench::sched_workload::SCHED_TASKS
+        .iter()
+        .map(|(name, ..)| repository.fetch(name).expect("workload task"))
+        .collect()
+}
+
+fn run_path(
+    name: &'static str,
+    options: &Options,
+    streams: &[Vbs],
+    mut load: impl FnMut(&Vbs),
+) -> PathResult {
+    // Warm up outside the measurement (cold-scratch allocations, page
+    // faults, branch predictors).
+    for vbs in streams {
+        load(vbs);
+    }
+    let frames_per_round: u64 = streams
+        .iter()
+        .map(|v| v.width() as u64 * v.height() as u64)
+        .sum();
+    let before = allocations();
+    let start = Instant::now();
+    for i in 0..options.loads {
+        load(&streams[i % streams.len()]);
+    }
+    let elapsed = start.elapsed();
+    let allocs = allocations() - before;
+    PathResult {
+        name,
+        elapsed,
+        frames: frames_per_round * (options.loads as u64) / streams.len() as u64,
+        allocs,
+        loads: options.loads,
+    }
+}
+
+fn per_load_paths(options: &Options, repository: &VbsRepository) -> Vec<PathResult> {
+    let device = sched_device(options.fabric.0, options.fabric.1);
+    let streams = streams(repository);
+    let origin = Coord::new(0, 0);
+    let mut results = Vec::new();
+
+    // Legacy (pre-scratch): fresh image per load, fresh decode state per
+    // record — the path as it existed before the scratch-arena rework.
+    let mut controller = ReconfigurationController::new(device.clone());
+    results.push(run_path("legacy", options, &streams, |vbs| {
+        let devirt = Devirtualizer::new(vbs).expect("devirtualizer");
+        let mut task = vbs_bitstream::TaskBitstream::empty(*vbs.spec(), vbs.width(), vbs.height());
+        for record in vbs.records() {
+            devirt
+                .decode_record_into(record, &mut task)
+                .expect("decode");
+        }
+        controller.load_decoded(&task, origin).expect("load");
+    }));
+
+    // Buffered: one shared, header-pre-reserved scratch per load.
+    let mut controller = ReconfigurationController::new(device.clone());
+    results.push(run_path("buffered", options, &streams, |vbs| {
+        let (task, _report) = devirtualize_stream(vbs, 1).expect("decode");
+        controller.load_decoded(&task, origin).expect("load");
+    }));
+
+    // Scratch reuse: persistent arena + staging, buffered writes.
+    let mut controller = ReconfigurationController::new(device.clone());
+    let mut scratch = DecodeScratch::new();
+    results.push(run_path("scratch", options, &streams, |vbs| {
+        let mut staging = scratch.take_staging(*vbs.spec(), vbs.width(), vbs.height());
+        devirtualize_into(vbs, &mut staging, &mut scratch).expect("decode");
+        controller.load_decoded(&staging, origin).expect("load");
+        scratch.put_staging(staging);
+    }));
+
+    // Streaming: persistent arena + frame writes overlapping the decode.
+    let mut controller = ReconfigurationController::new(device);
+    let mut scratch = DecodeScratch::new();
+    let mut staging = vbs_bitstream::TaskBitstream::empty(*streams[0].spec(), 1, 1);
+    results.push(run_path("streaming", options, &streams, |vbs| {
+        controller
+            .load_streaming(vbs, origin, &mut staging, &mut scratch)
+            .expect("load");
+    }));
+
+    results
+}
+
+struct FleetResult {
+    name: &'static str,
+    elapsed: Duration,
+    events: usize,
+    accepted: u64,
+    decode_micros: u128,
+}
+
+impl FleetResult {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"events_per_sec\": {:.1}, \"accepted\": {}, \"decode_micros\": {}, \"elapsed_ms\": {:.1}}}",
+            self.events_per_sec(),
+            self.accepted,
+            self.decode_micros,
+            self.elapsed.as_secs_f64() * 1e3
+        )
+    }
+}
+
+fn run_fleet(
+    name: &'static str,
+    options: &Options,
+    repository: &VbsRepository,
+    multi_config: MultiConfig,
+) -> FleetResult {
+    let config = SchedulerConfig {
+        eviction_limit: 1,
+        compaction: true,
+        ..SchedulerConfig::default()
+    };
+    let mut multi = sched_fleet(
+        repository,
+        options.fabrics,
+        options.fabric,
+        Box::new(LeastLoaded),
+        &|| Box::new(BestFit),
+        config,
+        multi_config,
+    );
+    let trace = sched_trace(options.loads, options.seed);
+    let start = Instant::now();
+    let report = replay_multi(&mut multi, &trace);
+    let elapsed = start.elapsed();
+    FleetResult {
+        name,
+        elapsed,
+        events: report.events,
+        accepted: report.multi.loads_accepted,
+        decode_micros: report.fabrics.iter().map(|f| f.sched.decode_micros).sum(),
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    let repository = sched_repository();
+    println!(
+        "# decode_perf — {} loads, {}x{} fabric, {} fleet fabrics, seed {}",
+        options.loads, options.fabric.0, options.fabric.1, options.fabrics, options.seed
+    );
+
+    let paths = per_load_paths(&options, &repository);
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "path", "ns/frame", "ns/load", "loads/s", "allocs/load"
+    );
+    for p in &paths {
+        println!(
+            "{:<12} {:>12.1} {:>12.0} {:>12.1} {:>12.1}",
+            p.name,
+            p.ns_per_frame(),
+            p.ns_per_load(),
+            p.loads_per_sec(),
+            p.allocs_per_load()
+        );
+    }
+    let streaming = &paths[3];
+    let vs_legacy = streaming.loads_per_sec() / paths[0].loads_per_sec();
+    let vs_buffered = streaming.loads_per_sec() / paths[1].loads_per_sec();
+    println!(
+        "streaming decode→resident throughput: {vs_legacy:.2}x vs legacy, {vs_buffered:.2}x vs buffered"
+    );
+
+    let fleet_buffered = run_fleet("pipelined", &options, &repository, MultiConfig::default());
+    let fleet_streaming = run_fleet(
+        "streaming",
+        &options,
+        &repository,
+        MultiConfig {
+            streaming: true,
+            ..MultiConfig::default()
+        },
+    );
+    for f in [&fleet_buffered, &fleet_streaming] {
+        println!(
+            "fleet {:<10} {:>10.0} events/s  {:>6} accepted  {:>9} decode µs",
+            f.name,
+            f.events_per_sec(),
+            f.accepted,
+            f.decode_micros
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }}\n}}\n",
+        options.loads,
+        options.fabric.0,
+        options.fabric.1,
+        options.fabrics,
+        options.seed,
+        paths[0].json(),
+        paths[1].json(),
+        paths[2].json(),
+        paths[3].json(),
+        vs_legacy,
+        vs_buffered,
+        fleet_buffered.json(),
+        fleet_streaming.json(),
+    );
+    std::fs::write(&options.out, json).expect("write baseline json");
+    println!("wrote {}", options.out);
+}

@@ -14,7 +14,10 @@ use vbs_flow::{CadFlow, FlowError, FlowResult};
 use vbs_netlist::mcnc::McncCircuit;
 use vbs_netlist::NetlistError;
 
+pub mod alloc_counter;
 pub mod sched_workload;
+
+pub use alloc_counter::{allocated_bytes, allocations, CountingAllocator};
 
 /// Default scale factor applied to the MCNC circuits by the harness binaries.
 pub const DEFAULT_SCALE: f64 = 0.12;

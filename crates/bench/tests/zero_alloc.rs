@@ -1,0 +1,81 @@
+//! Allocation-budget regression tests for the decode hot path, measured
+//! with the counting global allocator.
+//!
+//! Pinned guarantees:
+//!
+//! * steady-state `decode_into` (warm scratch, recycled buffer) performs
+//!   **zero** heap allocations per load;
+//! * steady-state streaming loads (`load_streaming` into configuration
+//!   memory) also perform zero allocations;
+//! * a **cold** decode pre-reserves its buffers from the VBS header, so the
+//!   first decode stays within a small per-buffer allocation budget instead
+//!   of growing buffers incrementally.
+//!
+//! Everything runs inside one `#[test]` because the counters are
+//! process-global and the harness runs tests concurrently.
+
+use vbs_bench::{allocations, CountingAllocator};
+use vbs_core::DecodeScratch;
+use vbs_runtime::{devirtualize_into, ReconfigurationController};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn decode_hot_path_allocation_budget() {
+    let repository = vbs_bench::sched_workload::sched_repository();
+    let vbs = repository.fetch("fft_stage").expect("workload task");
+    let device = vbs_bench::sched_workload::sched_device(11, 11);
+
+    // --- Cold decode: one allocation per buffer, thanks to the header
+    // pre-reserve (regression for incremental Vec/HashMap growth: without
+    // reservation this is hundreds of allocations).
+    let mut scratch = DecodeScratch::new();
+    let mut staging = scratch.take_staging(*vbs.spec(), vbs.width(), vbs.height());
+    let before = allocations();
+    devirtualize_into(&vbs, &mut staging, &mut scratch).expect("decode");
+    let cold = allocations() - before;
+    assert!(
+        cold <= 24,
+        "cold decode allocated {cold} times; the scratch has ~10 buffers and \
+         each must allocate at most once (pre-reserved from the VBS header)"
+    );
+
+    // --- Steady state: zero allocations per load, across repeats.
+    for _ in 0..2 {
+        devirtualize_into(&vbs, &mut staging, &mut scratch).expect("decode");
+    }
+    let before = allocations();
+    for _ in 0..50 {
+        devirtualize_into(&vbs, &mut staging, &mut scratch).expect("decode");
+    }
+    let steady = allocations() - before;
+    assert_eq!(
+        steady, 0,
+        "steady-state decode_into must not allocate (got {steady} over 50 loads)"
+    );
+
+    // --- Steady-state streaming load into live configuration memory:
+    // decode plus frame writes, still zero allocations.
+    let mut controller = ReconfigurationController::new(device);
+    let origin = vbs_arch::Coord::new(2, 3);
+    for _ in 0..2 {
+        controller
+            .load_streaming(&vbs, origin, &mut staging, &mut scratch)
+            .expect("load");
+    }
+    let before = allocations();
+    for _ in 0..50 {
+        controller
+            .load_streaming(&vbs, origin, &mut staging, &mut scratch)
+            .expect("load");
+    }
+    let steady = allocations() - before;
+    assert_eq!(
+        steady, 0,
+        "steady-state load_streaming must not allocate (got {steady} over 50 loads)"
+    );
+
+    // The loads actually configured the fabric.
+    assert!(controller.memory().occupied_macros() > 0);
+}

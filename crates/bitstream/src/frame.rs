@@ -74,6 +74,33 @@ impl MacroFrame {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Zeroes every bit in place, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Reshapes this frame to `spec` in place, reusing the word buffer when
+    /// it is large enough. The frame is zeroed either way.
+    pub fn reset_to(&mut self, spec: ArchSpec) {
+        let words = spec.raw_bits_per_macro().div_ceil(64);
+        self.spec = spec;
+        self.bits.clear();
+        self.bits.resize(words, 0);
+    }
+
+    /// Copies the contents of `other` into this frame without allocating
+    /// when the two frames share an architecture (the hot path of
+    /// configuration-memory writes).
+    pub fn copy_from(&mut self, other: &MacroFrame) {
+        if self.spec == other.spec {
+            self.bits.copy_from_slice(&other.bits);
+        } else {
+            self.spec = other.spec;
+            self.bits.clear();
+            self.bits.extend_from_slice(&other.bits);
+        }
+    }
+
     /// Writes the logic-block section: LUT truth table plus flip-flop bypass.
     pub fn set_logic(&mut self, truth: &TruthTable, registered: bool) {
         let layout = self.layout();
@@ -213,6 +240,28 @@ mod tests {
         a.set_crossing(0, 0, true);
         a.set_sb(4, SbPair::NorthEast, true);
         assert_eq!(a.diff_count(&b), 2);
+    }
+
+    #[test]
+    fn clear_and_copy_from_reuse_the_allocation() {
+        let mut a = MacroFrame::empty(spec());
+        a.set_sb(1, SbPair::EastWest, true);
+        a.set_crossing(2, 3, true);
+        let mut b = MacroFrame::empty(spec());
+        b.copy_from(&a);
+        assert_eq!(a.diff_count(&b), 0);
+        b.clear();
+        assert!(b.is_empty());
+        // Reshaping to another architecture still round-trips content.
+        let other = ArchSpec::paper_evaluation();
+        let mut c = MacroFrame::empty(other);
+        c.set_bit(0, true);
+        b.copy_from(&c);
+        assert_eq!(b.spec(), &other);
+        assert_eq!(b.diff_count(&c), 0);
+        b.reset_to(spec());
+        assert_eq!(b.len(), 284);
+        assert!(b.is_empty());
     }
 
     #[test]

@@ -64,8 +64,13 @@ impl ConfigMemory {
     /// # Errors
     ///
     /// Returns [`BitstreamError::DoesNotFit`] when the task sticks out of the
-    /// device.
+    /// device, or [`BitstreamError::LayoutMismatch`] when the task targets a
+    /// different architecture than this memory (frame writes reuse the
+    /// in-place word buffers, so every frame must keep the device's layout).
     pub fn load_task(&mut self, task: &TaskBitstream, origin: Coord) -> Result<(), BitstreamError> {
+        if task.spec() != self.frames[0].spec() {
+            return Err(BitstreamError::LayoutMismatch);
+        }
         if origin.x as u32 + task.width() as u32 > self.width as u32
             || origin.y as u32 + task.height() as u32 > self.height as u32
         {
@@ -77,9 +82,30 @@ impl ConfigMemory {
         }
         for (local, frame) in task.iter_frames() {
             let at = Coord::new(origin.x + local.x, origin.y + local.y);
-            *self.frame_mut(at) = frame.clone();
+            self.frame_mut(at).copy_from(frame);
         }
         Ok(())
+    }
+
+    /// Writes one frame at device-absolute coordinates `at`, overwriting
+    /// whatever was configured there. This is the primitive the streaming
+    /// load path uses to begin configuring a task before its whole stream is
+    /// decoded; it performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies outside the device or `frame` belongs to a
+    /// different architecture — streaming writers validate the whole target
+    /// region (and share the device's architecture by construction) before
+    /// the first frame is emitted.
+    pub fn write_frame(&mut self, at: Coord, frame: &MacroFrame) {
+        let slot = self.frame_mut(at);
+        assert_eq!(
+            slot.spec(),
+            frame.spec(),
+            "streamed frame targets a different architecture than this memory"
+        );
+        slot.copy_from(frame);
     }
 
     /// Clears every frame of a rectangular region (task removal).
@@ -98,9 +124,8 @@ impl ConfigMemory {
                 height: region.height,
             });
         }
-        let spec = *self.frames[0].spec();
         for at in region.iter() {
-            *self.frame_mut(at) = MacroFrame::empty(spec);
+            self.frame_mut(at).clear();
         }
         Ok(())
     }
@@ -183,6 +208,19 @@ mod tests {
             mem.load_task(&task, Coord::new(9, 9)),
             Err(BitstreamError::DoesNotFit { .. })
         ));
+    }
+
+    #[test]
+    fn load_rejects_foreign_architectures() {
+        // Frame writes reuse in-place buffers, so a stream for another
+        // architecture must be refused up front (not silently adopted).
+        let mut mem = memory();
+        let foreign = TaskBitstream::empty(ArchSpec::paper_evaluation(), 2, 2);
+        assert!(matches!(
+            mem.load_task(&foreign, Coord::new(0, 0)),
+            Err(BitstreamError::LayoutMismatch)
+        ));
+        assert_eq!(mem.occupied_macros(), 0);
     }
 
     #[test]

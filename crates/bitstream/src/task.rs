@@ -33,6 +33,38 @@ impl TaskBitstream {
         }
     }
 
+    /// Reshapes this bit-stream to an all-empty `width` × `height` task of
+    /// `spec` **in place**, reusing the frame allocations wherever possible.
+    ///
+    /// This is the buffer-recycling primitive of the zero-allocation decode
+    /// path: a pooled `TaskBitstream` checked out for a new task pays no
+    /// heap traffic when its previous shape had at least as many frames and
+    /// the same architecture (frames are zeroed, never reallocated).
+    pub fn reset(&mut self, spec: ArchSpec, width: u16, height: u16) {
+        let count = width as usize * height as usize;
+        if self.spec == spec && self.frames.len() == count {
+            self.width = width;
+            self.height = height;
+            for frame in &mut self.frames {
+                frame.clear();
+            }
+            return;
+        }
+        self.spec = spec;
+        self.width = width;
+        self.height = height;
+        for frame in self.frames.iter_mut().take(count) {
+            frame.reset_to(spec);
+        }
+        if self.frames.len() > count {
+            self.frames.truncate(count);
+        } else {
+            while self.frames.len() < count {
+                self.frames.push(MacroFrame::empty(spec));
+            }
+        }
+    }
+
     /// The architecture of the target fabric.
     pub const fn spec(&self) -> &ArchSpec {
         &self.spec
@@ -270,6 +302,30 @@ mod tests {
             a.diff_count(&b),
             Err(BitstreamError::LayoutMismatch)
         ));
+    }
+
+    #[test]
+    fn reset_reshapes_in_place() {
+        let mut t = TaskBitstream::empty(spec(), 4, 3);
+        t.frame_mut(Coord::new(3, 2)).set_bit(7, true);
+        // Same shape: just zeroed.
+        t.reset(spec(), 4, 3);
+        assert_eq!(t.popcount(), 0);
+        assert_eq!(t.macro_count(), 12);
+        // Shrink, then grow past the original shape.
+        t.frame_mut(Coord::new(0, 0)).set_bit(1, true);
+        t.reset(spec(), 2, 2);
+        assert_eq!((t.width(), t.height()), (2, 2));
+        assert_eq!(t.popcount(), 0);
+        t.reset(spec(), 5, 4);
+        assert_eq!(t.macro_count(), 20);
+        assert_eq!(t.popcount(), 0);
+        // Architecture change reshapes every frame.
+        let other = vbs_arch::ArchSpec::paper_evaluation();
+        t.reset(other, 2, 1);
+        assert_eq!(t.spec(), &other);
+        assert_eq!(t.frame(Coord::new(0, 0)).len(), other.raw_bits_per_macro());
+        assert_eq!(t.popcount(), 0);
     }
 
     #[test]

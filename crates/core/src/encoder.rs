@@ -18,7 +18,7 @@
 //! happens when the list would be larger than the raw frames).
 
 use crate::cluster::{ClusterGrid, ClusterIo};
-use crate::decoder::Devirtualizer;
+use crate::decoder::{DecodeScratch, Devirtualizer};
 use crate::error::VbsError;
 use crate::format::{ClusterRecord, ClusterRoutes, Connection, Vbs};
 use std::collections::{HashMap, HashSet};
@@ -141,6 +141,9 @@ impl VbsEncoder {
         let devirt_scratch = Vbs::new(self.spec, self.cluster_size, width, height, Vec::new())?;
         let devirtualizer = Devirtualizer::new(&devirt_scratch)?;
         let mut scratch = TaskBitstream::empty(self.spec, width.max(1), height.max(1));
+        // One decode arena shared by every feedback-loop check of this
+        // encode, so candidate verification stays allocation-free.
+        let mut decode_scratch = DecodeScratch::new();
 
         let mut records: Vec<ClusterRecord> = Vec::new();
         for cluster in grid.iter_clusters() {
@@ -178,8 +181,13 @@ impl VbsEncoder {
                         logic: logic.clone(),
                         routes: ClusterRoutes::Coded(candidate.clone()),
                     };
-                    match devirtualizer.decode_record_into(&record, &mut scratch) {
-                        Ok(claimed) => {
+                    match devirtualizer.decode_record_with(
+                        &record,
+                        &mut scratch,
+                        &mut decode_scratch,
+                    ) {
+                        Ok(()) => {
+                            let claimed = decode_scratch.claimed_wires();
                             let safe = match allowed {
                                 Some(allowed) => claimed.iter().all(|w| {
                                     grid.wire_io(cluster, *w).is_none() || allowed.contains(w)

@@ -66,7 +66,9 @@ pub mod format;
 pub mod stats;
 
 pub use cluster::{ClusterGrid, ClusterIo};
-pub use decoder::{decode, decode_at, Devirtualizer};
+pub use decoder::{
+    decode, decode_at, decode_into, DecodeScratch, Devirtualizer, FrameSink, NullSink,
+};
 pub use encoder::VbsEncoder;
 pub use error::VbsError;
 pub use format::{ClusterRecord, ClusterRoutes, Connection, Vbs};

@@ -3,8 +3,8 @@
 use crate::error::RuntimeError;
 use std::time::Instant;
 use vbs_arch::{Coord, Device, Rect};
-use vbs_bitstream::{ConfigMemory, TaskBitstream};
-use vbs_core::{Devirtualizer, Vbs};
+use vbs_bitstream::{BitstreamError, ConfigMemory, MacroFrame, TaskBitstream};
+use vbs_core::{DecodeScratch, Devirtualizer, FrameSink, Vbs};
 
 /// Timing and composition report of one de-virtualization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +50,11 @@ impl ReconfigurationController {
         self
     }
 
+    /// The number of de-virtualization worker threads.
+    pub const fn workers(&self) -> usize {
+        self.workers
+    }
+
     /// The device this controller manages.
     pub fn device(&self) -> &Device {
         &self.device
@@ -82,6 +87,103 @@ impl ReconfigurationController {
         let (task, report) = self.devirtualize(vbs)?;
         self.memory.load_task(&task, origin)?;
         Ok(report)
+    }
+
+    /// As [`ReconfigurationController::load`], but with the decode buffers
+    /// (staging bit-stream included) taken from `scratch`, so a warm caller
+    /// loads without a single heap allocation. Falls back to the worker-pool
+    /// path when this controller decodes in parallel (per-thread scratches
+    /// belong to the threads, not the caller).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReconfigurationController::load`]; the configuration memory is
+    /// left untouched on failure.
+    pub fn load_with(
+        &mut self,
+        vbs: &Vbs,
+        origin: Coord,
+        scratch: &mut DecodeScratch,
+    ) -> Result<DecodeReport, RuntimeError> {
+        if self.workers > 1 {
+            return self.load(vbs, origin);
+        }
+        let mut staging =
+            scratch.take_staging(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
+        let result = devirtualize_into(vbs, &mut staging, scratch);
+        let outcome = match result {
+            Ok(report) => self
+                .memory
+                .load_task(&staging, origin)
+                .map(|()| report)
+                .map_err(RuntimeError::Memory),
+            Err(e) => Err(e),
+        };
+        scratch.put_staging(staging);
+        outcome
+    }
+
+    /// De-virtualizes `vbs` **into** the configuration memory at `origin`,
+    /// beginning frame writes as soon as each cluster record is expanded —
+    /// the streaming load path: instead of buffering the whole decoded task
+    /// and then writing it, decode and configuration-memory writes overlap
+    /// within the single load. `staging` receives the decoded image as a
+    /// byproduct (callers typically pool it or feed a decode cache) and
+    /// `scratch` provides every decode buffer, so a warm call allocates
+    /// nothing.
+    ///
+    /// The final memory state is bit-identical to
+    /// [`ReconfigurationController::load`]: every frame of the task
+    /// rectangle is written exactly once per completed cluster (stale
+    /// content of the region is overwritten either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Memory`] if the task sticks out of the device
+    /// (checked before the first write) or [`RuntimeError::Decode`] when the
+    /// stream cannot be expanded. Unlike the buffered path, a decode failure
+    /// happens *after* some frames may have been written; the controller
+    /// then clears the whole target region, so the memory ends blank there
+    /// rather than partially configured.
+    pub fn load_streaming(
+        &mut self,
+        vbs: &Vbs,
+        origin: Coord,
+        staging: &mut TaskBitstream,
+        scratch: &mut DecodeScratch,
+    ) -> Result<DecodeReport, RuntimeError> {
+        let (w, h) = (vbs.width().max(1), vbs.height().max(1));
+        if origin.x as u32 + w as u32 > self.memory.width() as u32
+            || origin.y as u32 + h as u32 > self.memory.height() as u32
+        {
+            return Err(RuntimeError::Memory(BitstreamError::DoesNotFit {
+                origin,
+                width: w,
+                height: h,
+            }));
+        }
+        let start = Instant::now();
+        let devirtualizer = Devirtualizer::new(vbs)?;
+        let mut sink = MemorySink {
+            memory: &mut self.memory,
+            origin,
+        };
+        if let Err(e) = devirtualizer.decode_streaming(staging, scratch, &mut sink) {
+            // Frames already streamed would leave the region half
+            // configured: blank it so a failed load never leaves partial
+            // state behind (the region held no resident task — the caller
+            // checked — so blank is what it was).
+            self.memory
+                .clear_region(Rect::new(origin, w, h))
+                .expect("target region validated above");
+            return Err(RuntimeError::Decode(e));
+        }
+        Ok(DecodeReport {
+            records: vbs.records().len(),
+            workers: 1,
+            micros: start.elapsed().as_micros(),
+            raw_bits: staging.size_bits(),
+        })
     }
 
     /// Writes an already-decoded task bit-stream into the configuration
@@ -136,16 +238,17 @@ pub fn devirtualize_stream(
     let mut task = TaskBitstream::empty(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
 
     if workers <= 1 || vbs.records().len() < 2 {
-        for record in vbs.records() {
-            devirtualizer.decode_record_into(record, &mut task)?;
-        }
+        // One shared, header-pre-reserved scratch across every record.
+        let mut scratch = DecodeScratch::new();
+        devirtualizer.decode_into(&mut task, &mut scratch)?;
     } else {
         // Parallel decode: workers expand disjoint record subsets into
         // private task images which are merged afterwards — each record
         // only touches its own cluster, so the merge is conflict-free.
         // Workers allocate their partial image lazily (a chunk whose
-        // records all fail early never pays for one) and the merge moves
-        // frames out of the partials instead of cloning their payloads.
+        // records all fail early never pays for one), share one decode
+        // scratch across their chunk, and the merge moves frames out of
+        // the partials instead of cloning their payloads.
         let records = vbs.records();
         let chunk = records.len().div_ceil(workers);
         let spec = *vbs.spec();
@@ -158,10 +261,11 @@ pub fn devirtualize_stream(
                         let devirt = &devirtualizer;
                         scope.spawn(move || {
                             let mut local: Option<TaskBitstream> = None;
+                            let mut scratch = DecodeScratch::new();
                             for record in slice {
                                 let target =
                                     local.get_or_insert_with(|| TaskBitstream::empty(spec, w, h));
-                                devirt.decode_record_into(record, target)?;
+                                devirt.decode_record_with(record, target, &mut scratch)?;
                             }
                             Ok(local)
                         })
@@ -186,6 +290,49 @@ pub fn devirtualize_stream(
         raw_bits: task.size_bits(),
     };
     Ok((task, report))
+}
+
+/// De-virtualizes `vbs` into a caller-provided bit-stream with a
+/// caller-provided scratch arena — the zero-allocation decode handoff used
+/// by per-worker decode pipelines: each worker keeps one [`DecodeScratch`]
+/// and a recycled [`TaskBitstream`] alive across loads, so steady-state
+/// decoding performs no heap allocation at all. Results are bit-identical
+/// to [`devirtualize_stream`].
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Decode`] when the stream cannot be expanded.
+pub fn devirtualize_into(
+    vbs: &Vbs,
+    task: &mut TaskBitstream,
+    scratch: &mut DecodeScratch,
+) -> Result<DecodeReport, RuntimeError> {
+    let start = Instant::now();
+    let devirtualizer = Devirtualizer::new(vbs)?;
+    devirtualizer.decode_into(task, scratch)?;
+    Ok(DecodeReport {
+        records: vbs.records().len(),
+        workers: 1,
+        micros: start.elapsed().as_micros(),
+        raw_bits: task.size_bits(),
+    })
+}
+
+/// A [`FrameSink`] writing task-relative frames into a device's
+/// configuration memory at a fixed origin. The target region is validated
+/// before streaming starts, so emission cannot fail.
+struct MemorySink<'a> {
+    memory: &'a mut ConfigMemory,
+    origin: Coord,
+}
+
+impl FrameSink for MemorySink<'_> {
+    fn emit(&mut self, at: Coord, frame: &MacroFrame) {
+        self.memory.write_frame(
+            Coord::new(self.origin.x + at.x, self.origin.y + at.y),
+            frame,
+        );
+    }
 }
 
 /// Moves every non-empty frame of `from` into `into` (frames are disjoint by
@@ -258,5 +405,73 @@ mod tests {
             Err(RuntimeError::Memory(_))
         ));
         assert_eq!(controller.memory().occupied_macros(), 0);
+    }
+
+    #[test]
+    fn streaming_load_matches_buffered_load_bit_for_bit() {
+        let (device, vbs, raw) = task_vbs();
+        let mut buffered = ReconfigurationController::new(device.clone());
+        buffered.load(&vbs, Coord::new(3, 2)).unwrap();
+
+        let mut streaming = ReconfigurationController::new(device);
+        let mut scratch = DecodeScratch::new();
+        let mut staging = TaskBitstream::empty(*vbs.spec(), 1, 1);
+        // Pre-soil the target region to prove streaming overwrites stale
+        // frames of recordless clusters too.
+        streaming
+            .memory
+            .frame_mut(Coord::new(4, 3))
+            .set_bit(0, true);
+        let report = streaming
+            .load_streaming(&vbs, Coord::new(3, 2), &mut staging, &mut scratch)
+            .unwrap();
+        assert_eq!(report.records, vbs.records().len());
+        assert_eq!(staging.diff_count(&raw).unwrap(), 0);
+
+        let region = Rect::new(Coord::new(3, 2), vbs.width(), vbs.height());
+        let a = buffered.memory().read_region(region).unwrap();
+        let b = streaming.memory().read_region(region).unwrap();
+        assert_eq!(a.diff_count(&b).unwrap(), 0);
+        assert_eq!(
+            buffered.memory().occupied_macros(),
+            streaming.memory().occupied_macros()
+        );
+
+        // Repeat with the warm scratch + staging: still identical.
+        streaming.memory.clear_region(region).unwrap();
+        streaming
+            .load_streaming(&vbs, Coord::new(3, 2), &mut staging, &mut scratch)
+            .unwrap();
+        let b2 = streaming.memory().read_region(region).unwrap();
+        assert_eq!(a.diff_count(&b2).unwrap(), 0);
+    }
+
+    #[test]
+    fn streaming_load_rejects_out_of_bounds_before_writing() {
+        let (device, vbs, _) = task_vbs();
+        let mut controller = ReconfigurationController::new(device);
+        let mut scratch = DecodeScratch::new();
+        let mut staging = TaskBitstream::empty(*vbs.spec(), 1, 1);
+        assert!(matches!(
+            controller.load_streaming(&vbs, Coord::new(19, 11), &mut staging, &mut scratch),
+            Err(RuntimeError::Memory(_))
+        ));
+        assert_eq!(controller.memory().occupied_macros(), 0);
+    }
+
+    #[test]
+    fn load_with_reuses_scratch_and_matches_load() {
+        let (device, vbs, raw) = task_vbs();
+        let mut controller = ReconfigurationController::new(device);
+        let mut scratch = DecodeScratch::new();
+        for _ in 0..2 {
+            controller
+                .load_with(&vbs, Coord::new(1, 1), &mut scratch)
+                .unwrap();
+            let region = Rect::new(Coord::new(1, 1), vbs.width(), vbs.height());
+            let readback = controller.memory().read_region(region).unwrap();
+            assert_eq!(readback.diff_count(&raw).unwrap(), 0);
+            controller.unload(region).unwrap();
+        }
     }
 }

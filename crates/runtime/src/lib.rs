@@ -29,7 +29,9 @@ mod manager;
 pub mod placement;
 mod repository;
 
-pub use controller::{devirtualize_stream, DecodeReport, ReconfigurationController};
+pub use controller::{
+    devirtualize_into, devirtualize_stream, DecodeReport, ReconfigurationController,
+};
 pub use error::RuntimeError;
 pub use manager::{LoadedTask, TaskHandle, TaskManager};
 pub use placement::{BestFit, BottomLeftSkyline, FabricId, FabricView, FirstFit, PlacementPolicy};

@@ -1,12 +1,13 @@
 //! On-line task management: placing, loading, relocating and evicting
 //! hardware tasks on the fabric at run time.
 
-use crate::controller::ReconfigurationController;
+use crate::controller::{DecodeReport, ReconfigurationController};
 use crate::error::RuntimeError;
 use crate::placement::{FabricId, FabricView, FirstFit, PlacementPolicy};
 use crate::repository::VbsRepository;
 use vbs_arch::{Coord, Rect};
 use vbs_bitstream::{BitstreamError, TaskBitstream};
+use vbs_core::{DecodeScratch, Vbs};
 
 /// Identifier of a loaded task instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -38,6 +39,9 @@ pub struct TaskManager {
     next_handle: u64,
     policy: Box<dyn PlacementPolicy>,
     fabric_id: FabricId,
+    /// Decode arena reused across every load/relocate this manager performs,
+    /// so steady-state de-virtualization allocates nothing.
+    scratch: DecodeScratch,
 }
 
 impl TaskManager {
@@ -51,6 +55,7 @@ impl TaskManager {
             next_handle: 1,
             policy: Box::new(FirstFit),
             fabric_id: FabricId::default(),
+            scratch: DecodeScratch::new(),
         }
     }
 
@@ -118,8 +123,57 @@ impl TaskManager {
         let vbs = self.repository.fetch(name)?;
         let region = Rect::new(origin, vbs.width(), vbs.height());
         self.ensure_region_free(&region, None)?;
-        self.controller.load(&vbs, origin)?;
+        self.controller.load_with(&vbs, origin, &mut self.scratch)?;
         Ok(self.register(name, region))
+    }
+
+    /// Loads a task at an explicit position through the **streaming** write
+    /// path: configuration-memory frames are written as each cluster record
+    /// decodes, instead of after the whole stream is buffered. `staging`
+    /// receives the decoded image (position independent, suitable for a
+    /// decode cache); the manager's internal scratch provides every other
+    /// buffer, so a warm call allocates nothing. The final memory state is
+    /// bit-identical to [`TaskManager::load_at`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TaskManager::load_at`]. On a decode failure the target region is
+    /// blanked (it held no task — see
+    /// [`ReconfigurationController::load_streaming`]).
+    pub fn load_streaming_at(
+        &mut self,
+        name: &str,
+        vbs: &Vbs,
+        staging: &mut TaskBitstream,
+        origin: Coord,
+    ) -> Result<(TaskHandle, DecodeReport), RuntimeError> {
+        let region = Rect::new(origin, vbs.width().max(1), vbs.height().max(1));
+        self.ensure_region_free(&region, None)?;
+        let report = self
+            .controller
+            .load_streaming(vbs, origin, staging, &mut self.scratch)?;
+        Ok((self.register(name, region), report))
+    }
+
+    /// De-virtualizes `vbs` into `staging` with the manager's internal
+    /// decode arena (zero allocations when warm) — the buffered-decode
+    /// handoff for callers that cache decoded images. Falls back to the
+    /// controller's worker pool when it decodes in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Decode`] when the stream cannot be expanded.
+    pub fn devirtualize_into(
+        &mut self,
+        vbs: &Vbs,
+        staging: &mut TaskBitstream,
+    ) -> Result<DecodeReport, RuntimeError> {
+        if self.controller.workers() > 1 {
+            let (task, report) = self.controller.devirtualize(vbs)?;
+            *staging = task;
+            return Ok(report);
+        }
+        crate::controller::devirtualize_into(vbs, staging, &mut self.scratch)
     }
 
     /// Loads an already-decoded task bit-stream at an explicit position —
@@ -194,9 +248,25 @@ impl TaskManager {
             .ok_or(RuntimeError::UnknownHandle { id: handle.0 })?;
         let name = self.loaded[index].name.clone();
         let vbs = self.repository.fetch(&name)?;
-        // Decode first so a failure leaves the old instance running.
-        let (task, _report) = self.controller.devirtualize(&vbs)?;
-        self.relocate_decoded_at(index, &task, origin)
+        // Decode first so a failure leaves the old instance running; the
+        // staging buffer and decode arena are reused across relocations.
+        let mut staging =
+            self.scratch
+                .take_staging(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
+        let result = if self.controller.workers() > 1 {
+            self.controller.devirtualize(&vbs).map(|(task, _)| {
+                staging = task;
+            })
+        } else {
+            crate::controller::devirtualize_into(&vbs, &mut staging, &mut self.scratch)
+                .map(|_report| ())
+        };
+        let outcome = match result {
+            Ok(()) => self.relocate_decoded_at(index, &staging, origin),
+            Err(e) => Err(e),
+        };
+        self.scratch.put_staging(staging);
+        outcome
     }
 
     /// Relocates a loaded task using an already-decoded bit-stream (the
@@ -434,6 +504,40 @@ mod tests {
         m.relocate(a, Coord::new(2, 1)).unwrap();
         let after = m.controller().memory().read_region(region).unwrap();
         assert_eq!(before.diff_count(&after).unwrap(), 0);
+    }
+
+    #[test]
+    fn streaming_load_at_matches_load_at() {
+        let mut buffered = manager();
+        buffered.load_at("task_a", Coord::new(2, 1)).unwrap();
+
+        let mut streaming = manager();
+        let vbs = streaming.repository().fetch("task_a").unwrap();
+        let mut staging = TaskBitstream::empty(*vbs.spec(), 1, 1);
+        let (handle, report) = streaming
+            .load_streaming_at("task_a", &vbs, &mut staging, Coord::new(2, 1))
+            .unwrap();
+        assert_eq!(report.records, vbs.records().len());
+
+        let region = streaming.loaded_tasks()[0].region;
+        assert_eq!(region, buffered.loaded_tasks()[0].region);
+        let a = buffered.controller().memory().read_region(region).unwrap();
+        let b = streaming.controller().memory().read_region(region).unwrap();
+        assert_eq!(a.diff_count(&b).unwrap(), 0);
+
+        // The streamed instance is a first-class resident: unload clears it.
+        streaming.unload(handle).unwrap();
+        assert_eq!(streaming.controller().memory().occupied_macros(), 0);
+
+        // Overlap with a resident is rejected before anything is written.
+        let (h2, _) = streaming
+            .load_streaming_at("task_a", &vbs, &mut staging, Coord::new(0, 0))
+            .unwrap();
+        assert!(matches!(
+            streaming.load_streaming_at("task_a", &vbs, &mut staging, Coord::new(1, 1)),
+            Err(RuntimeError::RegionBusy { .. })
+        ));
+        streaming.unload(h2).unwrap();
     }
 
     #[test]

@@ -90,9 +90,19 @@ impl DecodeCache {
 
     /// Inserts (or replaces) the decoded stream of `(name, spec)`, evicting
     /// the least recently used entry when the cache is full.
-    pub fn insert(&mut self, name: &str, spec: ArchSpec, task: Arc<TaskBitstream>) {
+    ///
+    /// The displaced stream — the replaced image or the LRU victim — is
+    /// returned so callers can recycle its buffer into a
+    /// [`crate::BitstreamPool`] instead of dropping a task-sized allocation
+    /// on the floor.
+    pub fn insert(
+        &mut self,
+        name: &str,
+        spec: ArchSpec,
+        task: Arc<TaskBitstream>,
+    ) -> Option<Arc<TaskBitstream>> {
         if self.capacity == 0 {
-            return;
+            return Some(task);
         }
         self.clock += 1;
         if let Some(entry) = self
@@ -100,10 +110,11 @@ impl DecodeCache {
             .iter_mut()
             .find(|e| e.name == name && e.spec == spec)
         {
-            entry.task = task;
+            let displaced = std::mem::replace(&mut entry.task, task);
             entry.last_used = self.clock;
-            return;
+            return Some(displaced);
         }
+        let mut evicted = None;
         if self.entries.len() >= self.capacity {
             if let Some(lru) = self
                 .entries
@@ -112,7 +123,7 @@ impl DecodeCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
             {
-                self.entries.swap_remove(lru);
+                evicted = Some(self.entries.swap_remove(lru).task);
             }
         }
         self.entries.push(Entry {
@@ -121,6 +132,7 @@ impl DecodeCache {
             task,
             last_used: self.clock,
         });
+        evicted
     }
 
     /// Whether a decoded stream of `(name, spec)` is cached, without
@@ -177,11 +189,13 @@ mod tests {
         let spec = ArchSpec::paper_example();
         let mut cache = DecodeCache::new(2);
         assert!(cache.get("a", &spec).is_none());
-        cache.insert("a", spec, task(1));
-        cache.insert("b", spec, task(2));
+        assert!(cache.insert("a", spec, task(1)).is_none());
+        assert!(cache.insert("b", spec, task(2)).is_none());
         assert!(cache.get("a", &spec).is_some());
-        // "b" is now least recently used; inserting "c" evicts it.
-        cache.insert("c", spec, task(3));
+        // "b" is now least recently used; inserting "c" evicts and returns it.
+        let evicted = cache.insert("c", spec, task(3)).expect("lru victim");
+        assert_eq!(evicted.popcount(), 1);
+        assert!(evicted.frame(Coord::new(0, 0)).bit(2));
         assert!(cache.get("b", &spec).is_none());
         assert!(cache.get("a", &spec).is_some());
         assert!(cache.get("c", &spec).is_some());

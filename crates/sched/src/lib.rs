@@ -16,6 +16,11 @@
 //!   paper's fast-relocation use case at scale;
 //! * [`DecodeCache`] — an LRU cache of decoded [`vbs_bitstream::TaskBitstream`]s
 //!   keyed by `(task, spec)`, so repeated loads skip de-virtualization;
+//! * [`BitstreamPool`] — a fleet-wide free-list of decoded-image buffers:
+//!   cache evictions recycle into it, decode workers check out of it, so
+//!   steady-state decoding allocates nothing
+//!   ([`SchedulerConfig::streaming`] additionally overlaps config-memory
+//!   writes with the decode of each load);
 //! * [`Trace`] / [`replay`] — a deterministic trace format, a seeded
 //!   synthetic workload generator and a simulator reporting acceptance
 //!   rate, fragmentation, decode time, cache hit rate and relocations;
@@ -35,6 +40,7 @@
 mod cache;
 mod evict;
 mod multi;
+mod pool;
 mod scheduler;
 mod shard;
 mod sim;
@@ -43,6 +49,7 @@ mod trace;
 pub use cache::{CacheStats, DecodeCache};
 pub use evict::{EvictionPolicy, LruEviction, PriorityEviction, ResidentInfo};
 pub use multi::{MultiConfig, MultiFabricScheduler, MultiMetrics};
+pub use pool::{BitstreamPool, PoolStats};
 pub use scheduler::{Outcome, RejectReason, Request, SchedMetrics, Scheduler, SchedulerConfig};
 pub use shard::{
     shard_policy_by_name, CacheAffinity, FabricStatus, LeastLoaded, RoundRobin, ShardPolicy,

@@ -24,6 +24,7 @@
 //! outcomes are translated back to them, so callers never see per-fabric
 //! ids.
 
+use crate::pool::BitstreamPool;
 use crate::scheduler::{Outcome, RejectReason, Request, SchedMetrics, Scheduler};
 use crate::shard::{FabricStatus, ShardPolicy};
 use std::collections::{HashMap, VecDeque};
@@ -31,8 +32,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use vbs_bitstream::TaskBitstream;
-use vbs_core::Vbs;
-use vbs_runtime::devirtualize_stream;
+use vbs_core::{DecodeScratch, Vbs};
+use vbs_runtime::devirtualize_into;
 
 /// Tunables of the multi-fabric dispatcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +42,13 @@ pub struct MultiConfig {
     pub decode_workers: usize,
     /// Whether capacity-rejected loads migrate to an untried fabric.
     pub migration: bool,
+    /// Whether fabrics use the streaming decode→write load path instead of
+    /// the staged pipeline: the round's decodes are *not* fanned out to the
+    /// worker pool; each fabric writer decodes on demand and overlaps
+    /// configuration-memory writes with the decode of a single load
+    /// ([`crate::SchedulerConfig::streaming`] is switched on for every
+    /// fabric). Counters stay bit-identical to the staged/buffered modes.
+    pub streaming: bool,
 }
 
 impl Default for MultiConfig {
@@ -51,6 +59,7 @@ impl Default for MultiConfig {
                 .unwrap_or(1)
                 .min(8),
             migration: true,
+            streaming: false,
         }
     }
 }
@@ -130,6 +139,13 @@ pub struct MultiFabricScheduler {
     synthesized: Vec<(u64, Outcome)>,
     next_job: u64,
     metrics: MultiMetrics,
+    /// One persistent decode arena per pipeline worker, so steady-state
+    /// staged decodes allocate nothing (workers re-lock "their" scratch
+    /// each round).
+    worker_scratch: Vec<Mutex<DecodeScratch>>,
+    /// The fleet-wide recycled-buffer pool shared by every fabric's decode
+    /// cache and the pipeline workers.
+    pool: BitstreamPool,
 }
 
 impl MultiFabricScheduler {
@@ -141,8 +157,24 @@ impl MultiFabricScheduler {
     /// # Panics
     ///
     /// Panics if `fabrics` is empty.
-    pub fn new(fabrics: Vec<Scheduler>, policy: Box<dyn ShardPolicy>, config: MultiConfig) -> Self {
+    pub fn new(
+        mut fabrics: Vec<Scheduler>,
+        policy: Box<dyn ShardPolicy>,
+        config: MultiConfig,
+    ) -> Self {
         assert!(!fabrics.is_empty(), "a fleet needs at least one fabric");
+        // One buffer pool for the whole fleet: an image evicted from any
+        // fabric's decode cache feeds the next decode anywhere.
+        let pool = BitstreamPool::default();
+        for fabric in &mut fabrics {
+            fabric.set_pool(pool.clone());
+            if config.streaming {
+                fabric.set_streaming(true);
+            }
+        }
+        let worker_scratch = (0..config.decode_workers.max(1))
+            .map(|_| Mutex::new(DecodeScratch::new()))
+            .collect();
         MultiFabricScheduler {
             fabrics,
             policy,
@@ -154,7 +186,14 @@ impl MultiFabricScheduler {
             synthesized: Vec::new(),
             next_job: 1,
             metrics: MultiMetrics::default(),
+            worker_scratch,
+            pool,
         }
+    }
+
+    /// The fleet-wide recycled-buffer pool (a shared handle).
+    pub fn bitstream_pool(&self) -> BitstreamPool {
+        self.pool.clone()
     }
 
     /// Number of fabrics in the fleet.
@@ -361,10 +400,15 @@ impl MultiFabricScheduler {
             }
         }
         // An unloaded or reported-gone job can never appear in a shard
-        // outcome again: drop its route and id mapping.
+        // outcome again: drop its route and id mapping — unless the job's
+        // *load* is still pending in this very batch (an unload submitted
+        // before its target was processed resolves NotResident first, while
+        // the load still lands afterwards and must stay addressable).
         if let Outcome::Unloaded { job } | Outcome::NotResident { job } = outcome {
-            if let Some(home) = self.route.remove(job) {
-                self.local_to_global.remove(&home);
+            if !self.pending_loads.contains_key(job) {
+                if let Some(home) = self.route.remove(job) {
+                    self.local_to_global.remove(&home);
+                }
             }
         }
     }
@@ -464,16 +508,21 @@ impl MultiFabricScheduler {
         type WriterResult = (usize, Vec<(u64, Outcome)>, u128);
 
         let fabric_count = self.fabrics.len();
-        let jobs: VecDeque<(usize, String, Vbs)> = self
-            .fabrics
-            .iter()
-            .enumerate()
-            .flat_map(|(i, s)| {
-                s.pending_decode_fetches()
-                    .into_iter()
-                    .map(move |(name, vbs)| (i, name, vbs))
-            })
-            .collect();
+        // Streaming mode decodes on demand inside each fabric writer
+        // (overlapping writes within a load), so nothing is staged ahead.
+        let jobs: VecDeque<(usize, String, Vbs)> = if self.config.streaming {
+            VecDeque::new()
+        } else {
+            self.fabrics
+                .iter()
+                .enumerate()
+                .flat_map(|(i, s)| {
+                    s.pending_decode_fetches()
+                        .into_iter()
+                        .map(move |(name, vbs)| (i, name, vbs))
+                })
+                .collect()
+        };
         let mut expected = vec![0usize; fabric_count];
         for &(fabric, _, _) in &jobs {
             expected[fabric] += 1;
@@ -491,24 +540,39 @@ impl MultiFabricScheduler {
         }
         let queue = Mutex::new(jobs);
 
+        let worker_scratch = &self.worker_scratch;
+        let pool = &self.pool;
         let mut per_fabric: Vec<WriterResult> = std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for scratch_cell in worker_scratch.iter().take(workers) {
                 let queue = &queue;
                 let senders = senders.clone();
-                scope.spawn(move || loop {
-                    let job = queue
-                        .lock()
-                        .expect("decode queue never poisoned")
-                        .pop_front();
-                    let Some((fabric, name, vbs)) = job else {
-                        break;
-                    };
-                    // Failures are not staged: the fabric re-decodes on
-                    // demand and reports the error per request.
-                    let staged = devirtualize_stream(&vbs, 1)
-                        .ok()
-                        .map(|(task, report)| (Arc::new(task), report.micros));
-                    let _ = senders[fabric].send((name, staged));
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    // Each worker re-locks its own persistent arena: warm
+                    // after the first round, so steady-state staged decodes
+                    // allocate nothing beyond a pooled staging buffer.
+                    let mut scratch = scratch_cell.lock().expect("worker scratch never poisoned");
+                    loop {
+                        let job = queue
+                            .lock()
+                            .expect("decode queue never poisoned")
+                            .pop_front();
+                        let Some((fabric, name, vbs)) = job else {
+                            break;
+                        };
+                        let mut staging =
+                            pool.checkout(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
+                        // Failures are not staged: the fabric re-decodes on
+                        // demand and reports the error per request.
+                        let staged = match devirtualize_into(&vbs, &mut staging, &mut scratch) {
+                            Ok(report) => Some((Arc::new(staging), report.micros)),
+                            Err(_) => {
+                                pool.put(staging);
+                                None
+                            }
+                        };
+                        let _ = senders[fabric].send((name, staged));
+                    }
                 });
             }
             drop(senders);

@@ -11,6 +11,7 @@
 
 use crate::cache::{CacheStats, DecodeCache};
 use crate::evict::{EvictionPolicy, LruEviction, ResidentInfo};
+use crate::pool::BitstreamPool;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use vbs_arch::{Coord, Rect};
@@ -112,6 +113,14 @@ pub struct SchedulerConfig {
     pub compaction: bool,
     /// Decoded streams kept in the cache (0 disables caching).
     pub cache_capacity: usize,
+    /// Whether loads take the streaming decode→write path when they can:
+    /// a load that needs a fresh decode *and* fits the fabric without
+    /// eviction or compaction writes configuration frames as each cluster
+    /// record expands, instead of buffering the full decoded image first.
+    /// Outcomes, counters, cache behavior and the final configuration
+    /// memory are bit-identical to the buffered path (the differential
+    /// suite pins this down); only the latency profile changes.
+    pub streaming: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -120,6 +129,7 @@ impl Default for SchedulerConfig {
             eviction_limit: 2,
             compaction: true,
             cache_capacity: 16,
+            streaming: false,
         }
     }
 }
@@ -222,6 +232,9 @@ pub struct Scheduler {
     /// (see [`Scheduler::stage_decoded`]), waiting to be consumed by the
     /// next load of their task.
     staged: HashMap<String, (Arc<TaskBitstream>, u128)>,
+    /// Recycled decoded-image buffers: cache evictions return here, decodes
+    /// check out of here. Shared fleet-wide in multi-fabric deployments.
+    pool: BitstreamPool,
 }
 
 impl Scheduler {
@@ -251,7 +264,25 @@ impl Scheduler {
             next_seq: 0,
             metrics: SchedMetrics::default(),
             staged: HashMap::new(),
+            pool: BitstreamPool::default(),
         }
+    }
+
+    /// The scheduler's recycled-buffer pool (a shared handle).
+    pub fn bitstream_pool(&self) -> BitstreamPool {
+        self.pool.clone()
+    }
+
+    /// Replaces the recycled-buffer pool — multi-fabric dispatchers install
+    /// one shared pool so evictions on any fabric feed decodes everywhere.
+    pub fn set_pool(&mut self, pool: BitstreamPool) {
+        self.pool = pool;
+    }
+
+    /// Switches the streaming decode→write load path on or off (see
+    /// [`SchedulerConfig::streaming`]).
+    pub fn set_streaming(&mut self, streaming: bool) {
+        self.config.streaming = streaming;
     }
 
     /// Read access to the underlying task manager (fabric + repository).
@@ -524,6 +555,17 @@ impl Scheduler {
     /// Fetches the decoded stream of `name` through the cache. Returns the
     /// stream and whether it was a cache hit.
     fn decoded_stream(&mut self, name: &str) -> Result<(Arc<TaskBitstream>, bool), RuntimeError> {
+        self.decoded_with(name, None)
+    }
+
+    /// As [`Scheduler::decoded_stream`], but reusing a stream the caller
+    /// already fetched (the streaming fast path fetches before deciding to
+    /// fall back — the fallback must not deserialize the VBS twice).
+    fn decoded_with(
+        &mut self,
+        name: &str,
+        prefetched: Option<Vbs>,
+    ) -> Result<(Arc<TaskBitstream>, bool), RuntimeError> {
         // A stream the decode pipeline expanded ahead of time: it carries
         // the spec of the stream it was decoded from (this round's fetch),
         // so the repository fetch is skipped entirely. Accounting matches
@@ -536,18 +578,34 @@ impl Scheduler {
             }
             self.metrics.decodes += 1;
             self.metrics.decode_micros += micros;
-            self.cache.insert(name, spec, Arc::clone(&task));
+            if let Some(evicted) = self.cache.insert(name, spec, Arc::clone(&task)) {
+                self.pool.recycle(evicted);
+            }
             return Ok((task, false));
         }
-        let vbs: Vbs = self.manager.repository().fetch(name)?;
+        let vbs: Vbs = match prefetched {
+            Some(vbs) => vbs,
+            None => self.manager.repository().fetch(name)?,
+        };
         if let Some(cached) = self.cache.get(name, vbs.spec()) {
             return Ok((cached, true));
         }
-        let (task, report) = self.manager.controller().devirtualize(&vbs)?;
+        let mut staging = self
+            .pool
+            .checkout(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
+        let report = match self.manager.devirtualize_into(&vbs, &mut staging) {
+            Ok(report) => report,
+            Err(e) => {
+                self.pool.put(staging);
+                return Err(e);
+            }
+        };
         self.metrics.decodes += 1;
         self.metrics.decode_micros += report.micros;
-        let task = Arc::new(task);
-        self.cache.insert(name, *vbs.spec(), Arc::clone(&task));
+        let task = Arc::new(staging);
+        if let Some(evicted) = self.cache.insert(name, *vbs.spec(), Arc::clone(&task)) {
+            self.pool.recycle(evicted);
+        }
         Ok((task, false))
     }
 
@@ -603,7 +661,14 @@ impl Scheduler {
                 evicted: Vec::new(),
             };
         }
-        let decoded = match self.decoded_stream(task) {
+        let mut prefetched = None;
+        if self.config.streaming {
+            match self.try_load_streaming(job, task, priority) {
+                StreamingAttempt::Done(outcome) => return outcome,
+                StreamingAttempt::Buffered(vbs) => prefetched = vbs,
+            }
+        }
+        let decoded = match self.decoded_with(task, prefetched) {
             Ok(d) => d,
             Err(RuntimeError::UnknownTask { .. }) => {
                 self.metrics.loads_rejected += 1;
@@ -705,6 +770,84 @@ impl Scheduler {
         }
     }
 
+    /// The streaming fast path of a load: when the task needs a fresh
+    /// decode *and* a free region exists without eviction or compaction,
+    /// decode and configuration-memory writes overlap within the load
+    /// ([`TaskManager::load_streaming_at`]) using a pooled staging buffer.
+    ///
+    /// Returns [`StreamingAttempt::Buffered`] when the request must take
+    /// the buffered path instead (staged or cached stream, unknown task, or
+    /// no free region) — exactly the cases whose accounting could diverge;
+    /// a stream already fetched for the probe rides along so the fallback
+    /// never deserializes it twice. Restricting the fast path this way
+    /// keeps every counter, cache stamp and memory bit identical between
+    /// the two paths, which the differential suite pins down.
+    fn try_load_streaming(&mut self, job: u64, name: &str, priority: u8) -> StreamingAttempt {
+        if self.staged.contains_key(name) {
+            return StreamingAttempt::Buffered(None);
+        }
+        // Warm cache (any spec): nothing to stream — and nothing worth
+        // fetching; the buffered path resolves the hit by itself.
+        if self.cache.contains_name(name) {
+            return StreamingAttempt::Buffered(None);
+        }
+        // Errors fall through to the buffered path, which reports them with
+        // its usual accounting.
+        let Ok(vbs) = self.manager.repository().fetch(name) else {
+            return StreamingAttempt::Buffered(None);
+        };
+        let (w, h) = (vbs.width().max(1), vbs.height().max(1));
+        let Some(origin) = self.manager.find_free_region(w, h) else {
+            return StreamingAttempt::Buffered(Some(vbs));
+        };
+        // Committed to streaming. From here the order of cache and counter
+        // updates mirrors the buffered path exactly: one cache miss, then
+        // decode, then the insert.
+        let miss = self.cache.get(name, vbs.spec());
+        debug_assert!(miss.is_none(), "contains() checked above");
+        let mut staging = self.pool.checkout(*vbs.spec(), w, h);
+        match self
+            .manager
+            .load_streaming_at(name, &vbs, &mut staging, origin)
+        {
+            Ok((handle, report)) => {
+                self.metrics.decodes += 1;
+                self.metrics.decode_micros += report.micros;
+                let image = Arc::new(staging);
+                if let Some(evicted) = self.cache.insert(name, *vbs.spec(), Arc::clone(&image)) {
+                    self.pool.recycle(evicted);
+                }
+                self.residents.insert(
+                    job,
+                    Resident {
+                        handle,
+                        name: name.to_string(),
+                        priority,
+                        loaded_at: self.clock,
+                        last_used: self.clock,
+                    },
+                );
+                self.metrics.loads_accepted += 1;
+                StreamingAttempt::Done(Outcome::Loaded {
+                    job,
+                    handle,
+                    origin,
+                    evicted: Vec::new(),
+                    cache_hit: false,
+                })
+            }
+            Err(e) => {
+                self.pool.put(staging);
+                self.metrics.loads_rejected += 1;
+                StreamingAttempt::Done(Outcome::Rejected {
+                    job,
+                    reason: RejectReason::Runtime(e.to_string()),
+                    evicted: Vec::new(),
+                })
+            }
+        }
+    }
+
     fn sample_fragmentation(&mut self) {
         let view = self.manager.fabric_view();
         self.metrics.fragmentation_samples += 1;
@@ -714,6 +857,16 @@ impl Scheduler {
             self.metrics.utilization_sum += 1.0 - view.free_area() as f64 / total as f64;
         }
     }
+}
+
+/// How the streaming fast-path probe resolved a load request.
+enum StreamingAttempt {
+    /// The load was fully handled on the streaming path.
+    Done(Outcome),
+    /// The load must take the buffered path; the VBS fetched during the
+    /// probe (if the probe got that far) rides along to avoid a second
+    /// deserialization.
+    Buffered(Option<Vbs>),
 }
 
 /// Unloads before relocates before loads, so departures free space first.

@@ -284,7 +284,7 @@ proptest! {
             k, 9, 7, shard,
             || Box::new(FirstFit) as Box<dyn PlacementPolicy>,
             config,
-            MultiConfig { decode_workers: 2, migration: true },
+            MultiConfig { decode_workers: 2, ..MultiConfig::default() },
         );
 
         let mut jobs: Vec<u64> = Vec::new();

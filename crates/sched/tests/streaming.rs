@@ -1,0 +1,279 @@
+//! Differential suite for the streaming decode→write load path: the
+//! streaming scheduler (`SchedulerConfig::streaming` /
+//! `MultiConfig::streaming`, built on `TaskManager::load_streaming_at` and
+//! the `FrameSink` plumbing) must be **bit-identical** to the buffered
+//! `load_decoded` path — same outcomes, same counters, same cache behavior
+//! and the same final configuration memory — over fixed traces, proptest-
+//! randomized traces at K ∈ {1, 4}, and direct request sequences.
+
+mod common;
+
+use common::{assert_fabric_invariants, fleet, scheduler, TASKS};
+use proptest::prelude::*;
+use vbs_arch::Rect;
+use vbs_runtime::{BestFit, FirstFit};
+use vbs_sched::{
+    replay, replay_multi, CacheStats, LeastLoaded, MultiConfig, Outcome, Request, SchedMetrics,
+    Scheduler, SchedulerConfig, Trace, WorkloadSpec,
+};
+
+fn trace(loads: usize, seed: u64) -> Trace {
+    Trace::synthetic(&WorkloadSpec {
+        tasks: TASKS.iter().map(|t| t.0.to_string()).collect(),
+        loads,
+        mean_interarrival: 3,
+        mean_duration: 24,
+        priority_levels: 4,
+        deadline_slack: Some(40),
+        seed,
+    })
+}
+
+/// Wall-clock decode time is the only nondeterministic counter; zero it so
+/// the rest of the metrics compare bit-for-bit.
+fn normalized(mut metrics: SchedMetrics) -> SchedMetrics {
+    metrics.decode_micros = 0;
+    metrics
+}
+
+fn full_memory_image(sched: &Scheduler) -> vbs_bitstream::TaskBitstream {
+    let device = sched.manager().controller().device();
+    sched
+        .manager()
+        .controller()
+        .memory()
+        .read_region(Rect::at_origin(device.width(), device.height()))
+        .expect("full-device read")
+}
+
+fn assert_schedulers_identical(buffered: &Scheduler, streaming: &Scheduler, context: &str) {
+    assert_eq!(
+        normalized(*buffered.metrics()),
+        normalized(*streaming.metrics()),
+        "{context}: scheduler counters diverge"
+    );
+    let nb: CacheStats = buffered.cache_stats();
+    let ns: CacheStats = streaming.cache_stats();
+    assert_eq!(nb, ns, "{context}: cache counters diverge");
+    assert_eq!(
+        full_memory_image(buffered)
+            .diff_count(&full_memory_image(streaming))
+            .expect("same devices"),
+        0,
+        "{context}: final configuration memories differ"
+    );
+}
+
+/// Single fabric, fixed overload trace: streaming replays bit-identically
+/// to buffered, including rejected loads, evictions and compaction moves.
+#[test]
+fn streaming_scheduler_is_bit_identical_on_a_fixed_trace() {
+    let t = trace(120, 2015);
+    for compaction in [false, true] {
+        let config = SchedulerConfig {
+            eviction_limit: 1,
+            compaction,
+            ..SchedulerConfig::default()
+        };
+        let mut buffered = scheduler(11, 11, 0, Box::new(BestFit), config);
+        let buffered_report = replay(&mut buffered, &t);
+
+        let mut streaming = scheduler(
+            11,
+            11,
+            0,
+            Box::new(BestFit),
+            SchedulerConfig {
+                streaming: true,
+                ..config
+            },
+        );
+        let streaming_report = replay(&mut streaming, &t);
+
+        assert_eq!(buffered_report.events, streaming_report.events);
+        assert_eq!(
+            normalized(buffered_report.sched),
+            normalized(streaming_report.sched),
+            "compaction={compaction}"
+        );
+        assert_eq!(buffered_report.cache, streaming_report.cache);
+        assert_eq!(
+            buffered_report.final_fragmentation,
+            streaming_report.final_fragmentation
+        );
+        assert_schedulers_identical(&buffered, &streaming, &format!("compaction={compaction}"));
+    }
+}
+
+/// Streaming mode fleets (no staged pipeline, per-writer streaming loads)
+/// replay bit-identically to the staged-pipeline fleets at K ∈ {1, 4}.
+#[test]
+fn streaming_fleet_matches_pipelined_fleet() {
+    let t = trace(100, 77);
+    let config = SchedulerConfig {
+        eviction_limit: 1,
+        compaction: true,
+        ..SchedulerConfig::default()
+    };
+    for k in [1usize, 4] {
+        let mut pipelined = fleet(
+            k,
+            11,
+            11,
+            Box::new(LeastLoaded),
+            || Box::new(BestFit),
+            config,
+            MultiConfig::default(),
+        );
+        let pipelined_report = replay_multi(&mut pipelined, &t);
+
+        let mut streaming = fleet(
+            k,
+            11,
+            11,
+            Box::new(LeastLoaded),
+            || Box::new(BestFit),
+            config,
+            MultiConfig {
+                streaming: true,
+                ..MultiConfig::default()
+            },
+        );
+        let streaming_report = replay_multi(&mut streaming, &t);
+
+        assert_eq!(pipelined_report.events, streaming_report.events, "K={k}");
+        assert_eq!(
+            pipelined_report.multi.loads_accepted, streaming_report.multi.loads_accepted,
+            "K={k}"
+        );
+        assert_eq!(
+            pipelined_report.multi.loads_rejected, streaming_report.multi.loads_rejected,
+            "K={k}"
+        );
+        // Streaming decodes on demand: nothing goes through the staging
+        // pipeline.
+        assert_eq!(streaming.metrics().staged_decodes, 0, "K={k}");
+        for f in 0..k {
+            assert_eq!(
+                normalized(pipelined_report.fabrics[f].sched),
+                normalized(streaming_report.fabrics[f].sched),
+                "K={k} fabric {f}: shard counters diverge"
+            );
+            assert_eq!(
+                pipelined_report.fabrics[f].cache, streaming_report.fabrics[f].cache,
+                "K={k} fabric {f}"
+            );
+            assert_eq!(
+                full_memory_image(pipelined.fabric(f))
+                    .diff_count(&full_memory_image(streaming.fabric(f)))
+                    .expect("same devices"),
+                0,
+                "K={k} fabric {f}: final configuration memories differ"
+            );
+            assert_fabric_invariants(streaming.fabric(f));
+        }
+    }
+}
+
+/// Cache evictions feed the fleet-wide buffer pool, and subsequent decodes
+/// draw from it instead of allocating.
+#[test]
+fn cache_evictions_recycle_into_the_pool() {
+    // A 1-entry cache forces an eviction on every distinct decode.
+    let config = SchedulerConfig {
+        eviction_limit: 1,
+        compaction: false,
+        cache_capacity: 1,
+        ..SchedulerConfig::default()
+    };
+    let mut sched = scheduler(12, 12, 0, Box::new(FirstFit), config);
+    let mut jobs = Vec::new();
+    for (round, task) in ["fir4", "crc4", "fir4", "crc4"].iter().enumerate() {
+        sched.advance_to(round as u64 * 10);
+        let job = sched.submit(Request::Load {
+            task: (*task).into(),
+            priority: 1,
+            deadline: None,
+        });
+        for (id, outcome) in sched.process_pending_tagged() {
+            if id == job {
+                assert!(matches!(outcome, Outcome::Loaded { .. }), "{outcome:?}");
+            }
+        }
+        jobs.push(job);
+        // Unload immediately so the decoded image's only owner is the cache
+        // and eviction can reclaim the buffer.
+        sched.submit(Request::Unload { job });
+        sched.process_pending();
+    }
+    let stats = sched.bitstream_pool().stats();
+    assert!(
+        stats.recycled >= 2,
+        "each cache eviction recycles a buffer: {stats:?}"
+    );
+    assert!(
+        stats.reused >= 2,
+        "later decodes reuse recycled buffers: {stats:?}"
+    );
+}
+
+proptest! {
+    /// Random traces at K ∈ {1, 4}: the streaming fleet replays every trace
+    /// bit-identically to the staged-pipeline fleet (counters, cache and
+    /// final configuration memory, per fabric).
+    #[test]
+    fn streaming_matches_buffered_on_random_traces(
+        seed in 0u64..1_000_000,
+        loads in 8usize..48,
+        k_idx in 0usize..2,
+    ) {
+        let k = [1usize, 4][k_idx];
+        let t = trace(loads, seed);
+        let config = SchedulerConfig {
+            eviction_limit: 1,
+            compaction: true,
+            ..SchedulerConfig::default()
+        };
+        let mut pipelined = fleet(
+            k, 9, 9,
+            Box::new(LeastLoaded),
+            || Box::new(BestFit),
+            config,
+            MultiConfig::default(),
+        );
+        let pipelined_report = replay_multi(&mut pipelined, &t);
+        let mut streaming = fleet(
+            k, 9, 9,
+            Box::new(LeastLoaded),
+            || Box::new(BestFit),
+            config,
+            MultiConfig { streaming: true, ..MultiConfig::default() },
+        );
+        let streaming_report = replay_multi(&mut streaming, &t);
+
+        prop_assert_eq!(pipelined_report.events, streaming_report.events);
+        prop_assert_eq!(
+            pipelined_report.multi.loads_accepted,
+            streaming_report.multi.loads_accepted
+        );
+        for f in 0..k {
+            prop_assert_eq!(
+                normalized(pipelined_report.fabrics[f].sched),
+                normalized(streaming_report.fabrics[f].sched),
+                "K={} fabric {}", k, f
+            );
+            prop_assert_eq!(
+                pipelined_report.fabrics[f].cache,
+                streaming_report.fabrics[f].cache,
+                "K={} fabric {}", k, f
+            );
+            prop_assert_eq!(
+                full_memory_image(pipelined.fabric(f))
+                    .diff_count(&full_memory_image(streaming.fabric(f)))
+                    .expect("same devices"),
+                0,
+                "K={} fabric {}: memories differ", k, f
+            );
+        }
+    }
+}

@@ -1,19 +1,37 @@
 mod common;
 use common::fleet;
 use vbs_runtime::FirstFit;
-use vbs_sched::{MultiConfig, Outcome, Request, SchedulerConfig, RoundRobin};
+use vbs_sched::{MultiConfig, Outcome, Request, RoundRobin, SchedulerConfig};
 
 #[test]
 fn unload_submitted_with_load_in_same_batch() {
-    let config = SchedulerConfig { eviction_limit: 1, compaction: false, ..SchedulerConfig::default() };
-    let mut multi = fleet(2, 10, 10, Box::new(RoundRobin::default()), || Box::new(FirstFit), config, MultiConfig::default());
-    let job = multi.submit(Request::Load { task: "fir4".into(), priority: 1, deadline: None });
+    let config = SchedulerConfig {
+        eviction_limit: 1,
+        compaction: false,
+        ..SchedulerConfig::default()
+    };
+    let mut multi = fleet(
+        2,
+        10,
+        10,
+        Box::new(RoundRobin::default()),
+        || Box::new(FirstFit),
+        config,
+        MultiConfig::default(),
+    );
+    let job = multi.submit(Request::Load {
+        task: "fir4".into(),
+        priority: 1,
+        deadline: None,
+    });
     // Unload the job before the batch is processed: the shard processes
     // unloads first, so this resolves NotResident while the load still lands.
     multi.submit(Request::Unload { job });
     let outcomes = multi.process_pending_tagged();
     println!("outcomes: {outcomes:?}");
-    assert!(outcomes.iter().any(|(id, o)| *id == job && matches!(o, Outcome::Loaded { .. })));
+    assert!(outcomes
+        .iter()
+        .any(|(id, o)| *id == job && matches!(o, Outcome::Loaded { .. })));
     // The job is resident on fabric 0 — residents() must be able to name it.
     let residents = multi.residents();
     println!("residents: {residents:?}");

@@ -232,6 +232,125 @@ fn per_load_paths(options: &Options, repository: &VbsRepository) -> Vec<PathResu
     results
 }
 
+/// One region-op measurement of the `frame_write` arm: the word-level flat
+/// arena path vs the retained scalar (legacy per-bit) fallback.
+struct FrameWriteResult {
+    name: &'static str,
+    word: Duration,
+    scalar: Duration,
+    frames: u64,
+}
+
+impl FrameWriteResult {
+    fn mframes_per_sec(&self, elapsed: Duration) -> f64 {
+        self.frames as f64 / elapsed.as_secs_f64() / 1e6
+    }
+
+    fn speedup(&self) -> f64 {
+        self.scalar.as_secs_f64() / self.word.as_secs_f64().max(1e-12)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"word_mframes_per_sec\": {:.1}, \"scalar_mframes_per_sec\": {:.1}, \"speedup_word_vs_scalar\": {:.1}}}",
+            self.mframes_per_sec(self.word),
+            self.mframes_per_sec(self.scalar),
+            self.speedup()
+        )
+    }
+}
+
+/// Times the raw `ConfigMemory` region operations — task load, region
+/// clear, relocation move — on the flat word arena vs the scalar per-bit
+/// reference twins (the legacy layout's access pattern).
+fn frame_write_paths(options: &Options, repository: &VbsRepository) -> Vec<FrameWriteResult> {
+    let device = sched_device(options.fabric.0, options.fabric.1);
+    // The largest workload task gives the most representative region size.
+    let vbs = streams(repository)
+        .into_iter()
+        .max_by_key(|v| v.width() as u64 * v.height() as u64)
+        .expect("workload streams");
+    let (task, _) = devirtualize_stream(&vbs, 1).expect("decode");
+    let mut memory = vbs_bitstream::ConfigMemory::new(&device);
+    let (tw, th) = (task.width(), task.height());
+    assert!(
+        tw <= options.fabric.0 && th <= options.fabric.1,
+        "frame_write arm needs --fabric at least as large as the largest \
+         workload task ({tw}x{th}), got {}x{}",
+        options.fabric.0,
+        options.fabric.1
+    );
+    let a = Coord::new(0, 0);
+    let b = Coord::new(options.fabric.0 - tw, options.fabric.1 - th);
+    assert!(
+        b != a,
+        "frame_write relocation needs the fabric to exceed the largest \
+         workload task ({tw}x{th}) in at least one dimension, got {}x{}",
+        options.fabric.0,
+        options.fabric.1
+    );
+    let rect = |o: Coord| vbs_arch::Rect::new(o, tw, th);
+    let iterations = options.loads.max(1);
+    let frames = tw as u64 * th as u64 * iterations as u64;
+
+    fn timed(iterations: usize, mut op: impl FnMut()) -> Duration {
+        op(); // warm-up
+        let start = Instant::now();
+        for _ in 0..iterations {
+            op();
+        }
+        start.elapsed()
+    }
+
+    let load_word = timed(iterations, || memory.load_task(&task, a).expect("load"));
+    let load_scalar = timed(iterations, || {
+        memory.load_task_scalar(&task, a).expect("load")
+    });
+    // Relocation ping-pongs between two corners so the source always holds
+    // the task (flip-flopping keeps every move a full-content move).
+    memory.load_task(&task, a).expect("seed");
+    let mut at = a;
+    let reloc_word = timed(iterations, || {
+        let to = if at == a { b } else { a };
+        memory.move_region(rect(at), to).expect("move");
+        at = to;
+    });
+    memory.clear_region(rect(a)).expect("clear");
+    memory.clear_region(rect(b)).expect("clear");
+    memory.load_task(&task, a).expect("seed");
+    let mut at = a;
+    let reloc_scalar = timed(iterations, || {
+        let to = if at == a { b } else { a };
+        memory.move_region_scalar(rect(at), to).expect("move");
+        at = to;
+    });
+    let clear_word = timed(iterations, || memory.clear_region(rect(a)).expect("clear"));
+    let clear_scalar = timed(iterations, || {
+        memory.clear_region_scalar(rect(a)).expect("clear")
+    });
+
+    vec![
+        FrameWriteResult {
+            name: "load",
+            word: load_word,
+            scalar: load_scalar,
+            frames,
+        },
+        FrameWriteResult {
+            name: "clear",
+            word: clear_word,
+            scalar: clear_scalar,
+            frames,
+        },
+        FrameWriteResult {
+            name: "relocate",
+            word: reloc_word,
+            scalar: reloc_scalar,
+            frames,
+        },
+    ]
+}
+
 struct FleetResult {
     name: &'static str,
     elapsed: Duration,
@@ -319,6 +438,21 @@ fn main() {
         "streaming decode→resident throughput: {vs_legacy:.2}x vs legacy, {vs_buffered:.2}x vs buffered"
     );
 
+    let frame_write = frame_write_paths(&options, &repository);
+    println!(
+        "{:<12} {:>16} {:>16} {:>10}",
+        "frame_write", "word Mframes/s", "scalar Mframes/s", "speedup"
+    );
+    for f in &frame_write {
+        println!(
+            "{:<12} {:>16.1} {:>16.1} {:>9.1}x",
+            f.name,
+            f.mframes_per_sec(f.word),
+            f.mframes_per_sec(f.scalar),
+            f.speedup()
+        );
+    }
+
     let fleet_buffered = run_fleet("pipelined", &options, &repository, MultiConfig::default());
     let fleet_streaming = run_fleet(
         "streaming",
@@ -340,7 +474,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }}\n}}\n",
         options.loads,
         options.fabric.0,
         options.fabric.1,
@@ -352,6 +486,9 @@ fn main() {
         paths[3].json(),
         vs_legacy,
         vs_buffered,
+        frame_write[0].json(),
+        frame_write[1].json(),
+        frame_write[2].json(),
         fleet_buffered.json(),
         fleet_streaming.json(),
     );

@@ -9,14 +9,22 @@
 //!   memory) also perform zero allocations;
 //! * a **cold** decode pre-reserves its buffers from the VBS header, so the
 //!   first decode stays within a small per-buffer allocation budget instead
-//!   of growing buffers incrementally.
+//!   of growing buffers incrementally;
+//! * a **shape-cycling** task mix (alternating tall/wide/larger rectangles)
+//!   also stays at zero steady-state allocations, through both direct
+//!   [`TaskBitstream::reset`] reshapes and pool recycling — the flat
+//!   [`vbs_bitstream::FrameStore`] arena reshapes in place once its word
+//!   capacity covers the largest shape seen, where the legacy per-frame
+//!   layout allocated one `Vec` per frame whenever the mix grew.
 //!
 //! Everything runs inside one `#[test]` because the counters are
 //! process-global and the harness runs tests concurrently.
 
 use vbs_bench::{allocations, CountingAllocator};
+use vbs_bitstream::TaskBitstream;
 use vbs_core::DecodeScratch;
 use vbs_runtime::{devirtualize_into, ReconfigurationController};
+use vbs_sched::BitstreamPool;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -78,4 +86,57 @@ fn decode_hot_path_allocation_budget() {
 
     // The loads actually configured the fabric.
     assert!(controller.memory().occupied_macros() > 0);
+
+    // --- Shape-cycling reshapes: alternating tall/wide/larger rectangles
+    // through one buffer must not allocate once the arena has grown to the
+    // largest word count of the cycle.
+    let spec = *vbs.spec();
+    let mut buffer = TaskBitstream::empty(spec, 1, 1);
+    let shapes = [(2u16, 9u16), (9, 2), (3, 6), (6, 3), (4, 4), (1, 12)];
+    for &(w, h) in &shapes {
+        buffer.reset(spec, w, h);
+    }
+    let before = allocations();
+    for _ in 0..25 {
+        for &(w, h) in &shapes {
+            buffer.reset(spec, w, h);
+        }
+    }
+    let steady = allocations() - before;
+    assert_eq!(
+        steady, 0,
+        "shape-cycling TaskBitstream::reset must not allocate (got {steady})"
+    );
+
+    // --- Shape-cycling decode through pool recycling: every staging buffer
+    // is checked out of a one-buffer pool, decoded into (different task
+    // shape every load) and recycled. Pool hit = zero allocations per load
+    // regardless of frame count.
+    let mix: Vec<_> = ["fir_filter", "aes_round", "fft_stage"]
+        .iter()
+        .map(|name| repository.fetch(name).expect("workload task"))
+        .collect();
+    let pool = BitstreamPool::new(1);
+    pool.put(TaskBitstream::empty(spec, 1, 1));
+    let cycle = |rounds: usize, scratch: &mut DecodeScratch| {
+        for i in 0..rounds * mix.len() {
+            let vbs = &mix[i % mix.len()];
+            let mut staging = pool.checkout(*vbs.spec(), vbs.width(), vbs.height());
+            devirtualize_into(vbs, &mut staging, scratch).expect("decode");
+            pool.put(staging);
+        }
+    };
+    cycle(2, &mut scratch);
+    let before = allocations();
+    cycle(10, &mut scratch);
+    let steady = allocations() - before;
+    assert_eq!(
+        steady, 0,
+        "shape-cycling pooled decode must not allocate (got {steady} over 30 loads)"
+    );
+    let stats = pool.stats();
+    assert_eq!(
+        stats.fresh, 0,
+        "every checkout must hit the recycled buffer"
+    );
 }

@@ -1,27 +1,33 @@
-//! The raw configuration frame of one macro.
+//! Borrowed frame views over a [`crate::FrameStore`] word arena.
+//!
+//! Historically every macro frame owned its own `Vec<u64>` (a `MacroFrame`
+//! struct); the flat-arena refactor reduced frames to *views*: a
+//! [`FrameRef`] / [`FrameMut`] borrows the `⌈N_raw / 64⌉`-word slice of one
+//! macro inside a store and addresses its bits through the bit-exact
+//! [`FrameLayout`]. Helpers are provided for the three frame sections
+//! (logic block, switch box, connection boxes).
 
-use serde::{Deserialize, Serialize};
 use vbs_arch::{ArchSpec, FrameLayout, SbPair};
 use vbs_netlist::TruthTable;
 
-/// The `N_raw`-bit configuration frame of a single macro.
+/// A shared view of the `N_raw`-bit configuration frame of a single macro.
 ///
-/// Bits are addressed through [`FrameLayout`]; helpers are provided for the
-/// three sections (logic block, switch box, connection boxes).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct MacroFrame {
+/// Cheap to copy (an architecture tag plus a word slice); all read accessors
+/// live here. Obtain one from a frame container
+/// ([`crate::TaskBitstream::frame`], [`crate::ConfigMemory::frame`],
+/// [`crate::FrameStore::frame`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FrameRef<'a> {
     spec: ArchSpec,
-    bits: Vec<u64>,
+    words: &'a [u64],
 }
 
-impl MacroFrame {
-    /// Creates an all-zero (fully unprogrammed) frame.
-    pub fn empty(spec: ArchSpec) -> Self {
-        let len = spec.raw_bits_per_macro();
-        MacroFrame {
-            spec,
-            bits: vec![0; len.div_ceil(64)],
-        }
+impl<'a> FrameRef<'a> {
+    /// Wraps the word slice of one frame. `words` must span exactly
+    /// `⌈N_raw / 64⌉` words with zero padding bits past `N_raw`.
+    pub(crate) fn new(spec: ArchSpec, words: &'a [u64]) -> Self {
+        debug_assert_eq!(words.len(), crate::store::stride_of(&spec));
+        FrameRef { spec, words }
     }
 
     /// The architecture this frame belongs to.
@@ -41,7 +47,12 @@ impl MacroFrame {
 
     /// Whether every bit is zero (the macro is unprogrammed).
     pub fn is_empty(&self) -> bool {
-        self.bits.iter().all(|&w| w == 0)
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The frame's backing words (LSB-first, zero-padded past `N_raw`).
+    pub fn words(&self) -> &'a [u64] {
+        self.words
     }
 
     /// Reads one bit.
@@ -51,64 +62,12 @@ impl MacroFrame {
     /// Panics if `index >= len()`.
     pub fn bit(&self, index: usize) -> bool {
         assert!(index < self.len(), "frame bit {index} out of range");
-        (self.bits[index / 64] >> (index % 64)) & 1 == 1
-    }
-
-    /// Writes one bit.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= len()`.
-    pub fn set_bit(&mut self, index: usize, value: bool) {
-        assert!(index < self.len(), "frame bit {index} out of range");
-        let mask = 1u64 << (index % 64);
-        if value {
-            self.bits[index / 64] |= mask;
-        } else {
-            self.bits[index / 64] &= !mask;
-        }
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
     /// Number of bits currently set.
     pub fn popcount(&self) -> usize {
-        self.bits.iter().map(|w| w.count_ones() as usize).sum()
-    }
-
-    /// Zeroes every bit in place, keeping the allocation.
-    pub fn clear(&mut self) {
-        self.bits.fill(0);
-    }
-
-    /// Reshapes this frame to `spec` in place, reusing the word buffer when
-    /// it is large enough. The frame is zeroed either way.
-    pub fn reset_to(&mut self, spec: ArchSpec) {
-        let words = spec.raw_bits_per_macro().div_ceil(64);
-        self.spec = spec;
-        self.bits.clear();
-        self.bits.resize(words, 0);
-    }
-
-    /// Copies the contents of `other` into this frame without allocating
-    /// when the two frames share an architecture (the hot path of
-    /// configuration-memory writes).
-    pub fn copy_from(&mut self, other: &MacroFrame) {
-        if self.spec == other.spec {
-            self.bits.copy_from_slice(&other.bits);
-        } else {
-            self.spec = other.spec;
-            self.bits.clear();
-            self.bits.extend_from_slice(&other.bits);
-        }
-    }
-
-    /// Writes the logic-block section: LUT truth table plus flip-flop bypass.
-    pub fn set_logic(&mut self, truth: &TruthTable, registered: bool) {
-        let layout = self.layout();
-        let table = truth.widen(self.spec.lut_size());
-        for (i, bit) in table.iter().enumerate() {
-            self.set_bit(layout.lut_table_range().start + i, bit);
-        }
-        self.set_bit(layout.ff_bypass_bit(), registered);
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Reads the logic-block section back as `(truth table, registered)`.
@@ -121,8 +80,163 @@ impl MacroFrame {
 
     /// Iterates over the raw logic-data bits (`N_LB` bits) in frame order,
     /// as stored in a VBS macro record.
-    pub fn logic_bits(&self) -> impl Iterator<Item = bool> + '_ {
-        self.layout().lb_config_range().map(|i| self.bit(i))
+    pub fn logic_bits(&self) -> impl Iterator<Item = bool> + 'a {
+        let copy = *self;
+        copy.layout().lb_config_range().map(move |i| copy.bit(i))
+    }
+
+    /// Reads a switch-box pass switch.
+    pub fn sb(&self, track: u16, pair: SbPair) -> bool {
+        self.bit(self.layout().sb_bit(track, pair))
+    }
+
+    /// Reads a connection-box switch.
+    pub fn crossing(&self, pin: u8, track: u16) -> bool {
+        self.bit(self.layout().crossing_bit(pin, track))
+    }
+
+    /// Iterates over the bits of the routing sections only (switch box +
+    /// connection boxes), used to compare decoded routing against the
+    /// original. Allocation-free: yields bits straight off the words.
+    pub fn routing_bits(&self) -> impl Iterator<Item = bool> + 'a {
+        let copy = *self;
+        (copy.layout().lb_config_range().end..copy.len()).map(move |i| copy.bit(i))
+    }
+
+    /// Number of differing bits between two frames — a word-level XOR
+    /// popcount (padding bits are zero on both sides by invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two frames have different architectures.
+    pub fn diff_count(&self, other: FrameRef<'_>) -> usize {
+        assert_eq!(
+            self.spec, other.spec,
+            "comparing frames of different layouts"
+        );
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// An exclusive view of one macro frame inside a [`crate::FrameStore`].
+///
+/// Adds the write accessors on top of everything [`FrameRef`] can read
+/// (reads delegate through [`FrameMut::as_ref`]).
+#[derive(Debug)]
+pub struct FrameMut<'a> {
+    spec: ArchSpec,
+    words: &'a mut [u64],
+}
+
+impl<'a> FrameMut<'a> {
+    /// Wraps the word slice of one frame (see [`FrameRef::new`]).
+    pub(crate) fn new(spec: ArchSpec, words: &'a mut [u64]) -> Self {
+        debug_assert_eq!(words.len(), crate::store::stride_of(&spec));
+        FrameMut { spec, words }
+    }
+
+    /// Reborrows as a shared view.
+    pub fn as_ref(&self) -> FrameRef<'_> {
+        FrameRef {
+            spec: self.spec,
+            words: self.words,
+        }
+    }
+
+    /// The architecture this frame belongs to.
+    pub const fn spec(&self) -> &ArchSpec {
+        &self.spec
+    }
+
+    /// The frame layout used to address bits.
+    pub const fn layout(&self) -> FrameLayout {
+        FrameLayout::new(self.spec)
+    }
+
+    /// Number of bits in the frame (`N_raw`).
+    pub const fn len(&self) -> usize {
+        self.spec.raw_bits_per_macro()
+    }
+
+    /// Whether every bit is zero.
+    pub fn is_empty(&self) -> bool {
+        self.as_ref().is_empty()
+    }
+
+    /// Reads one bit (see [`FrameRef::bit`]).
+    pub fn bit(&self, index: usize) -> bool {
+        self.as_ref().bit(index)
+    }
+
+    /// Number of bits currently set.
+    pub fn popcount(&self) -> usize {
+        self.as_ref().popcount()
+    }
+
+    /// Reads a switch-box pass switch.
+    pub fn sb(&self, track: u16, pair: SbPair) -> bool {
+        self.as_ref().sb(track, pair)
+    }
+
+    /// Reads a connection-box switch.
+    pub fn crossing(&self, pin: u8, track: u16) -> bool {
+        self.as_ref().crossing(pin, track)
+    }
+
+    /// Reads the logic-block section back as `(truth table, registered)`.
+    pub fn logic(&self) -> (TruthTable, bool) {
+        self.as_ref().logic()
+    }
+
+    /// Writes one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()` — which is also what keeps the padding
+    /// bits of the last word permanently zero.
+    pub fn set_bit(&mut self, index: usize, value: bool) {
+        assert!(index < self.len(), "frame bit {index} out of range");
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Zeroes every bit of the frame.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Copies the contents of `other` into this frame — one word-level
+    /// `copy_from_slice`, no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two frames belong to different architectures (their
+    /// strides would disagree).
+    pub fn copy_from(&mut self, other: FrameRef<'_>) {
+        assert_eq!(
+            self.spec,
+            *other.spec(),
+            "copying between frames of different layouts"
+        );
+        self.words.copy_from_slice(other.words());
+    }
+
+    /// Writes the logic-block section: LUT truth table plus flip-flop bypass.
+    pub fn set_logic(&mut self, truth: &TruthTable, registered: bool) {
+        let layout = self.layout();
+        let table = truth.widen(self.spec.lut_size());
+        for (i, bit) in table.iter().enumerate() {
+            self.set_bit(layout.lut_table_range().start + i, bit);
+        }
+        self.set_bit(layout.ff_bypass_bit(), registered);
     }
 
     /// Writes the raw logic-data bits from an iterator (missing bits are left
@@ -141,57 +255,31 @@ impl MacroFrame {
         self.set_bit(bit, value);
     }
 
-    /// Reads a switch-box pass switch.
-    pub fn sb(&self, track: u16, pair: SbPair) -> bool {
-        self.bit(self.layout().sb_bit(track, pair))
-    }
-
     /// Sets (or clears) the connection-box switch linking `pin` to `track` of
     /// its channel.
     pub fn set_crossing(&mut self, pin: u8, track: u16, value: bool) {
         let bit = self.layout().crossing_bit(pin, track);
         self.set_bit(bit, value);
     }
-
-    /// Reads a connection-box switch.
-    pub fn crossing(&self, pin: u8, track: u16) -> bool {
-        self.bit(self.layout().crossing_bit(pin, track))
-    }
-
-    /// The bits of the routing sections only (switch box + connection boxes),
-    /// used to compare decoded routing against the original.
-    pub fn routing_bits(&self) -> Vec<bool> {
-        let start = self.layout().lb_config_range().end;
-        (start..self.len()).map(|i| self.bit(i)).collect()
-    }
-
-    /// Number of differing bits between two frames.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the two frames have different architectures.
-    pub fn diff_count(&self, other: &MacroFrame) -> usize {
-        assert_eq!(
-            self.spec, other.spec,
-            "comparing frames of different layouts"
-        );
-        (0..self.len())
-            .filter(|&i| self.bit(i) != other.bit(i))
-            .count()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::FrameStore;
 
     fn spec() -> ArchSpec {
         ArchSpec::paper_example()
     }
 
+    fn store(frames: usize) -> FrameStore {
+        FrameStore::new(spec(), frames)
+    }
+
     #[test]
     fn empty_frame_has_equation_1_bits_and_is_zero() {
-        let f = MacroFrame::empty(spec());
+        let s = store(1);
+        let f = s.frame(0);
         assert_eq!(f.len(), 284);
         assert!(f.is_empty());
         assert_eq!(f.popcount(), 0);
@@ -199,18 +287,19 @@ mod tests {
 
     #[test]
     fn logic_roundtrip() {
-        let mut f = MacroFrame::empty(spec());
+        let mut s = store(1);
         let t = TruthTable::from_fn(6, |i| i % 5 == 0);
-        f.set_logic(&t, true);
-        let (back, registered) = f.logic();
+        s.frame_mut(0).set_logic(&t, true);
+        let (back, registered) = s.frame(0).logic();
         assert_eq!(back, t);
         assert!(registered);
-        assert!(!f.is_empty());
+        assert!(!s.frame(0).is_empty());
     }
 
     #[test]
     fn sb_and_crossing_bits_are_independent() {
-        let mut f = MacroFrame::empty(spec());
+        let mut s = store(1);
+        let mut f = s.frame_mut(0);
         f.set_sb(2, SbPair::EastWest, true);
         f.set_crossing(6, 2, true);
         assert!(f.sb(2, SbPair::EastWest));
@@ -224,52 +313,46 @@ mod tests {
 
     #[test]
     fn logic_bits_roundtrip_raw() {
-        let mut a = MacroFrame::empty(spec());
+        let mut s = store(2);
         let t = TruthTable::from_fn(6, |i| i & 3 == 1);
-        a.set_logic(&t, false);
-        let mut b = MacroFrame::empty(spec());
-        b.set_logic_bits(a.logic_bits());
-        assert_eq!(a.logic(), b.logic());
-        assert_eq!(a.diff_count(&b), 0);
+        s.frame_mut(0).set_logic(&t, false);
+        let bits: Vec<bool> = s.frame(0).logic_bits().collect();
+        s.frame_mut(1).set_logic_bits(bits);
+        assert_eq!(s.frame(0).logic(), s.frame(1).logic());
+        assert_eq!(s.frame(0).diff_count(s.frame(1)), 0);
     }
 
     #[test]
     fn diff_count_spots_changes() {
-        let mut a = MacroFrame::empty(spec());
-        let b = MacroFrame::empty(spec());
+        let mut s = store(2);
+        let mut a = s.frame_mut(0);
         a.set_crossing(0, 0, true);
         a.set_sb(4, SbPair::NorthEast, true);
-        assert_eq!(a.diff_count(&b), 2);
+        assert_eq!(s.frame(0).diff_count(s.frame(1)), 2);
     }
 
     #[test]
-    fn clear_and_copy_from_reuse_the_allocation() {
-        let mut a = MacroFrame::empty(spec());
+    fn clear_and_copy_from_reuse_the_arena() {
+        let mut s = store(2);
+        let mut a = s.frame_mut(0);
         a.set_sb(1, SbPair::EastWest, true);
         a.set_crossing(2, 3, true);
-        let mut b = MacroFrame::empty(spec());
-        b.copy_from(&a);
-        assert_eq!(a.diff_count(&b), 0);
+        let sp = *s.spec();
+        let src: Vec<u64> = s.frame(0).words().to_vec();
+        s.frame_mut(1).copy_from(FrameRef::new(sp, &src));
+        assert_eq!(s.frame(0).diff_count(s.frame(1)), 0);
+        let mut b = s.frame_mut(1);
         b.clear();
-        assert!(b.is_empty());
-        // Reshaping to another architecture still round-trips content.
-        let other = ArchSpec::paper_evaluation();
-        let mut c = MacroFrame::empty(other);
-        c.set_bit(0, true);
-        b.copy_from(&c);
-        assert_eq!(b.spec(), &other);
-        assert_eq!(b.diff_count(&c), 0);
-        b.reset_to(spec());
-        assert_eq!(b.len(), 284);
         assert!(b.is_empty());
     }
 
     #[test]
     fn routing_bits_exclude_logic() {
-        let mut f = MacroFrame::empty(spec());
-        f.set_logic(&TruthTable::from_fn(6, |_| true), true);
-        assert!(f.routing_bits().iter().all(|&b| !b));
-        f.set_sb(0, SbPair::NorthSouth, true);
-        assert_eq!(f.routing_bits().iter().filter(|&&b| b).count(), 1);
+        let mut s = store(1);
+        s.frame_mut(0)
+            .set_logic(&TruthTable::from_fn(6, |_| true), true);
+        assert!(s.frame(0).routing_bits().all(|b| !b));
+        s.frame_mut(0).set_sb(0, SbPair::NorthSouth, true);
+        assert_eq!(s.frame(0).routing_bits().filter(|&b| b).count(), 1);
     }
 }

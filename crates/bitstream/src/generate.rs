@@ -155,7 +155,7 @@ pub fn generate_bitstream(
     for (block_id, block) in netlist.iter_blocks() {
         let site = placement.site(block_id);
         let local = Coord::new(site.x - origin.x, site.y - origin.y);
-        let frame = task.frame_mut(local);
+        let mut frame = task.frame_mut(local);
         match &block.kind {
             BlockKind::Lut { truth, registered } => frame.set_logic(truth, *registered),
             // Pads keep an all-zero logic section; their identity lives in the
@@ -171,7 +171,7 @@ pub fn generate_bitstream(
             return Err(BitstreamError::OutOfTask { at: site });
         }
         let local = Coord::new(site.x - origin.x, site.y - origin.y);
-        let frame = task.frame_mut(local);
+        let mut frame = task.frame_mut(local);
         match switch {
             SwitchSetting::Crossing { pin, track, .. } => frame.set_crossing(pin, track, true),
             SwitchSetting::SwitchBox { track, pair, .. } => frame.set_sb(track, pair, true),

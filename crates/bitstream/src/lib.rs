@@ -5,8 +5,11 @@
 //! whether the switch is used or not — `N_raw` bits per macro (Equation (1)
 //! of the paper). This crate provides:
 //!
-//! * [`MacroFrame`] — the `N_raw`-bit frame of one macro, addressed through
-//!   the bit-exact [`vbs_arch::FrameLayout`];
+//! * [`FrameStore`] — the flat word arena every frame container is built
+//!   on: one contiguous `Vec<u64>` with a fixed per-frame stride;
+//! * [`FrameRef`] / [`FrameMut`] — borrowed views of one macro's `N_raw`-bit
+//!   frame inside an arena, addressed through the bit-exact
+//!   [`vbs_arch::FrameLayout`];
 //! * [`TaskBitstream`] — the raw bit-stream of a placed-and-routed hardware
 //!   task (one frame per macro of the task rectangle), plus byte
 //!   serialization;
@@ -44,10 +47,12 @@ mod error;
 mod frame;
 mod generate;
 mod memory;
+mod store;
 mod task;
 
 pub use error::BitstreamError;
-pub use frame::MacroFrame;
+pub use frame::{FrameMut, FrameRef};
 pub use generate::{configured_switches, edge_to_switch, generate_bitstream, SwitchSetting};
 pub use memory::ConfigMemory;
+pub use store::FrameStore;
 pub use task::TaskBitstream;

@@ -1,73 +1,54 @@
 //! The raw bit-stream of one hardware task.
 
 use crate::error::BitstreamError;
-use crate::frame::MacroFrame;
+use crate::frame::{FrameMut, FrameRef};
+use crate::store::FrameStore;
 use bytes::{BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use vbs_arch::{ArchSpec, Coord};
 
 /// The raw ("conventional") configuration bit-stream of a hardware task:
-/// one [`MacroFrame`] for every macro of the task's `width` × `height`
-/// rectangle, in row-major task-relative order.
+/// one frame for every macro of the task's `width` × `height` rectangle, in
+/// row-major task-relative order, packed into a single contiguous
+/// [`FrameStore`] word arena (no per-frame allocations).
 ///
 /// Its size — the reference every compression ratio of the paper is measured
 /// against — is `width · height · N_raw` bits regardless of how much of the
 /// fabric the task actually uses.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskBitstream {
-    spec: ArchSpec,
     width: u16,
     height: u16,
-    frames: Vec<MacroFrame>,
+    store: FrameStore,
 }
 
 impl TaskBitstream {
     /// Creates an all-empty bit-stream for a `width` × `height` task.
     pub fn empty(spec: ArchSpec, width: u16, height: u16) -> Self {
-        let frames = vec![MacroFrame::empty(spec); width as usize * height as usize];
         TaskBitstream {
-            spec,
             width,
             height,
-            frames,
+            store: FrameStore::new(spec, width as usize * height as usize),
         }
     }
 
     /// Reshapes this bit-stream to an all-empty `width` × `height` task of
-    /// `spec` **in place**, reusing the frame allocations wherever possible.
+    /// `spec` **in place**, reusing the word arena wherever possible.
     ///
     /// This is the buffer-recycling primitive of the zero-allocation decode
-    /// path: a pooled `TaskBitstream` checked out for a new task pays no
-    /// heap traffic when its previous shape had at least as many frames and
-    /// the same architecture (frames are zeroed, never reallocated).
+    /// path: because the frames live in one flat arena, a pooled
+    /// `TaskBitstream` checked out for a new task pays no heap traffic as
+    /// long as the new shape's word count fits the arena's capacity — even
+    /// when the task mix cycles through different shapes and architectures.
     pub fn reset(&mut self, spec: ArchSpec, width: u16, height: u16) {
-        let count = width as usize * height as usize;
-        if self.spec == spec && self.frames.len() == count {
-            self.width = width;
-            self.height = height;
-            for frame in &mut self.frames {
-                frame.clear();
-            }
-            return;
-        }
-        self.spec = spec;
         self.width = width;
         self.height = height;
-        for frame in self.frames.iter_mut().take(count) {
-            frame.reset_to(spec);
-        }
-        if self.frames.len() > count {
-            self.frames.truncate(count);
-        } else {
-            while self.frames.len() < count {
-                self.frames.push(MacroFrame::empty(spec));
-            }
-        }
+        self.store.reset(spec, width as usize * height as usize);
     }
 
     /// The architecture of the target fabric.
     pub const fn spec(&self) -> &ArchSpec {
-        &self.spec
+        self.store.spec()
     }
 
     /// Task width in macros.
@@ -82,12 +63,23 @@ impl TaskBitstream {
 
     /// Number of macros covered by the task rectangle.
     pub fn macro_count(&self) -> usize {
-        self.frames.len()
+        self.store.len()
+    }
+
+    /// The flat word arena holding the frames (row-major).
+    pub fn store(&self) -> &FrameStore {
+        &self.store
+    }
+
+    /// Mutable access to the word arena — the bulk-copy entry point of the
+    /// word-level region operations.
+    pub fn store_mut(&mut self) -> &mut FrameStore {
+        &mut self.store
     }
 
     /// Size of the raw bit-stream in bits: `width · height · N_raw`.
     pub fn size_bits(&self) -> u64 {
-        self.frames.len() as u64 * self.spec.raw_bits_per_macro() as u64
+        self.store.len() as u64 * self.spec().raw_bits_per_macro() as u64
     }
 
     /// The frame of the macro at task-relative coordinates `at`.
@@ -96,8 +88,8 @@ impl TaskBitstream {
     ///
     /// Panics if `at` lies outside the task rectangle; use
     /// [`TaskBitstream::try_frame`] for untrusted coordinates.
-    pub fn frame(&self, at: Coord) -> &MacroFrame {
-        &self.frames[self.index(at)]
+    pub fn frame(&self, at: Coord) -> FrameRef<'_> {
+        self.store.frame(self.index(at))
     }
 
     /// Fallible access to a frame.
@@ -105,9 +97,11 @@ impl TaskBitstream {
     /// # Errors
     ///
     /// Returns [`BitstreamError::OutOfTask`] when `at` is outside the task.
-    pub fn try_frame(&self, at: Coord) -> Result<&MacroFrame, BitstreamError> {
+    pub fn try_frame(&self, at: Coord) -> Result<FrameRef<'_>, BitstreamError> {
         if at.x < self.width && at.y < self.height {
-            Ok(&self.frames[at.y as usize * self.width as usize + at.x as usize])
+            Ok(self
+                .store
+                .frame(at.y as usize * self.width as usize + at.x as usize))
         } else {
             Err(BitstreamError::OutOfTask { at })
         }
@@ -118,15 +112,15 @@ impl TaskBitstream {
     /// # Panics
     ///
     /// Panics if `at` lies outside the task rectangle.
-    pub fn frame_mut(&mut self, at: Coord) -> &mut MacroFrame {
+    pub fn frame_mut(&mut self, at: Coord) -> FrameMut<'_> {
         let idx = self.index(at);
-        &mut self.frames[idx]
+        self.store.frame_mut(idx)
     }
 
     /// Iterates over `(task-relative coordinate, frame)` pairs, row-major.
-    pub fn iter_frames(&self) -> impl Iterator<Item = (Coord, &MacroFrame)> {
+    pub fn iter_frames(&self) -> impl Iterator<Item = (Coord, FrameRef<'_>)> {
         let w = self.width;
-        self.frames.iter().enumerate().map(move |(i, f)| {
+        self.store.iter().enumerate().map(move |(i, f)| {
             (
                 Coord::new((i % w as usize) as u16, (i / w as usize) as u16),
                 f,
@@ -134,53 +128,66 @@ impl TaskBitstream {
         })
     }
 
-    /// Consumes the bit-stream, yielding `(task-relative coordinate, frame)`
-    /// pairs row-major. Lets callers move frames out without cloning them —
-    /// the merge path of the parallel de-virtualizer relies on this.
-    pub fn into_frames(self) -> impl Iterator<Item = (Coord, MacroFrame)> {
-        let w = self.width;
-        self.frames.into_iter().enumerate().map(move |(i, f)| {
-            (
-                Coord::new((i % w as usize) as u16, (i / w as usize) as u16),
-                f,
-            )
-        })
+    /// Merges another bit-stream of the same shape into this one by OR-ing
+    /// the two word arenas — the conflict-free combine step of the parallel
+    /// de-virtualizer, where each partial image holds disjoint non-empty
+    /// frames. One pass over contiguous words, no per-frame dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::LayoutMismatch`] when the shapes or
+    /// architectures differ.
+    pub fn merge_disjoint(&mut self, other: &TaskBitstream) -> Result<(), BitstreamError> {
+        if self.spec() != other.spec() || self.width != other.width || self.height != other.height {
+            return Err(BitstreamError::LayoutMismatch);
+        }
+        for (a, b) in self
+            .store
+            .words_mut()
+            .iter_mut()
+            .zip(other.store.words().iter())
+        {
+            *a |= b;
+        }
+        Ok(())
     }
 
     /// Number of macros whose frame is not entirely zero.
     pub fn occupied_macros(&self) -> usize {
-        self.frames.iter().filter(|f| !f.is_empty()).count()
+        self.store.iter().filter(|f| !f.is_empty()).count()
     }
 
     /// Total number of configured (set) bits over the whole task.
     pub fn popcount(&self) -> usize {
-        self.frames.iter().map(|f| f.popcount()).sum()
+        self.store.popcount()
     }
 
-    /// Number of differing bits with another bit-stream of the same shape.
+    /// Number of differing bits with another bit-stream of the same shape —
+    /// a single XOR-popcount sweep over the two arenas.
     ///
     /// # Errors
     ///
     /// Returns [`BitstreamError::LayoutMismatch`] when the shapes or
     /// architectures differ.
     pub fn diff_count(&self, other: &TaskBitstream) -> Result<usize, BitstreamError> {
-        if self.spec != other.spec || self.width != other.width || self.height != other.height {
+        if self.spec() != other.spec() || self.width != other.width || self.height != other.height {
             return Err(BitstreamError::LayoutMismatch);
         }
         Ok(self
-            .frames
+            .store
+            .words()
             .iter()
-            .zip(other.frames.iter())
-            .map(|(a, b)| a.diff_count(b))
+            .zip(other.store.words().iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
             .sum())
     }
 
     /// Serializes the bit-stream to bytes (frames concatenated LSB-first,
     /// each frame padded to a whole byte).
     pub fn to_bytes(&self) -> Bytes {
-        let frame_bytes = self.spec.raw_bits_per_macro().div_ceil(8);
-        let mut buf = BytesMut::with_capacity(self.frames.len() * frame_bytes);
-        for frame in &self.frames {
+        let frame_bytes = self.spec().raw_bits_per_macro().div_ceil(8);
+        let mut buf = BytesMut::with_capacity(self.store.len() * frame_bytes);
+        for frame in self.store.iter() {
             let mut byte = 0u8;
             for i in 0..frame.len() {
                 if frame.bit(i) {
@@ -220,7 +227,7 @@ impl TaskBitstream {
         }
         let mut task = TaskBitstream::empty(spec, width, height);
         for (frame_idx, chunk) in bytes.chunks(frame_bytes).enumerate() {
-            let frame = &mut task.frames[frame_idx];
+            let mut frame = task.store.frame_mut(frame_idx);
             for i in 0..frame.len() {
                 let bit = (chunk[i / 8] >> (i % 8)) & 1 == 1;
                 frame.set_bit(i, bit);
@@ -336,5 +343,22 @@ mod tests {
         assert_eq!(coords[1], Coord::new(1, 0));
         assert_eq!(coords[3], Coord::new(0, 1));
         assert_eq!(coords.len(), 6);
+    }
+
+    #[test]
+    fn merge_disjoint_ors_the_arenas() {
+        let mut a = TaskBitstream::empty(spec(), 3, 2);
+        let mut b = TaskBitstream::empty(spec(), 3, 2);
+        a.frame_mut(Coord::new(0, 0)).set_bit(5, true);
+        b.frame_mut(Coord::new(2, 1)).set_bit(283, true);
+        a.merge_disjoint(&b).unwrap();
+        assert!(a.frame(Coord::new(0, 0)).bit(5));
+        assert!(a.frame(Coord::new(2, 1)).bit(283));
+        assert_eq!(a.popcount(), 2);
+        let c = TaskBitstream::empty(spec(), 2, 2);
+        assert!(matches!(
+            a.merge_disjoint(&c),
+            Err(BitstreamError::LayoutMismatch)
+        ));
     }
 }

@@ -43,7 +43,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use vbs_arch::WireRef;
 use vbs_arch::{ArchSpec, Coord, Device, Rect};
-use vbs_bitstream::{edge_to_switch, MacroFrame, SwitchSetting, TaskBitstream};
+use vbs_bitstream::{edge_to_switch, FrameRef, SwitchSetting, TaskBitstream};
 use vbs_route::{RrGraph, RrNode};
 
 /// Decodes a whole Virtual Bit-Stream into the raw bit-stream of the task
@@ -117,8 +117,9 @@ pub fn decode_into(
 ///   validate the whole target region *before* streaming starts.
 pub trait FrameSink {
     /// Receives the (possibly final) frame of the macro at task-relative
-    /// coordinates `at`.
-    fn emit(&mut self, at: Coord, frame: &MacroFrame);
+    /// coordinates `at`, as a borrowed view into the decoder's staging
+    /// arena.
+    fn emit(&mut self, at: Coord, frame: FrameRef<'_>);
 }
 
 /// A [`FrameSink`] that counts emitted frames and discards them — useful to
@@ -130,7 +131,7 @@ pub struct NullSink {
 }
 
 impl FrameSink for NullSink {
-    fn emit(&mut self, _at: Coord, _frame: &MacroFrame) {
+    fn emit(&mut self, _at: Coord, _frame: FrameRef<'_>) {
         self.frames += 1;
     }
 }
@@ -565,7 +566,7 @@ impl<'a> Devirtualizer<'a> {
                     let Some(site) = self.grid.macro_at(cluster, local as u16) else {
                         continue;
                     };
-                    let frame = task.frame_mut(site);
+                    let mut frame = task.frame_mut(site);
                     for (i, &bit) in raw[local * per_macro..(local + 1) * per_macro]
                         .iter()
                         .enumerate()
@@ -635,7 +636,7 @@ impl<'a> Devirtualizer<'a> {
                     connection: connection.to_string(),
                 });
             }
-            let frame = task.frame_mut(site);
+            let mut frame = task.frame_mut(site);
             match switch {
                 SwitchSetting::Crossing { pin, track, .. } => frame.set_crossing(pin, track, true),
                 SwitchSetting::SwitchBox { track, pair, .. } => frame.set_sb(track, pair, true),
@@ -1127,7 +1128,7 @@ mod tests {
     }
 
     impl FrameSink for RecordingSink {
-        fn emit(&mut self, at: Coord, frame: &MacroFrame) {
+        fn emit(&mut self, at: Coord, frame: FrameRef<'_>) {
             self.emits.push((at, frame.popcount()));
             if let Some(image) = &mut self.image {
                 image.frame_mut(at).copy_from(frame);

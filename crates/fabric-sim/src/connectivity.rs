@@ -267,11 +267,11 @@ mod tests {
         let mut broken = raw.clone();
         let victim = raw
             .iter_frames()
-            .find(|(_, f)| f.routing_bits().iter().any(|&b| b))
+            .find(|(_, f)| f.routing_bits().any(|b| b))
             .map(|(c, _)| c)
             .unwrap();
         let spec = *raw.spec();
-        let frame = broken.frame_mut(victim);
+        let mut frame = broken.frame_mut(victim);
         for t in 0..spec.channel_width() {
             for pair in SbPair::ALL {
                 frame.set_sb(t, pair, false);
@@ -315,7 +315,7 @@ mod tests {
         let spec = *raw.spec();
         for x in 0..broken.width() {
             for y in 0..broken.height() {
-                let frame = broken.frame_mut(Coord::new(x, y));
+                let mut frame = broken.frame_mut(Coord::new(x, y));
                 for t in 0..spec.channel_width() {
                     for pair in SbPair::ALL {
                         frame.set_sb(t, pair, true);

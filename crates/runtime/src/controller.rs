@@ -3,7 +3,7 @@
 use crate::error::RuntimeError;
 use std::time::Instant;
 use vbs_arch::{Coord, Device, Rect};
-use vbs_bitstream::{BitstreamError, ConfigMemory, MacroFrame, TaskBitstream};
+use vbs_bitstream::{BitstreamError, ConfigMemory, FrameRef, TaskBitstream};
 use vbs_core::{DecodeScratch, Devirtualizer, FrameSink, Vbs};
 
 /// Timing and composition report of one de-virtualization.
@@ -212,6 +212,21 @@ impl ReconfigurationController {
         self.memory.clear_region(region)?;
         Ok(())
     }
+
+    /// Relocates the configured frames of `from` so their lower-left corner
+    /// lands on `to`, vacating whatever `from` no longer covers — a bulk
+    /// word-arena move inside the configuration memory
+    /// ([`ConfigMemory::move_region`]), the fast path of run-time relocation
+    /// and compaction: no re-decode, no staging buffer, overlap-safe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Memory`] when either rectangle is out of
+    /// bounds; the memory is left untouched in that case.
+    pub fn move_region(&mut self, from: Rect, to: Coord) -> Result<(), RuntimeError> {
+        self.memory.move_region(from, to)?;
+        Ok(())
+    }
 }
 
 /// De-virtualizes a Virtual Bit-Stream into a position-independent raw task
@@ -278,7 +293,10 @@ pub fn devirtualize_stream(
             });
         for partial in partials {
             if let Some(partial) = partial.map_err(RuntimeError::Decode)? {
-                merge_frames(&mut task, partial);
+                // Each record only touches its own cluster, so the partial
+                // images hold disjoint non-empty frames: merging is one OR
+                // sweep over the two word arenas.
+                task.merge_disjoint(&partial)?;
             }
         }
     }
@@ -327,21 +345,11 @@ struct MemorySink<'a> {
 }
 
 impl FrameSink for MemorySink<'_> {
-    fn emit(&mut self, at: Coord, frame: &MacroFrame) {
+    fn emit(&mut self, at: Coord, frame: FrameRef<'_>) {
         self.memory.write_frame(
             Coord::new(self.origin.x + at.x, self.origin.y + at.y),
             frame,
         );
-    }
-}
-
-/// Moves every non-empty frame of `from` into `into` (frames are disjoint by
-/// construction, so no merge conflicts are possible and nothing is cloned).
-fn merge_frames(into: &mut TaskBitstream, from: TaskBitstream) {
-    for (at, frame) in from.into_frames() {
-        if !frame.is_empty() {
-            *into.frame_mut(at) = frame;
-        }
     }
 }
 

@@ -229,48 +229,33 @@ impl TaskManager {
         Ok(())
     }
 
-    /// Relocates a loaded task to a new origin by re-decoding its VBS there —
-    /// the "fast relocation" use case of the paper. The destination may
-    /// overlap the task's own current region (a small shift during
-    /// defragmentation): the old region is then cleared *before* the decoded
-    /// stream is written, so the overlap is never corrupted.
+    /// Relocates a loaded task to a new origin — the "fast relocation" use
+    /// case of the paper. The task's frames already sit decoded in the
+    /// configuration memory, so relocation is one bulk word-arena move
+    /// ([`ReconfigurationController::move_region`]): no re-decode, no
+    /// staging buffer, and destinations overlapping the task's own current
+    /// region (the common small shift during defragmentation) are handled
+    /// by the overlap-safe row ordering of the copy itself.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::RegionBusy`] if the destination overlaps
     /// another task, [`RuntimeError::UnknownHandle`] for stale handles, plus
-    /// any decode/memory error. On error the task stays where it was.
+    /// any memory error. On error the task stays where it was.
     pub fn relocate(&mut self, handle: TaskHandle, origin: Coord) -> Result<(), RuntimeError> {
         let index = self
             .loaded
             .iter()
             .position(|t| t.handle == handle)
             .ok_or(RuntimeError::UnknownHandle { id: handle.0 })?;
-        let name = self.loaded[index].name.clone();
-        let vbs = self.repository.fetch(&name)?;
-        // Decode first so a failure leaves the old instance running; the
-        // staging buffer and decode arena are reused across relocations.
-        let mut staging =
-            self.scratch
-                .take_staging(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
-        let result = if self.controller.workers() > 1 {
-            self.controller.devirtualize(&vbs).map(|(task, _)| {
-                staging = task;
-            })
-        } else {
-            crate::controller::devirtualize_into(&vbs, &mut staging, &mut self.scratch)
-                .map(|_report| ())
-        };
-        let outcome = match result {
-            Ok(()) => self.relocate_decoded_at(index, &staging, origin),
-            Err(e) => Err(e),
-        };
-        self.scratch.put_staging(staging);
-        outcome
+        self.relocate_resident_at(index, origin)
     }
 
-    /// Relocates a loaded task using an already-decoded bit-stream (the
-    /// scheduler's cache-hit path). Semantics match [`TaskManager::relocate`].
+    /// Relocates a loaded task, with `task` (the scheduler's cached decoded
+    /// image) validating the resident's shape. Since the configuration
+    /// memory already holds exactly that image, the move itself is the same
+    /// bulk arena copy as [`TaskManager::relocate`] — the cached stream is
+    /// never re-written frame by frame.
     ///
     /// # Errors
     ///
@@ -291,41 +276,18 @@ impl TaskManager {
         if task.width() != current.width || task.height() != current.height {
             return Err(RuntimeError::Memory(BitstreamError::LayoutMismatch));
         }
-        self.relocate_decoded_at(index, task, origin)
+        self.relocate_resident_at(index, origin)
     }
 
-    fn relocate_decoded_at(
-        &mut self,
-        index: usize,
-        task: &TaskBitstream,
-        origin: Coord,
-    ) -> Result<(), RuntimeError> {
+    fn relocate_resident_at(&mut self, index: usize, origin: Coord) -> Result<(), RuntimeError> {
         let old_region = self.loaded[index].region;
-        let new_region = Rect::new(origin, task.width(), task.height());
+        let new_region = Rect::new(origin, old_region.width, old_region.height);
         if new_region == old_region {
             return Ok(());
         }
         let handle = self.loaded[index].handle;
         self.ensure_region_free(&new_region, Some(handle))?;
-        if new_region.intersects(&old_region) {
-            // Self-overlapping move: writing first would let the subsequent
-            // clear of the old region punch a hole into the fresh
-            // configuration. Validate the destination, then clear-then-load.
-            if !self.fabric_view().in_bounds(&new_region) {
-                return Err(RuntimeError::Memory(BitstreamError::DoesNotFit {
-                    origin,
-                    width: new_region.width,
-                    height: new_region.height,
-                }));
-            }
-            self.controller.unload(old_region)?;
-            self.controller.load_decoded(task, origin)?;
-        } else {
-            // Disjoint move: write the new instance first so a failure
-            // leaves the old one running.
-            self.controller.load_decoded(task, origin)?;
-            self.controller.unload(old_region)?;
-        }
+        self.controller.move_region(old_region, origin)?;
         self.loaded[index].region = new_region;
         Ok(())
     }

@@ -47,12 +47,13 @@ fn decode_throughput(c: &mut Criterion) {
     });
 
     // Streaming into live configuration memory: decode→resident latency of
-    // a single load with writes overlapped.
+    // a single load with writes overlapped (the decode scratch comes from
+    // the controller's pool).
     let mut controller = ReconfigurationController::new(device);
     group.bench_function("load_streaming (into memory)", |b| {
         b.iter(|| {
             controller
-                .load_streaming(&vbs, vbs_arch::Coord::new(0, 0), &mut staging, &mut scratch)
+                .load_streaming(&vbs, vbs_arch::Coord::new(0, 0), &mut staging)
                 .expect("load")
         })
     });

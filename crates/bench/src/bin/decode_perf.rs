@@ -1,17 +1,18 @@
 //! Decode→resident throughput baseline: buffered vs scratch-reuse vs
-//! streaming load paths, plus the 4-fabric fleet replay, emitted as
+//! streaming vs pooled-parallel load paths, plus the batch-vs-greedy
+//! compaction pause study and the 4-fabric fleet replay, emitted as
 //! machine-readable `BENCH_decode.json` so perf numbers accumulate per PR.
 //!
-//! Four per-load paths are timed over the scheduler workload task mix on
-//! one `--fabric`-sized device (a load = de-virtualize one VBS and make it
+//! Per-load paths timed over the scheduler workload task mix on one
+//! `--fabric`-sized device (a load = de-virtualize one VBS and make it
 //! resident in configuration memory):
 //!
 //! * **legacy** — the pre-scratch path exactly as it shipped before this
 //!   subsystem existed: fresh decoded image per load *and* fresh decode
 //!   state per record (`decode_record_into` + `load_decoded`);
-//! * **buffered** — today's one-shot path: one header-pre-reserved scratch
-//!   shared across the records of each load
-//!   (`devirtualize_stream` + `load_decoded`);
+//! * **buffered** — the one-shot path: one header-pre-reserved scratch
+//!   shared across the records of each load, allocated per load
+//!   (`devirtualize_stream` on a cold pool + `load_decoded`);
 //! * **scratch** — buffered writes, but decode state and the staging image
 //!   come from a persistent [`vbs_core::DecodeScratch`]
 //!   (`devirtualize_into` + `load_decoded`): zero allocations steady-state;
@@ -19,10 +20,19 @@
 //!   decode (`load_streaming`): memory writes begin after the first cluster
 //!   record instead of after the last.
 //!
-//! The headline `speedup_streaming_vs_legacy` compares the new steady-state
-//! path against the pre-PR behavior; `speedup_streaming_vs_buffered`
-//! isolates what scratch persistence + streaming buy over today's one-shot
-//! decode.
+//! The **parallel** arm sweeps decode lanes 1/2/4 through the full
+//! `ReconfigurationController::load` path in two flavors: *pooled* (the
+//! persistent [`vbs_runtime::DecodeWorkerPool`] lanes drawing every scratch
+//! and partial image from a warm [`vbs_runtime::ScratchPool`] — zero
+//! allocations per load) and *fresh* (the pre-pool behavior, re-created
+//! inline: scoped threads spawned per load, `DecodeScratch::new()` and a
+//! fresh partial per worker per load).
+//!
+//! The **compaction** arm fragments two identical schedulers and defrags
+//! one with the batch-planned `Scheduler::compact` (each task moved at most
+//! once, straight to its final position) and the other with the legacy
+//! greedy bottom-left sweeps (re-created through public relocation
+//! requests), reporting pause microseconds and frames rewritten for both.
 //!
 //! The fleet section replays the same seeded trace through a
 //! `--fabrics`-sized multi-fabric scheduler in staged-pipeline mode vs
@@ -33,14 +43,18 @@
 //!         [--quick] [--out PATH]`
 
 use std::time::{Duration, Instant};
-use vbs_arch::Coord;
+use vbs_arch::{Coord, Rect};
 use vbs_bench::sched_workload::{sched_device, sched_fleet, sched_repository, sched_trace};
 use vbs_bench::{allocations, CountingAllocator};
+use vbs_bitstream::TaskBitstream;
 use vbs_core::{DecodeScratch, Devirtualizer, Vbs};
 use vbs_runtime::{
-    devirtualize_into, devirtualize_stream, BestFit, ReconfigurationController, VbsRepository,
+    devirtualize_into, devirtualize_stream, BestFit, FabricView, ReconfigurationController,
+    ScratchPool, VbsRepository,
 };
-use vbs_sched::{replay_multi, LeastLoaded, MultiConfig, SchedulerConfig};
+use vbs_sched::{
+    replay_multi, LeastLoaded, MultiConfig, Outcome, Request, Scheduler, SchedulerConfig,
+};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -109,7 +123,7 @@ fn parse_args() -> Options {
 
 /// One timed per-load path over `loads` round-robin loads of the task mix.
 struct PathResult {
-    name: &'static str,
+    name: String,
     elapsed: Duration,
     frames: u64,
     allocs: u64,
@@ -152,15 +166,18 @@ fn streams(repository: &VbsRepository) -> Vec<Vbs> {
 }
 
 fn run_path(
-    name: &'static str,
+    name: impl Into<String>,
     options: &Options,
     streams: &[Vbs],
     mut load: impl FnMut(&Vbs),
 ) -> PathResult {
     // Warm up outside the measurement (cold-scratch allocations, page
-    // faults, branch predictors).
-    for vbs in streams {
-        load(vbs);
+    // faults, branch predictors). Two rounds so pooled paths reach their
+    // steady-state buffer population before counting starts.
+    for _ in 0..2 {
+        for vbs in streams {
+            load(vbs);
+        }
     }
     let frames_per_round: u64 = streams
         .iter()
@@ -174,7 +191,7 @@ fn run_path(
     let elapsed = start.elapsed();
     let allocs = allocations() - before;
     PathResult {
-        name,
+        name: name.into(),
         elapsed,
         frames: frames_per_round * (options.loads as u64) / streams.len() as u64,
         allocs,
@@ -193,7 +210,7 @@ fn per_load_paths(options: &Options, repository: &VbsRepository) -> Vec<PathResu
     let mut controller = ReconfigurationController::new(device.clone());
     results.push(run_path("legacy", options, &streams, |vbs| {
         let devirt = Devirtualizer::new(vbs).expect("devirtualizer");
-        let mut task = vbs_bitstream::TaskBitstream::empty(*vbs.spec(), vbs.width(), vbs.height());
+        let mut task = TaskBitstream::empty(*vbs.spec(), vbs.width(), vbs.height());
         for record in vbs.records() {
             devirt
                 .decode_record_into(record, &mut task)
@@ -202,10 +219,13 @@ fn per_load_paths(options: &Options, repository: &VbsRepository) -> Vec<PathResu
         controller.load_decoded(&task, origin).expect("load");
     }));
 
-    // Buffered: one shared, header-pre-reserved scratch per load.
+    // Buffered: one shared, header-pre-reserved scratch per load — the
+    // cold pool (capacity 0) allocates per load like the pre-pool one-shot
+    // path did.
     let mut controller = ReconfigurationController::new(device.clone());
     results.push(run_path("buffered", options, &streams, |vbs| {
-        let (task, _report) = devirtualize_stream(vbs, 1).expect("decode");
+        let once = ScratchPool::new(0);
+        let (task, _report) = devirtualize_stream(vbs, 1, &once).expect("decode");
         controller.load_decoded(&task, origin).expect("load");
     }));
 
@@ -219,17 +239,235 @@ fn per_load_paths(options: &Options, repository: &VbsRepository) -> Vec<PathResu
         scratch.put_staging(staging);
     }));
 
-    // Streaming: persistent arena + frame writes overlapping the decode.
+    // Streaming: pooled scratch + frame writes overlapping the decode.
     let mut controller = ReconfigurationController::new(device);
-    let mut scratch = DecodeScratch::new();
-    let mut staging = vbs_bitstream::TaskBitstream::empty(*streams[0].spec(), 1, 1);
+    let mut staging = TaskBitstream::empty(*streams[0].spec(), 1, 1);
     results.push(run_path("streaming", options, &streams, |vbs| {
         controller
-            .load_streaming(vbs, origin, &mut staging, &mut scratch)
+            .load_streaming(vbs, origin, &mut staging)
             .expect("load");
     }));
 
     results
+}
+
+/// The parallel arm: the full `load` path at 1/2/4 decode lanes, pooled
+/// (persistent `DecodeWorkerPool` + warm `ScratchPool`) vs fresh (the
+/// pre-pool behavior: scoped threads, fresh scratch and partial per worker
+/// per load). Returns `(pooled, fresh)` results per lane count.
+fn parallel_paths(options: &Options, repository: &VbsRepository) -> Vec<(PathResult, PathResult)> {
+    let streams = streams(repository);
+    let origin = Coord::new(0, 0);
+    let largest = streams
+        .iter()
+        .max_by_key(|v| v.width() as u64 * v.height() as u64)
+        .expect("workload streams");
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let device = sched_device(options.fabric.0, options.fabric.1);
+        let mut controller = ReconfigurationController::new(device.clone()).with_workers(workers);
+        // Deterministic warm-up: one warm scratch and staging buffer per
+        // lane, pre-reserved for the largest stream, so no lane allocates
+        // mid-measurement no matter how the lanes interleave.
+        controller.warm(largest).expect("warm");
+        let pooled = run_path(format!("pooled_w{workers}"), options, &streams, |vbs| {
+            controller.load(vbs, origin).expect("load");
+        });
+
+        let mut controller = ReconfigurationController::new(device);
+        let fresh = run_path(format!("fresh_w{workers}"), options, &streams, |vbs| {
+            let task = fresh_parallel_decode(vbs, workers);
+            controller.load_decoded(&task, origin).expect("load");
+        });
+        results.push((pooled, fresh));
+    }
+    results
+}
+
+/// The pre-pool parallel decode, re-created as the baseline: scoped worker
+/// threads spawned per load, each with a fresh scratch and a lazily
+/// allocated fresh partial image, merged at the end.
+fn fresh_parallel_decode(vbs: &Vbs, workers: usize) -> TaskBitstream {
+    let devirtualizer = Devirtualizer::new(vbs).expect("devirtualizer");
+    let records = vbs.records();
+    let spec = *vbs.spec();
+    let (w, h) = (vbs.width().max(1), vbs.height().max(1));
+    let mut task = TaskBitstream::empty(spec, w, h);
+    if workers <= 1 || records.len() < 2 {
+        let mut scratch = DecodeScratch::new();
+        devirtualizer
+            .decode_into(&mut task, &mut scratch)
+            .expect("decode");
+        return task;
+    }
+    let chunk = records.len().div_ceil(workers);
+    let partials: Vec<Option<TaskBitstream>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = records
+            .chunks(chunk)
+            .map(|slice| {
+                let devirt = &devirtualizer;
+                scope.spawn(move || {
+                    let mut local: Option<TaskBitstream> = None;
+                    let mut scratch = DecodeScratch::new();
+                    for record in slice {
+                        let target = local.get_or_insert_with(|| TaskBitstream::empty(spec, w, h));
+                        devirt
+                            .decode_record_with(record, target, &mut scratch)
+                            .expect("decode");
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("decode workers never panic"))
+            .collect()
+    });
+    for partial in partials.into_iter().flatten() {
+        task.merge_disjoint(&partial).expect("disjoint partials");
+    }
+    task
+}
+
+/// One compaction strategy's cost on a deterministically fragmented fabric.
+struct CompactionResult {
+    name: &'static str,
+    moves: usize,
+    frames_rewritten: u64,
+    pause_micros: u128,
+    decodes: u64,
+    cache_fetches: u64,
+}
+
+impl CompactionResult {
+    fn json(&self) -> String {
+        format!(
+            "{{\"moves\": {}, \"frames_rewritten\": {}, \"pause_micros\": {}, \"decodes\": {}, \"cache_fetches\": {}}}",
+            self.moves, self.frames_rewritten, self.pause_micros, self.decodes, self.cache_fetches
+        )
+    }
+}
+
+/// Builds a fragmented scheduler: fill the fabric with the task mix, then
+/// unload every other job, leaving a checkerboard of holes.
+fn fragmented_scheduler(options: &Options, repository: &VbsRepository) -> Scheduler {
+    let config = SchedulerConfig {
+        eviction_limit: 0,
+        compaction: false,
+        ..SchedulerConfig::default()
+    };
+    let mut sched = vbs_bench::sched_workload::sched_scheduler(
+        repository,
+        options.fabric.0,
+        options.fabric.1,
+        0,
+        Box::new(BestFit),
+        config,
+    );
+    let names: Vec<&str> = vbs_bench::sched_workload::SCHED_TASKS
+        .iter()
+        .map(|(name, ..)| *name)
+        .collect();
+    let mut jobs = Vec::new();
+    for round in 0..12 {
+        let outcome = sched.execute(Request::Load {
+            task: names[round % names.len()].into(),
+            priority: 1,
+            deadline: None,
+        });
+        if let Outcome::Loaded { job, .. } = outcome {
+            jobs.push(job);
+        }
+    }
+    // Vacate every other resident, bottom-left ones included, so the
+    // survivors all have somewhere better to go.
+    for job in jobs.iter().step_by(2) {
+        sched.execute(Request::Unload { job: *job });
+    }
+    sched
+}
+
+/// Measures the batch-planned `Scheduler::compact` against a re-creation of
+/// the legacy greedy sweeps (executed through public relocation requests),
+/// on identically fragmented fabrics.
+fn compaction_paths(options: &Options, repository: &VbsRepository) -> Vec<CompactionResult> {
+    // Batch: the shipped planner; pause metrics come from SchedMetrics.
+    let mut batch = fragmented_scheduler(options, repository);
+    let before_metrics = *batch.metrics();
+    let before_cache = batch.cache_stats();
+    let moves = batch.compact();
+    let after = *batch.metrics();
+    let cache = batch.cache_stats();
+    let batch_result = CompactionResult {
+        name: "batch",
+        moves,
+        frames_rewritten: after.compaction_frames_moved - before_metrics.compaction_frames_moved,
+        pause_micros: after.compaction_micros - before_metrics.compaction_micros,
+        decodes: after.decodes - before_metrics.decodes,
+        cache_fetches: (cache.hits + cache.misses) - (before_cache.hits + before_cache.misses),
+    };
+
+    // Greedy: up to four live bottom-left sweeps, every improvement
+    // executed immediately as its own relocation (the pre-batch behavior).
+    let mut greedy = fragmented_scheduler(options, repository);
+    let before_metrics = *greedy.metrics();
+    let before_cache = greedy.cache_stats();
+    let mut moves = 0usize;
+    let mut frames = 0u64;
+    let pause = Instant::now();
+    for _ in 0..4 {
+        let mut moved = false;
+        let mut residents = greedy.residents();
+        residents.sort_by_key(|r| (r.region.origin.y, r.region.origin.x));
+        for info in residents {
+            let view = greedy.manager().fabric_view();
+            let others: Vec<Rect> = view
+                .occupied()
+                .iter()
+                .copied()
+                .filter(|r| *r != info.region)
+                .collect();
+            let masked = FabricView::new(view.width(), view.height(), others);
+            let Some(candidate) =
+                greedy
+                    .manager()
+                    .policy()
+                    .place(info.region.width, info.region.height, &masked)
+            else {
+                continue;
+            };
+            let current = info.region.origin;
+            if (candidate.y, candidate.x) >= (current.y, current.x) {
+                continue;
+            }
+            let outcome = greedy.execute(Request::Relocate {
+                job: info.job,
+                to: candidate,
+            });
+            if matches!(outcome, Outcome::Relocated { .. }) {
+                moves += 1;
+                frames += info.region.area() as u64;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    let pause_micros = pause.elapsed().as_micros();
+    let after = *greedy.metrics();
+    let cache = greedy.cache_stats();
+    let greedy_result = CompactionResult {
+        name: "greedy",
+        moves,
+        frames_rewritten: frames,
+        pause_micros,
+        decodes: after.decodes - before_metrics.decodes,
+        cache_fetches: (cache.hits + cache.misses) - (before_cache.hits + before_cache.misses),
+    };
+
+    vec![batch_result, greedy_result]
 }
 
 /// One region-op measurement of the `frame_write` arm: the word-level flat
@@ -270,7 +508,7 @@ fn frame_write_paths(options: &Options, repository: &VbsRepository) -> Vec<Frame
         .into_iter()
         .max_by_key(|v| v.width() as u64 * v.height() as u64)
         .expect("workload streams");
-    let (task, _) = devirtualize_stream(&vbs, 1).expect("decode");
+    let (task, _) = devirtualize_stream(&vbs, 1, &ScratchPool::default()).expect("decode");
     let mut memory = vbs_bitstream::ConfigMemory::new(&device);
     let (tw, th) = (task.width(), task.height());
     assert!(
@@ -438,6 +676,41 @@ fn main() {
         "streaming decode→resident throughput: {vs_legacy:.2}x vs legacy, {vs_buffered:.2}x vs buffered"
     );
 
+    let parallel = parallel_paths(&options, &repository);
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>14}",
+        "parallel", "pooled l/s", "fresh l/s", "pooled alloc/l", "fresh alloc/l"
+    );
+    for (pooled, fresh) in &parallel {
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>14.1} {:>14.1}",
+            pooled.name.trim_start_matches("pooled_"),
+            pooled.loads_per_sec(),
+            fresh.loads_per_sec(),
+            pooled.allocs_per_load(),
+            fresh.allocs_per_load()
+        );
+    }
+    let pooled4 = &parallel[2].0;
+    let speedup_pooled4_vs_scratch = pooled4.loads_per_sec() / paths[2].loads_per_sec();
+    let speedup_pooled4_vs_fresh4 = pooled4.loads_per_sec() / parallel[2].1.loads_per_sec();
+    println!(
+        "pooled 4-lane load path: {speedup_pooled4_vs_scratch:.2}x vs 1-thread scratch, \
+         {speedup_pooled4_vs_fresh4:.2}x vs fresh 4-worker"
+    );
+
+    let compaction = compaction_paths(&options, &repository);
+    println!(
+        "{:<12} {:>8} {:>16} {:>14} {:>9} {:>14}",
+        "compaction", "moves", "frames rewritten", "pause µs", "decodes", "cache fetches"
+    );
+    for c in &compaction {
+        println!(
+            "{:<12} {:>8} {:>16} {:>14} {:>9} {:>14}",
+            c.name, c.moves, c.frames_rewritten, c.pause_micros, c.decodes, c.cache_fetches
+        );
+    }
+
     let frame_write = frame_write_paths(&options, &repository);
     println!(
         "{:<12} {:>16} {:>16} {:>10}",
@@ -473,8 +746,18 @@ fn main() {
         );
     }
 
+    let parallel_json = parallel
+        .iter()
+        .flat_map(|(pooled, fresh)| {
+            [
+                format!("    \"{}\": {}", pooled.name, pooled.json()),
+                format!("    \"{}\": {}", fresh.name, fresh.json()),
+            ]
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"parallel\": {{\n{},\n    \"speedup_pooled4_vs_scratch\": {:.3},\n    \"speedup_pooled4_vs_fresh4\": {:.3}\n  }},\n  \"compaction\": {{\n    \"batch\": {},\n    \"greedy\": {}\n  }},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }}\n}}\n",
         options.loads,
         options.fabric.0,
         options.fabric.1,
@@ -486,6 +769,11 @@ fn main() {
         paths[3].json(),
         vs_legacy,
         vs_buffered,
+        parallel_json,
+        speedup_pooled4_vs_scratch,
+        speedup_pooled4_vs_fresh4,
+        compaction[0].json(),
+        compaction[1].json(),
         frame_write[0].json(),
         frame_write[1].json(),
         frame_write[2].json(),

@@ -7,6 +7,11 @@
 //!   **zero** heap allocations per load;
 //! * steady-state streaming loads (`load_streaming` into configuration
 //!   memory) also perform zero allocations;
+//! * steady-state **parallel** loads through the persistent multi-lane
+//!   [`vbs_runtime::DecodeWorkerPool`] (4 decode lanes, every scratch and
+//!   partial image drawn from a warm [`vbs_runtime::ScratchPool`]) perform
+//!   zero allocations per load, and the pool reports exactly one fresh
+//!   scratch per lane after warm-up;
 //! * a **cold** decode pre-reserves its buffers from the VBS header, so the
 //!   first decode stays within a small per-buffer allocation budget instead
 //!   of growing buffers incrementally;
@@ -64,18 +69,19 @@ fn decode_hot_path_allocation_budget() {
     );
 
     // --- Steady-state streaming load into live configuration memory:
-    // decode plus frame writes, still zero allocations.
-    let mut controller = ReconfigurationController::new(device);
+    // decode plus frame writes (scratch from the controller's pool), still
+    // zero allocations.
+    let mut controller = ReconfigurationController::new(device.clone());
     let origin = vbs_arch::Coord::new(2, 3);
     for _ in 0..2 {
         controller
-            .load_streaming(&vbs, origin, &mut staging, &mut scratch)
+            .load_streaming(&vbs, origin, &mut staging)
             .expect("load");
     }
     let before = allocations();
     for _ in 0..50 {
         controller
-            .load_streaming(&vbs, origin, &mut staging, &mut scratch)
+            .load_streaming(&vbs, origin, &mut staging)
             .expect("load");
     }
     let steady = allocations() - before;
@@ -86,6 +92,38 @@ fn decode_hot_path_allocation_budget() {
 
     // The loads actually configured the fabric.
     assert!(controller.memory().occupied_macros() > 0);
+
+    // --- Steady-state parallel loads: the persistent 4-lane worker pool
+    // runs the full decode→resident `load` path on pooled scratches and
+    // partial images. Warm-up (the explicit `warm` plus two loads) settles
+    // the pool; after that, zero allocations per load — dispatch is a
+    // condvar epoch bump, every buffer recycles.
+    let workers = 4usize;
+    let mut parallel = ReconfigurationController::new(device).with_workers(workers);
+    parallel.warm(&vbs).expect("warm");
+    for _ in 0..2 {
+        parallel.load(&vbs, origin).expect("load");
+    }
+    let before = allocations();
+    for _ in 0..50 {
+        parallel.load(&vbs, origin).expect("load");
+    }
+    let steady = allocations() - before;
+    assert_eq!(
+        steady, 0,
+        "steady-state pooled parallel load must not allocate (got {steady} over 50 loads)"
+    );
+    let stats = parallel.scratch_pool().stats();
+    assert_eq!(
+        stats.scratch_fresh, workers as u64,
+        "after warm-up the pool holds exactly one scratch per lane: {stats:?}"
+    );
+    assert_eq!(
+        stats.fresh,
+        workers as u64 + 1,
+        "one partial per lane plus the staging target: {stats:?}"
+    );
+    assert!(parallel.memory().occupied_macros() > 0);
 
     // --- Shape-cycling reshapes: alternating tall/wide/larger rectangles
     // through one buffer must not allocate once the arena has grown to the

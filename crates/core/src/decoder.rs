@@ -195,6 +195,37 @@ impl DecodeScratch {
         self.staging = Some(staging);
     }
 
+    /// Pre-reserves every internal buffer for decoding `vbs`, exactly as
+    /// the first decode of that stream would — the **warm-up hook** of
+    /// scratch pools: a pool that parks several scratches can prepare each
+    /// of them up front, so whichever scratch a decode lane later checks
+    /// out is already warm and the decode performs zero heap allocations,
+    /// independent of which lanes happened to run during earlier loads.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VbsError`] when the stream header describes a degenerate
+    /// device geometry.
+    pub fn prepare_for(&mut self, vbs: &Vbs) -> Result<(), VbsError> {
+        let geometry = Device::new(*vbs.spec(), vbs.width().max(1), vbs.height().max(1))?;
+        self.reserve_for(vbs, &geometry);
+        Ok(())
+    }
+
+    /// Clears the per-load transient state (per-record net bookkeeping,
+    /// claimed-wire list, streaming emission map and the search worklists)
+    /// while keeping every buffer's capacity — the **recycling hook** pools
+    /// run before parking a scratch, so a scratch checked out later starts
+    /// from a clean slate without giving back its warmed allocations.
+    pub fn reset(&mut self) {
+        self.nets.clear();
+        self.claimed.clear();
+        self.emitted.clear();
+        self.search.heap.clear();
+        self.search.path.clear();
+        self.search.neighbors.clear();
+    }
+
     /// Pre-reserves every buffer for decoding `vbs` on `geometry` so the
     /// decode itself allocates nothing (warm) or once per buffer (cold).
     fn reserve_for(&mut self, vbs: &Vbs, geometry: &Device) {
@@ -234,6 +265,20 @@ impl SearchScratch {
             self.cost.resize(nodes, 0.0);
             self.parent.resize(nodes, PARENT_PLACEHOLDER);
             self.stamp.resize(nodes, 0);
+        }
+        // The worklists are bounded by the node count too; reserving them
+        // here keeps a pool-warmed scratch allocation-free on its first
+        // decode (searches are cluster-local, so this is generous).
+        // `reserve(additional)` guarantees `capacity >= len + additional`,
+        // so the additional amount is computed against the current length.
+        if self.heap.capacity() < nodes {
+            self.heap.reserve(nodes - self.heap.len());
+        }
+        if self.path.capacity() < nodes {
+            self.path.reserve(nodes - self.path.len());
+        }
+        if self.neighbors.capacity() < 16 {
+            self.neighbors.reserve(16 - self.neighbors.len());
         }
     }
 

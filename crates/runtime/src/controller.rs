@@ -1,10 +1,12 @@
 //! The reconfiguration controller: fetch, de-virtualize, write.
 
 use crate::error::RuntimeError;
+use crate::parallel::DecodeWorkerPool;
+use crate::pool::ScratchPool;
 use std::time::Instant;
 use vbs_arch::{Coord, Device, Rect};
 use vbs_bitstream::{BitstreamError, ConfigMemory, FrameRef, TaskBitstream};
-use vbs_core::{DecodeScratch, Devirtualizer, FrameSink, Vbs};
+use vbs_core::{Devirtualizer, FrameSink, Vbs};
 
 /// Timing and composition report of one de-virtualization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,37 +24,66 @@ pub struct DecodeReport {
 /// The run-time reconfiguration controller of Figure 2.
 ///
 /// It owns the device's [`ConfigMemory`] and de-virtualizes Virtual
-/// Bit-Streams into it at load time. Decoding can use a pool of worker
-/// threads because every record only touches its own cluster's frames — the
-/// parallelism the paper highlights in Section II-C.
+/// Bit-Streams into it at load time. Decoding can use a pool of persistent
+/// worker threads ([`DecodeWorkerPool`]) because every record only touches
+/// its own cluster's frames — the parallelism the paper highlights in
+/// Section II-C. Every decode, sequential or parallel, runs on recycled
+/// state from the controller's [`ScratchPool`], so steady-state loads
+/// perform zero heap allocations.
 #[derive(Debug)]
 pub struct ReconfigurationController {
     device: Device,
     memory: ConfigMemory,
-    workers: usize,
+    decoder: DecodeWorkerPool,
 }
 
 impl ReconfigurationController {
     /// Creates a controller for `device` with a blank configuration memory,
-    /// decoding sequentially.
+    /// decoding sequentially on a private scratch pool.
     pub fn new(device: Device) -> Self {
         let memory = ConfigMemory::new(&device);
         ReconfigurationController {
             device,
             memory,
-            workers: 1,
+            decoder: DecodeWorkerPool::new(1),
         }
     }
 
-    /// Sets the number of de-virtualization worker threads (at least 1).
+    /// Sets the number of de-virtualization decode lanes (at least 1). The
+    /// existing scratch pool is kept, so buffers warmed before the switch
+    /// stay warm.
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+        let pool = self.decoder.pool().clone();
+        self.decoder = DecodeWorkerPool::with_pool(workers, pool);
         self
     }
 
-    /// The number of de-virtualization worker threads.
-    pub const fn workers(&self) -> usize {
-        self.workers
+    /// Replaces the controller's scratch pool — multi-fabric deployments
+    /// install one shared pool so recycled decode state on any fabric feeds
+    /// decodes everywhere. The decode lanes are rebuilt onto the new pool.
+    pub fn set_scratch_pool(&mut self, pool: ScratchPool) {
+        self.decoder = DecodeWorkerPool::with_pool(self.decoder.workers(), pool);
+    }
+
+    /// The number of de-virtualization decode lanes.
+    pub fn workers(&self) -> usize {
+        self.decoder.workers()
+    }
+
+    /// The controller's scratch pool (a shared handle).
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        self.decoder.pool()
+    }
+
+    /// Pre-warms one scratch and one staging buffer per decode lane for
+    /// `vbs` (see [`DecodeWorkerPool::warm`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Decode`] when the stream header is
+    /// degenerate.
+    pub fn warm(&self, vbs: &Vbs) -> Result<(), RuntimeError> {
+        self.decoder.warm(vbs)
     }
 
     /// The device this controller manages.
@@ -66,52 +97,61 @@ impl ReconfigurationController {
     }
 
     /// De-virtualizes `vbs` without writing it to the fabric, returning the
-    /// raw task configuration and a timing report. Used by the decode
-    /// throughput experiments and by [`ReconfigurationController::load`].
+    /// raw task configuration (checked out of the scratch pool — return it
+    /// with [`ScratchPool::put`] to recycle) and a timing report. Used by
+    /// the decode throughput experiments and by
+    /// [`ReconfigurationController::load`].
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Decode`] when the stream cannot be expanded.
     pub fn devirtualize(&self, vbs: &Vbs) -> Result<(TaskBitstream, DecodeReport), RuntimeError> {
-        devirtualize_stream(vbs, self.workers)
+        let mut task =
+            self.decoder
+                .pool()
+                .checkout(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
+        match self.decoder.decode_into(vbs, &mut task) {
+            Ok(report) => Ok((task, report)),
+            Err(e) => {
+                self.decoder.pool().put(task);
+                Err(e)
+            }
+        }
+    }
+
+    /// De-virtualizes `vbs` into a caller-provided bit-stream (reshaped in
+    /// place) on the controller's decode lanes — the zero-allocation
+    /// buffered-decode handoff for callers that keep or cache decoded
+    /// images. Sequential and parallel lane counts produce bit-identical
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Decode`] when the stream cannot be expanded.
+    pub fn decode_into(
+        &self,
+        vbs: &Vbs,
+        task: &mut TaskBitstream,
+    ) -> Result<DecodeReport, RuntimeError> {
+        self.decoder.decode_into(vbs, task)
     }
 
     /// De-virtualizes `vbs` and writes it into the configuration memory with
-    /// its lower-left corner at `origin` — the full run-time load path.
+    /// its lower-left corner at `origin` — the full run-time load path. The
+    /// staging image and every decode buffer come from the scratch pool, so
+    /// a warm controller loads without a single heap allocation, at any
+    /// worker count.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Decode`] or [`RuntimeError::Memory`] on
     /// failure; the configuration memory is left untouched in that case.
     pub fn load(&mut self, vbs: &Vbs, origin: Coord) -> Result<DecodeReport, RuntimeError> {
-        let (task, report) = self.devirtualize(vbs)?;
-        self.memory.load_task(&task, origin)?;
-        Ok(report)
-    }
-
-    /// As [`ReconfigurationController::load`], but with the decode buffers
-    /// (staging bit-stream included) taken from `scratch`, so a warm caller
-    /// loads without a single heap allocation. Falls back to the worker-pool
-    /// path when this controller decodes in parallel (per-thread scratches
-    /// belong to the threads, not the caller).
-    ///
-    /// # Errors
-    ///
-    /// As [`ReconfigurationController::load`]; the configuration memory is
-    /// left untouched on failure.
-    pub fn load_with(
-        &mut self,
-        vbs: &Vbs,
-        origin: Coord,
-        scratch: &mut DecodeScratch,
-    ) -> Result<DecodeReport, RuntimeError> {
-        if self.workers > 1 {
-            return self.load(vbs, origin);
-        }
         let mut staging =
-            scratch.take_staging(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
-        let result = devirtualize_into(vbs, &mut staging, scratch);
-        let outcome = match result {
+            self.decoder
+                .pool()
+                .checkout(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
+        let outcome = match self.decoder.decode_into(vbs, &mut staging) {
             Ok(report) => self
                 .memory
                 .load_task(&staging, origin)
@@ -119,7 +159,7 @@ impl ReconfigurationController {
                 .map_err(RuntimeError::Memory),
             Err(e) => Err(e),
         };
-        scratch.put_staging(staging);
+        self.decoder.pool().put(staging);
         outcome
     }
 
@@ -128,9 +168,9 @@ impl ReconfigurationController {
     /// the streaming load path: instead of buffering the whole decoded task
     /// and then writing it, decode and configuration-memory writes overlap
     /// within the single load. `staging` receives the decoded image as a
-    /// byproduct (callers typically pool it or feed a decode cache) and
-    /// `scratch` provides every decode buffer, so a warm call allocates
-    /// nothing.
+    /// byproduct (callers typically pool it or feed a decode cache); the
+    /// decode scratch is checked out of the controller's pool, so a warm
+    /// call allocates nothing.
     ///
     /// The final memory state is bit-identical to
     /// [`ReconfigurationController::load`]: every frame of the task
@@ -150,7 +190,6 @@ impl ReconfigurationController {
         vbs: &Vbs,
         origin: Coord,
         staging: &mut TaskBitstream,
-        scratch: &mut DecodeScratch,
     ) -> Result<DecodeReport, RuntimeError> {
         let (w, h) = (vbs.width().max(1), vbs.height().max(1));
         if origin.x as u32 + w as u32 > self.memory.width() as u32
@@ -164,11 +203,14 @@ impl ReconfigurationController {
         }
         let start = Instant::now();
         let devirtualizer = Devirtualizer::new(vbs)?;
+        let mut scratch = self.decoder.pool().checkout_scratch();
         let mut sink = MemorySink {
             memory: &mut self.memory,
             origin,
         };
-        if let Err(e) = devirtualizer.decode_streaming(staging, scratch, &mut sink) {
+        let result = devirtualizer.decode_streaming(staging, &mut scratch, &mut sink);
+        self.decoder.pool().put_scratch(scratch);
+        if let Err(e) = result {
             // Frames already streamed would leave the region half
             // configured: blank it so a failed load never leaves partial
             // state behind (the region held no resident task — the caller
@@ -230,15 +272,16 @@ impl ReconfigurationController {
 }
 
 /// De-virtualizes a Virtual Bit-Stream into a position-independent raw task
-/// image, outside any controller.
+/// image on `workers` decode lanes drawing every buffer from `pool`,
+/// outside any controller.
 ///
-/// This is the decoded-stream handoff used by multi-fabric decode pipelines:
-/// de-virtualization only depends on the stream itself (the decoded frames
-/// are written wherever the task is later placed), so worker threads can
-/// expand streams for a fabric whose controller is busy writing its
-/// configuration memory, and hand the finished [`TaskBitstream`] over a
-/// channel. [`ReconfigurationController::devirtualize`] is this function
-/// bound to the controller's worker count.
+/// This is the one-shot decoded-stream handoff: de-virtualization only
+/// depends on the stream itself (the decoded frames are written wherever
+/// the task is later placed), so callers without a controller can expand a
+/// stream and hand the finished [`TaskBitstream`] on. The lanes are
+/// transient (created per call); long-running callers should hold a
+/// [`DecodeWorkerPool`] — or a [`ReconfigurationController`] — whose
+/// persistent lanes make repeated decodes allocation-free.
 ///
 /// # Errors
 ///
@@ -246,73 +289,23 @@ impl ReconfigurationController {
 pub fn devirtualize_stream(
     vbs: &Vbs,
     workers: usize,
+    pool: &ScratchPool,
 ) -> Result<(TaskBitstream, DecodeReport), RuntimeError> {
-    let workers = workers.max(1);
-    let start = Instant::now();
-    let devirtualizer = Devirtualizer::new(vbs)?;
-    let mut task = TaskBitstream::empty(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
-
-    if workers <= 1 || vbs.records().len() < 2 {
-        // One shared, header-pre-reserved scratch across every record.
-        let mut scratch = DecodeScratch::new();
-        devirtualizer.decode_into(&mut task, &mut scratch)?;
-    } else {
-        // Parallel decode: workers expand disjoint record subsets into
-        // private task images which are merged afterwards — each record
-        // only touches its own cluster, so the merge is conflict-free.
-        // Workers allocate their partial image lazily (a chunk whose
-        // records all fail early never pays for one), share one decode
-        // scratch across their chunk, and the merge moves frames out of
-        // the partials instead of cloning their payloads.
-        let records = vbs.records();
-        let chunk = records.len().div_ceil(workers);
-        let spec = *vbs.spec();
-        let (w, h) = (vbs.width().max(1), vbs.height().max(1));
-        let partials: Vec<Result<Option<TaskBitstream>, vbs_core::VbsError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = records
-                    .chunks(chunk)
-                    .map(|slice| {
-                        let devirt = &devirtualizer;
-                        scope.spawn(move || {
-                            let mut local: Option<TaskBitstream> = None;
-                            let mut scratch = DecodeScratch::new();
-                            for record in slice {
-                                let target =
-                                    local.get_or_insert_with(|| TaskBitstream::empty(spec, w, h));
-                                devirt.decode_record_with(record, target, &mut scratch)?;
-                            }
-                            Ok(local)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| handle.join().expect("decode workers never panic"))
-                    .collect()
-            });
-        for partial in partials {
-            if let Some(partial) = partial.map_err(RuntimeError::Decode)? {
-                // Each record only touches its own cluster, so the partial
-                // images hold disjoint non-empty frames: merging is one OR
-                // sweep over the two word arenas.
-                task.merge_disjoint(&partial)?;
-            }
+    let lanes = DecodeWorkerPool::with_pool(workers, pool.clone());
+    let mut task = pool.checkout(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
+    match lanes.decode_into(vbs, &mut task) {
+        Ok(report) => Ok((task, report)),
+        Err(e) => {
+            pool.put(task);
+            Err(e)
         }
     }
-
-    let report = DecodeReport {
-        records: vbs.records().len(),
-        workers,
-        micros: start.elapsed().as_micros(),
-        raw_bits: task.size_bits(),
-    };
-    Ok((task, report))
 }
 
 /// De-virtualizes `vbs` into a caller-provided bit-stream with a
 /// caller-provided scratch arena — the zero-allocation decode handoff used
-/// by per-worker decode pipelines: each worker keeps one [`DecodeScratch`]
+/// by per-worker decode pipelines: each worker keeps one
+/// [`vbs_core::DecodeScratch`] (typically checked out of a [`ScratchPool`])
 /// and a recycled [`TaskBitstream`] alive across loads, so steady-state
 /// decoding performs no heap allocation at all. Results are bit-identical
 /// to [`devirtualize_stream`].
@@ -323,7 +316,7 @@ pub fn devirtualize_stream(
 pub fn devirtualize_into(
     vbs: &Vbs,
     task: &mut TaskBitstream,
-    scratch: &mut DecodeScratch,
+    scratch: &mut vbs_core::DecodeScratch,
 ) -> Result<DecodeReport, RuntimeError> {
     let start = Instant::now();
     let devirtualizer = Devirtualizer::new(vbs)?;
@@ -422,7 +415,6 @@ mod tests {
         buffered.load(&vbs, Coord::new(3, 2)).unwrap();
 
         let mut streaming = ReconfigurationController::new(device);
-        let mut scratch = DecodeScratch::new();
         let mut staging = TaskBitstream::empty(*vbs.spec(), 1, 1);
         // Pre-soil the target region to prove streaming overwrites stale
         // frames of recordless clusters too.
@@ -431,7 +423,7 @@ mod tests {
             .frame_mut(Coord::new(4, 3))
             .set_bit(0, true);
         let report = streaming
-            .load_streaming(&vbs, Coord::new(3, 2), &mut staging, &mut scratch)
+            .load_streaming(&vbs, Coord::new(3, 2), &mut staging)
             .unwrap();
         assert_eq!(report.records, vbs.records().len());
         assert_eq!(staging.diff_count(&raw).unwrap(), 0);
@@ -445,10 +437,10 @@ mod tests {
             streaming.memory().occupied_macros()
         );
 
-        // Repeat with the warm scratch + staging: still identical.
+        // Repeat with the warm pool + staging: still identical.
         streaming.memory.clear_region(region).unwrap();
         streaming
-            .load_streaming(&vbs, Coord::new(3, 2), &mut staging, &mut scratch)
+            .load_streaming(&vbs, Coord::new(3, 2), &mut staging)
             .unwrap();
         let b2 = streaming.memory().read_region(region).unwrap();
         assert_eq!(a.diff_count(&b2).unwrap(), 0);
@@ -458,28 +450,42 @@ mod tests {
     fn streaming_load_rejects_out_of_bounds_before_writing() {
         let (device, vbs, _) = task_vbs();
         let mut controller = ReconfigurationController::new(device);
-        let mut scratch = DecodeScratch::new();
         let mut staging = TaskBitstream::empty(*vbs.spec(), 1, 1);
         assert!(matches!(
-            controller.load_streaming(&vbs, Coord::new(19, 11), &mut staging, &mut scratch),
+            controller.load_streaming(&vbs, Coord::new(19, 11), &mut staging),
             Err(RuntimeError::Memory(_))
         ));
         assert_eq!(controller.memory().occupied_macros(), 0);
     }
 
     #[test]
-    fn load_with_reuses_scratch_and_matches_load() {
+    fn repeated_loads_recycle_through_the_scratch_pool() {
         let (device, vbs, raw) = task_vbs();
         let mut controller = ReconfigurationController::new(device);
-        let mut scratch = DecodeScratch::new();
-        for _ in 0..2 {
-            controller
-                .load_with(&vbs, Coord::new(1, 1), &mut scratch)
-                .unwrap();
+        for _ in 0..3 {
+            controller.load(&vbs, Coord::new(1, 1)).unwrap();
             let region = Rect::new(Coord::new(1, 1), vbs.width(), vbs.height());
             let readback = controller.memory().read_region(region).unwrap();
             assert_eq!(readback.diff_count(&raw).unwrap(), 0);
             controller.unload(region).unwrap();
         }
+        let stats = controller.scratch_pool().stats();
+        assert_eq!(stats.fresh, 1, "one staging buffer serves every load");
+        assert_eq!(stats.scratch_fresh, 1, "one scratch serves every load");
+        assert!(stats.reused >= 2, "later loads recycle: {stats:?}");
+    }
+
+    #[test]
+    fn devirtualize_stream_draws_from_the_given_pool() {
+        let (_, vbs, raw) = task_vbs();
+        let pool = ScratchPool::default();
+        let (a, _) = devirtualize_stream(&vbs, 1, &pool).unwrap();
+        assert_eq!(a.diff_count(&raw).unwrap(), 0);
+        let (b, report) = devirtualize_stream(&vbs, 2, &pool).unwrap();
+        assert_eq!(b.diff_count(&raw).unwrap(), 0);
+        assert_eq!(report.workers, 2);
+        pool.put(a);
+        pool.put(b);
+        assert!(pool.stats().recycled >= 2);
     }
 }

@@ -13,20 +13,29 @@
 //!
 //! * [`VbsRepository`] — the external memory holding the serialized VBS of
 //!   every task;
-//! * [`ReconfigurationController`] — fetch + decode (sequentially or with a
-//!   worker pool) + write to the configuration memory;
+//! * [`ReconfigurationController`] — fetch + decode (sequentially or on a
+//!   persistent [`DecodeWorkerPool`]) + write to the configuration memory;
+//! * [`ScratchPool`] — recycled decode state (scratch arenas + staging
+//!   images) shared by every decode lane, so steady-state loads perform
+//!   zero heap allocations at any worker count;
 //! * [`TaskManager`] — on-line placement of tasks on the fabric: finds a free
 //!   rectangle, loads, unloads and relocates running tasks;
 //! * [`placement`] — pluggable placement policies (first-fit, best-fit,
 //!   bottom-left skyline) plus the occupancy/fragmentation view they share.
+//!
+//! `unsafe` is denied crate-wide and allowed only inside the worker-pool
+//! module backing [`DecodeWorkerPool`], whose lifetime-erasure contract is
+//! documented there.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod controller;
 mod error;
 mod manager;
+mod parallel;
 pub mod placement;
+mod pool;
 mod repository;
 
 pub use controller::{
@@ -34,5 +43,7 @@ pub use controller::{
 };
 pub use error::RuntimeError;
 pub use manager::{LoadedTask, TaskHandle, TaskManager};
+pub use parallel::DecodeWorkerPool;
 pub use placement::{BestFit, BottomLeftSkyline, FabricId, FabricView, FirstFit, PlacementPolicy};
+pub use pool::{ScratchPool, ScratchPoolStats};
 pub use repository::VbsRepository;

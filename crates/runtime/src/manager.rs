@@ -4,10 +4,11 @@
 use crate::controller::{DecodeReport, ReconfigurationController};
 use crate::error::RuntimeError;
 use crate::placement::{FabricId, FabricView, FirstFit, PlacementPolicy};
+use crate::pool::ScratchPool;
 use crate::repository::VbsRepository;
 use vbs_arch::{Coord, Rect};
 use vbs_bitstream::{BitstreamError, TaskBitstream};
-use vbs_core::{DecodeScratch, Vbs};
+use vbs_core::Vbs;
 
 /// Identifier of a loaded task instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,9 +40,6 @@ pub struct TaskManager {
     next_handle: u64,
     policy: Box<dyn PlacementPolicy>,
     fabric_id: FabricId,
-    /// Decode arena reused across every load/relocate this manager performs,
-    /// so steady-state de-virtualization allocates nothing.
-    scratch: DecodeScratch,
 }
 
 impl TaskManager {
@@ -55,7 +53,6 @@ impl TaskManager {
             next_handle: 1,
             policy: Box::new(FirstFit),
             fabric_id: FabricId::default(),
-            scratch: DecodeScratch::new(),
         }
     }
 
@@ -113,6 +110,12 @@ impl TaskManager {
         &self.controller
     }
 
+    /// Installs a (typically fleet-shared) scratch pool on the controller,
+    /// so every decode this manager performs recycles through it.
+    pub fn set_scratch_pool(&mut self, pool: ScratchPool) {
+        self.controller.set_scratch_pool(pool);
+    }
+
     /// Loads a task at an explicit position.
     ///
     /// # Errors
@@ -123,7 +126,7 @@ impl TaskManager {
         let vbs = self.repository.fetch(name)?;
         let region = Rect::new(origin, vbs.width(), vbs.height());
         self.ensure_region_free(&region, None)?;
-        self.controller.load_with(&vbs, origin, &mut self.scratch)?;
+        self.controller.load(&vbs, origin)?;
         Ok(self.register(name, region))
     }
 
@@ -131,7 +134,7 @@ impl TaskManager {
     /// path: configuration-memory frames are written as each cluster record
     /// decodes, instead of after the whole stream is buffered. `staging`
     /// receives the decoded image (position independent, suitable for a
-    /// decode cache); the manager's internal scratch provides every other
+    /// decode cache); the controller's scratch pool provides every other
     /// buffer, so a warm call allocates nothing. The final memory state is
     /// bit-identical to [`TaskManager::load_at`].
     ///
@@ -149,16 +152,13 @@ impl TaskManager {
     ) -> Result<(TaskHandle, DecodeReport), RuntimeError> {
         let region = Rect::new(origin, vbs.width().max(1), vbs.height().max(1));
         self.ensure_region_free(&region, None)?;
-        let report = self
-            .controller
-            .load_streaming(vbs, origin, staging, &mut self.scratch)?;
+        let report = self.controller.load_streaming(vbs, origin, staging)?;
         Ok((self.register(name, region), report))
     }
 
-    /// De-virtualizes `vbs` into `staging` with the manager's internal
-    /// decode arena (zero allocations when warm) — the buffered-decode
-    /// handoff for callers that cache decoded images. Falls back to the
-    /// controller's worker pool when it decodes in parallel.
+    /// De-virtualizes `vbs` into `staging` on the controller's decode lanes
+    /// (zero allocations when the pool is warm, at any worker count) — the
+    /// buffered-decode handoff for callers that cache decoded images.
     ///
     /// # Errors
     ///
@@ -168,12 +168,7 @@ impl TaskManager {
         vbs: &Vbs,
         staging: &mut TaskBitstream,
     ) -> Result<DecodeReport, RuntimeError> {
-        if self.controller.workers() > 1 {
-            let (task, report) = self.controller.devirtualize(vbs)?;
-            *staging = task;
-            return Ok(report);
-        }
-        crate::controller::devirtualize_into(vbs, staging, &mut self.scratch)
+        self.controller.decode_into(vbs, staging)
     }
 
     /// Loads an already-decoded task bit-stream at an explicit position —

@@ -1,0 +1,491 @@
+//! The persistent parallel decode engine of the load path.
+//!
+//! The paper's Section II-C observation — every VBS record only touches its
+//! own cluster's frames — makes record decoding embarrassingly parallel.
+//! Earlier revisions exploited that with `std::thread::scope`, spawning
+//! fresh OS threads (plus a fresh [`DecodeScratch`] and a fresh partial
+//! [`TaskBitstream`] per worker) on **every load**, so the parallel path
+//! paid thread-creation and allocator churn per de-virtualization.
+//!
+//! [`DecodeWorkerPool`] keeps the lanes alive instead: `workers - 1`
+//! persistent threads park on a condvar between loads, and every lane
+//! (including the dispatching caller, which decodes a share itself) checks
+//! its scratch arena and partial image out of a shared [`ScratchPool`].
+//! Dispatch is a mutex/condvar epoch bump and completion a counter — no
+//! channel nodes, no spawns, no allocation of any kind — so a warm pool
+//! decodes in parallel with **zero heap allocations per load**, matching
+//! the sequential scratch path's budget.
+//!
+//! Results are bit-identical to the sequential decode: partial images hold
+//! disjoint non-empty frames (one record = one cluster), and merging them
+//! into the caller's target is a word-OR sweep per partial under a short
+//! lock.
+//!
+//! # Safety
+//!
+//! This is the one module of the workspace that uses `unsafe`: the
+//! dispatcher lends the workers references to its stack-held job state
+//! (devirtualizer, record slice, target image) through lifetime-erased
+//! pointers, because persistent threads cannot carry a caller's borrow in
+//! the type system. The invariant making this sound is the same one scoped
+//! threads enforce structurally: [`DecodeWorkerPool::decode_into`] does not
+//! return until every worker has signalled completion of the job, so the
+//! pointers never outlive the borrow they were created from. Workers only
+//! read the job slot between an epoch bump (which publishes it) and their
+//! completion signal (after their last use), and a dispatch mutex
+//! serializes concurrent `decode_into` callers so the single job slot and
+//! completion counter always describe exactly one in-flight job.
+
+#![allow(unsafe_code)]
+
+use crate::error::RuntimeError;
+use crate::pool::ScratchPool;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use vbs_arch::ArchSpec;
+use vbs_bitstream::TaskBitstream;
+use vbs_core::{ClusterRecord, DecodeScratch, Devirtualizer, Vbs};
+
+use crate::controller::DecodeReport;
+
+/// The job slot published to the workers for one parallel decode. All
+/// references are lifetime-erased; see the module-level safety contract.
+struct Job {
+    /// `&Devirtualizer<'_>` of the stream being decoded.
+    devirt: *const (),
+    /// The stream's record slice.
+    records: *const ClusterRecord,
+    records_len: usize,
+    /// Shape of the decoded task (partials are checked out at this shape).
+    spec: ArchSpec,
+    width: u16,
+    height: u16,
+    /// Records per fixed-size chunk; lanes claim chunk indices from `next`.
+    chunk_len: usize,
+    next: AtomicUsize,
+    /// `&mut TaskBitstream` the partials merge into, guarded by `merge`.
+    target: *mut TaskBitstream,
+    merge: Mutex<()>,
+    /// First failure of any lane; once set, lanes stop claiming work.
+    failed: AtomicBool,
+    error: Mutex<Option<RuntimeError>>,
+}
+
+// SAFETY: the raw pointers inside a `Job` are only dereferenced by lanes
+// between the epoch publication and the completion signal, while the
+// dispatcher provably keeps the referents alive (it blocks until the
+// completion count reaches zero). Concurrent access is disciplined: the
+// devirtualizer and records are only read, and the target is only touched
+// under the `merge` mutex.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct State {
+    /// Bumped once per published job; workers wake on the change.
+    epoch: u64,
+    /// The current job, valid while `active > 0` (worker view).
+    job: Option<*const Job>,
+    /// Worker threads still running the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+// SAFETY: the `*const Job` travels to worker threads only via this state;
+// validity is governed by the Job contract above.
+unsafe impl Send for State {}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between jobs.
+    work: Condvar,
+    /// The dispatcher parks here until `active` drains to zero.
+    done: Condvar,
+    pool: ScratchPool,
+}
+
+/// A persistent pool of de-virtualization lanes sharing one
+/// [`ScratchPool`] (see the module docs). `workers == 1` keeps no threads
+/// at all: decodes run sequentially on a pooled scratch.
+pub struct DecodeWorkerPool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    workers: usize,
+    /// Serializes dispatchers: the job slot holds exactly one job, and the
+    /// safety contract (the published pointers outlive the job) requires
+    /// that no second caller republish the slot while lanes are mid-job.
+    dispatch: Mutex<()>,
+}
+
+impl fmt::Debug for DecodeWorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecodeWorkerPool")
+            .field("workers", &self.workers)
+            .field("pool", &self.shared.pool.stats())
+            .finish()
+    }
+}
+
+impl DecodeWorkerPool {
+    /// Creates a pool with `workers` decode lanes (at least 1; the caller's
+    /// thread is lane 0, so `workers - 1` threads are spawned) and a fresh
+    /// [`ScratchPool`].
+    pub fn new(workers: usize) -> Self {
+        DecodeWorkerPool::with_pool(workers, ScratchPool::default())
+    }
+
+    /// As [`DecodeWorkerPool::new`], with an explicit (typically fleet- or
+    /// fabric-shared) scratch pool.
+    pub fn with_pool(workers: usize, pool: ScratchPool) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            pool,
+        });
+        let threads = (1..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        DecodeWorkerPool {
+            shared,
+            threads,
+            workers,
+            dispatch: Mutex::new(()),
+        }
+    }
+
+    /// The number of decode lanes (1 = sequential, no threads).
+    pub const fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared scratch pool (a handle).
+    pub fn pool(&self) -> &ScratchPool {
+        &self.shared.pool
+    }
+
+    /// Pre-warms one scratch and one partial buffer per lane for `vbs`, so
+    /// subsequent decodes allocate nothing no matter how the lanes
+    /// interleave (see [`ScratchPool::warm_scratches`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Decode`] when the stream header is
+    /// degenerate.
+    pub fn warm(&self, vbs: &Vbs) -> Result<(), RuntimeError> {
+        self.shared
+            .pool
+            .warm_scratches(vbs, self.workers)
+            .map_err(RuntimeError::Decode)
+    }
+
+    /// De-virtualizes `vbs` into `task` (reshaped in place), fanning the
+    /// record list out over every lane. With a warm pool this performs zero
+    /// heap allocations. Results are bit-identical to
+    /// [`Devirtualizer::decode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Decode`] when any record fails to expand;
+    /// `task` then holds a partially merged image and should be discarded
+    /// (or recycled — pooled checkouts reset it anyway).
+    pub fn decode_into(
+        &self,
+        vbs: &Vbs,
+        task: &mut TaskBitstream,
+    ) -> Result<DecodeReport, RuntimeError> {
+        let start = Instant::now();
+        let devirtualizer = Devirtualizer::new(vbs).map_err(RuntimeError::Decode)?;
+        let records = vbs.records();
+        let (width, height) = (vbs.width().max(1), vbs.height().max(1));
+
+        if self.threads.is_empty() || records.len() < 2 {
+            // Sequential: decode straight into the target on one pooled
+            // scratch (decode_into reshapes the target itself).
+            let mut scratch = self.shared.pool.checkout_scratch();
+            let result = devirtualizer.decode_into(task, &mut scratch);
+            self.shared.pool.put_scratch(scratch);
+            result.map_err(RuntimeError::Decode)?;
+        } else {
+            // One dispatcher at a time: the job slot and completion counter
+            // belong to exactly one in-flight job (see the safety contract).
+            let _dispatch = self.dispatch.lock().expect("dispatch lock never poisoned");
+            task.reset(*vbs.spec(), width, height);
+            let job = Job {
+                devirt: (&devirtualizer as *const Devirtualizer<'_>).cast(),
+                records: records.as_ptr(),
+                records_len: records.len(),
+                spec: *vbs.spec(),
+                width,
+                height,
+                chunk_len: records.len().div_ceil(self.workers),
+                next: AtomicUsize::new(0),
+                target: task as *mut TaskBitstream,
+                merge: Mutex::new(()),
+                failed: AtomicBool::new(false),
+                error: Mutex::new(None),
+            };
+            {
+                let mut state = self.shared.state.lock().expect("pool state never poisoned");
+                state.job = Some(&job as *const Job);
+                state.active = self.threads.len();
+                state.epoch += 1;
+                self.shared.work.notify_all();
+            }
+            // Lane 0 is the dispatcher itself.
+            run_lane(&job, &self.shared.pool);
+            {
+                let mut state = self.shared.state.lock().expect("pool state never poisoned");
+                while state.active > 0 {
+                    state = self
+                        .shared
+                        .done
+                        .wait(state)
+                        .expect("pool state never poisoned");
+                }
+                state.job = None;
+            }
+            let failure = job
+                .error
+                .lock()
+                .expect("job error slot never poisoned")
+                .take();
+            if let Some(error) = failure {
+                return Err(error);
+            }
+        }
+
+        Ok(DecodeReport {
+            records: records.len(),
+            workers: self.workers,
+            micros: start.elapsed().as_micros(),
+            raw_bits: task.size_bits(),
+        })
+    }
+}
+
+impl Drop for DecodeWorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state never poisoned");
+            state.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker thread: park on the condvar, run every published job once,
+/// signal completion, repeat until shutdown.
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool state never poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen {
+                    if let Some(job) = state.job {
+                        seen = state.epoch;
+                        break job;
+                    }
+                }
+                state = shared.work.wait(state).expect("pool state never poisoned");
+            }
+        };
+        // SAFETY: the dispatcher keeps the job (and everything it points
+        // at) alive until `active` reaches zero, which this thread only
+        // signals below, after its last use of `job`.
+        run_lane(unsafe { &*job }, &shared.pool);
+        let mut state = shared.state.lock().expect("pool state never poisoned");
+        state.active -= 1;
+        if state.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// One lane's share of a job: claim record chunks, decode them into a
+/// pooled partial image on a pooled scratch, then word-OR the partial into
+/// the target under the merge lock.
+fn run_lane(job: &Job, pool: &ScratchPool) {
+    // SAFETY: see the Job contract — the record slice outlives the job.
+    let records = unsafe { std::slice::from_raw_parts(job.records, job.records_len) };
+    // SAFETY: ditto; the cast reverses the lifetime erasure of dispatch.
+    let devirt = unsafe { &*job.devirt.cast::<Devirtualizer<'_>>() };
+
+    let mut lane: Option<(DecodeScratch, TaskBitstream)> = None;
+    while !job.failed.load(Ordering::Relaxed) {
+        let chunk = job.next.fetch_add(1, Ordering::Relaxed);
+        let begin = chunk * job.chunk_len;
+        if begin >= records.len() {
+            break;
+        }
+        let end = (begin + job.chunk_len).min(records.len());
+        let (scratch, partial) = lane.get_or_insert_with(|| {
+            (
+                pool.checkout_scratch(),
+                pool.checkout(job.spec, job.width, job.height),
+            )
+        });
+        for record in &records[begin..end] {
+            if job.failed.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Err(e) = devirt.decode_record_with(record, partial, scratch) {
+                fail(job, RuntimeError::Decode(e));
+                break;
+            }
+        }
+    }
+
+    if let Some((scratch, partial)) = lane {
+        if !job.failed.load(Ordering::Relaxed) {
+            let _guard = job.merge.lock().expect("merge lock never poisoned");
+            // SAFETY: the target is only touched under the merge lock and
+            // outlives the job (dispatcher's &mut borrow).
+            let target = unsafe { &mut *job.target };
+            if let Err(e) = target.merge_disjoint(&partial) {
+                fail(job, RuntimeError::Memory(e));
+            }
+        }
+        pool.put(partial);
+        pool.put_scratch(scratch);
+    }
+}
+
+/// Records the first failure and stops the other lanes claiming work.
+fn fail(job: &Job, error: RuntimeError) {
+    let mut slot = job.error.lock().expect("job error slot never poisoned");
+    if slot.is_none() {
+        *slot = Some(error);
+    }
+    job.failed.store(true, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbs_flow::CadFlow;
+    use vbs_netlist::generate::SyntheticSpec;
+
+    fn fixture() -> (Vbs, TaskBitstream) {
+        let netlist = SyntheticSpec::new("pp", 24, 4, 4)
+            .with_seed(33)
+            .build()
+            .unwrap();
+        let flow = CadFlow::new(9, 6)
+            .unwrap()
+            .with_grid(6, 6)
+            .with_seed(33)
+            .fast();
+        let result = flow.run(&netlist).unwrap();
+        (result.vbs(1).unwrap(), result.raw_bitstream().clone())
+    }
+
+    #[test]
+    fn parallel_lanes_match_the_sequential_decode() {
+        let (vbs, raw) = fixture();
+        for workers in [1usize, 2, 4] {
+            let pool = DecodeWorkerPool::new(workers);
+            let mut task = TaskBitstream::empty(*vbs.spec(), 1, 1);
+            let report = pool.decode_into(&vbs, &mut task).unwrap();
+            assert_eq!(report.workers, workers);
+            assert_eq!(report.records, vbs.records().len());
+            assert_eq!(task.diff_count(&raw).unwrap(), 0, "workers={workers}");
+            // A second decode on the warm pool is still identical.
+            pool.decode_into(&vbs, &mut task).unwrap();
+            assert_eq!(task.diff_count(&raw).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn lanes_recycle_scratches_and_partials_through_the_pool() {
+        let (vbs, _) = fixture();
+        let pool = DecodeWorkerPool::new(3);
+        pool.warm(&vbs).unwrap();
+        let warmed = pool.pool().stats();
+        assert_eq!(warmed.scratch_fresh, 3);
+        assert_eq!(warmed.scratch_parked, 3);
+        let mut task = TaskBitstream::empty(*vbs.spec(), 1, 1);
+        for _ in 0..5 {
+            pool.decode_into(&vbs, &mut task).unwrap();
+        }
+        let stats = pool.pool().stats();
+        assert_eq!(
+            stats.scratch_fresh, 3,
+            "no lane may allocate a scratch after warm-up: {stats:?}"
+        );
+        assert_eq!(stats.fresh, 4, "partial buffers must recycle: {stats:?}");
+    }
+
+    #[test]
+    fn concurrent_dispatchers_serialize_on_one_pool() {
+        // Two threads share one pool and decode simultaneously: the
+        // dispatch mutex must serialize the job slot so both get complete,
+        // bit-identical results.
+        let (vbs, raw) = fixture();
+        let pool = DecodeWorkerPool::new(3);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let pool = &pool;
+                let vbs = &vbs;
+                let raw = &raw;
+                scope.spawn(move || {
+                    let mut task = TaskBitstream::empty(*vbs.spec(), 1, 1);
+                    for _ in 0..8 {
+                        pool.decode_into(vbs, &mut task).unwrap();
+                        assert_eq!(task.diff_count(raw).unwrap(), 0);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn a_corrupt_stream_reports_the_decode_error() {
+        let (vbs, _) = fixture();
+        // Rebuild the stream with one record pointing at an out-of-range
+        // boundary wire so decoding fails deterministically.
+        let mut records = vbs.records().to_vec();
+        let corrupted = records
+            .iter_mut()
+            .find_map(|r| match &mut r.routes {
+                vbs_core::ClusterRoutes::Coded(routes) => routes.first_mut(),
+                vbs_core::ClusterRoutes::Raw(_) => None,
+            })
+            .expect("the fixture stream has a coded record");
+        corrupted.output = vbs_core::ClusterIo::Boundary {
+            side: vbs_arch::Side::West,
+            offset: u16::MAX,
+        };
+        let bad = Vbs::new(
+            *vbs.spec(),
+            vbs.cluster_size(),
+            vbs.width(),
+            vbs.height(),
+            records,
+        )
+        .expect("positions are untouched, so construction succeeds");
+        let pool = DecodeWorkerPool::new(4);
+        let mut task = TaskBitstream::empty(*vbs.spec(), 1, 1);
+        assert!(pool.decode_into(&bad, &mut task).is_err());
+        // The pool survives the failure and decodes good streams again.
+        pool.decode_into(&vbs, &mut task).unwrap();
+    }
+}

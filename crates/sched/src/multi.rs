@@ -32,7 +32,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use vbs_bitstream::TaskBitstream;
-use vbs_core::{DecodeScratch, Vbs};
+use vbs_core::Vbs;
 use vbs_runtime::devirtualize_into;
 
 /// Tunables of the multi-fabric dispatcher.
@@ -139,12 +139,9 @@ pub struct MultiFabricScheduler {
     synthesized: Vec<(u64, Outcome)>,
     next_job: u64,
     metrics: MultiMetrics,
-    /// One persistent decode arena per pipeline worker, so steady-state
-    /// staged decodes allocate nothing (workers re-lock "their" scratch
-    /// each round).
-    worker_scratch: Vec<Mutex<DecodeScratch>>,
-    /// The fleet-wide recycled-buffer pool shared by every fabric's decode
-    /// cache and the pipeline workers.
+    /// The fleet-wide recycled decode-state pool shared by every fabric's
+    /// decode cache, every controller's decode lanes and the pipeline
+    /// workers (which park their scratch arenas here between rounds).
     pool: BitstreamPool,
 }
 
@@ -172,9 +169,6 @@ impl MultiFabricScheduler {
                 fabric.set_streaming(true);
             }
         }
-        let worker_scratch = (0..config.decode_workers.max(1))
-            .map(|_| Mutex::new(DecodeScratch::new()))
-            .collect();
         MultiFabricScheduler {
             fabrics,
             policy,
@@ -186,7 +180,6 @@ impl MultiFabricScheduler {
             synthesized: Vec::new(),
             next_job: 1,
             metrics: MultiMetrics::default(),
-            worker_scratch,
             pool,
         }
     }
@@ -540,18 +533,18 @@ impl MultiFabricScheduler {
         }
         let queue = Mutex::new(jobs);
 
-        let worker_scratch = &self.worker_scratch;
         let pool = &self.pool;
         let mut per_fabric: Vec<WriterResult> = std::thread::scope(|scope| {
-            for scratch_cell in worker_scratch.iter().take(workers) {
+            for _ in 0..workers {
                 let queue = &queue;
                 let senders = senders.clone();
                 let pool = pool.clone();
                 scope.spawn(move || {
-                    // Each worker re-locks its own persistent arena: warm
-                    // after the first round, so steady-state staged decodes
+                    // Each worker checks a scratch arena out of the fleet
+                    // pool and parks it again after the round: warm after
+                    // the first round, so steady-state staged decodes
                     // allocate nothing beyond a pooled staging buffer.
-                    let mut scratch = scratch_cell.lock().expect("worker scratch never poisoned");
+                    let mut scratch = pool.checkout_scratch();
                     loop {
                         let job = queue
                             .lock()
@@ -573,6 +566,7 @@ impl MultiFabricScheduler {
                         };
                         let _ = senders[fabric].send((name, staged));
                     }
+                    pool.put_scratch(scratch);
                 });
             }
             drop(senders);

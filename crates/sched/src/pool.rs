@@ -1,189 +1,11 @@
-//! A shared pool of recycled [`TaskBitstream`] buffers.
+//! The fleet-wide recycled decode-state pool.
 //!
-//! De-virtualizing a stream needs one decoded-image buffer per load; at
-//! fleet scale that is the single biggest allocation of the hot path
-//! (`width · height` frames, each with its own word vector). The pool closes
-//! the loop: buffers checked out by decode workers come back when the decode
-//! cache evicts their image (see [`crate::DecodeCache`]) or when a worker
-//! abandons a failed decode, and [`TaskBitstream::reset`] reshapes a
-//! recycled buffer in place, so steady-state decoding recycles memory
-//! instead of allocating it.
-//!
-//! The pool is `Clone` + thread-safe (a shared handle): one pool typically
-//! serves every fabric of a [`crate::MultiFabricScheduler`] plus its decode
-//! worker threads.
+//! The pool itself now lives in `vbs-runtime` ([`vbs_runtime::ScratchPool`])
+//! so the runtime's parallel decode lanes and the scheduler layer recycle
+//! through **one** free-list: staging buffers evicted from any fabric's
+//! decode cache feed the next decode anywhere — including the controllers'
+//! persistent [`vbs_runtime::DecodeWorkerPool`] lanes and the multi-fabric
+//! pipeline workers, which also park their [`vbs_core::DecodeScratch`]
+//! arenas here. The scheduler-facing name is kept for compatibility.
 
-use std::sync::{Arc, Mutex};
-use vbs_arch::ArchSpec;
-use vbs_bitstream::TaskBitstream;
-
-/// Counters of a [`BitstreamPool`]'s lifetime.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PoolStats {
-    /// Checkouts served by a recycled buffer (no allocation).
-    pub reused: u64,
-    /// Checkouts that had to allocate a fresh buffer.
-    pub fresh: u64,
-    /// Buffers returned to the pool.
-    pub recycled: u64,
-    /// Returns dropped because the pool was full or the buffer was still
-    /// shared (an `Arc` with other owners cannot be recycled).
-    pub dropped: u64,
-    /// Buffers currently parked in the pool.
-    pub parked: usize,
-}
-
-#[derive(Debug, Default)]
-struct PoolInner {
-    buffers: Vec<TaskBitstream>,
-    reused: u64,
-    fresh: u64,
-    recycled: u64,
-    dropped: u64,
-}
-
-/// A bounded, thread-safe free-list of decoded-image buffers (see the module
-/// docs). Cloning the pool clones the *handle*; all clones share one
-/// free-list.
-#[derive(Debug, Clone)]
-pub struct BitstreamPool {
-    inner: Arc<Mutex<PoolInner>>,
-    capacity: usize,
-}
-
-impl Default for BitstreamPool {
-    fn default() -> Self {
-        BitstreamPool::new(32)
-    }
-}
-
-impl BitstreamPool {
-    /// Creates a pool parking at most `capacity` buffers (0 disables
-    /// recycling: every checkout allocates, every return drops).
-    pub fn new(capacity: usize) -> Self {
-        BitstreamPool {
-            inner: Arc::new(Mutex::new(PoolInner::default())),
-            capacity,
-        }
-    }
-
-    /// Checks a buffer out of the pool, reshaped in place to an all-empty
-    /// `width` × `height` task of `spec`; allocates a fresh buffer when the
-    /// pool is empty. Preference goes to the parked buffer whose frame count
-    /// matches the request (reshaping it is free).
-    pub fn checkout(&self, spec: ArchSpec, width: u16, height: u16) -> TaskBitstream {
-        let wanted = width as usize * height as usize;
-        let mut inner = self.inner.lock().expect("pool lock never poisoned");
-        let pick = inner
-            .buffers
-            .iter()
-            .position(|b| b.spec() == &spec && b.macro_count() == wanted)
-            .or_else(|| {
-                if inner.buffers.is_empty() {
-                    None
-                } else {
-                    Some(inner.buffers.len() - 1)
-                }
-            });
-        match pick {
-            Some(i) => {
-                let mut buffer = inner.buffers.swap_remove(i);
-                inner.reused += 1;
-                drop(inner);
-                buffer.reset(spec, width, height);
-                buffer
-            }
-            None => {
-                inner.fresh += 1;
-                drop(inner);
-                TaskBitstream::empty(spec, width, height)
-            }
-        }
-    }
-
-    /// Returns a buffer to the pool (dropped silently when full).
-    pub fn put(&self, buffer: TaskBitstream) {
-        let mut inner = self.inner.lock().expect("pool lock never poisoned");
-        if inner.buffers.len() < self.capacity {
-            inner.recycled += 1;
-            inner.buffers.push(buffer);
-        } else {
-            inner.dropped += 1;
-        }
-    }
-
-    /// Recycles a shared decoded image if this handle is its last owner —
-    /// the decode-cache eviction path: an evicted entry whose `Arc` is no
-    /// longer referenced by any resident load goes back into circulation.
-    pub fn recycle(&self, image: Arc<TaskBitstream>) {
-        match Arc::try_unwrap(image) {
-            Ok(buffer) => self.put(buffer),
-            Err(_still_shared) => {
-                let mut inner = self.inner.lock().expect("pool lock never poisoned");
-                inner.dropped += 1;
-            }
-        }
-    }
-
-    /// Current counters.
-    pub fn stats(&self) -> PoolStats {
-        let inner = self.inner.lock().expect("pool lock never poisoned");
-        PoolStats {
-            reused: inner.reused,
-            fresh: inner.fresh,
-            recycled: inner.recycled,
-            dropped: inner.dropped,
-            parked: inner.buffers.len(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use vbs_arch::Coord;
-
-    fn spec() -> ArchSpec {
-        ArchSpec::paper_example()
-    }
-
-    #[test]
-    fn checkout_prefers_a_matching_recycled_buffer() {
-        let pool = BitstreamPool::new(4);
-        let mut a = pool.checkout(spec(), 3, 3);
-        a.frame_mut(Coord::new(1, 1)).set_bit(0, true);
-        pool.put(a);
-        // A mismatched checkout still reuses (reshaping is free) …
-        pool.put(pool.checkout(spec(), 2, 2));
-        // … and a matching one is preferred over allocating.
-        let b = pool.checkout(spec(), 3, 3);
-        assert_eq!(b.macro_count(), 9);
-        assert_eq!(b.popcount(), 0);
-        let stats = pool.stats();
-        assert_eq!(stats.fresh, 1);
-        assert_eq!(stats.reused, 2);
-        assert_eq!(stats.recycled, 2);
-        assert_eq!(stats.parked, 0);
-    }
-
-    #[test]
-    fn recycle_only_reclaims_sole_owners() {
-        let pool = BitstreamPool::new(4);
-        let image = Arc::new(pool.checkout(spec(), 2, 2));
-        let keep = Arc::clone(&image);
-        pool.recycle(image);
-        assert_eq!(pool.stats().parked, 0);
-        assert_eq!(pool.stats().dropped, 1);
-        pool.recycle(keep);
-        assert_eq!(pool.stats().parked, 1);
-        assert_eq!(pool.stats().recycled, 1);
-    }
-
-    #[test]
-    fn zero_capacity_disables_recycling() {
-        let pool = BitstreamPool::new(0);
-        pool.put(pool.checkout(spec(), 2, 2));
-        assert_eq!(pool.stats().parked, 0);
-        assert_eq!(pool.stats().dropped, 1);
-    }
-}
+pub use vbs_runtime::{ScratchPool as BitstreamPool, ScratchPoolStats as PoolStats};

@@ -151,6 +151,12 @@ pub struct SchedMetrics {
     pub relocations: u64,
     /// Defragmentation passes that ran.
     pub compaction_passes: u64,
+    /// Configuration frames rewritten by compaction moves (the pause-cost
+    /// proxy: each moved frame is one word-arena row segment rewrite).
+    pub compaction_frames_moved: u64,
+    /// Wall-clock time spent inside [`Scheduler::compact`] (planning +
+    /// executing moves), in microseconds — the pause-time metric.
+    pub compaction_micros: u128,
     /// Total de-virtualization time spent, in microseconds.
     pub decode_micros: u128,
     /// Number of de-virtualizations performed (cache misses).
@@ -196,6 +202,14 @@ impl SchedMetrics {
             return 0.0;
         }
         self.utilization_sum / self.fragmentation_samples as f64
+    }
+
+    /// Mean compaction pause, in microseconds per pass.
+    pub fn mean_compaction_micros(&self) -> f64 {
+        if self.compaction_passes == 0 {
+            return 0.0;
+        }
+        self.compaction_micros as f64 / self.compaction_passes as f64
     }
 }
 
@@ -252,6 +266,9 @@ impl Scheduler {
         config: SchedulerConfig,
     ) -> Self {
         let cache = DecodeCache::new(config.cache_capacity);
+        // Share the controller's scratch pool: images the cache evicts feed
+        // the controller's decode lanes and vice versa.
+        let pool = manager.controller().scratch_pool().clone();
         Scheduler {
             manager,
             eviction,
@@ -264,7 +281,7 @@ impl Scheduler {
             next_seq: 0,
             metrics: SchedMetrics::default(),
             staged: HashMap::new(),
-            pool: BitstreamPool::default(),
+            pool,
         }
     }
 
@@ -273,9 +290,12 @@ impl Scheduler {
         self.pool.clone()
     }
 
-    /// Replaces the recycled-buffer pool — multi-fabric dispatchers install
-    /// one shared pool so evictions on any fabric feed decodes everywhere.
+    /// Replaces the recycled decode-state pool — multi-fabric dispatchers
+    /// install one shared pool so evictions on any fabric feed decodes
+    /// everywhere. The pool is also installed on this fabric's controller,
+    /// so its decode lanes draw from the same free-list.
     pub fn set_pool(&mut self, pool: BitstreamPool) {
+        self.manager.set_scratch_pool(pool.clone());
         self.pool = pool;
     }
 
@@ -489,78 +509,113 @@ impl Scheduler {
             .expect("the submitted request is always processed")
     }
 
-    /// Runs a defragmentation pass: repeatedly relocates resident tasks
-    /// toward the bottom-left corner (re-using their cached decoded streams)
-    /// until no task can improve. Returns the number of relocations.
+    /// Runs a defragmentation pass as one **batch-planned** move schedule:
+    /// the greedy bottom-left sweeps are *simulated* on the occupancy
+    /// rectangles until they reach a fixpoint, then every resident whose
+    /// final position improved is moved **once**, directly from its current
+    /// region to its final one. Compared to executing the sweeps directly,
+    /// this rewrites the minimum number of configuration frames (no task is
+    /// shuttled through intermediate positions) while converging to the
+    /// same packed layout. Every move is a decode-free bulk word-arena
+    /// relocation; the pass records its pause cost (frames moved + wall
+    /// microseconds) in [`SchedMetrics`]. Returns the number of
+    /// relocations.
     pub fn compact(&mut self) -> usize {
+        let pause = std::time::Instant::now();
         self.metrics.compaction_passes += 1;
-        let mut moves = 0;
-        // Bounded sweeps: each sweep tries every resident once, in
-        // bottom-left order of their current region.
+        let view = self.manager.fabric_view();
+
+        // Phase 1 — plan: replay the greedy sweeps on rectangles only.
+        // `sim` holds (job, current simulated region); each sweep offers
+        // every task the best strictly-better origin with all other tasks
+        // at their *simulated* positions, exactly as live sweeps would see
+        // them, until no task improves (bounded like the old executor).
+        let mut sim: Vec<(u64, Rect)> = {
+            let mut residents = self.residents();
+            residents.sort_by_key(|r| (r.region.origin.y, r.region.origin.x));
+            residents.into_iter().map(|r| (r.job, r.region)).collect()
+        };
+        let original: HashMap<u64, Rect> = sim.iter().copied().collect();
         for _ in 0..4 {
-            let mut moved_this_sweep = false;
-            let mut sorted = self.residents();
-            sorted.sort_by_key(|r| (r.region.origin.y, r.region.origin.x));
-            for info in sorted {
-                if let Some(better) = self.better_origin(&info) {
-                    if self.relocate_resident(info.job, better).is_ok() {
-                        moves += 1;
-                        moved_this_sweep = true;
+            let mut moved = false;
+            sim.sort_by_key(|(_, region)| (region.origin.y, region.origin.x));
+            for i in 0..sim.len() {
+                let (width, height) = (sim[i].1.width, sim[i].1.height);
+                let others: Vec<Rect> = sim
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &(_, region))| region)
+                    .collect();
+                let masked = vbs_runtime::FabricView::new(view.width(), view.height(), others);
+                if let Some(candidate) = self.manager.policy().place(width, height, &masked) {
+                    let current = sim[i].1.origin;
+                    if (candidate.y, candidate.x) < (current.y, current.x) {
+                        sim[i].1 = Rect::new(candidate, width, height);
+                        moved = true;
                     }
                 }
             }
-            if !moved_this_sweep {
+            if !moved {
+                break;
+            }
+        }
+
+        // Phase 2 — execute: one net move per improved task, in bottom-left
+        // order of the *target*; a move whose destination is still occupied
+        // by a not-yet-moved task is retried after the blocker vacates. A
+        // round without progress (a blocking cycle — impossible for pure
+        // swaps under the strict bottom-left ordering, pathological
+        // otherwise) abandons the remainder; the fabric stays consistent.
+        let mut plan: Vec<(u64, Rect)> = sim
+            .into_iter()
+            .filter(|(job, region)| original.get(job) != Some(region))
+            .collect();
+        plan.sort_by_key(|(_, region)| (region.origin.y, region.origin.x));
+        let mut moves = 0usize;
+        let mut frames = 0u64;
+        while !plan.is_empty() {
+            let before = moves;
+            plan.retain(
+                |&(job, region)| match self.relocate_resident(job, region.origin) {
+                    Ok(()) => {
+                        moves += 1;
+                        frames += region.area() as u64;
+                        false
+                    }
+                    Err(_blocked) => true,
+                },
+            );
+            if moves == before {
                 break;
             }
         }
         self.metrics.relocations += moves as u64;
+        self.metrics.compaction_frames_moved += frames;
+        self.metrics.compaction_micros += pause.elapsed().as_micros();
         moves
     }
 
-    /// The best strictly-better origin for a resident under the manager's
-    /// placement policy, with the resident's own region masked out.
-    fn better_origin(&self, info: &ResidentInfo) -> Option<Coord> {
-        let view = self.manager.fabric_view();
-        let others: Vec<Rect> = view
-            .occupied()
-            .iter()
-            .copied()
-            .filter(|r| *r != info.region)
-            .collect();
-        let masked = vbs_runtime::FabricView::new(view.width(), view.height(), others);
-        let candidate =
-            self.manager
-                .policy()
-                .place(info.region.width, info.region.height, &masked)?;
-        let current = info.region.origin;
-        if (candidate.y, candidate.x) < (current.y, current.x) {
-            Some(candidate)
-        } else {
-            None
-        }
-    }
-
+    /// Relocates a resident **decode-free**: the task's frames already sit
+    /// decoded in the configuration memory, so the move is one bulk
+    /// word-arena copy ([`TaskManager::relocate`]) — no repository fetch,
+    /// no cache lookup, no de-virtualization. This is the paper's model of
+    /// relocation as a pure copy; the decode counters and cache statistics
+    /// are untouched, which the relocation differential suite pins down.
     fn relocate_resident(&mut self, job: u64, to: Coord) -> Result<(), RuntimeError> {
-        let (handle, name) = {
-            let r = self
-                .residents
-                .get(&job)
-                .ok_or(RuntimeError::UnknownHandle { id: job })?;
-            (r.handle, r.name.clone())
-        };
-        let decoded = self.decoded_stream(&name)?.0;
-        self.manager.relocate_decoded(handle, &decoded, to)
+        let handle = self
+            .residents
+            .get(&job)
+            .ok_or(RuntimeError::UnknownHandle { id: job })?
+            .handle;
+        self.manager.relocate(handle, to)
     }
 
-    /// Fetches the decoded stream of `name` through the cache. Returns the
-    /// stream and whether it was a cache hit.
-    fn decoded_stream(&mut self, name: &str) -> Result<(Arc<TaskBitstream>, bool), RuntimeError> {
-        self.decoded_with(name, None)
-    }
-
-    /// As [`Scheduler::decoded_stream`], but reusing a stream the caller
+    /// Fetches the decoded stream of `name` through the cache (counting the
+    /// hit or the miss + decode), optionally reusing a stream the caller
     /// already fetched (the streaming fast path fetches before deciding to
     /// fall back — the fallback must not deserialize the VBS twice).
+    /// Returns the stream and whether it was a cache hit.
     fn decoded_with(
         &mut self,
         name: &str,

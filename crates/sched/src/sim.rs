@@ -54,6 +54,12 @@ impl fmt::Display for SimReport {
         writeln!(f, "relocations       {:>8}", self.sched.relocations)?;
         writeln!(
             f,
+            "compaction        {:>8} frames moved  (mean pause {:.1} µs)",
+            self.sched.compaction_frames_moved,
+            self.sched.mean_compaction_micros()
+        )?;
+        writeln!(
+            f,
             "decodes           {:>8}  (mean {:.1} µs)",
             self.sched.decodes,
             self.sched.mean_decode_micros()
@@ -263,6 +269,8 @@ impl MultiSimReport {
             total.evictions += m.evictions;
             total.relocations += m.relocations;
             total.compaction_passes += m.compaction_passes;
+            total.compaction_frames_moved += m.compaction_frames_moved;
+            total.compaction_micros += m.compaction_micros;
             total.decode_micros += m.decode_micros;
             total.decodes += m.decodes;
             total.fragmentation_samples += m.fragmentation_samples;
@@ -365,6 +373,8 @@ fn metrics_delta(after: &SchedMetrics, before: &SchedMetrics) -> SchedMetrics {
         evictions: after.evictions - before.evictions,
         relocations: after.relocations - before.relocations,
         compaction_passes: after.compaction_passes - before.compaction_passes,
+        compaction_frames_moved: after.compaction_frames_moved - before.compaction_frames_moved,
+        compaction_micros: after.compaction_micros - before.compaction_micros,
         decode_micros: after.decode_micros - before.decode_micros,
         decodes: after.decodes - before.decodes,
         fragmentation_samples: after.fragmentation_samples - before.fragmentation_samples,

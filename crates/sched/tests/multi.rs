@@ -27,10 +27,12 @@ fn overload_trace(loads: usize, seed: u64) -> Trace {
     })
 }
 
-/// Wall-clock decode time is the only nondeterministic counter; zero it so
-/// the rest of the metrics can be compared bit-for-bit.
+/// Wall-clock decode and compaction-pause times are the only
+/// nondeterministic counters; zero them so the rest of the metrics can be
+/// compared bit-for-bit.
 fn normalized(mut metrics: SchedMetrics) -> SchedMetrics {
     metrics.decode_micros = 0;
+    metrics.compaction_micros = 0;
     metrics
 }
 

@@ -29,10 +29,12 @@ fn trace(loads: usize, seed: u64) -> Trace {
     })
 }
 
-/// Wall-clock decode time is the only nondeterministic counter; zero it so
-/// the rest of the metrics compare bit-for-bit.
+/// Wall-clock decode and compaction-pause times are the only
+/// nondeterministic counters; zero them so the rest of the metrics compare
+/// bit-for-bit.
 fn normalized(mut metrics: SchedMetrics) -> SchedMetrics {
     metrics.decode_micros = 0;
+    metrics.compaction_micros = 0;
     metrics
 }
 

@@ -51,10 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:<12} at {}", task.name, task.region);
     }
 
-    // Evict the CRC engine and load another FIR instance in the hole.
+    // Evict the CRC engine and load a fresh instance into the 6x6 hole it
+    // left (the first-fit scan lands exactly there).
     manager.unload(crc)?;
-    let fir2 = manager.load("fir_filter")?;
-    println!("\nafter evicting crc_engine and loading a second fir_filter:");
+    let crc2 = manager.load("crc_engine")?;
+    println!("\nafter evicting crc_engine and loading a second crc_engine:");
     for task in manager.loaded_tasks() {
         println!("  {:<12} at {}", task.name, task.region);
     }
@@ -70,7 +71,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Err(other) => return Err(other.into()),
         }
     }
-    let _ = (fir, huff, fir2);
+    let _ = (fir, huff, crc2);
     println!("{} tasks resident at the end", manager.loaded_tasks().len());
+
+    // Every decode above ran on the controller's 2 pooled lanes: scratches
+    // and staging buffers recycle instead of being allocated per load.
+    let pool = manager.controller().scratch_pool().stats();
+    println!(
+        "decode pool: {} buffer reuses, {} fresh buffers, {} fresh scratches",
+        pool.reused, pool.fresh, pool.scratch_fresh
+    );
     Ok(())
 }

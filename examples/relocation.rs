@@ -53,12 +53,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("loaded at {origin} (handle {handle:?}) and verified");
     }
 
-    // Relocate the first instance somewhere else at run time.
+    // Relocate the first instance somewhere else at run time — a pure bulk
+    // move of the configured frames; the compressed stream is not consulted.
     let first = manager.loaded_tasks()[0].handle;
     manager.relocate(first, Coord::new(0, 9))?;
     println!(
         "relocated the first instance to (0, 9); {} tasks loaded",
         manager.loaded_tasks().len()
+    );
+
+    // The three loads decoded on 4 pooled lanes sharing one ScratchPool;
+    // after the first load, buffers and scratches recycle.
+    let pool = manager.controller().scratch_pool().stats();
+    println!(
+        "decode pool: {} buffer reuses, {} fresh buffers, {} fresh scratches",
+        pool.reused, pool.fresh, pool.scratch_fresh
     );
     Ok(())
 }

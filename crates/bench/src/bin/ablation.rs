@@ -111,7 +111,7 @@ fn main() {
                     continue;
                 }
                 // One warm-up decode, then the measured one: steady state.
-                let mut best = u128::MAX;
+                let mut best = u64::MAX;
                 for _ in 0..3 {
                     match controller.devirtualize(&vbs) {
                         Ok((task, report)) => {
@@ -120,12 +120,12 @@ fn main() {
                         }
                         Err(e) => {
                             eprintln!("decode failed: {e}");
-                            best = u128::MAX;
+                            best = u64::MAX;
                             break;
                         }
                     }
                 }
-                if best == u128::MAX {
+                if best == u64::MAX {
                     continue;
                 }
                 let stats = pool.stats();

@@ -55,6 +55,7 @@ use vbs_runtime::{
 use vbs_sched::{
     replay_multi, LeastLoaded, MultiConfig, Outcome, Request, Scheduler, SchedulerConfig,
 };
+use vbs_telemetry::LatencyHistogram;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -128,6 +129,9 @@ struct PathResult {
     frames: u64,
     allocs: u64,
     loads: usize,
+    /// Per-load wall latency in nanoseconds (recording is lock-free and
+    /// allocation-free, so it does not disturb the allocs-per-load gate).
+    latency: LatencyHistogram,
 }
 
 impl PathResult {
@@ -154,6 +158,15 @@ impl PathResult {
             self.ns_per_load(),
             self.loads_per_sec(),
             self.allocs_per_load()
+        )
+    }
+
+    /// The per-load latency distribution as a JSON object, nanoseconds.
+    fn latency_json(&self) -> String {
+        let s = self.latency.summary();
+        format!(
+            "{{\"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"mean_ns\": {:.0}}}",
+            s.p50, s.p95, s.p99, s.max, s.mean
         )
     }
 }
@@ -183,10 +196,15 @@ fn run_path(
         .iter()
         .map(|v| v.width() as u64 * v.height() as u64)
         .sum();
+    // The histogram's one allocation happens here, before counting starts;
+    // recording into it inside the loop is lock-free and allocation-free.
+    let latency = LatencyHistogram::new();
     let before = allocations();
     let start = Instant::now();
     for i in 0..options.loads {
+        let begun = Instant::now();
         load(&streams[i % streams.len()]);
+        latency.record(u64::try_from(begun.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     let elapsed = start.elapsed();
     let allocs = allocations() - before;
@@ -196,6 +214,7 @@ fn run_path(
         frames: frames_per_round * (options.loads as u64) / streams.len() as u64,
         allocs,
         loads: options.loads,
+        latency,
     }
 }
 
@@ -335,7 +354,7 @@ struct CompactionResult {
     name: &'static str,
     moves: usize,
     frames_rewritten: u64,
-    pause_micros: u128,
+    pause_micros: u64,
     decodes: u64,
     cache_fetches: u64,
 }
@@ -394,10 +413,10 @@ fn fragmented_scheduler(options: &Options, repository: &VbsRepository) -> Schedu
 fn compaction_paths(options: &Options, repository: &VbsRepository) -> Vec<CompactionResult> {
     // Batch: the shipped planner; pause metrics come from SchedMetrics.
     let mut batch = fragmented_scheduler(options, repository);
-    let before_metrics = *batch.metrics();
+    let before_metrics = batch.metrics();
     let before_cache = batch.cache_stats();
     let moves = batch.compact();
-    let after = *batch.metrics();
+    let after = batch.metrics();
     let cache = batch.cache_stats();
     let batch_result = CompactionResult {
         name: "batch",
@@ -411,7 +430,7 @@ fn compaction_paths(options: &Options, repository: &VbsRepository) -> Vec<Compac
     // Greedy: up to four live bottom-left sweeps, every improvement
     // executed immediately as its own relocation (the pre-batch behavior).
     let mut greedy = fragmented_scheduler(options, repository);
-    let before_metrics = *greedy.metrics();
+    let before_metrics = greedy.metrics();
     let before_cache = greedy.cache_stats();
     let mut moves = 0usize;
     let mut frames = 0u64;
@@ -455,8 +474,8 @@ fn compaction_paths(options: &Options, repository: &VbsRepository) -> Vec<Compac
             break;
         }
     }
-    let pause_micros = pause.elapsed().as_micros();
-    let after = *greedy.metrics();
+    let pause_micros = u64::try_from(pause.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let after = greedy.metrics();
     let cache = greedy.cache_stats();
     let greedy_result = CompactionResult {
         name: "greedy",
@@ -594,7 +613,7 @@ struct FleetResult {
     elapsed: Duration,
     events: usize,
     accepted: u64,
-    decode_micros: u128,
+    decode_micros: u64,
 }
 
 impl FleetResult {
@@ -667,6 +686,21 @@ fn main() {
             p.ns_per_load(),
             p.loads_per_sec(),
             p.allocs_per_load()
+        );
+    }
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "latency(µs)", "p50", "p95", "p99", "max"
+    );
+    for p in &paths {
+        let s = p.latency.summary();
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            p.name,
+            s.p50 as f64 / 1e3,
+            s.p95 as f64 / 1e3,
+            s.p99 as f64 / 1e3,
+            s.max as f64 / 1e3
         );
     }
     let streaming = &paths[3];
@@ -756,8 +790,14 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let latency_json = paths
+        .iter()
+        .chain(parallel.iter().flat_map(|(pooled, fresh)| [pooled, fresh]))
+        .map(|p| format!("    \"{}\": {}", p.name, p.latency_json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"parallel\": {{\n{},\n    \"speedup_pooled4_vs_scratch\": {:.3},\n    \"speedup_pooled4_vs_fresh4\": {:.3}\n  }},\n  \"compaction\": {{\n    \"batch\": {},\n    \"greedy\": {}\n  }},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"latency\": {{\n{}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"parallel\": {{\n{},\n    \"speedup_pooled4_vs_scratch\": {:.3},\n    \"speedup_pooled4_vs_fresh4\": {:.3}\n  }},\n  \"compaction\": {{\n    \"batch\": {},\n    \"greedy\": {}\n  }},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }}\n}}\n",
         options.loads,
         options.fabric.0,
         options.fabric.1,
@@ -767,6 +807,7 @@ fn main() {
         paths[1].json(),
         paths[2].json(),
         paths[3].json(),
+        latency_json,
         vs_legacy,
         vs_buffered,
         parallel_json,

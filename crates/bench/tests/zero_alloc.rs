@@ -12,6 +12,10 @@
 //!   partial image drawn from a warm [`vbs_runtime::ScratchPool`]) perform
 //!   zero allocations per load, and the pool reports exactly one fresh
 //!   scratch per lane after warm-up;
+//! * steady-state parallel loads with a **live telemetry registry**
+//!   installed (per-lane spans, latency histograms and timeline events
+//!   recorded on every load) stay at zero allocations — recording is
+//!   relaxed atomics and preallocated ring slots;
 //! * a **cold** decode pre-reserves its buffers from the VBS header, so the
 //!   first decode stays within a small per-buffer allocation budget instead
 //!   of growing buffers incrementally;
@@ -30,6 +34,7 @@ use vbs_bitstream::TaskBitstream;
 use vbs_core::DecodeScratch;
 use vbs_runtime::{devirtualize_into, ReconfigurationController};
 use vbs_sched::BitstreamPool;
+use vbs_telemetry::{Stage, Telemetry};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -124,6 +129,39 @@ fn decode_hot_path_allocation_budget() {
         "one partial per lane plus the staging target: {stats:?}"
     );
     assert!(parallel.memory().occupied_macros() > 0);
+
+    // --- Telemetry recording on the hot path: install a *live* registry
+    // and repeat the pooled parallel loads. Histogram recording is a few
+    // relaxed atomic bumps, event recording writes into the ring's
+    // preallocated slots, spans clone an Arc — so the load path stays at
+    // zero steady-state allocations while every load leaves per-lane
+    // decode spans and events on the timeline.
+    let telemetry = Telemetry::new();
+    parallel.set_telemetry(telemetry.clone(), 0);
+    for _ in 0..2 {
+        parallel.load(&vbs, origin).expect("load");
+    }
+    let recorded_before = telemetry.ring_stats().recorded;
+    let lane_busy_before = telemetry.histogram(Stage::LaneBusy).count();
+    let before = allocations();
+    for _ in 0..50 {
+        parallel.load(&vbs, origin).expect("load");
+    }
+    let steady = allocations() - before;
+    assert_eq!(
+        steady, 0,
+        "telemetry recording must keep the load path allocation-free \
+         (got {steady} over 50 instrumented loads)"
+    );
+    let recorded = telemetry.ring_stats().recorded - recorded_before;
+    assert!(
+        recorded >= 100,
+        "each instrumented load leaves decode start/end events (got {recorded})"
+    );
+    assert!(
+        telemetry.histogram(Stage::LaneBusy).count() > lane_busy_before,
+        "instrumented loads record lane-busy spans"
+    );
 
     // --- Shape-cycling reshapes: alternating tall/wide/larger rectangles
     // through one buffer must not allocate once the arena has grown to the

@@ -7,16 +7,18 @@ use std::time::Instant;
 use vbs_arch::{Coord, Device, Rect};
 use vbs_bitstream::{BitstreamError, ConfigMemory, FrameRef, TaskBitstream};
 use vbs_core::{Devirtualizer, FrameSink, Vbs};
+use vbs_telemetry::Telemetry;
 
 /// Timing and composition report of one de-virtualization.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecodeReport {
     /// Number of records expanded.
     pub records: usize,
     /// Number of worker threads used (1 = sequential).
     pub workers: usize,
-    /// Wall-clock decode time in microseconds.
-    pub micros: u128,
+    /// Wall-clock decode time in microseconds (saturating; a u64 of
+    /// microseconds spans ~585k years, so saturation is theoretical).
+    pub micros: u64,
     /// Size of the decoded raw configuration in bits.
     pub raw_bits: u64,
 }
@@ -54,7 +56,9 @@ impl ReconfigurationController {
     /// stay warm.
     pub fn with_workers(mut self, workers: usize) -> Self {
         let pool = self.decoder.pool().clone();
+        let fabric = self.decoder.fabric();
         self.decoder = DecodeWorkerPool::with_pool(workers, pool);
+        self.decoder.set_fabric(fabric);
         self
     }
 
@@ -62,7 +66,9 @@ impl ReconfigurationController {
     /// install one shared pool so recycled decode state on any fabric feeds
     /// decodes everywhere. The decode lanes are rebuilt onto the new pool.
     pub fn set_scratch_pool(&mut self, pool: ScratchPool) {
+        let fabric = self.decoder.fabric();
         self.decoder = DecodeWorkerPool::with_pool(self.decoder.workers(), pool);
+        self.decoder.set_fabric(fabric);
     }
 
     /// The number of de-virtualization decode lanes.
@@ -73,6 +79,15 @@ impl ReconfigurationController {
     /// The controller's scratch pool (a shared handle).
     pub fn scratch_pool(&self) -> &ScratchPool {
         self.decoder.pool()
+    }
+
+    /// Installs the observability registry (onto the scratch pool, reaching
+    /// every decode lane) and tags this controller's lane events with
+    /// `fabric`. Timing in [`DecodeReport`]s then runs on the registry's
+    /// clock, so tests driving a deterministic clock see exact durations.
+    pub fn set_telemetry(&self, telemetry: Telemetry, fabric: u16) {
+        self.decoder.pool().set_telemetry(telemetry);
+        self.decoder.set_fabric(fabric);
     }
 
     /// Pre-warms one scratch and one staging buffer per decode lane for
@@ -201,7 +216,8 @@ impl ReconfigurationController {
                 height: h,
             }));
         }
-        let start = Instant::now();
+        let telemetry = self.decoder.pool().telemetry();
+        let start = telemetry.now();
         let devirtualizer = Devirtualizer::new(vbs)?;
         let mut scratch = self.decoder.pool().checkout_scratch();
         let mut sink = MemorySink {
@@ -223,7 +239,7 @@ impl ReconfigurationController {
         Ok(DecodeReport {
             records: vbs.records().len(),
             workers: 1,
-            micros: start.elapsed().as_micros(),
+            micros: telemetry.now().saturating_sub(start),
             raw_bits: staging.size_bits(),
         })
     }
@@ -324,7 +340,7 @@ pub fn devirtualize_into(
     Ok(DecodeReport {
         records: vbs.records().len(),
         workers: 1,
-        micros: start.elapsed().as_micros(),
+        micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
         raw_bits: task.size_bits(),
     })
 }

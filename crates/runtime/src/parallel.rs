@@ -41,13 +41,13 @@
 use crate::error::RuntimeError;
 use crate::pool::ScratchPool;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
 use vbs_arch::ArchSpec;
 use vbs_bitstream::TaskBitstream;
 use vbs_core::{ClusterRecord, DecodeScratch, Devirtualizer, Vbs};
+use vbs_telemetry::{EventKind, Stage, Telemetry, FLEET_FABRIC};
 
 use crate::controller::DecodeReport;
 
@@ -72,6 +72,11 @@ struct Job {
     /// First failure of any lane; once set, lanes stop claiming work.
     failed: AtomicBool,
     error: Mutex<Option<RuntimeError>>,
+    /// Observability registry lanes record busy spans and decode events
+    /// into (resolved once at dispatch; recording is allocation-free).
+    telemetry: Telemetry,
+    /// Fabric tag stamped on this job's lane events.
+    fabric: u16,
 }
 
 // SAFETY: the raw pointers inside a `Job` are only dereferenced by lanes
@@ -104,6 +109,8 @@ struct Shared {
     /// The dispatcher parks here until `active` drains to zero.
     done: Condvar,
     pool: ScratchPool,
+    /// Fabric tag for lane telemetry (fleet tag until one is assigned).
+    fabric: AtomicU16,
 }
 
 /// A persistent pool of de-virtualization lanes sharing one
@@ -150,11 +157,12 @@ impl DecodeWorkerPool {
             work: Condvar::new(),
             done: Condvar::new(),
             pool,
+            fabric: AtomicU16::new(FLEET_FABRIC),
         });
         let threads = (1..workers)
-            .map(|_| {
+            .map(|lane| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, lane as u16))
             })
             .collect();
         DecodeWorkerPool {
@@ -173,6 +181,18 @@ impl DecodeWorkerPool {
     /// The shared scratch pool (a handle).
     pub fn pool(&self) -> &ScratchPool {
         &self.shared.pool
+    }
+
+    /// Tags this pool's lane telemetry with the owning fabric (events carry
+    /// the fleet tag until one is assigned). The registry itself lives on
+    /// the [`ScratchPool`] — see [`ScratchPool::set_telemetry`].
+    pub fn set_fabric(&self, fabric: u16) {
+        self.shared.fabric.store(fabric, Ordering::Relaxed);
+    }
+
+    /// The fabric tag stamped on lane events.
+    pub fn fabric(&self) -> u16 {
+        self.shared.fabric.load(Ordering::Relaxed)
     }
 
     /// Pre-warms one scratch and one partial buffer per lane for `vbs`, so
@@ -205,7 +225,9 @@ impl DecodeWorkerPool {
         vbs: &Vbs,
         task: &mut TaskBitstream,
     ) -> Result<DecodeReport, RuntimeError> {
-        let start = Instant::now();
+        let telemetry = self.shared.pool.telemetry();
+        let fabric = self.fabric();
+        let start = telemetry.now();
         let devirtualizer = Devirtualizer::new(vbs).map_err(RuntimeError::Decode)?;
         let records = vbs.records();
         let (width, height) = (vbs.width().max(1), vbs.height().max(1));
@@ -213,9 +235,19 @@ impl DecodeWorkerPool {
         if self.threads.is_empty() || records.len() < 2 {
             // Sequential: decode straight into the target on one pooled
             // scratch (decode_into reshapes the target itself).
+            telemetry.event(EventKind::DecodeStart, fabric, 0, 0, 0);
             let mut scratch = self.shared.pool.checkout_scratch();
             let result = devirtualizer.decode_into(task, &mut scratch);
             self.shared.pool.put_scratch(scratch);
+            telemetry.record_span(Stage::LaneBusy, start);
+            telemetry.event_span(
+                EventKind::DecodeEnd,
+                fabric,
+                0,
+                records.len() as u64,
+                0,
+                start,
+            );
             result.map_err(RuntimeError::Decode)?;
         } else {
             // One dispatcher at a time: the job slot and completion counter
@@ -235,6 +267,8 @@ impl DecodeWorkerPool {
                 merge: Mutex::new(()),
                 failed: AtomicBool::new(false),
                 error: Mutex::new(None),
+                telemetry: telemetry.clone(),
+                fabric,
             };
             {
                 let mut state = self.shared.state.lock().expect("pool state never poisoned");
@@ -244,7 +278,7 @@ impl DecodeWorkerPool {
                 self.shared.work.notify_all();
             }
             // Lane 0 is the dispatcher itself.
-            run_lane(&job, &self.shared.pool);
+            run_lane(&job, &self.shared.pool, 0);
             {
                 let mut state = self.shared.state.lock().expect("pool state never poisoned");
                 while state.active > 0 {
@@ -269,7 +303,7 @@ impl DecodeWorkerPool {
         Ok(DecodeReport {
             records: records.len(),
             workers: self.workers,
-            micros: start.elapsed().as_micros(),
+            micros: telemetry.now().saturating_sub(start),
             raw_bits: task.size_bits(),
         })
     }
@@ -290,7 +324,7 @@ impl Drop for DecodeWorkerPool {
 
 /// One worker thread: park on the condvar, run every published job once,
 /// signal completion, repeat until shutdown.
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, lane: u16) {
     let mut seen = 0u64;
     loop {
         let job = {
@@ -311,7 +345,7 @@ fn worker_loop(shared: &Shared) {
         // SAFETY: the dispatcher keeps the job (and everything it points
         // at) alive until `active` reaches zero, which this thread only
         // signals below, after its last use of `job`.
-        run_lane(unsafe { &*job }, &shared.pool);
+        run_lane(unsafe { &*job }, &shared.pool, lane);
         let mut state = shared.state.lock().expect("pool state never poisoned");
         state.active -= 1;
         if state.active == 0 {
@@ -323,13 +357,15 @@ fn worker_loop(shared: &Shared) {
 /// One lane's share of a job: claim record chunks, decode them into a
 /// pooled partial image on a pooled scratch, then word-OR the partial into
 /// the target under the merge lock.
-fn run_lane(job: &Job, pool: &ScratchPool) {
+fn run_lane(job: &Job, pool: &ScratchPool, lane_index: u16) {
     // SAFETY: see the Job contract — the record slice outlives the job.
     let records = unsafe { std::slice::from_raw_parts(job.records, job.records_len) };
     // SAFETY: ditto; the cast reverses the lifetime erasure of dispatch.
     let devirt = unsafe { &*job.devirt.cast::<Devirtualizer<'_>>() };
 
     let mut lane: Option<(DecodeScratch, TaskBitstream)> = None;
+    let mut busy_from = 0u64;
+    let mut decoded = 0u64;
     while !job.failed.load(Ordering::Relaxed) {
         let chunk = job.next.fetch_add(1, Ordering::Relaxed);
         let begin = chunk * job.chunk_len;
@@ -338,6 +374,16 @@ fn run_lane(job: &Job, pool: &ScratchPool) {
         }
         let end = (begin + job.chunk_len).min(records.len());
         let (scratch, partial) = lane.get_or_insert_with(|| {
+            // First claimed chunk: the lane goes busy (lanes that never
+            // claim work stay silent on the timeline).
+            busy_from = job.telemetry.now();
+            job.telemetry.event(
+                EventKind::DecodeStart,
+                job.fabric,
+                lane_index,
+                lane_index as u64,
+                0,
+            );
             (
                 pool.checkout_scratch(),
                 pool.checkout(job.spec, job.width, job.height),
@@ -351,6 +397,7 @@ fn run_lane(job: &Job, pool: &ScratchPool) {
                 fail(job, RuntimeError::Decode(e));
                 break;
             }
+            decoded += 1;
         }
     }
 
@@ -366,6 +413,15 @@ fn run_lane(job: &Job, pool: &ScratchPool) {
         }
         pool.put(partial);
         pool.put_scratch(scratch);
+        job.telemetry.record_span(Stage::LaneBusy, busy_from);
+        job.telemetry.event_span(
+            EventKind::DecodeEnd,
+            job.fabric,
+            lane_index,
+            decoded,
+            0,
+            busy_from,
+        );
     }
 }
 

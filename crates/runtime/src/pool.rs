@@ -26,6 +26,12 @@ use std::sync::{Arc, Mutex};
 use vbs_arch::ArchSpec;
 use vbs_bitstream::TaskBitstream;
 use vbs_core::{DecodeScratch, Vbs};
+use vbs_telemetry::{EventKind, Telemetry, FLEET_FABRIC};
+
+/// Checkout payload tag: a decoded-image buffer.
+const CHECKOUT_BUFFER: u64 = 0;
+/// Checkout payload tag: a decode scratch arena.
+const CHECKOUT_SCRATCH: u64 = 1;
 
 /// Counters of a [`ScratchPool`]'s lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -51,7 +57,7 @@ pub struct ScratchPoolStats {
     pub scratch_parked: usize,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct PoolInner {
     buffers: Vec<TaskBitstream>,
     scratches: Vec<DecodeScratch>,
@@ -61,6 +67,25 @@ struct PoolInner {
     dropped: u64,
     scratch_reused: u64,
     scratch_fresh: u64,
+    /// Observability registry checkout hit/miss events go to. Disabled
+    /// (recording no-ops) until a real registry is installed.
+    telemetry: Telemetry,
+}
+
+impl Default for PoolInner {
+    fn default() -> Self {
+        PoolInner {
+            buffers: Vec::new(),
+            scratches: Vec::new(),
+            reused: 0,
+            fresh: 0,
+            recycled: 0,
+            dropped: 0,
+            scratch_reused: 0,
+            scratch_fresh: 0,
+            telemetry: Telemetry::disabled(),
+        }
+    }
 }
 
 /// A bounded, thread-safe free-list of decoded-image buffers and decode
@@ -91,6 +116,25 @@ impl ScratchPool {
         }
     }
 
+    /// Installs the observability registry checkout hit/miss events are
+    /// recorded into (shared by every clone of this pool handle).
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        self.inner
+            .lock()
+            .expect("pool lock never poisoned")
+            .telemetry = telemetry;
+    }
+
+    /// The pool's telemetry registry (a shared handle; disabled until one is
+    /// installed).
+    pub fn telemetry(&self) -> Telemetry {
+        self.inner
+            .lock()
+            .expect("pool lock never poisoned")
+            .telemetry
+            .clone()
+    }
+
     /// Checks a buffer out of the pool, reshaped in place to an all-empty
     /// `width` × `height` task of `spec`; allocates a fresh buffer when the
     /// pool is empty. Preference goes to the parked buffer whose frame count
@@ -113,13 +157,17 @@ impl ScratchPool {
             Some(i) => {
                 let mut buffer = inner.buffers.swap_remove(i);
                 inner.reused += 1;
+                let telemetry = inner.telemetry.clone();
                 drop(inner);
+                telemetry.event(EventKind::CheckoutHit, FLEET_FABRIC, 0, CHECKOUT_BUFFER, 0);
                 buffer.reset(spec, width, height);
                 buffer
             }
             None => {
                 inner.fresh += 1;
+                let telemetry = inner.telemetry.clone();
                 drop(inner);
+                telemetry.event(EventKind::CheckoutMiss, FLEET_FABRIC, 0, CHECKOUT_BUFFER, 0);
                 TaskBitstream::empty(spec, width, height)
             }
         }
@@ -156,10 +204,22 @@ impl ScratchPool {
         match inner.scratches.pop() {
             Some(scratch) => {
                 inner.scratch_reused += 1;
+                let telemetry = inner.telemetry.clone();
+                drop(inner);
+                telemetry.event(EventKind::CheckoutHit, FLEET_FABRIC, 0, CHECKOUT_SCRATCH, 0);
                 scratch
             }
             None => {
                 inner.scratch_fresh += 1;
+                let telemetry = inner.telemetry.clone();
+                drop(inner);
+                telemetry.event(
+                    EventKind::CheckoutMiss,
+                    FLEET_FABRIC,
+                    0,
+                    CHECKOUT_SCRATCH,
+                    0,
+                );
                 DecodeScratch::new()
             }
         }
@@ -270,6 +330,30 @@ mod tests {
         pool.put(pool.checkout(spec(), 2, 2));
         assert_eq!(pool.stats().parked, 0);
         assert_eq!(pool.stats().dropped, 1);
+    }
+
+    #[test]
+    fn checkouts_record_hit_and_miss_events() {
+        let pool = ScratchPool::new(4);
+        let telemetry = Telemetry::new();
+        pool.set_telemetry(telemetry.clone());
+        assert!(pool.telemetry().same_registry(&telemetry));
+        pool.put(pool.checkout(spec(), 2, 2)); // miss
+        let _again = pool.checkout(spec(), 2, 2); // hit
+        pool.put_scratch(pool.checkout_scratch()); // miss
+        let _scratch = pool.checkout_scratch(); // hit
+        let events = telemetry.events();
+        let kinds: Vec<(EventKind, u64)> = events.iter().map(|e| (e.kind, e.a)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (EventKind::CheckoutMiss, CHECKOUT_BUFFER),
+                (EventKind::CheckoutHit, CHECKOUT_BUFFER),
+                (EventKind::CheckoutMiss, CHECKOUT_SCRATCH),
+                (EventKind::CheckoutHit, CHECKOUT_SCRATCH),
+            ]
+        );
+        assert!(events.iter().all(|e| e.fabric == FLEET_FABRIC));
     }
 
     #[test]

@@ -30,10 +30,10 @@ use crate::shard::{FabricStatus, ShardPolicy};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 use vbs_bitstream::TaskBitstream;
 use vbs_core::Vbs;
 use vbs_runtime::devirtualize_into;
+use vbs_telemetry::{EventKind, Telemetry, FLEET_FABRIC};
 
 /// Tunables of the multi-fabric dispatcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,8 +82,9 @@ pub struct MultiMetrics {
     pub migrated_accepts: u64,
     /// Streams de-virtualized by the pipeline's worker pool.
     pub staged_decodes: u64,
-    /// Time fabric writers spent blocked waiting on the decode pool, µs.
-    pub pipeline_stall_micros: u128,
+    /// Time fabric writers spent blocked waiting on the decode pool, µs
+    /// (saturating).
+    pub pipeline_stall_micros: u64,
     /// Processing rounds executed (≥1 per `process_pending` call).
     pub process_rounds: u64,
 }
@@ -139,6 +140,9 @@ pub struct MultiFabricScheduler {
     synthesized: Vec<(u64, Outcome)>,
     next_job: u64,
     metrics: MultiMetrics,
+    /// Fleet-scope telemetry (dispatcher decisions, migrations). Installed
+    /// by [`Self::set_telemetry`]; a no-op registry until then.
+    telemetry: Telemetry,
     /// The fleet-wide recycled decode-state pool shared by every fabric's
     /// decode cache, every controller's decode lanes and the pipeline
     /// workers (which park their scratch arenas here between rounds).
@@ -180,8 +184,27 @@ impl MultiFabricScheduler {
             synthesized: Vec::new(),
             next_job: 1,
             metrics: MultiMetrics::default(),
+            telemetry: Telemetry::disabled(),
             pool,
         }
+    }
+
+    /// Installs one shared telemetry registry across the whole fleet: the
+    /// dispatcher records fleet-scope events (shard decisions, migrations)
+    /// under the [`FLEET_FABRIC`] tag, each per-fabric scheduler and its
+    /// decode lanes record under the fabric's index, and the shared buffer
+    /// pool reports its checkout hits/misses to the same timeline.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for (i, fabric) in self.fabrics.iter_mut().enumerate() {
+            fabric.set_telemetry(telemetry.clone(), i as u16);
+        }
+        self.pool.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The dispatcher's telemetry handle (a shared clone).
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
     }
 
     /// The fleet-wide recycled-buffer pool (a shared handle).
@@ -216,7 +239,7 @@ impl MultiFabricScheduler {
 
     /// Per-shard scheduler counters, indexed like [`Self::fabric`].
     pub fn fabric_metrics(&self) -> Vec<SchedMetrics> {
-        self.fabrics.iter().map(|f| *f.metrics()).collect()
+        self.fabrics.iter().map(|f| f.metrics()).collect()
     }
 
     /// Advances the logical clock of every fabric.
@@ -273,6 +296,13 @@ impl MultiFabricScheduler {
                 let statuses = self.statuses(task);
                 let pick = self.policy.choose(task, &statuses);
                 let fabric = statuses[pick].fabric;
+                self.telemetry.event(
+                    EventKind::ShardDecision,
+                    FLEET_FABRIC,
+                    0,
+                    global,
+                    fabric as u64,
+                );
                 let local = self.fabrics[fabric].submit(request.clone());
                 self.local_to_global.insert((fabric, local), global);
                 self.route.insert(global, (fabric, local));
@@ -436,6 +466,8 @@ impl MultiFabricScheduler {
         }
         let pick = self.policy.choose(&task, &untried);
         let target = untried[pick].fabric;
+        self.telemetry
+            .event(EventKind::Migrate, FLEET_FABRIC, 0, global, target as u64);
         let local = self.fabrics[target].submit(request);
         self.local_to_global.insert((target, local), global);
         self.route.insert(global, (target, local));
@@ -495,10 +527,10 @@ impl MultiFabricScheduler {
     /// thread. Returns `(fabric, local request id, outcome)` triples in
     /// fabric order.
     fn process_round(&mut self) -> Vec<(usize, u64, Outcome)> {
-        type StagedMsg = (String, Option<(Arc<TaskBitstream>, u128)>);
+        type StagedMsg = (String, Option<(Arc<TaskBitstream>, u64)>);
         // One fabric writer's round result: (fabric, tagged outcomes, µs
         // spent stalled on the decode pool).
-        type WriterResult = (usize, Vec<(u64, Outcome)>, u128);
+        type WriterResult = (usize, Vec<(u64, Outcome)>, u64);
 
         let fabric_count = self.fabrics.len();
         // Streaming mode decodes on demand inside each fabric writer
@@ -534,6 +566,7 @@ impl MultiFabricScheduler {
         let queue = Mutex::new(jobs);
 
         let pool = &self.pool;
+        let telemetry = &self.telemetry;
         let mut per_fabric: Vec<WriterResult> = std::thread::scope(|scope| {
             for _ in 0..workers {
                 let queue = &queue;
@@ -578,14 +611,15 @@ impl MultiFabricScheduler {
                 }
                 let rx = receivers[i].take().expect("one writer per fabric");
                 let wanted = expected[i];
+                let clock = telemetry.clock().clone();
                 handles.push(scope.spawn(move || {
-                    let mut stall = 0u128;
+                    let mut stall = 0u64;
                     for _ in 0..wanted {
-                        let waiting = Instant::now();
+                        let waiting = clock.now_micros();
                         let Ok((name, staged)) = rx.recv() else {
                             break;
                         };
-                        stall += waiting.elapsed().as_micros();
+                        stall = stall.saturating_add(clock.now_micros().saturating_sub(waiting));
                         if let Some((stream, micros)) = staged {
                             sched.stage_decoded(name, stream, micros);
                         }
@@ -602,7 +636,8 @@ impl MultiFabricScheduler {
         per_fabric.sort_by_key(|(i, _, _)| *i);
         let mut out = Vec::new();
         for (fabric, outcomes, stall) in per_fabric {
-            self.metrics.pipeline_stall_micros += stall;
+            self.metrics.pipeline_stall_micros =
+                self.metrics.pipeline_stall_micros.saturating_add(stall);
             out.extend(
                 outcomes
                     .into_iter()

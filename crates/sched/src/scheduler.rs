@@ -18,6 +18,34 @@ use vbs_arch::{Coord, Rect};
 use vbs_bitstream::TaskBitstream;
 use vbs_core::Vbs;
 use vbs_runtime::{RuntimeError, TaskHandle, TaskManager};
+use vbs_telemetry::{CounterBank, EventKind, Stage, Telemetry};
+
+/// [`CounterBank`] slot assignments backing the [`SchedMetrics`] view.
+/// Counters are bumped exactly where (and in the order) the former struct
+/// fields were, so golden-trace counter values are bit-identical.
+mod slot {
+    pub const LOADS_SUBMITTED: usize = 0;
+    pub const LOADS_ACCEPTED: usize = 1;
+    pub const LOADS_REJECTED: usize = 2;
+    pub const DEADLINE_MISSED: usize = 3;
+    pub const EVICTIONS: usize = 4;
+    pub const RELOCATIONS: usize = 5;
+    pub const COMPACTION_PASSES: usize = 6;
+    pub const COMPACTION_FRAMES_MOVED: usize = 7;
+    pub const COMPACTION_MICROS: usize = 8;
+    pub const DECODE_MICROS: usize = 9;
+    pub const DECODES: usize = 10;
+    pub const FRAGMENTATION_SAMPLES: usize = 11;
+    /// f64 slot (see [`vbs_telemetry::CounterBank::float_add`]).
+    pub const FRAGMENTATION_SUM: usize = 12;
+    /// f64 slot.
+    pub const UTILIZATION_SUM: usize = 13;
+}
+
+/// Packs an origin into one event payload word (`x` high, `y` low).
+const fn pack_origin(origin: Coord) -> u64 {
+    ((origin.x as u64) << 16) | origin.y as u64
+}
 
 /// A request submitted to the scheduler.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,7 +162,9 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// Aggregate counters of one scheduler's lifetime.
+/// Aggregate counters of one scheduler's lifetime — a point-in-time view
+/// over the scheduler's telemetry counter bank (see [`Scheduler::metrics`]).
+/// All timing fields are `u64` microseconds with saturating accumulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SchedMetrics {
     /// Load requests submitted.
@@ -156,9 +186,9 @@ pub struct SchedMetrics {
     pub compaction_frames_moved: u64,
     /// Wall-clock time spent inside [`Scheduler::compact`] (planning +
     /// executing moves), in microseconds — the pause-time metric.
-    pub compaction_micros: u128,
+    pub compaction_micros: u64,
     /// Total de-virtualization time spent, in microseconds.
-    pub decode_micros: u128,
+    pub decode_micros: u64,
     /// Number of de-virtualizations performed (cache misses).
     pub decodes: u64,
     /// Number of fragmentation samples folded into `fragmentation_sum`.
@@ -227,6 +257,8 @@ struct Pending {
     job: u64,
     seq: u64,
     request: Request,
+    /// Telemetry-clock timestamp of submission (queue-wait span start).
+    enqueued_at: u64,
 }
 
 /// The on-line reconfiguration scheduler (see the module docs).
@@ -241,11 +273,19 @@ pub struct Scheduler {
     clock: u64,
     next_job: u64,
     next_seq: u64,
-    metrics: SchedMetrics,
+    /// This scheduler's private counter slots — the data behind the
+    /// [`SchedMetrics`] view. Separate from the (possibly fleet-shared)
+    /// telemetry registry so per-fabric counters never merge.
+    counters: CounterBank,
+    /// Span/event registry: stage latencies and the pipeline timeline.
+    /// Disabled (recording no-ops) until one is installed.
+    telemetry: Telemetry,
+    /// Fabric tag stamped on this scheduler's events.
+    fabric: u16,
     /// Streams de-virtualized ahead of time by an external decode pipeline
     /// (see [`Scheduler::stage_decoded`]), waiting to be consumed by the
     /// next load of their task.
-    staged: HashMap<String, (Arc<TaskBitstream>, u128)>,
+    staged: HashMap<String, (Arc<TaskBitstream>, u64)>,
     /// Recycled decoded-image buffers: cache evictions return here, decodes
     /// check out of here. Shared fleet-wide in multi-fabric deployments.
     pool: BitstreamPool,
@@ -279,10 +319,33 @@ impl Scheduler {
             clock: 0,
             next_job: 1,
             next_seq: 0,
-            metrics: SchedMetrics::default(),
+            counters: CounterBank::new(),
+            telemetry: Telemetry::disabled(),
+            fabric: 0,
             staged: HashMap::new(),
             pool,
         }
+    }
+
+    /// Installs the observability registry stage latencies and pipeline
+    /// events are recorded into, tagging this scheduler's events with
+    /// `fabric`. The registry reaches the decode lanes too (through the
+    /// controller's scratch pool), so lane busy spans, checkout hit/miss
+    /// events and [`SchedMetrics`] timing all run on one shared clock.
+    /// Counters keep accumulating in the scheduler's private bank either
+    /// way — installing telemetry never changes golden-trace counters.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, fabric: u16) {
+        self.manager
+            .controller()
+            .set_telemetry(telemetry.clone(), fabric);
+        self.telemetry = telemetry;
+        self.fabric = fabric;
+    }
+
+    /// The scheduler's span/event registry (a shared handle; disabled until
+    /// [`Scheduler::set_telemetry`] installs one).
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
     }
 
     /// The scheduler's recycled-buffer pool (a shared handle).
@@ -341,7 +404,7 @@ impl Scheduler {
         &mut self,
         name: impl Into<String>,
         stream: Arc<TaskBitstream>,
-        micros: u128,
+        micros: u64,
     ) {
         self.staged.insert(name.into(), (stream, micros));
     }
@@ -412,9 +475,25 @@ impl Scheduler {
         self.clock
     }
 
-    /// Aggregate counters so far.
-    pub const fn metrics(&self) -> &SchedMetrics {
-        &self.metrics
+    /// Aggregate counters so far — a snapshot view over the scheduler's
+    /// telemetry counter bank.
+    pub fn metrics(&self) -> SchedMetrics {
+        SchedMetrics {
+            loads_submitted: self.counters.get(slot::LOADS_SUBMITTED),
+            loads_accepted: self.counters.get(slot::LOADS_ACCEPTED),
+            loads_rejected: self.counters.get(slot::LOADS_REJECTED),
+            deadline_missed: self.counters.get(slot::DEADLINE_MISSED),
+            evictions: self.counters.get(slot::EVICTIONS),
+            relocations: self.counters.get(slot::RELOCATIONS),
+            compaction_passes: self.counters.get(slot::COMPACTION_PASSES),
+            compaction_frames_moved: self.counters.get(slot::COMPACTION_FRAMES_MOVED),
+            compaction_micros: self.counters.get(slot::COMPACTION_MICROS),
+            decode_micros: self.counters.get(slot::DECODE_MICROS),
+            decodes: self.counters.get(slot::DECODES),
+            fragmentation_samples: self.counters.get(slot::FRAGMENTATION_SAMPLES),
+            fragmentation_sum: self.counters.float_total(slot::FRAGMENTATION_SUM),
+            utilization_sum: self.counters.float_total(slot::UTILIZATION_SUM),
+        }
     }
 
     /// Decode-cache counters so far.
@@ -455,11 +534,19 @@ impl Scheduler {
         let job = self.next_job;
         self.next_job += 1;
         if matches!(request, Request::Load { .. }) {
-            self.metrics.loads_submitted += 1;
+            self.counters.add(slot::LOADS_SUBMITTED, 1);
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Pending { job, seq, request });
+        let enqueued_at = self.telemetry.now();
+        self.telemetry
+            .event(EventKind::Enqueue, self.fabric, 0, job, 0);
+        self.queue.push(Pending {
+            job,
+            seq,
+            request,
+            enqueued_at,
+        });
         job
     }
 
@@ -489,7 +576,7 @@ impl Scheduler {
         pending
             .into_iter()
             .map(|p| {
-                let outcome = self.process_one(p.job, p.request);
+                let outcome = self.process_one(p.job, p.request, p.enqueued_at);
                 self.sample_fragmentation();
                 (p.job, outcome)
             })
@@ -521,8 +608,8 @@ impl Scheduler {
     /// microseconds) in [`SchedMetrics`]. Returns the number of
     /// relocations.
     pub fn compact(&mut self) -> usize {
-        let pause = std::time::Instant::now();
-        self.metrics.compaction_passes += 1;
+        let pause_start = self.telemetry.now();
+        self.counters.add(slot::COMPACTION_PASSES, 1);
         let view = self.manager.fabric_view();
 
         // Phase 1 — plan: replay the greedy sweeps on rectangles only.
@@ -590,9 +677,22 @@ impl Scheduler {
                 break;
             }
         }
-        self.metrics.relocations += moves as u64;
-        self.metrics.compaction_frames_moved += frames;
-        self.metrics.compaction_micros += pause.elapsed().as_micros();
+        self.counters.add(slot::RELOCATIONS, moves as u64);
+        self.counters.add(slot::COMPACTION_FRAMES_MOVED, frames);
+        // The pause span doubles as the counter source, so the histogram
+        // and the golden-counter total always agree.
+        let pause = self
+            .telemetry
+            .record_span(Stage::CompactionPause, pause_start);
+        self.counters.add(slot::COMPACTION_MICROS, pause);
+        self.telemetry.event_span(
+            EventKind::CompactPass,
+            self.fabric,
+            0,
+            moves as u64,
+            frames,
+            pause_start,
+        );
         moves
     }
 
@@ -608,7 +708,10 @@ impl Scheduler {
             .get(&job)
             .ok_or(RuntimeError::UnknownHandle { id: job })?
             .handle;
-        self.manager.relocate(handle, to)
+        self.manager.relocate(handle, to)?;
+        self.telemetry
+            .event(EventKind::Relocate, self.fabric, 0, job, pack_origin(to));
+        Ok(())
     }
 
     /// Fetches the decoded stream of `name` through the cache (counting the
@@ -631,8 +734,9 @@ impl Scheduler {
             if let Some(cached) = self.cache.get(name, &spec) {
                 return Ok((cached, true));
             }
-            self.metrics.decodes += 1;
-            self.metrics.decode_micros += micros;
+            self.counters.add(slot::DECODES, 1);
+            self.counters.add(slot::DECODE_MICROS, micros);
+            self.telemetry.record_micros(Stage::Decode, micros);
             if let Some(evicted) = self.cache.insert(name, spec, Arc::clone(&task)) {
                 self.pool.recycle(evicted);
             }
@@ -655,8 +759,9 @@ impl Scheduler {
                 return Err(e);
             }
         };
-        self.metrics.decodes += 1;
-        self.metrics.decode_micros += report.micros;
+        self.counters.add(slot::DECODES, 1);
+        self.counters.add(slot::DECODE_MICROS, report.micros);
+        self.telemetry.record_micros(Stage::Decode, report.micros);
         let task = Arc::new(staging);
         if let Some(evicted) = self.cache.insert(name, *vbs.spec(), Arc::clone(&task)) {
             self.pool.recycle(evicted);
@@ -664,25 +769,27 @@ impl Scheduler {
         Ok((task, false))
     }
 
-    fn process_one(&mut self, job: u64, request: Request) -> Outcome {
+    fn process_one(&mut self, job: u64, request: Request, enqueued_at: u64) -> Outcome {
         match request {
             Request::Load {
                 task,
                 priority,
                 deadline,
-            } => self.process_load(job, &task, priority, deadline),
+            } => self.process_load(job, &task, priority, deadline, enqueued_at),
             Request::Unload { job: target } => match self.residents.remove(&target) {
                 Some(resident) => {
                     self.manager
                         .unload(resident.handle)
                         .expect("resident handles are always valid");
+                    self.telemetry
+                        .event(EventKind::Unload, self.fabric, 0, target, 0);
                     Outcome::Unloaded { job: target }
                 }
                 None => Outcome::NotResident { job: target },
             },
             Request::Relocate { job: target, to } => match self.relocate_resident(target, to) {
                 Ok(()) => {
-                    self.metrics.relocations += 1;
+                    self.counters.add(slot::RELOCATIONS, 1);
                     // An explicit relocation is a use of the task.
                     self.touch(target);
                     Outcome::Relocated {
@@ -700,7 +807,39 @@ impl Scheduler {
         }
     }
 
+    /// Wraps the load pipeline with its observability: queue-wait span,
+    /// end-to-end load span, and the Admit/Reject timeline event.
     fn process_load(
+        &mut self,
+        job: u64,
+        task: &str,
+        priority: u8,
+        deadline: Option<u64>,
+        enqueued_at: u64,
+    ) -> Outcome {
+        self.telemetry.record_span(Stage::QueueWait, enqueued_at);
+        let start = self.telemetry.now();
+        let outcome = self.process_load_inner(job, task, priority, deadline);
+        self.telemetry.record_span(Stage::Load, start);
+        match &outcome {
+            Outcome::Loaded { origin, .. } => self.telemetry.event_span(
+                EventKind::Admit,
+                self.fabric,
+                0,
+                job,
+                pack_origin(*origin),
+                start,
+            ),
+            Outcome::Rejected { .. } => {
+                self.telemetry
+                    .event_span(EventKind::Reject, self.fabric, 0, job, 0, start)
+            }
+            _ => {}
+        }
+        outcome
+    }
+
+    fn process_load_inner(
         &mut self,
         job: u64,
         task: &str,
@@ -708,8 +847,8 @@ impl Scheduler {
         deadline: Option<u64>,
     ) -> Outcome {
         if deadline.is_some_and(|d| self.clock > d) {
-            self.metrics.loads_rejected += 1;
-            self.metrics.deadline_missed += 1;
+            self.counters.add(slot::LOADS_REJECTED, 1);
+            self.counters.add(slot::DEADLINE_MISSED, 1);
             return Outcome::Rejected {
                 job,
                 reason: RejectReason::DeadlineMissed,
@@ -726,7 +865,7 @@ impl Scheduler {
         let decoded = match self.decoded_with(task, prefetched) {
             Ok(d) => d,
             Err(RuntimeError::UnknownTask { .. }) => {
-                self.metrics.loads_rejected += 1;
+                self.counters.add(slot::LOADS_REJECTED, 1);
                 return Outcome::Rejected {
                     job,
                     reason: RejectReason::UnknownTask,
@@ -734,7 +873,7 @@ impl Scheduler {
                 };
             }
             Err(e) => {
-                self.metrics.loads_rejected += 1;
+                self.counters.add(slot::LOADS_REJECTED, 1);
                 return Outcome::Rejected {
                     job,
                     reason: RejectReason::Runtime(e.to_string()),
@@ -749,7 +888,7 @@ impl Scheduler {
         // evicting anyone on its behalf.
         let device = self.manager.controller().device();
         if w > device.width() || h > device.height() {
-            self.metrics.loads_rejected += 1;
+            self.counters.add(slot::LOADS_REJECTED, 1);
             return Outcome::Rejected {
                 job,
                 reason: RejectReason::NoCapacity,
@@ -757,6 +896,9 @@ impl Scheduler {
             };
         }
 
+        // Placement span: finding (or making, via compaction/eviction) a
+        // free region. Compaction-pause spans nest inside it.
+        let placement_start = self.telemetry.now();
         let mut evicted = Vec::new();
         let origin = loop {
             if let Some(origin) = self.manager.find_free_region(w, h) {
@@ -781,20 +923,34 @@ impl Scheduler {
             self.manager
                 .unload(resident.handle)
                 .expect("resident handles are always valid");
-            self.metrics.evictions += 1;
+            self.counters.add(slot::EVICTIONS, 1);
+            self.telemetry
+                .event(EventKind::Evict, self.fabric, 0, victim, job);
             evicted.push(victim);
         };
+        self.telemetry
+            .record_span(Stage::Placement, placement_start);
 
         let Some(origin) = origin else {
-            self.metrics.loads_rejected += 1;
+            self.counters.add(slot::LOADS_REJECTED, 1);
             return Outcome::Rejected {
                 job,
                 reason: RejectReason::NoCapacity,
                 evicted,
             };
         };
+        let write_start = self.telemetry.now();
         match self.manager.load_decoded_at(task, &stream, origin) {
             Ok(handle) => {
+                self.telemetry.record_span(Stage::Write, write_start);
+                self.telemetry.event_span(
+                    EventKind::FrameWrite,
+                    self.fabric,
+                    0,
+                    job,
+                    w as u64 * h as u64,
+                    write_start,
+                );
                 self.residents.insert(
                     job,
                     Resident {
@@ -805,7 +961,7 @@ impl Scheduler {
                         last_used: self.clock,
                     },
                 );
-                self.metrics.loads_accepted += 1;
+                self.counters.add(slot::LOADS_ACCEPTED, 1);
                 Outcome::Loaded {
                     job,
                     handle,
@@ -815,7 +971,7 @@ impl Scheduler {
                 }
             }
             Err(e) => {
-                self.metrics.loads_rejected += 1;
+                self.counters.add(slot::LOADS_REJECTED, 1);
                 Outcome::Rejected {
                     job,
                     reason: RejectReason::Runtime(e.to_string()),
@@ -861,13 +1017,27 @@ impl Scheduler {
         let miss = self.cache.get(name, vbs.spec());
         debug_assert!(miss.is_none(), "contains() checked above");
         let mut staging = self.pool.checkout(*vbs.spec(), w, h);
+        let write_start = self.telemetry.now();
         match self
             .manager
             .load_streaming_at(name, &vbs, &mut staging, origin)
         {
             Ok((handle, report)) => {
-                self.metrics.decodes += 1;
-                self.metrics.decode_micros += report.micros;
+                self.counters.add(slot::DECODES, 1);
+                self.counters.add(slot::DECODE_MICROS, report.micros);
+                // Streaming overlaps decode and frame writes in one pass;
+                // the whole overlapped region is the write span, and the
+                // decode histogram gets the report's decode measurement.
+                self.telemetry.record_micros(Stage::Decode, report.micros);
+                self.telemetry.record_span(Stage::Write, write_start);
+                self.telemetry.event_span(
+                    EventKind::FrameWrite,
+                    self.fabric,
+                    0,
+                    job,
+                    w as u64 * h as u64,
+                    write_start,
+                );
                 let image = Arc::new(staging);
                 if let Some(evicted) = self.cache.insert(name, *vbs.spec(), Arc::clone(&image)) {
                     self.pool.recycle(evicted);
@@ -882,7 +1052,7 @@ impl Scheduler {
                         last_used: self.clock,
                     },
                 );
-                self.metrics.loads_accepted += 1;
+                self.counters.add(slot::LOADS_ACCEPTED, 1);
                 StreamingAttempt::Done(Outcome::Loaded {
                     job,
                     handle,
@@ -893,7 +1063,7 @@ impl Scheduler {
             }
             Err(e) => {
                 self.pool.put(staging);
-                self.metrics.loads_rejected += 1;
+                self.counters.add(slot::LOADS_REJECTED, 1);
                 StreamingAttempt::Done(Outcome::Rejected {
                     job,
                     reason: RejectReason::Runtime(e.to_string()),
@@ -905,11 +1075,24 @@ impl Scheduler {
 
     fn sample_fragmentation(&mut self) {
         let view = self.manager.fabric_view();
-        self.metrics.fragmentation_samples += 1;
-        self.metrics.fragmentation_sum += view.fragmentation();
+        let fragmentation = view.fragmentation();
+        self.counters.add(slot::FRAGMENTATION_SAMPLES, 1);
+        self.counters
+            .float_add(slot::FRAGMENTATION_SUM, fragmentation);
         let total = view.total_area();
         if total > 0 {
-            self.metrics.utilization_sum += 1.0 - view.free_area() as f64 / total as f64;
+            let utilization = 1.0 - view.free_area() as f64 / total as f64;
+            self.counters.float_add(slot::UTILIZATION_SUM, utilization);
+            // One utilization sample per processed request: the per-fabric
+            // occupancy timeline (per-mille payloads keep the event fixed
+            // width).
+            self.telemetry.event(
+                EventKind::Utilization,
+                self.fabric,
+                0,
+                (utilization * 1000.0) as u64,
+                (fragmentation * 1000.0) as u64,
+            );
         }
     }
 }

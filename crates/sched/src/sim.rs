@@ -125,7 +125,7 @@ impl ReplayTarget for MultiFabricScheduler {
 /// of a job that was rejected or already evicted counts in
 /// [`SimReport::departures_already_gone`] instead of failing.
 pub fn replay(scheduler: &mut Scheduler, trace: &Trace) -> SimReport {
-    let sched_before = *scheduler.metrics();
+    let sched_before = scheduler.metrics();
     let cache_before = scheduler.cache_stats();
     let already_gone = drive(scheduler, trace);
     SimReport {
@@ -364,7 +364,7 @@ fn multi_metrics_delta(after: &MultiMetrics, before: &MultiMetrics) -> MultiMetr
 }
 
 /// Counters accumulated between two scheduler snapshots.
-fn metrics_delta(after: &SchedMetrics, before: &SchedMetrics) -> SchedMetrics {
+fn metrics_delta(after: SchedMetrics, before: &SchedMetrics) -> SchedMetrics {
     SchedMetrics {
         loads_submitted: after.loads_submitted - before.loads_submitted,
         loads_accepted: after.loads_accepted - before.loads_accepted,

@@ -128,14 +128,14 @@ fn relocation_is_decode_free_and_bit_identical_to_the_decoded_image() {
     let vbs = sched.manager().repository().fetch("crc4").unwrap();
     let (decoded, _) = sched.manager().controller().devirtualize(&vbs).unwrap();
 
-    let metrics_before = *sched.metrics();
+    let metrics_before = sched.metrics();
     let cache_before = sched.cache_stats();
     let to = Coord::new(7, 3);
     assert!(matches!(
         sched.execute(Request::Relocate { job, to }),
         Outcome::Relocated { .. }
     ));
-    let metrics_after = *sched.metrics();
+    let metrics_after = sched.metrics();
     let cache_after = sched.cache_stats();
 
     assert_eq!(
@@ -188,10 +188,10 @@ fn batch_compaction_matches_the_greedy_sweeps_bit_for_bit() {
         "the fixture must keep at least two residents"
     );
 
-    let metrics_before = *batch.metrics();
+    let metrics_before = batch.metrics();
     let cache_before = batch.cache_stats();
     let moves = batch.compact();
-    let metrics_after = *batch.metrics();
+    let metrics_after = batch.metrics();
     let cache_after = batch.cache_stats();
     let batch_frames =
         metrics_after.compaction_frames_moved - metrics_before.compaction_frames_moved;

@@ -50,8 +50,8 @@ fn full_memory_image(sched: &Scheduler) -> vbs_bitstream::TaskBitstream {
 
 fn assert_schedulers_identical(buffered: &Scheduler, streaming: &Scheduler, context: &str) {
     assert_eq!(
-        normalized(*buffered.metrics()),
-        normalized(*streaming.metrics()),
+        normalized(buffered.metrics()),
+        normalized(streaming.metrics()),
         "{context}: scheduler counters diverge"
     );
     let nb: CacheStats = buffered.cache_stats();

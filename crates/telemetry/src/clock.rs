@@ -1,0 +1,103 @@
+//! Time sources: a monotonic wall clock and a deterministic test twin.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic microsecond time source.
+///
+/// Everything in this crate timestamps through a `Clock` instead of calling
+/// [`Instant::now`] directly, so span and histogram arithmetic can be driven
+/// by a deterministic [`TestClock`] in tests while production code runs on
+/// the [`MonotonicClock`] default. Implementations must be monotonic
+/// (time never goes backwards) and cheap — `now_micros` sits on the decode
+/// hot path.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Microseconds elapsed since this clock's origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// The production clock: microseconds since the clock was created, read
+/// from the OS monotonic clock. Allocation-free to query.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock for tests: time only moves when the test advances
+/// it. Cloning shares the underlying counter, so a clone handed to a
+/// [`crate::Telemetry`] registry stays controllable from the test body.
+#[derive(Debug, Clone, Default)]
+pub struct TestClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl TestClock {
+    /// Creates a clock frozen at 0 µs.
+    pub fn new() -> Self {
+        TestClock::default()
+    }
+
+    /// Advances the clock by `micros`.
+    pub fn advance(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to an absolute microsecond value (monotonicity is the
+    /// test's responsibility).
+    pub fn set(&self, micros: u64) {
+        self.micros.store(micros, Ordering::SeqCst);
+    }
+}
+
+impl Clock for TestClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn test_clock_is_fully_deterministic() {
+        let clock = TestClock::new();
+        assert_eq!(clock.now_micros(), 0);
+        clock.advance(7);
+        let shared = clock.clone();
+        shared.advance(3);
+        assert_eq!(clock.now_micros(), 10);
+        clock.set(100);
+        assert_eq!(shared.now_micros(), 100);
+    }
+}

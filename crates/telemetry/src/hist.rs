@@ -1,0 +1,277 @@
+//! Fixed-size, log-bucketed latency histograms (HDR-style).
+//!
+//! A [`LatencyHistogram`] covers the whole `u64` value range with
+//! preallocated buckets: exact buckets below 2^4 and 16 linear sub-buckets
+//! per power of two above it, bounding the relative quantization error at
+//! 1/16 (6.25%). Every bucket is an [`AtomicU64`], so recording is one
+//! relaxed `fetch_add` plus min/max/sum updates — **lock-free and
+//! allocation-free**, cheap enough for the zero-alloc decode hot path.
+//! Percentiles are computed at read time by scanning the bucket array.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Exact buckets `[0, 16)`, then 16 sub-buckets for each of the 60
+/// remaining octaves `[2^4, 2^64)`.
+const BUCKETS: usize = SUB_COUNT + (64 - SUB_BITS as usize) * SUB_COUNT;
+
+/// Maps a value to its bucket index (total order preserving).
+const fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT as u64 {
+        return value as usize;
+    }
+    let top = 63 - value.leading_zeros();
+    let shift = top - SUB_BITS;
+    let sub = ((value >> shift) as usize) & (SUB_COUNT - 1);
+    SUB_COUNT + (shift as usize) * SUB_COUNT + sub
+}
+
+/// The largest value a bucket holds — percentile reads report this upper
+/// bound, so a reported quantile never under-states the true latency.
+const fn bucket_upper_bound(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        return index as u64;
+    }
+    let shift = ((index - SUB_COUNT) / SUB_COUNT) as u32;
+    let sub = ((index - SUB_COUNT) % SUB_COUNT) as u64;
+    let base = 1u64 << (shift + SUB_BITS);
+    let low = base + (sub << shift);
+    low + ((1u64 << shift) - 1)
+}
+
+/// A lock-free log-bucketed latency histogram (see the module docs).
+/// Values are unit-agnostic; the stack records microseconds or nanoseconds
+/// depending on the stage's dynamic range.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram — the one allocation of its lifetime.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value: one relaxed `fetch_add` per statistic, no lock,
+    /// no allocation. The running sum saturates instead of wrapping.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // fetch_update loop only retries under contention; saturation keeps
+        // a pathological accumulation from wrapping the mean negative.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let min = self.min.load(Ordering::Relaxed);
+        if min == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum() as f64 / count as f64
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the upper bound of the
+    /// bucket holding the rank-`ceil(q · count)` value, so the report never
+    /// under-states the true latency (relative error ≤ 1/16). Clamped to
+    /// the exact recorded max: when the rank lands in the topmost occupied
+    /// bucket the max still bounds everything in it, and lower buckets'
+    /// bounds are below the max by construction — so reported quantiles
+    /// stay monotone up to and including the max. Returns 0 when the
+    /// histogram is empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_bound(index).min(self.max());
+            }
+        }
+        // Counters raced ahead of bucket stores; the max is the honest
+        // answer for "highest quantile".
+        self.max()
+    }
+
+    /// Folds another histogram into this one (bucket-wise addition;
+    /// min/max/sum follow).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(other.sum.load(Ordering::Relaxed)))
+            });
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Resets every statistic to empty.
+    pub fn clear(&self) {
+        for bucket in self.buckets.iter() {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time summary of the distribution.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.value_at_quantile(0.50),
+            p95: self.value_at_quantile(0.95),
+            p99: self.value_at_quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// A snapshot of one histogram's distribution statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Recorded values.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Smallest value.
+    pub min: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Largest value (exact).
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// The summary as a JSON object (hand-rolled; the workspace builds
+    /// offline without serde).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"mean\": {:.1}, \"min\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+            self.count, self.mean, self.min, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_use_exact_buckets() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent_and_ordered() {
+        // Every value maps into a bucket whose upper bound is >= the value,
+        // and bucket upper bounds grow monotonically with the index.
+        for &v in &[
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 40,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let index = bucket_index(v);
+            assert!(index < BUCKETS, "value {v} → out-of-range bucket {index}");
+            let upper = bucket_upper_bound(index);
+            assert!(upper >= v, "value {v} above its bucket bound {upper}");
+            // Quantization error bounded by 1/16 of the value.
+            assert!(
+                upper - v <= v / 16 + 1,
+                "value {v}: bound {upper} overshoots by more than 1/16"
+            );
+        }
+        let mut previous = 0u64;
+        for index in 0..BUCKETS {
+            let upper = bucket_upper_bound(index);
+            assert!(upper >= previous, "bucket {index} not monotonic");
+            previous = upper;
+        }
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+}

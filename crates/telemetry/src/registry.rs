@@ -1,0 +1,298 @@
+//! The telemetry registry: one clock, one histogram per stage, one event
+//! ring, and a bank of saturating counter slots, behind one cloneable
+//! thread-safe handle.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::event::{Event, EventKind, Stage};
+use crate::hist::LatencyHistogram;
+use crate::ring::{EventRing, RingStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of generic counter slots a bank carries. Embedding crates define
+/// their own slot constants over these indices (e.g. `vbs-sched` maps its
+/// `SchedMetrics` fields here), so counter bumps share the bank's
+/// thread-safety without a per-crate registry type.
+pub const COUNTER_SLOTS: usize = 32;
+
+/// A standalone bank of [`COUNTER_SLOTS`] lock-free counter slots.
+///
+/// Integer slots accumulate with saturating adds; a slot may instead hold
+/// an `f64` accumulator via [`CounterBank::float_add`] (the embedder
+/// decides which slot is which — the two interpretations never mix on one
+/// slot). Metrics views like `vbs-sched`'s `SchedMetrics` are snapshots of
+/// a bank. Components that must keep *separate* totals (one per fabric)
+/// while sharing one span/event registry hold their own bank next to the
+/// shared [`Telemetry`] handle.
+#[derive(Debug, Default)]
+pub struct CounterBank {
+    slots: [AtomicU64; COUNTER_SLOTS],
+}
+
+impl CounterBank {
+    /// A bank with every slot at zero.
+    pub fn new() -> Self {
+        CounterBank::default()
+    }
+
+    /// Adds to a counter slot, saturating at `u64::MAX`.
+    pub fn add(&self, slot: usize, delta: u64) {
+        let _ = self.slots[slot].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+            Some(c.saturating_add(delta))
+        });
+    }
+
+    /// Reads a counter slot.
+    pub fn get(&self, slot: usize) -> u64 {
+        self.slots[slot].load(Ordering::Relaxed)
+    }
+
+    /// Accumulates into an `f64` slot (the slot must only ever be used
+    /// through the float API). Lock-free CAS on the bit pattern; additions
+    /// from one thread fold in submission order, so single-threaded
+    /// accumulation is bit-identical to `+=`.
+    pub fn float_add(&self, slot: usize, delta: f64) {
+        let _ = self.slots[slot].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            Some((f64::from_bits(bits) + delta).to_bits())
+        });
+    }
+
+    /// Reads an `f64` slot.
+    pub fn float_total(&self, slot: usize) -> f64 {
+        f64::from_bits(self.slots[slot].load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    clock: Arc<dyn Clock>,
+    histograms: [LatencyHistogram; Stage::COUNT],
+    ring: EventRing,
+    /// The registry's own counter bank (see [`CounterBank`]).
+    counters: CounterBank,
+    /// When false, span/histogram/event recording is skipped entirely
+    /// (counters stay live — they are the metrics source of truth).
+    enabled: bool,
+}
+
+/// The shared telemetry handle (see the module docs). Cloning shares the
+/// registry; all recording is `&self` and thread-safe, so one handle can be
+/// held by a scheduler, its decode lanes and a fleet dispatcher at once.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// Default ring retention: enough for a full bench replay's pipeline
+    /// events without unbounded growth.
+    pub const DEFAULT_RING_CAPACITY: usize = 16_384;
+
+    /// A registry on the monotonic clock with the default ring capacity.
+    pub fn new() -> Self {
+        Telemetry::with(Arc::new(MonotonicClock::new()), Self::DEFAULT_RING_CAPACITY)
+    }
+
+    /// A registry with an explicit clock and event-ring retention — tests
+    /// install a [`crate::TestClock`] here.
+    pub fn with(clock: Arc<dyn Clock>, ring_capacity: usize) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                clock,
+                histograms: std::array::from_fn(|_| LatencyHistogram::new()),
+                ring: EventRing::new(ring_capacity),
+                counters: CounterBank::new(),
+                enabled: true,
+            }),
+        }
+    }
+
+    /// A registry whose span and event recording is a no-op (counters stay
+    /// live). Components hold this by default until a real registry is
+    /// installed, so uninstrumented deployments pay one branch per record.
+    pub fn disabled() -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                clock: Arc::new(MonotonicClock::new()),
+                histograms: std::array::from_fn(|_| LatencyHistogram::new()),
+                ring: EventRing::new(0),
+                counters: CounterBank::new(),
+                enabled: false,
+            }),
+        }
+    }
+
+    /// Whether span/event recording is live.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Whether two handles share one registry.
+    pub fn same_registry(&self, other: &Telemetry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Microseconds on the registry clock.
+    pub fn now(&self) -> u64 {
+        self.inner.clock.now_micros()
+    }
+
+    /// The registry clock (shared handle).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.inner.clock
+    }
+
+    // --- Spans & histograms ------------------------------------------------
+
+    /// Starts a span over `stage`; the span records its elapsed time into
+    /// the stage histogram when finished (or dropped).
+    pub fn span(&self, stage: Stage) -> Span {
+        Span {
+            telemetry: self.clone(),
+            stage,
+            start: self.now(),
+            done: false,
+        }
+    }
+
+    /// Records `now - start_micros` into the stage histogram and returns
+    /// the elapsed microseconds — the manual twin of [`Telemetry::span`]
+    /// for callers that cannot hold a guard across a `&mut self` region.
+    pub fn record_span(&self, stage: Stage, start_micros: u64) -> u64 {
+        let elapsed = self.now().saturating_sub(start_micros);
+        self.record_micros(stage, elapsed);
+        elapsed
+    }
+
+    /// Records a measured duration into the stage histogram.
+    pub fn record_micros(&self, stage: Stage, micros: u64) {
+        if self.inner.enabled {
+            self.inner.histograms[stage.index()].record(micros);
+        }
+    }
+
+    /// The stage's histogram (always present; empty when disabled).
+    pub fn histogram(&self, stage: Stage) -> &LatencyHistogram {
+        &self.inner.histograms[stage.index()]
+    }
+
+    // --- Events ------------------------------------------------------------
+
+    /// Records an instant event stamped "now".
+    pub fn event(&self, kind: EventKind, fabric: u16, lane: u16, a: u64, b: u64) {
+        if !self.inner.enabled {
+            return;
+        }
+        self.inner.ring.record(Event {
+            seq: 0,
+            at_micros: self.now(),
+            kind,
+            fabric,
+            lane,
+            a,
+            b,
+            duration_micros: 0,
+        });
+    }
+
+    /// Records a span event: timestamped at `start_micros`, lasting until
+    /// "now".
+    pub fn event_span(
+        &self,
+        kind: EventKind,
+        fabric: u16,
+        lane: u16,
+        a: u64,
+        b: u64,
+        start_micros: u64,
+    ) {
+        if !self.inner.enabled {
+            return;
+        }
+        self.inner.ring.record(Event {
+            seq: 0,
+            at_micros: start_micros,
+            kind,
+            fabric,
+            lane,
+            a,
+            b,
+            duration_micros: self.now().saturating_sub(start_micros),
+        });
+    }
+
+    /// The retained timeline in sequence order (export-time; allocates).
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.ring.snapshot()
+    }
+
+    /// Ring counters (total recorded vs retained).
+    pub fn ring_stats(&self) -> RingStats {
+        self.inner.ring.stats()
+    }
+
+    // --- Counters ----------------------------------------------------------
+
+    /// The registry's counter bank.
+    pub fn counters(&self) -> &CounterBank {
+        &self.inner.counters
+    }
+
+    /// Adds to a registry counter slot, saturating at `u64::MAX`.
+    pub fn counter_add(&self, slot: usize, delta: u64) {
+        self.inner.counters.add(slot, delta);
+    }
+
+    /// Reads a registry counter slot.
+    pub fn counter(&self, slot: usize) -> u64 {
+        self.inner.counters.get(slot)
+    }
+
+    /// Accumulates into an `f64` registry slot (see
+    /// [`CounterBank::float_add`]).
+    pub fn float_add(&self, slot: usize, delta: f64) {
+        self.inner.counters.float_add(slot, delta);
+    }
+
+    /// Reads an `f64` registry slot.
+    pub fn float_total(&self, slot: usize) -> f64 {
+        self.inner.counters.float_total(slot)
+    }
+}
+
+/// A live span over one [`Stage`]; records its elapsed time into the stage
+/// histogram when [`Span::finish`]ed or dropped.
+#[derive(Debug)]
+pub struct Span {
+    telemetry: Telemetry,
+    stage: Stage,
+    start: u64,
+    done: bool,
+}
+
+impl Span {
+    /// The span's start timestamp (clock microseconds).
+    pub fn start_micros(&self) -> u64 {
+        self.start
+    }
+
+    /// Ends the span, records it, and returns the elapsed microseconds.
+    pub fn finish(mut self) -> u64 {
+        self.done = true;
+        self.telemetry.record_span(self.stage, self.start)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            self.telemetry.record_span(self.stage, self.start);
+        }
+    }
+}

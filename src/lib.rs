@@ -14,6 +14,8 @@
 //! * [`runtime`] — the run-time reconfiguration controller and task manager;
 //! * [`sched`] — the on-line scheduler: request queue, eviction,
 //!   defragmentation, decode cache and the trace-driven simulator;
+//! * [`telemetry`] — zero-allocation tracing spans, latency histograms and
+//!   the pipeline event timeline, with JSON / table / Perfetto exporters;
 //! * [`fabric_sim`] — functional verification of configurations;
 //! * [`flow`] — the end-to-end CAD flow driver.
 //!
@@ -45,3 +47,4 @@ pub use vbs_place as place;
 pub use vbs_route as route;
 pub use vbs_runtime as runtime;
 pub use vbs_sched as sched;
+pub use vbs_telemetry as telemetry;

@@ -38,12 +38,19 @@
 //! `--fabrics`-sized multi-fabric scheduler in staged-pipeline mode vs
 //! streaming mode.
 //!
+//! The **mcnc** arm runs the checked-in corpus (`tests/traces/mcnc/`)
+//! instead of the synthetic task mix: per-circuit pooled-load throughput
+//! and latency percentiles over the real place/route/encode streams, plus
+//! the steady and variant-swap trace replays through the single scheduler
+//! and the fleet with a telemetry registry attached, so the Load-stage
+//! tail is gated in CI alongside the counters.
+//!
 //! Usage: `cargo run --release -p vbs-bench --bin decode_perf --
 //!         [--loads N] [--fabric WxH] [--fabrics K] [--seed S]
 //!         [--quick] [--out PATH]`
 
 use std::time::{Duration, Instant};
-use vbs_arch::{Coord, Rect};
+use vbs_arch::{ArchSpec, Coord, Device, Rect};
 use vbs_bench::sched_workload::{sched_device, sched_fleet, sched_repository, sched_trace};
 use vbs_bench::{allocations, CountingAllocator};
 use vbs_bitstream::TaskBitstream;
@@ -53,9 +60,10 @@ use vbs_runtime::{
     ScratchPool, VbsRepository,
 };
 use vbs_sched::{
-    replay_multi, LeastLoaded, MultiConfig, Outcome, Request, Scheduler, SchedulerConfig,
+    replay, replay_multi, LeastLoaded, McncCorpus, MultiConfig, Outcome, Request, Scheduler,
+    SchedulerConfig,
 };
-use vbs_telemetry::LatencyHistogram;
+use vbs_telemetry::{HistogramSummary, LatencyHistogram, Stage, Telemetry};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -665,6 +673,117 @@ fn run_fleet(
     }
 }
 
+/// One corpus trace replayed end-to-end through a scheduler with telemetry
+/// attached: acceptance counters plus the Load-stage latency tail.
+struct McncReplay {
+    name: String,
+    elapsed: Duration,
+    events: usize,
+    accepted: u64,
+    rejected: u64,
+    deadline_missed: u64,
+    /// `Stage::Load` histogram summary from the attached telemetry
+    /// registry, microseconds.
+    load_latency: HistogramSummary,
+}
+
+impl McncReplay {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"events_per_sec\": {:.1}, \"accepted\": {}, \"rejected\": {}, \"deadline_missed\": {}, \"load_p50_us\": {}, \"load_p95_us\": {}, \"load_p99_us\": {}, \"load_max_us\": {}}}",
+            self.events_per_sec(),
+            self.accepted,
+            self.rejected,
+            self.deadline_missed,
+            self.load_latency.p50,
+            self.load_latency.p95,
+            self.load_latency.p99,
+            self.load_latency.max
+        )
+    }
+}
+
+/// The mcnc arm: per-circuit pooled-load throughput over the checked-in
+/// corpus streams, and the corpus traces replayed through the single
+/// scheduler and the least-loaded fleet with telemetry histograms.
+fn mcnc_arm(options: &Options) -> (McncCorpus, Vec<PathResult>, Vec<McncReplay>) {
+    let corpus = McncCorpus::load(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/traces/mcnc"
+    ))
+    .expect("checked-in MCNC corpus (rebuild with the mcnc_corpus bin)");
+
+    let spec = ArchSpec::new(corpus.channel_width, corpus.lut_size).expect("corpus arch");
+    let device = Device::new(spec, corpus.single.0, corpus.single.1).expect("corpus device");
+    let mut controller = ReconfigurationController::new(device).with_workers(2);
+    let origin = Coord::new(0, 0);
+    let streams: Vec<(String, Vbs)> = corpus
+        .tasks
+        .iter()
+        .map(|t| {
+            let vbs = corpus.repository.fetch(&t.name).expect("corpus stream");
+            (t.name.clone(), vbs)
+        })
+        .collect();
+    let largest = streams
+        .iter()
+        .map(|(_, v)| v)
+        .max_by_key(|v| v.width() as u64 * v.height() as u64)
+        .expect("corpus streams");
+    controller.warm(largest).expect("warm");
+    let mut paths = Vec::new();
+    for (name, vbs) in &streams {
+        paths.push(run_path(
+            name.clone(),
+            options,
+            std::slice::from_ref(vbs),
+            |vbs| {
+                controller.load(vbs, origin).expect("load");
+            },
+        ));
+    }
+
+    let mut replays = Vec::new();
+    for (name, trace) in &corpus.traces {
+        let mut single = corpus.single_scheduler();
+        let telemetry = Telemetry::new();
+        single.set_telemetry(telemetry.clone(), 0);
+        let start = Instant::now();
+        let report = replay(&mut single, trace);
+        replays.push(McncReplay {
+            name: format!("{name}_single"),
+            elapsed: start.elapsed(),
+            events: report.events,
+            accepted: report.sched.loads_accepted,
+            rejected: report.sched.loads_rejected,
+            deadline_missed: report.sched.deadline_missed,
+            load_latency: telemetry.histogram(Stage::Load).summary(),
+        });
+
+        let mut fleet = corpus
+            .fleet_scheduler("least-loaded")
+            .expect("known shard policy");
+        let telemetry = Telemetry::new();
+        fleet.set_telemetry(telemetry.clone());
+        let start = Instant::now();
+        let report = replay_multi(&mut fleet, trace);
+        replays.push(McncReplay {
+            name: format!("{name}_fleet"),
+            elapsed: start.elapsed(),
+            events: report.events,
+            accepted: report.multi.loads_accepted,
+            rejected: report.multi.loads_rejected,
+            deadline_missed: report.fabrics.iter().map(|f| f.sched.deadline_missed).sum(),
+            load_latency: telemetry.histogram(Stage::Load).summary(),
+        });
+    }
+    (corpus, paths, replays)
+}
+
 fn main() {
     let options = parse_args();
     let repository = sched_repository();
@@ -780,6 +899,29 @@ fn main() {
         );
     }
 
+    let (corpus, mcnc_tasks, mcnc_replays) = mcnc_arm(&options);
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "mcnc task", "loads/s", "p50 µs", "p99 µs", "allocs/load"
+    );
+    for p in &mcnc_tasks {
+        let s = p.latency.summary();
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            p.name,
+            p.loads_per_sec(),
+            s.p50 as f64 / 1e3,
+            s.p99 as f64 / 1e3,
+            p.allocs_per_load()
+        );
+    }
+    for r in &mcnc_replays {
+        println!(
+            "mcnc {:<16} {:>6} accepted {:>4} rejected {:>3} missed  load p99 {:>6} µs",
+            r.name, r.accepted, r.rejected, r.deadline_missed, r.load_latency.p99
+        );
+    }
+
     let parallel_json = parallel
         .iter()
         .flat_map(|(pooled, fresh)| {
@@ -796,8 +938,25 @@ fn main() {
         .map(|p| format!("    \"{}\": {}", p.name, p.latency_json()))
         .collect::<Vec<_>>()
         .join(",\n");
+    let mcnc_tasks_json = mcnc_tasks
+        .iter()
+        .map(|p| {
+            format!(
+                "      \"{}\": {{\"perf\": {}, \"latency\": {}}}",
+                p.name,
+                p.json(),
+                p.latency_json()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let mcnc_replays_json = mcnc_replays
+        .iter()
+        .map(|r| format!("      \"{}\": {}", r.name, r.json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"latency\": {{\n{}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"parallel\": {{\n{},\n    \"speedup_pooled4_vs_scratch\": {:.3},\n    \"speedup_pooled4_vs_fresh4\": {:.3}\n  }},\n  \"compaction\": {{\n    \"batch\": {},\n    \"greedy\": {}\n  }},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"latency\": {{\n{}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"parallel\": {{\n{},\n    \"speedup_pooled4_vs_scratch\": {:.3},\n    \"speedup_pooled4_vs_fresh4\": {:.3}\n  }},\n  \"compaction\": {{\n    \"batch\": {},\n    \"greedy\": {}\n  }},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }},\n  \"mcnc\": {{\n    \"single\": \"{}x{}\",\n    \"fleet\": \"{}x{}x{}\",\n    \"tasks\": {{\n{}\n    }},\n    \"replays\": {{\n{}\n    }}\n  }}\n}}\n",
         options.loads,
         options.fabric.0,
         options.fabric.1,
@@ -820,6 +979,13 @@ fn main() {
         frame_write[2].json(),
         fleet_buffered.json(),
         fleet_streaming.json(),
+        corpus.single.0,
+        corpus.single.1,
+        corpus.fleet.0,
+        corpus.fleet.1,
+        corpus.fleet.2,
+        mcnc_tasks_json,
+        mcnc_replays_json,
     );
     std::fs::write(&options.out, json).expect("write baseline json");
     println!("wrote {}", options.out);

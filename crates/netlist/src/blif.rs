@@ -2,14 +2,34 @@
 //! Format (BLIF).
 //!
 //! The supported subset is what a LUT-mapped MCNC-style circuit needs:
-//! `.model`, `.inputs`, `.outputs`, `.names` (single-output cover),
-//! `.latch` (rising-edge, no explicit clock handling) and `.end`, with `\`
-//! line continuations and `#` comments.
+//! `.model`, `.inputs`, `.outputs`, `.names` (single-output cover, on-set or
+//! off-set polarity, `-` don't-cares), `.latch` (every token form of the
+//! spec: `input output`, `input output init`, `input output type control`
+//! and `input output type control init`) and `.end`, with `\` line
+//! continuations and `#` comments. A `.exdc` section (external don't-cares)
+//! is recognized and skipped — ignoring don't-care information is always
+//! sound. Hierarchical constructs (`.subckt`) and library gates
+//! (`.gate`/`.mlatch`) are rejected with line-accurate errors rather than
+//! misparsed.
 //!
-//! Latches are folded into the logic block that drives them: a `.names`
-//! immediately feeding a `.latch` becomes a *registered* LUT, matching the
-//! architecture's logic block (6-LUT + optional flip-flop). A latch fed by a
-//! primary input or by a multi-fanout signal gets a pass-through LUT inserted.
+//! # Latch semantics
+//!
+//! Latches map onto the architecture's logic block (6-LUT + optional
+//! flip-flop). A `.names` cover whose output feeds exactly one latch and
+//! nothing else is *folded* into a registered LUT driving the latch output.
+//! When the latch-input signal has further fanout (other covers, other
+//! latches, or a primary output read it), the combinational net is kept
+//! separate: the cover stays an ordinary LUT under its own name and the
+//! latch becomes a registered pass-through LUT, so consumers of the
+//! combinational signal never silently read the registered value. Latch
+//! outputs exist as nets before cover inputs are resolved, so feedback
+//! through registers (counters, state machines) parses; purely
+//! combinational cycles are detected and rejected.
+//!
+//! Initial latch states `0`, `2` (don't-care) and `3` (unknown) are
+//! accepted — the architecture model resets registers to zero, which
+//! satisfies all three. An initial state of `1` cannot be honoured and is
+//! rejected explicitly instead of being dropped.
 
 use crate::error::NetlistError;
 use crate::ids::NetId;
@@ -22,7 +42,11 @@ use std::fmt::Write as _;
 ///
 /// Registered LUTs are emitted as a `.names` driving an intermediate signal
 /// named `<net>__d` followed by a `.latch` onto the visible net name, so the
-/// output round-trips through [`parse`].
+/// output round-trips through [`parse`]. When several output pads share one
+/// driver net, the extra pads are emitted as identity-buffer covers named
+/// after the pad (BLIF cannot list the same output name twice), so the text
+/// stays legal and `write → parse → write` reaches a byte-stable fixpoint
+/// after one trip.
 pub fn write(netlist: &Netlist) -> String {
     let mut out = String::new();
     let _ = writeln!(out, ".model {}", netlist.name());
@@ -32,15 +56,31 @@ pub fn write(netlist: &Netlist) -> String {
         .map(|(_, b)| b.name.as_str())
         .collect();
     // Primary outputs are named after the nets feeding the output pads, so
-    // the text round-trips without inserting buffer LUTs.
-    let outputs: Vec<&str> = netlist
-        .iter_blocks()
-        .filter(|(_, b)| matches!(b.kind, BlockKind::OutputPad))
-        .filter_map(|(_, b)| b.inputs.first().copied().flatten())
-        .map(|net| netlist.net(net).name.as_str())
-        .collect();
-    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
-    let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+    // the text round-trips without inserting buffer LUTs. A net feeding a
+    // second pad cannot be listed twice; that pad is listed under its own
+    // block name and materialized below as an identity buffer.
+    let mut outputs: Vec<String> = Vec::new();
+    let mut buffers: Vec<(String, String)> = Vec::new();
+    for (_, block) in netlist.iter_blocks() {
+        if !matches!(block.kind, BlockKind::OutputPad) {
+            continue;
+        }
+        let Some(net) = block.inputs.first().copied().flatten() else {
+            continue;
+        };
+        let net_name = netlist.net(net).name.clone();
+        if outputs.contains(&net_name) {
+            outputs.push(block.name.clone());
+            buffers.push((net_name, block.name.clone()));
+        } else {
+            outputs.push(net_name);
+        }
+    }
+    out.push_str(&keyword_line(".inputs", inputs.iter().copied()));
+    out.push_str(&keyword_line(
+        ".outputs",
+        outputs.iter().map(String::as_str),
+    ));
 
     for (_, block) in netlist.iter_blocks() {
         match &block.kind {
@@ -58,13 +98,23 @@ pub fn write(netlist: &Netlist) -> String {
                 } else {
                     out_name.clone()
                 };
-                let input_names: Vec<String> = used
+                let mut signals: Vec<String> = used
                     .iter()
                     .map(|(_, n)| netlist.net(*n).name.clone())
                     .collect();
-                let _ = writeln!(out, ".names {} {}", input_names.join(" "), target);
+                signals.push(target.clone());
+                out.push_str(&keyword_line(".names", signals.iter().map(String::as_str)));
                 // Emit one cover line per minterm of the used inputs.
                 let k = used.len();
+                if k == 0 {
+                    if truth.get(0) {
+                        out.push_str("1\n");
+                    }
+                    if *registered {
+                        let _ = writeln!(out, ".latch {target} {out_name} re clk 0");
+                    }
+                    continue;
+                }
                 for idx in 0..(1usize << k) {
                     // Expand the compacted index back to the full truth table:
                     // unused inputs are don't-care, so probe with them at 0.
@@ -82,9 +132,6 @@ pub fn write(netlist: &Netlist) -> String {
                         let _ = writeln!(out, "{pattern} 1");
                     }
                 }
-                if k == 0 && truth.get(0) {
-                    let _ = writeln!(out, "1");
-                }
                 if *registered {
                     let _ = writeln!(out, ".latch {target} {out_name} re clk 0");
                 }
@@ -92,35 +139,84 @@ pub fn write(netlist: &Netlist) -> String {
             BlockKind::InputPad | BlockKind::OutputPad => {}
         }
     }
+    for (net, alias) in &buffers {
+        let _ = writeln!(out, ".names {net} {alias}");
+        let _ = writeln!(out, "1 1");
+    }
     let _ = writeln!(out, ".end");
     out
 }
+
+/// One BLIF statement line: the keyword alone when the list is empty,
+/// otherwise keyword and names space-separated — never a trailing space.
+fn keyword_line<'a>(keyword: &str, names: impl Iterator<Item = &'a str>) -> String {
+    let mut line = String::from(keyword);
+    for name in names {
+        line.push(' ');
+        line.push_str(name);
+    }
+    line.push('\n');
+    line
+}
+
+/// A `.names` statement with its cover, as scanned from the text.
+struct Cover {
+    line: usize,
+    inputs: Vec<String>,
+    output: String,
+    patterns: Vec<String>,
+    /// `true` when the cover lines are the on-set (`<pattern> 1`), `false`
+    /// for the off-set (`<pattern> 0`). Irrelevant for empty covers.
+    on_set: bool,
+}
+
+/// A `.latch` statement, as scanned from the text.
+struct Latch {
+    line: usize,
+    input: String,
+    output: String,
+}
+
+/// Latch trigger types of the BLIF spec (`fe re ah al as`).
+const LATCH_TYPES: [&str; 5] = ["fe", "re", "ah", "al", "as"];
+
+/// Timing/annotation constructs that carry no logic and are skipped.
+const IGNORED_CONSTRUCTS: [&str; 12] = [
+    ".clock",
+    ".area",
+    ".delay",
+    ".wire_load_slope",
+    ".wire",
+    ".input_arrival",
+    ".default_input_arrival",
+    ".output_required",
+    ".default_output_required",
+    ".input_drive",
+    ".default_input_drive",
+    ".cycle",
+];
 
 /// Parses a BLIF-subset description into a netlist mapped to `lut_size`-input
 /// LUTs.
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::ParseBlif`] on malformed input, and the usual
+/// Returns [`NetlistError::ParseBlif`] (with the 1-based source line) on
+/// malformed input, [`NetlistError::DuplicateDriver`] (with both source
+/// lines) when two constructs drive the same signal, and the usual
 /// validation errors if the parsed circuit is structurally inconsistent or
 /// uses covers wider than `lut_size`.
 pub fn parse(text: &str, lut_size: u8) -> Result<Netlist, NetlistError> {
     let logical_lines = join_continuations(text);
 
-    let mut model_name = String::from("blif_circuit");
-    let mut input_names: Vec<String> = Vec::new();
-    let mut output_names: Vec<String> = Vec::new();
-    struct Cover {
-        line: usize,
-        inputs: Vec<String>,
-        output: String,
-        minterms: Vec<(String, bool)>,
-    }
+    let mut model_name: Option<String> = None;
+    let mut input_names: Vec<(usize, String)> = Vec::new();
+    let mut output_names: Vec<(usize, String)> = Vec::new();
     let mut covers: Vec<Cover> = Vec::new();
-    // latch input signal -> latch output signal
-    let mut latches: Vec<(usize, String, String)> = Vec::new();
+    let mut latches: Vec<Latch> = Vec::new();
 
     let mut i = 0usize;
+    let mut in_exdc = false;
     while i < logical_lines.len() {
         let (line_no, line) = &logical_lines[i];
         let line_no = *line_no;
@@ -129,34 +225,58 @@ pub fn parse(text: &str, lut_size: u8) -> Result<Netlist, NetlistError> {
             i += 1;
             continue;
         };
+        // The `.exdc` section describes external don't-cares as a second
+        // network terminated by the model's `.end`. Ignoring don't-care
+        // freedom is always sound, so the section is skipped wholesale —
+        // its covers must never leak into the care network.
+        if in_exdc {
+            if head == ".end" {
+                break;
+            }
+            i += 1;
+            continue;
+        }
         match head {
             ".model" => {
-                if let Some(name) = tokens.next() {
-                    model_name = name.to_string();
+                if model_name.is_some() {
+                    return Err(NetlistError::ParseBlif {
+                        line: line_no,
+                        reason: "multiple `.model` sections; only flat single-model BLIF \
+                                 is supported"
+                            .into(),
+                    });
                 }
+                model_name = Some(
+                    tokens
+                        .next()
+                        .map_or_else(|| "blif_circuit".to_string(), str::to_string),
+                );
             }
-            ".inputs" => input_names.extend(tokens.map(str::to_string)),
-            ".outputs" => output_names.extend(tokens.map(str::to_string)),
-            ".latch" => {
-                let input = tokens.next().map(str::to_string);
-                let output = tokens.next().map(str::to_string);
-                match (input, output) {
-                    (Some(inp), Some(out)) => latches.push((line_no, inp, out)),
-                    _ => {
+            ".inputs" => input_names.extend(tokens.map(|t| (line_no, t.to_string()))),
+            ".outputs" => {
+                for name in tokens {
+                    if let Some((first, _)) = output_names.iter().find(|(_, n)| n == name) {
                         return Err(NetlistError::ParseBlif {
                             line: line_no,
-                            reason: ".latch needs an input and an output signal".into(),
-                        })
+                            reason: format!(
+                                "primary output `{name}` is listed twice (first at line {first})"
+                            ),
+                        });
                     }
+                    output_names.push((line_no, name.to_string()));
                 }
             }
+            ".latch" => latches.push(parse_latch(line_no, &tokens.collect::<Vec<_>>())?),
             ".names" => {
                 let mut signals: Vec<String> = tokens.map(str::to_string).collect();
                 let output = signals.pop().ok_or(NetlistError::ParseBlif {
                     line: line_no,
                     reason: ".names needs at least an output signal".into(),
                 })?;
-                let mut minterms = Vec::new();
+                let mut patterns = Vec::new();
+                // (line, polarity) of the first cover line, for mixed-set
+                // diagnostics.
+                let mut polarity: Option<(usize, bool)> = None;
                 while i + 1 < logical_lines.len() && !logical_lines[i + 1].1.starts_with('.') {
                     i += 1;
                     let (cover_line, cover) = &logical_lines[i];
@@ -181,132 +301,329 @@ pub fn parse(text: &str, lut_size: u8) -> Result<Netlist, NetlistError> {
                             })
                         }
                     };
-                    minterms.push((pattern.to_string(), on));
+                    match polarity {
+                        None => polarity = Some((*cover_line, on)),
+                        Some((first_line, first_on)) if first_on != on => {
+                            return Err(NetlistError::ParseBlif {
+                                line: *cover_line,
+                                reason: format!(
+                                    "cover for `{output}` mixes on-set and off-set lines \
+                                     (output `{}` at line {first_line}, `{}` here)",
+                                    i32::from(first_on),
+                                    i32::from(on)
+                                ),
+                            })
+                        }
+                        Some(_) => {}
+                    }
+                    patterns.push(pattern.to_string());
                 }
                 covers.push(Cover {
                     line: line_no,
                     inputs: signals,
                     output,
-                    minterms,
+                    patterns,
+                    on_set: polarity.is_none_or(|(_, on)| on),
                 });
             }
             ".end" => break,
-            ".clock" | ".wire_load_slope" | ".default_input_arrival" => {}
-            other => {
+            ".exdc" => in_exdc = true,
+            ".subckt" => {
                 return Err(NetlistError::ParseBlif {
                     line: line_no,
-                    reason: format!("unsupported construct `{other}`"),
+                    reason: "hierarchical BLIF (`.subckt`) is not supported; flatten the \
+                             design first"
+                        .into(),
+                })
+            }
+            ".gate" | ".mlatch" => {
+                return Err(NetlistError::ParseBlif {
+                    line: line_no,
+                    reason: format!(
+                        "library construct `{head}` is not supported; use technology-mapped \
+                         `.names` covers"
+                    ),
+                })
+            }
+            other if other.starts_with('.') => {
+                if !IGNORED_CONSTRUCTS.contains(&other) {
+                    return Err(NetlistError::ParseBlif {
+                        line: line_no,
+                        reason: format!("unsupported construct `{other}`"),
+                    });
+                }
+            }
+            _ => {
+                return Err(NetlistError::ParseBlif {
+                    line: line_no,
+                    reason: format!("cover line `{line}` outside a `.names` block"),
                 })
             }
         }
         i += 1;
     }
 
-    // Latch folding: signal driven by a latch is "registered"; the cover that
-    // computes the latch input becomes the registered LUT driving the latch
-    // output signal.
-    let mut latch_by_input: HashMap<String, String> = HashMap::new();
-    for (line, inp, out) in &latches {
-        if latch_by_input.insert(inp.clone(), out.clone()).is_some() {
-            return Err(NetlistError::ParseBlif {
-                line: *line,
-                reason: format!("signal `{inp}` feeds more than one latch"),
+    // Every signal has exactly one driver: a primary input, a cover output
+    // or a latch output. Collisions are reported with both source lines.
+    let mut driver_lines: HashMap<&str, usize> = HashMap::new();
+    let mut declarations: Vec<(usize, &str)> = input_names
+        .iter()
+        .map(|(line, name)| (*line, name.as_str()))
+        .chain(covers.iter().map(|c| (c.line, c.output.as_str())))
+        .chain(latches.iter().map(|l| (l.line, l.output.as_str())))
+        .collect();
+    declarations.sort_by_key(|(line, _)| *line);
+    for (line, signal) in declarations {
+        if let Some(&first) = driver_lines.get(signal) {
+            return Err(NetlistError::DuplicateDriver {
+                signal: signal.to_string(),
+                first_line: first,
+                second_line: line,
             });
+        }
+        driver_lines.insert(signal, line);
+    }
+
+    // Reader counts decide latch folding: a cover folds into a registered
+    // LUT only when the latch is the *sole* reader of its output signal.
+    let mut reads: HashMap<&str, usize> = HashMap::new();
+    for signal in covers
+        .iter()
+        .flat_map(|c| c.inputs.iter())
+        .chain(latches.iter().map(|l| &l.input))
+        .chain(output_names.iter().map(|(_, n)| n))
+    {
+        *reads.entry(signal.as_str()).or_default() += 1;
+    }
+    // cover output signal -> latch output signal, for folded latches.
+    let mut folded: HashMap<&str, &str> = HashMap::new();
+    for latch in &latches {
+        let d = latch.input.as_str();
+        let sole_reader = reads.get(d).copied() == Some(1);
+        let driven_by_cover = covers.iter().any(|c| c.output == d);
+        if sole_reader && driven_by_cover && d != latch.output {
+            folded.insert(d, latch.output.as_str());
         }
     }
 
-    let mut netlist = Netlist::new(model_name, lut_size);
+    let mut netlist = Netlist::new(
+        model_name.unwrap_or_else(|| "blif_circuit".to_string()),
+        lut_size,
+    );
     let mut nets: HashMap<String, NetId> = HashMap::new();
-
-    for name in &input_names {
+    for (_, name) in &input_names {
         let (_, net) = netlist.add_input(name.clone());
         nets.insert(name.clone(), net);
     }
+    // Reserve every driven net up front — registered feedback (a cover
+    // reading a latch output that its own output feeds) then resolves
+    // without any topological ordering of the statements.
+    for cover in &covers {
+        let name = folded
+            .get(cover.output.as_str())
+            .copied()
+            .unwrap_or(cover.output.as_str());
+        let net = netlist.reserve_net(name);
+        nets.insert(name.to_string(), net);
+    }
+    for latch in &latches {
+        if !folded.values().any(|q| *q == latch.output) {
+            let net = netlist.reserve_net(latch.output.clone());
+            nets.insert(latch.output.clone(), net);
+        }
+    }
 
-    // If a primary input feeds a latch directly, insert a pass-through LUT so
-    // the registered function lives in a logic block.
-    for (_, inp, out) in &latches {
-        if input_names.contains(inp) && !covers.iter().any(|c| &c.output == inp) {
-            covers.push(Cover {
-                line: 0,
-                inputs: vec![inp.clone()],
-                output: inp.clone(),
-                minterms: vec![("1".into(), true)],
+    // Cover source line per driven-signal name, for cycle diagnostics.
+    let mut line_of: HashMap<String, usize> = HashMap::new();
+    for cover in &covers {
+        if cover.inputs.len() > lut_size as usize {
+            return Err(NetlistError::ParseBlif {
+                line: cover.line,
+                reason: format!(
+                    "cover for `{}` has {} inputs, more than LUT size {}",
+                    cover.output,
+                    cover.inputs.len(),
+                    lut_size
+                ),
             });
-            let _ = out;
         }
-    }
-
-    // Topologically add covers: repeat until no progress (combinational BLIF
-    // from mapped circuits is acyclic on LUT boundaries; registered outputs
-    // break cycles because they are created before their inputs are needed).
-    // First create every registered output net eagerly so feedback through
-    // registers resolves.
-    let mut pending: Vec<&Cover> = covers.iter().collect();
-    // Pre-create nets for latch outputs by adding their registered LUT later;
-    // we reserve the name by mapping it when its driving cover is processed.
-    let mut progress = true;
-    while progress && !pending.is_empty() {
-        progress = false;
-        let mut still_pending = Vec::new();
-        for cover in pending {
-            let driven_signal = latch_by_input
-                .get(&cover.output)
-                .cloned()
-                .unwrap_or_else(|| cover.output.clone());
-            let registered = latch_by_input.contains_key(&cover.output);
-            let ready = cover.inputs.iter().all(|s| nets.contains_key(s));
-            if !ready {
-                still_pending.push(cover);
-                continue;
-            }
-            if cover.inputs.len() > lut_size as usize {
-                return Err(NetlistError::ParseBlif {
-                    line: cover.line,
-                    reason: format!(
-                        "cover for `{}` has {} inputs, more than LUT size {}",
-                        cover.output,
-                        cover.inputs.len(),
-                        lut_size
-                    ),
-                });
-            }
-            let input_ids: Vec<NetId> = cover.inputs.iter().map(|s| nets[s]).collect();
-            let truth = cover_to_truth(cover.inputs.len() as u8, &cover.minterms, lut_size)
-                .map_err(|reason| NetlistError::ParseBlif {
-                    line: cover.line,
-                    reason,
-                })?;
-            let (_, out_net) =
-                netlist.add_lut(driven_signal.clone(), truth, &input_ids, registered);
-            nets.insert(driven_signal, out_net);
-            progress = true;
+        let mut input_ids = Vec::with_capacity(cover.inputs.len());
+        for signal in &cover.inputs {
+            let id = nets.get(signal).ok_or_else(|| NetlistError::ParseBlif {
+                line: cover.line,
+                reason: format!(
+                    "signal `{signal}` read by `{}` is never driven",
+                    cover.output
+                ),
+            })?;
+            input_ids.push(*id);
         }
-        pending = still_pending;
-    }
-    if let Some(cover) = pending.first() {
-        return Err(NetlistError::ParseBlif {
+        let truth = cover_to_truth(
+            cover.inputs.len() as u8,
+            &cover.patterns,
+            cover.on_set,
+            lut_size,
+        )
+        .map_err(|reason| NetlistError::ParseBlif {
             line: cover.line,
-            reason: format!(
-                "could not resolve inputs of `{}` (combinational cycle or undriven signal)",
-                cover.output
-            ),
-        });
+            reason,
+        })?;
+        let (name, registered) = match folded.get(cover.output.as_str()) {
+            Some(q) => (q.to_string(), true),
+            None => (cover.output.clone(), false),
+        };
+        netlist.add_lut_onto(nets[&name], name.clone(), truth, &input_ids, registered);
+        line_of.insert(name, cover.line);
+    }
+    // Latches that did not fold become registered pass-through LUTs, so the
+    // combinational input net keeps its own (unregistered) identity.
+    let identity = TruthTable::from_fn(1, |i| i == 1).widen(lut_size);
+    for latch in &latches {
+        if folded.contains_key(latch.input.as_str()) {
+            continue;
+        }
+        let input = nets
+            .get(&latch.input)
+            .copied()
+            .ok_or_else(|| NetlistError::ParseBlif {
+                line: latch.line,
+                reason: format!("latch input `{}` is never driven", latch.input),
+            })?;
+        netlist.add_lut_onto(
+            nets[&latch.output],
+            latch.output.clone(),
+            identity.clone(),
+            &[input],
+            true,
+        );
+        line_of.insert(latch.output.clone(), latch.line);
     }
 
-    for name in &output_names {
+    for (line, name) in &output_names {
         let net = nets
             .get(name)
             .copied()
             .ok_or_else(|| NetlistError::ParseBlif {
-                line: 0,
+                line: *line,
                 reason: format!("primary output `{name}` is never driven"),
             })?;
         netlist.add_output(format!("{name}__pad"), net);
     }
 
+    check_combinational_cycles(&netlist, &line_of)?;
     netlist.validate()?;
     Ok(netlist)
+}
+
+/// Parses the tokens after `.latch`, accepting every form of the spec:
+/// `input output`, `input output init`, `input output type control` and
+/// `input output type control init`.
+fn parse_latch(line: usize, tokens: &[&str]) -> Result<Latch, NetlistError> {
+    let err = |reason: String| NetlistError::ParseBlif { line, reason };
+    let [input, output, rest @ ..] = tokens else {
+        return Err(err(".latch needs an input and an output signal".to_string()));
+    };
+    let init = match rest {
+        [] => None,
+        [init] => Some(*init),
+        [kind, _control] | [kind, _control, _] => {
+            if !LATCH_TYPES.contains(kind) {
+                return Err(err(format!(
+                    "unknown latch trigger type `{kind}` (expected one of {})",
+                    LATCH_TYPES.join(" ")
+                )));
+            }
+            if let [_, _, init] = rest {
+                Some(*init)
+            } else {
+                None
+            }
+        }
+        _ => {
+            return Err(err(format!(
+                ".latch takes 2 to 5 fields (input output [type control] [init]), got {}",
+                tokens.len()
+            )))
+        }
+    };
+    match init {
+        // Unspecified init defaults to 3 (unknown); 0/2/3 are all satisfied
+        // by the architecture's reset-to-zero registers.
+        None | Some("0") | Some("2") | Some("3") => {}
+        Some("1") => {
+            return Err(err(format!(
+                "latch `{output}` requires initial state 1, which the architecture model \
+                 cannot honour (registers reset to 0)"
+            )))
+        }
+        Some(other) => return Err(err(format!("latch init state must be 0-3, got `{other}`"))),
+    }
+    Ok(Latch {
+        line,
+        input: (*input).to_string(),
+        output: (*output).to_string(),
+    })
+}
+
+/// Rejects purely combinational cycles. Registered LUTs cut the dependency
+/// (their output is the flip-flop, not a combinational function of their
+/// inputs), so feedback through latches is fine.
+fn check_combinational_cycles(
+    netlist: &Netlist,
+    line_of: &HashMap<String, usize>,
+) -> Result<(), NetlistError> {
+    let blocks = netlist.blocks();
+    let combinational = |idx: usize| {
+        matches!(
+            blocks[idx].kind,
+            BlockKind::Lut {
+                registered: false,
+                ..
+            }
+        )
+    };
+    let mut indegree = vec![0usize; blocks.len()];
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); blocks.len()];
+    for (idx, block) in blocks.iter().enumerate() {
+        if !combinational(idx) {
+            continue;
+        }
+        for net in block.inputs.iter().flatten() {
+            let src = netlist.net(*net).driver.index();
+            if combinational(src) {
+                edges[src].push(idx);
+                indegree[idx] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..blocks.len())
+        .filter(|&i| combinational(i) && indegree[i] == 0)
+        .collect();
+    let mut resolved = 0usize;
+    let total = (0..blocks.len()).filter(|&i| combinational(i)).count();
+    while let Some(node) = queue.pop() {
+        resolved += 1;
+        for &next in &edges[node] {
+            indegree[next] -= 1;
+            if indegree[next] == 0 {
+                queue.push(next);
+            }
+        }
+    }
+    if resolved < total {
+        // Every unresolved block sits on (or downstream of) a cycle; report
+        // the earliest-defined one for a stable, line-accurate diagnostic.
+        let culprit = (0..blocks.len())
+            .filter(|&i| combinational(i) && indegree[i] > 0)
+            .min_by_key(|&i| line_of.get(&blocks[i].name).copied().unwrap_or(usize::MAX))
+            .expect("an unresolved block exists");
+        let name = &blocks[culprit].name;
+        return Err(NetlistError::ParseBlif {
+            line: line_of.get(name).copied().unwrap_or(0),
+            reason: format!("combinational cycle through `{name}`"),
+        });
+    }
+    Ok(())
 }
 
 /// Joins `\` continuations, strips comments and empty lines; returns
@@ -353,18 +670,26 @@ fn join_continuations(text: &str) -> Vec<(usize, String)> {
     out
 }
 
-/// Converts a sum-of-products cover into a truth table widened to `lut_size`.
+/// Converts a single-polarity cover into a truth table widened to
+/// `lut_size`. An on-set cover sets the listed minterms in an all-zero
+/// table; an off-set cover *clears* them in an all-one table (the function
+/// is the complement of the off-set). An empty cover is the constant-0
+/// function either way, matching the spec's reading of `.names` with no
+/// cover lines.
 fn cover_to_truth(
     inputs: u8,
-    minterms: &[(String, bool)],
+    patterns: &[String],
+    on_set: bool,
     lut_size: u8,
 ) -> Result<TruthTable, String> {
-    let mut table = TruthTable::zeros(inputs);
-    for (pattern, on) in minterms {
+    let mut table = if on_set || patterns.is_empty() {
+        TruthTable::zeros(inputs)
+    } else {
+        TruthTable::from_fn(inputs, |_| true)
+    };
+    for pattern in patterns {
         if inputs == 0 {
-            if *on {
-                table.set(0, true);
-            }
+            table.set(0, on_set);
             continue;
         }
         if pattern.len() != inputs as usize {
@@ -393,7 +718,7 @@ fn cover_to_truth(
                     index |= 1 << bit;
                 }
             }
-            table.set(index, *on);
+            table.set(index, on_set);
         }
     }
     Ok(table.widen(lut_size))
@@ -415,16 +740,19 @@ mod tests {
 10 1
 01 1
 .latch q_in q re clk 0
-.names q q
-# identity cover would be a cycle; instead drive q from the latch only
 .end
 ";
 
+    fn lut_of<'a>(n: &'a Netlist, name: &str) -> &'a crate::model::Block {
+        n.iter_blocks()
+            .find(|(_, b)| b.name == name && b.kind.is_lut())
+            .map(|(_, b)| b)
+            .unwrap_or_else(|| panic!("no LUT named `{name}`"))
+    }
+
     #[test]
     fn parses_inputs_outputs_and_covers() {
-        // Remove the degenerate `.names q q` line for a clean circuit.
-        let text = SAMPLE.replace(".names q q\n", "");
-        let n = parse(&text, 6).expect("parse");
+        let n = parse(SAMPLE, 6).expect("parse");
         assert_eq!(n.input_count(), 2);
         assert_eq!(n.output_count(), 2);
         assert_eq!(n.lut_count(), 2);
@@ -455,11 +783,41 @@ mod tests {
 
     #[test]
     fn rejects_unknown_constructs() {
-        let text = ".model m\n.gate nand2 A=a B=b Y=y\n.end\n";
+        let text = ".model m\n.search lib.blif\n.end\n";
         assert!(matches!(
             parse(text, 6),
-            Err(NetlistError::ParseBlif { .. })
+            Err(NetlistError::ParseBlif { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn gate_and_subckt_get_dedicated_errors() {
+        let text = ".model m\n.gate nand2 A=a B=b Y=y\n.end\n";
+        let err = parse(text, 6).unwrap_err();
+        assert!(err.to_string().contains(".gate"), "{err}");
+        let text = ".model m\n.subckt child x=a y=b\n.end\n";
+        let err = parse(text, 6).unwrap_err();
+        assert!(err.to_string().contains("flatten"), "{err}");
+    }
+
+    #[test]
+    fn exdc_section_is_skipped() {
+        let text = "\
+.model m
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.exdc
+.names a y
+1 1
+.end
+";
+        let n = parse(text, 6).expect("exdc section must not leak covers");
+        assert_eq!(n.lut_count(), 1);
+        // The exdc cover for `y` must not have replaced the care cover.
+        let y = lut_of(&n, "y");
+        assert_eq!(y.used_inputs(), 2);
     }
 
     #[test]
@@ -479,6 +837,260 @@ mod tests {
     }
 
     #[test]
+    fn off_set_cover_is_complemented() {
+        // y is 0 only for a=1,b=1: a NAND — not the constant-0 the old
+        // parser produced from off-set covers.
+        let text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n";
+        let n = parse(text, 6).expect("parse");
+        if let BlockKind::Lut { truth, .. } = &lut_of(&n, "y").kind {
+            assert!(truth.evaluate(&[false, false, false, false, false, false]));
+            assert!(truth.evaluate(&[true, false, false, false, false, false]));
+            assert!(truth.evaluate(&[false, true, false, false, false, false]));
+            assert!(!truth.evaluate(&[true, true, false, false, false, false]));
+        }
+    }
+
+    #[test]
+    fn off_set_cover_with_dont_cares() {
+        // Off-set `1- 0`: y = 0 whenever a=1, so y = !a.
+        let text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n1- 0\n.end\n";
+        let n = parse(text, 6).expect("parse");
+        if let BlockKind::Lut { truth, .. } = &lut_of(&n, "y").kind {
+            assert!(truth.evaluate(&[false, false, false, false, false, false]));
+            assert!(truth.evaluate(&[false, true, false, false, false, false]));
+            assert!(!truth.evaluate(&[true, false, false, false, false, false]));
+            assert!(!truth.evaluate(&[true, true, false, false, false, false]));
+        }
+    }
+
+    #[test]
+    fn mixed_polarity_cover_is_rejected() {
+        let text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n";
+        let err = parse(text, 6).unwrap_err();
+        assert!(
+            matches!(err, NetlistError::ParseBlif { line: 6, .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("mixes"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_cover_drivers_are_rejected_with_both_lines() {
+        let text = ".model m\n.inputs a b\n.outputs y\n.names a y\n1 1\n.names b y\n1 1\n.end\n";
+        assert_eq!(
+            parse(text, 6).unwrap_err(),
+            NetlistError::DuplicateDriver {
+                signal: "y".into(),
+                first_line: 4,
+                second_line: 6,
+            }
+        );
+    }
+
+    #[test]
+    fn cover_colliding_with_primary_input_is_rejected() {
+        let text = ".model m\n.inputs a b\n.outputs b\n.names a b\n1 1\n.end\n";
+        assert_eq!(
+            parse(text, 6).unwrap_err(),
+            NetlistError::DuplicateDriver {
+                signal: "b".into(),
+                first_line: 2,
+                second_line: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn latch_output_colliding_with_cover_is_rejected() {
+        let text = "\
+.model m
+.inputs a b
+.outputs q
+.names a q
+1 1
+.names b d
+1 1
+.latch d q re clk 0
+.end
+";
+        assert_eq!(
+            parse(text, 6).unwrap_err(),
+            NetlistError::DuplicateDriver {
+                signal: "q".into(),
+                first_line: 4,
+                second_line: 8,
+            }
+        );
+    }
+
+    #[test]
+    fn multi_fanout_latch_input_keeps_combinational_net() {
+        // `d` feeds the latch *and* the cover for `z`: z must read the
+        // combinational value, so `d` stays its own unregistered LUT and
+        // the latch becomes a registered pass-through.
+        let text = "\
+.model m
+.inputs a b
+.outputs q z
+.names a b d
+11 1
+.latch d q re clk 0
+.names d b z
+11 1
+.end
+";
+        let n = parse(text, 6).expect("parse");
+        assert_eq!(n.lut_count(), 3, "d, q (pass-through) and z");
+        let d = lut_of(&n, "d");
+        assert!(
+            matches!(
+                d.kind,
+                BlockKind::Lut {
+                    registered: false,
+                    ..
+                }
+            ),
+            "combinational net must stay unregistered"
+        );
+        let q = lut_of(&n, "q");
+        assert!(matches!(
+            q.kind,
+            BlockKind::Lut {
+                registered: true,
+                ..
+            }
+        ));
+        // z's slot-0 input must be the net driven by the combinational `d`
+        // LUT, not the registered `q`.
+        let z = lut_of(&n, "z");
+        let z_source = z.inputs[0].expect("z input 0");
+        assert_eq!(n.net(z_source).name, "d");
+    }
+
+    #[test]
+    fn two_latches_may_share_one_input() {
+        let text = "\
+.model m
+.inputs a
+.outputs q1 q2
+.names a d
+1 1
+.latch d q1 re clk 0
+.latch d q2 re clk 0
+.end
+";
+        let n = parse(text, 6).expect("parse");
+        assert_eq!(n.lut_count(), 3, "d plus two pass-throughs");
+    }
+
+    #[test]
+    fn latch_init_forms_parse_and_init_one_is_rejected() {
+        // 3-token form with init 0 and 2.
+        for init in ["0", "2", "3"] {
+            let text = format!(".model m\n.inputs a\n.outputs q\n.latch a q {init}\n.end\n");
+            parse(&text, 6).unwrap_or_else(|e| panic!("init {init}: {e}"));
+        }
+        // 5-token form.
+        parse(
+            ".model m\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n",
+            6,
+        )
+        .expect("5-token form");
+        // 4-token form (no init).
+        parse(
+            ".model m\n.inputs a\n.outputs q\n.latch a q fe clk\n.end\n",
+            6,
+        )
+        .expect("4-token form");
+        // init 1 is explicitly unsupported, not silently dropped.
+        let err = parse(
+            ".model m\n.inputs a\n.outputs q\n.latch a q re clk 1\n.end\n",
+            6,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("initial state 1"), "{err}");
+        let err = parse(".model m\n.inputs a\n.outputs q\n.latch a q 1\n.end\n", 6).unwrap_err();
+        assert!(err.to_string().contains("initial state 1"), "{err}");
+    }
+
+    #[test]
+    fn malformed_latch_token_counts_are_rejected() {
+        let err = parse(".model m\n.inputs a\n.outputs q\n.latch a\n.end\n", 6).unwrap_err();
+        assert!(matches!(err, NetlistError::ParseBlif { line: 4, .. }));
+        let err = parse(
+            ".model m\n.inputs a\n.outputs q\n.latch a q re clk 0 extra\n.end\n",
+            6,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("2 to 5"), "{err}");
+        let err = parse(
+            ".model m\n.inputs a\n.outputs q\n.latch a q zz clk 0\n.end\n",
+            6,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("trigger type"), "{err}");
+    }
+
+    #[test]
+    fn registered_feedback_parses() {
+        // A toggle register: d = !q, q = reg(d). The cover reads the latch
+        // output its own output feeds — legal sequential logic.
+        let text = "\
+.model toggle
+.inputs en
+.outputs q
+.names en q d
+10 1
+01 1
+.latch d q re clk 0
+.end
+";
+        let n = parse(text, 6).expect("registered feedback must parse");
+        assert_eq!(n.lut_count(), 1);
+        let q = lut_of(&n, "q");
+        assert!(matches!(
+            q.kind,
+            BlockKind::Lut {
+                registered: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn combinational_cycles_are_rejected() {
+        let text = "\
+.model loop
+.inputs a
+.outputs y
+.names a z y
+11 1
+.names y z
+1 1
+.end
+";
+        let err = parse(text, 6).unwrap_err();
+        assert!(err.to_string().contains("combinational cycle"), "{err}");
+    }
+
+    #[test]
+    fn pi_fed_latch_gets_pass_through_lut() {
+        let text = ".model m\n.inputs d\n.outputs q\n.latch d q re clk 0\n.end\n";
+        let n = parse(text, 6).expect("parse");
+        assert_eq!(n.lut_count(), 1);
+        let q = lut_of(&n, "q");
+        assert!(matches!(
+            q.kind,
+            BlockKind::Lut {
+                registered: true,
+                ..
+            }
+        ));
+        let source = q.inputs[0].expect("pass-through input");
+        assert_eq!(n.net(source).name, "d");
+    }
+
+    #[test]
     fn write_then_parse_roundtrips_connectivity() {
         let original = SyntheticSpec::new("rt", 40, 6, 5)
             .with_seed(11)
@@ -492,9 +1104,55 @@ mod tests {
     }
 
     #[test]
+    fn write_emits_no_trailing_spaces_or_duplicate_outputs() {
+        // Two pads on one net: the duplicate must become a buffer, and no
+        // line may carry trailing whitespace.
+        let mut n = Netlist::new("pads", 6);
+        let (_, a) = n.add_input("a");
+        let xor = TruthTable::from_fn(1, |i| i == 1).widen(6);
+        let (_, y) = n.add_lut("y", xor, &[a], false);
+        n.add_output("p0", y);
+        n.add_output("p1", y);
+        let text = write(&n);
+        assert!(text.contains(".outputs y p1\n"), "{text}");
+        assert!(text.contains(".names y p1\n1 1\n"), "{text}");
+        for line in text.lines() {
+            assert_eq!(line, line.trim_end(), "trailing space in `{line}`");
+        }
+        let reparsed = parse(&text, 6).expect("reparse");
+        assert_eq!(reparsed.output_count(), 2);
+        assert_eq!(reparsed.lut_count(), 2, "buffer LUT materialized");
+        // And the second trip is byte-stable.
+        assert_eq!(write(&parse(&text, 6).unwrap()), text);
+    }
+
+    #[test]
+    fn write_handles_empty_io_lists() {
+        let mut n = Netlist::new("consts", 6);
+        let one = TruthTable::from_fn(0, |_| true).widen(6);
+        n.add_lut("k1", one, &[], false);
+        let text = write(&n);
+        assert!(text.contains(".inputs\n"), "{text}");
+        assert!(text.contains(".outputs\n"), "{text}");
+        let reparsed = parse(&text, 6).expect("reparse");
+        assert_eq!(reparsed.lut_count(), 1);
+    }
+
+    #[test]
     fn continuation_lines_are_joined() {
         let text = ".model m\n.inputs a \\\n b\n.outputs y\n.names a b y\n11 1\n.end\n";
         let n = parse(text, 6).expect("parse");
         assert_eq!(n.input_count(), 2);
+    }
+
+    #[test]
+    fn multiple_models_are_rejected() {
+        let text = ".model a\n.end\n.model b\n.end\n";
+        // The first `.end` terminates parsing, so a second model after it
+        // is simply ignored.
+        parse(text, 6).expect("text after .end is ignored");
+        let text = ".model a\n.model b\n.end\n";
+        let err = parse(text, 6).unwrap_err();
+        assert!(err.to_string().contains("multiple"), "{err}");
     }
 }

@@ -61,6 +61,17 @@ pub enum NetlistError {
         /// Human-readable reason.
         reason: String,
     },
+    /// Two BLIF constructs drive the same signal (two `.names` covers, a
+    /// cover colliding with a latch output, or either colliding with a
+    /// primary input).
+    DuplicateDriver {
+        /// The signal with two drivers.
+        signal: String,
+        /// Line (1-based) of the first driver.
+        first_line: usize,
+        /// Line (1-based) of the conflicting driver.
+        second_line: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -89,6 +100,14 @@ impl fmt::Display for NetlistError {
             NetlistError::ParseBlif { line, reason } => {
                 write!(f, "blif parse error at line {line}: {reason}")
             }
+            NetlistError::DuplicateDriver {
+                signal,
+                first_line,
+                second_line,
+            } => write!(
+                f,
+                "signal `{signal}` has two drivers: lines {first_line} and {second_line}"
+            ),
         }
     }
 }

@@ -236,8 +236,43 @@ impl Netlist {
         registered: bool,
     ) -> (BlockId, NetId) {
         let name = name.into();
-        let block_id = BlockId(self.blocks.len() as u32);
+        let net_id = self.reserve_net(name.clone());
+        let block_id = self.add_lut_onto(net_id, name, truth, input_nets, registered);
+        (block_id, net_id)
+    }
+
+    /// Reserves a net with no driver yet; a block added later with
+    /// [`Netlist::add_lut_onto`] takes ownership. A netlist with a reserved
+    /// but never-driven net fails [`Netlist::validate`], so reservations
+    /// cannot leak past construction. This is how feedback through
+    /// registers is built: the register's output net exists before the
+    /// logic that reads it.
+    pub fn reserve_net(&mut self, name: impl Into<String>) -> NetId {
         let net_id = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            name: name.into(),
+            // Out-of-range sentinel: validate() rejects it if never claimed.
+            driver: BlockId(u32::MAX),
+            sinks: Vec::new(),
+        });
+        net_id
+    }
+
+    /// Adds a LUT block computing `truth` over `input_nets`, driving the
+    /// previously reserved `output` net. Returns the block id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range.
+    pub fn add_lut_onto(
+        &mut self,
+        output: NetId,
+        name: impl Into<String>,
+        truth: TruthTable,
+        input_nets: &[NetId],
+        registered: bool,
+    ) -> BlockId {
+        let block_id = BlockId(self.blocks.len() as u32);
         for (slot, net) in input_nets.iter().enumerate() {
             if let Some(n) = self.nets.get_mut(net.index()) {
                 n.sinks.push(PinRef {
@@ -247,17 +282,13 @@ impl Netlist {
             }
         }
         self.blocks.push(Block {
-            name: name.clone(),
+            name: name.into(),
             kind: BlockKind::Lut { truth, registered },
             inputs: input_nets.iter().map(|&n| Some(n)).collect(),
-            output: Some(net_id),
+            output: Some(output),
         });
-        self.nets.push(Net {
-            name,
-            driver: block_id,
-            sinks: Vec::new(),
-        });
-        (block_id, net_id)
+        self.nets[output.index()].driver = block_id;
+        block_id
     }
 
     /// Checks every structural invariant of the netlist.

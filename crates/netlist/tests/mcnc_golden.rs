@@ -1,0 +1,66 @@
+//! Golden parse results for checked-in MCNC corpus circuits: exact block
+//! censuses for two `.blif` files of `tests/traces/mcnc/` (workspace
+//! root). A parser change that alters how covers, latches or pads
+//! materialize shows up here as an explicit count diff; regenerate the
+//! corpus (`cargo run --release -p vbs-bench --bin mcnc_corpus`) if the
+//! change is intended.
+
+use vbs_netlist::{blif, BlockKind, Netlist};
+
+fn parse_corpus_circuit(name: &str) -> Netlist {
+    let path = format!(
+        "{}/../../tests/traces/mcnc/{name}.blif",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    blif::parse(&text, 6).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+fn registered_count(netlist: &Netlist) -> usize {
+    netlist
+        .iter_blocks()
+        .filter(|(_, b)| {
+            matches!(
+                b.kind,
+                BlockKind::Lut {
+                    registered: true,
+                    ..
+                }
+            )
+        })
+        .count()
+}
+
+#[test]
+fn alu4_parse_census_is_golden() {
+    let n = parse_corpus_circuit("alu4");
+    assert_eq!(n.name(), "alu4");
+    assert_eq!(n.lut_count(), 47);
+    assert_eq!(n.input_count(), 1);
+    assert_eq!(n.output_count(), 1);
+    // Every `.latch` folded into a registered LUT (their `__d` nets have
+    // fanout 1 by construction).
+    assert_eq!(registered_count(&n), 3);
+    assert!(n.validate().is_ok());
+}
+
+#[test]
+fn tseng_parse_census_is_golden() {
+    let n = parse_corpus_circuit("tseng");
+    assert_eq!(n.name(), "tseng");
+    assert_eq!(n.lut_count(), 36);
+    assert_eq!(n.input_count(), 1);
+    assert_eq!(n.output_count(), 1);
+    assert_eq!(registered_count(&n), 3);
+    assert!(n.validate().is_ok());
+}
+
+#[test]
+fn corpus_circuits_reach_the_write_fixpoint() {
+    for name in ["alu4", "tseng"] {
+        let n = parse_corpus_circuit(name);
+        let t = blif::write(&n);
+        let n2 = blif::parse(&t, 6).expect("reparse");
+        assert_eq!(blif::write(&n2), t, "{name} must be write-stable");
+    }
+}

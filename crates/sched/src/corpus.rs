@@ -1,0 +1,381 @@
+//! The checked-in MCNC trace corpus: loader and deterministic golden
+//! replay.
+//!
+//! `tests/traces/mcnc/` (workspace root) holds the output of running the
+//! MCNC circuit set end-to-end through the CAD flow — BLIF text, encoded
+//! `.vbs` streams, workload traces and a `manifest.txt` tying them
+//! together. This module loads that corpus into a [`VbsRepository`] and
+//! replays its traces through the single- and multi-fabric schedulers with
+//! the exact configuration the golden counters were recorded under, so the
+//! corpus test, the drift-checking CI binary and the benchmarks all share
+//! one definition of "the MCNC replay".
+//!
+//! Manifest format (line-oriented, `#` comments):
+//!
+//! ```text
+//! arch <channel_width> <lut_size>
+//! single <width> <height>
+//! fleet <k> <width> <height>
+//! task <name> <file> <grid_width> <grid_height> <luts>
+//! trace <name> <file>
+//! ```
+//!
+//! All tasks share the one `arch` line — the config memory rejects foreign
+//! layouts, so a corpus mixing architectures could never replay.
+
+use crate::evict::LruEviction;
+use crate::multi::{MultiConfig, MultiFabricScheduler};
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::shard::{shard_policy_by_name, SHARD_POLICY_NAMES};
+use crate::sim::{replay, replay_multi};
+use crate::trace::{Trace, TraceError};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use vbs_arch::{ArchSpec, Device};
+use vbs_runtime::{FabricId, FirstFit, ReconfigurationController, TaskManager, VbsRepository};
+
+/// Errors raised while loading a corpus directory.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// A file could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying error message.
+        message: String,
+    },
+    /// The manifest did not parse.
+    Manifest {
+        /// 1-based manifest line.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A trace file did not parse.
+    Trace {
+        /// The trace name from the manifest.
+        name: String,
+        /// The underlying trace error.
+        error: TraceError,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { path, message } => {
+                write!(f, "corpus file {}: {message}", path.display())
+            }
+            CorpusError::Manifest { line, reason } => {
+                write!(f, "corpus manifest line {line}: {reason}")
+            }
+            CorpusError::Trace { name, error } => {
+                write!(f, "corpus trace `{name}`: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// One task entry of the corpus manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusTask {
+    /// Repository name (`alu4`, or `alu4@s` for a variant).
+    pub name: String,
+    /// The `.vbs` file, relative to the corpus directory.
+    pub file: String,
+    /// Placed grid width in macro columns.
+    pub width: u16,
+    /// Placed grid height in macro rows.
+    pub height: u16,
+    /// LUT count of the circuit behind the stream.
+    pub luts: usize,
+}
+
+/// The parsed corpus: architecture, fabric shapes, task streams and traces.
+#[derive(Debug, Clone)]
+pub struct McncCorpus {
+    /// Channel width (`W`) every stream was encoded for.
+    pub channel_width: u16,
+    /// LUT size (`K`) every stream was encoded for.
+    pub lut_size: u8,
+    /// Single-fabric replay device shape.
+    pub single: (u16, u16),
+    /// Fleet replay shape: `(k, width, height)`.
+    pub fleet: (usize, u16, u16),
+    /// Task entries, in manifest order.
+    pub tasks: Vec<CorpusTask>,
+    /// The serialized streams, keyed by task name.
+    pub repository: VbsRepository,
+    /// `(name, trace)` pairs, in manifest order.
+    pub traces: Vec<(String, Trace)>,
+}
+
+/// The manifest with file references still unresolved.
+#[derive(Debug)]
+struct Manifest {
+    channel_width: u16,
+    lut_size: u8,
+    single: (u16, u16),
+    fleet: (usize, u16, u16),
+    tasks: Vec<CorpusTask>,
+    traces: Vec<(String, String)>,
+}
+
+fn parse_manifest(text: &str) -> Result<Manifest, CorpusError> {
+    let mut arch: Option<(u16, u8)> = None;
+    let mut single: Option<(u16, u16)> = None;
+    let mut fleet: Option<(usize, u16, u16)> = None;
+    let mut tasks = Vec::new();
+    let mut traces = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |reason: String| CorpusError::Manifest {
+            line: idx + 1,
+            reason,
+        };
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let num = |field: &str, what: &str| -> Result<u64, CorpusError> {
+            field
+                .parse()
+                .map_err(|_| err(format!("invalid {what} `{field}`")))
+        };
+        match fields.as_slice() {
+            ["arch", w, k] => {
+                arch = Some((num(w, "channel width")? as u16, num(k, "lut size")? as u8));
+            }
+            ["single", w, h] => {
+                single = Some((num(w, "width")? as u16, num(h, "height")? as u16));
+            }
+            ["fleet", k, w, h] => {
+                fleet = Some((
+                    num(k, "fleet size")? as usize,
+                    num(w, "width")? as u16,
+                    num(h, "height")? as u16,
+                ));
+            }
+            ["task", name, file, w, h, luts] => {
+                tasks.push(CorpusTask {
+                    name: (*name).to_string(),
+                    file: (*file).to_string(),
+                    width: num(w, "width")? as u16,
+                    height: num(h, "height")? as u16,
+                    luts: num(luts, "lut count")? as usize,
+                });
+            }
+            ["trace", name, file] => {
+                traces.push(((*name).to_string(), (*file).to_string()));
+            }
+            _ => return Err(err(format!("unrecognized manifest line `{line}`"))),
+        }
+    }
+    let missing = |what: &str| CorpusError::Manifest {
+        line: 0,
+        reason: format!("missing `{what}` line"),
+    };
+    let (channel_width, lut_size) = arch.ok_or_else(|| missing("arch"))?;
+    Ok(Manifest {
+        channel_width,
+        lut_size,
+        single: single.ok_or_else(|| missing("single"))?,
+        fleet: fleet.ok_or_else(|| missing("fleet"))?,
+        tasks,
+        traces,
+    })
+}
+
+impl McncCorpus {
+    /// Loads the corpus from `dir` (the directory holding `manifest.txt`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CorpusError`] when a file is unreadable or the manifest
+    /// or a trace does not parse.
+    pub fn load(dir: impl AsRef<Path>) -> Result<McncCorpus, CorpusError> {
+        let dir = dir.as_ref();
+        let read = |path: PathBuf| -> Result<Vec<u8>, CorpusError> {
+            std::fs::read(&path).map_err(|e| CorpusError::Io {
+                path,
+                message: e.to_string(),
+            })
+        };
+        let manifest_text = read(dir.join("manifest.txt"))?;
+        let manifest = parse_manifest(&String::from_utf8_lossy(&manifest_text))?;
+        let mut repository = VbsRepository::new();
+        for task in &manifest.tasks {
+            repository.store_bytes(task.name.clone(), read(dir.join(&task.file))?);
+        }
+        let mut traces = Vec::with_capacity(manifest.traces.len());
+        for (name, file) in &manifest.traces {
+            let text = read(dir.join(file))?;
+            let trace = Trace::from_text(&String::from_utf8_lossy(&text)).map_err(|error| {
+                CorpusError::Trace {
+                    name: name.clone(),
+                    error,
+                }
+            })?;
+            traces.push((name.clone(), trace));
+        }
+        Ok(McncCorpus {
+            channel_width: manifest.channel_width,
+            lut_size: manifest.lut_size,
+            single: manifest.single,
+            fleet: manifest.fleet,
+            tasks: manifest.tasks,
+            repository,
+            traces,
+        })
+    }
+
+    /// Looks up a trace by manifest name.
+    pub fn trace(&self, name: &str) -> Option<&Trace> {
+        self.traces.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// The replay scheduler configuration the golden counters are recorded
+    /// under (mirrors the `tests/traces/*.golden` fleet configuration).
+    pub fn replay_config() -> SchedulerConfig {
+        SchedulerConfig {
+            eviction_limit: 1,
+            compaction: true,
+            ..SchedulerConfig::default()
+        }
+    }
+
+    fn device(&self, width: u16, height: u16) -> Device {
+        let spec = ArchSpec::new(self.channel_width, self.lut_size).expect("corpus arch spec");
+        Device::new(spec, width, height).expect("corpus device")
+    }
+
+    fn scheduler_on(&self, width: u16, height: u16, fabric: u32) -> Scheduler {
+        let manager = TaskManager::new(
+            ReconfigurationController::new(self.device(width, height)),
+            self.repository.clone(),
+        )
+        .with_policy(Box::new(FirstFit))
+        .with_fabric_id(FabricId(fabric));
+        Scheduler::with_config(manager, Box::new(LruEviction), Self::replay_config())
+    }
+
+    /// The single-fabric replay scheduler over the corpus repository.
+    pub fn single_scheduler(&self) -> Scheduler {
+        self.scheduler_on(self.single.0, self.single.1, 0)
+    }
+
+    /// The fleet replay scheduler, dispatching through the shard policy
+    /// named `policy` (`None` for unknown names).
+    pub fn fleet_scheduler(&self, policy: &str) -> Option<MultiFabricScheduler> {
+        let shard = shard_policy_by_name(policy)?;
+        let (k, width, height) = self.fleet;
+        let fabrics = (0..k)
+            .map(|i| self.scheduler_on(width, height, i as u32))
+            .collect();
+        Some(MultiFabricScheduler::new(
+            fabrics,
+            shard,
+            MultiConfig::default(),
+        ))
+    }
+
+    /// Deterministically replays every corpus trace through the single
+    /// scheduler and the fleet under every shard policy, and renders one
+    /// counter line per replay:
+    ///
+    /// ```text
+    /// <trace> single <accepted> <rejected> <deadline_missed> <evictions> <relocations>
+    /// <trace> fleet:<policy> <accepted> <rejected> <migrations> <evictions> <relocations> <per-fabric accepted...>
+    /// ```
+    ///
+    /// These lines are the corpus goldens: the replay test and the CI drift
+    /// check compare them verbatim against `replay.golden`.
+    pub fn golden_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (name, trace) in &self.traces {
+            let mut single = self.single_scheduler();
+            let report = replay(&mut single, trace);
+            lines.push(format!(
+                "{name} single {} {} {} {} {}",
+                report.sched.loads_accepted,
+                report.sched.loads_rejected,
+                report.sched.deadline_missed,
+                report.sched.evictions,
+                report.sched.relocations,
+            ));
+            for &policy in SHARD_POLICY_NAMES {
+                let mut fleet = self
+                    .fleet_scheduler(policy)
+                    .expect("SHARD_POLICY_NAMES are resolvable");
+                let report = replay_multi(&mut fleet, trace);
+                let mut line = format!(
+                    "{name} fleet:{policy} {} {} {} {} {}",
+                    report.multi.loads_accepted,
+                    report.multi.loads_rejected,
+                    report.multi.migrations,
+                    report
+                        .fabrics
+                        .iter()
+                        .map(|f| f.sched.evictions)
+                        .sum::<u64>(),
+                    report
+                        .fabrics
+                        .iter()
+                        .map(|f| f.sched.relocations)
+                        .sum::<u64>(),
+                );
+                for fabric in &report.fabrics {
+                    line.push_str(&format!(" {}", fabric.sched.loads_accepted));
+                }
+                lines.push(line);
+            }
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MANIFEST: &str = "\
+# vbs mcnc corpus v1
+arch 10 6
+single 14 14
+fleet 2 12 12
+
+task alu4 alu4.vbs 7 7 61
+task tseng tseng.vbs 6 6 44
+trace steady steady.trace
+";
+
+    #[test]
+    fn manifest_parses() {
+        let m = parse_manifest(MANIFEST).expect("manifest");
+        assert_eq!((m.channel_width, m.lut_size), (10, 6));
+        assert_eq!(m.single, (14, 14));
+        assert_eq!(m.fleet, (2, 12, 12));
+        assert_eq!(m.tasks.len(), 2);
+        assert_eq!(m.tasks[0].name, "alu4");
+        assert_eq!(m.tasks[0].luts, 61);
+        assert_eq!(
+            m.traces,
+            vec![("steady".to_string(), "steady.trace".to_string())]
+        );
+    }
+
+    #[test]
+    fn manifest_rejects_garbage_with_line_numbers() {
+        let err = parse_manifest("arch 10 6\nbogus line here\n").unwrap_err();
+        assert!(
+            matches!(err, CorpusError::Manifest { line: 2, .. }),
+            "{err:?}"
+        );
+        let err = parse_manifest("arch ten 6\n").unwrap_err();
+        assert!(err.to_string().contains("channel width"), "{err}");
+        let err = parse_manifest("single 14 14\n").unwrap_err();
+        assert!(err.to_string().contains("arch"), "{err}");
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod corpus;
 mod evict;
 mod multi;
 mod pool;
@@ -47,6 +48,7 @@ mod sim;
 mod trace;
 
 pub use cache::{CacheStats, DecodeCache};
+pub use corpus::{CorpusError, CorpusTask, McncCorpus};
 pub use evict::{EvictionPolicy, LruEviction, PriorityEviction, ResidentInfo};
 pub use multi::{MultiConfig, MultiFabricScheduler, MultiMetrics};
 pub use pool::{BitstreamPool, PoolStats};
@@ -56,4 +58,4 @@ pub use shard::{
     SHARD_POLICY_NAMES,
 };
 pub use sim::{replay, replay_multi, FabricReport, MultiSimReport, ReplayTarget, SimReport};
-pub use trace::{Trace, TraceError, TraceEvent, TraceOp, WorkloadSpec};
+pub use trace::{Trace, TraceError, TraceEvent, TraceOp, VariantSwapSpec, WorkloadSpec};

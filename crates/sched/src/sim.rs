@@ -178,6 +178,28 @@ fn drive<T: ReplayTarget>(scheduler: &mut T, trace: &Trace) -> u64 {
                         deferred.insert(*job);
                     }
                 },
+                TraceOp::Swap {
+                    job,
+                    task,
+                    priority,
+                    deadline,
+                } => {
+                    // Vacate the current variant first (its unload is
+                    // processed before the replacement load in the same
+                    // round), then request the new one under the same
+                    // trace job id. A swap whose job is already gone
+                    // (rejected or evicted) degenerates to a plain load —
+                    // the scenario keeps pressing for the fabric.
+                    if let Some(sched_job) = job_map.remove(job) {
+                        scheduler.submit(Request::Unload { job: sched_job });
+                    }
+                    let sched_job = scheduler.submit(Request::Load {
+                        task: task.clone(),
+                        priority: *priority,
+                        deadline: *deadline,
+                    });
+                    load_of_round.push((sched_job, *job));
+                }
             }
             index += 1;
         }

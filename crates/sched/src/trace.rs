@@ -11,7 +11,16 @@
 //! # vbs-sched trace v1
 //! load <tick> <job> <task> <priority> [deadline]
 //! unload <tick> <job>
+//! swap <tick> <job> <task> <priority> [deadline]
 //! ```
+//!
+//! `swap` atomically replaces the resident configuration of a live job with
+//! a different pre-encoded variant of it (the ForgeMorph-style scenario:
+//! one task encoded at several sizes/latencies, exchanged on the fly under
+//! a deadline). Within a tick the simulator orders `unload` < `swap` <
+//! `load`, so a swap can reuse the area its own job just vacated before
+//! new arrivals compete for it. [`Trace::variant_swap`] generates such a
+//! scenario, optionally over a background workload.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +53,18 @@ pub enum TraceOp {
     Unload {
         /// The trace-local job id that departs.
         job: u64,
+    },
+    /// A live job exchanges its resident configuration for another
+    /// pre-encoded variant (unload + load under one trace-local job id).
+    Swap {
+        /// The trace-local job id being morphed.
+        job: u64,
+        /// Repository name of the variant to load.
+        task: String,
+        /// Priority of the replacement load.
+        priority: u8,
+        /// Optional absolute-tick deadline for the replacement load.
+        deadline: Option<u64>,
     },
 }
 
@@ -114,6 +135,44 @@ impl Default for WorkloadSpec {
     }
 }
 
+/// Parameters of the variant-swap scenario generator
+/// ([`Trace::variant_swap`]): one logical task pre-encoded as several
+/// variants (sizes/latencies), exchanged on the fly under a deadline while
+/// an optional background workload keeps the fabric contended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantSwapSpec {
+    /// Repository names of the variants, cycled through in order. The
+    /// first is loaded at `start`; each swap advances to the next.
+    pub variants: Vec<String>,
+    /// Number of swap events after the initial load.
+    pub swaps: usize,
+    /// Ticks between consecutive swaps.
+    pub period: u64,
+    /// Every load/swap gets `deadline = tick + slack` when set.
+    pub deadline_slack: Option<u64>,
+    /// Priority of the variant job's load and swap requests.
+    pub priority: u8,
+    /// Tick of the initial variant load.
+    pub start: u64,
+    /// Optional background workload merged into the trace (its job ids are
+    /// `1..=loads`; the variant job comes after them).
+    pub background: Option<WorkloadSpec>,
+}
+
+impl Default for VariantSwapSpec {
+    fn default() -> Self {
+        VariantSwapSpec {
+            variants: Vec::new(),
+            swaps: 8,
+            period: 16,
+            deadline_slack: Some(4),
+            priority: 3,
+            start: 1,
+            background: None,
+        }
+    }
+}
+
 /// A tick-ordered workload trace.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
@@ -170,14 +229,75 @@ impl Trace {
         trace
     }
 
-    /// Sorts events by tick, departures before arrivals within a tick.
+    /// Generates the deterministic variant-swap scenario: one long-lived
+    /// job loads `variants[0]` at `spec.start`, then swaps to the next
+    /// variant (cycling) every `spec.period` ticks, `spec.swaps` times, and
+    /// finally departs one period after the last swap. When
+    /// `spec.background` is set, that synthetic workload is merged in; its
+    /// job ids stay `1..=loads` and the variant job id comes after them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.variants` is empty or `spec.period` is 0.
+    pub fn variant_swap(spec: &VariantSwapSpec) -> Trace {
+        assert!(
+            !spec.variants.is_empty(),
+            "variant swap needs at least one variant"
+        );
+        assert!(spec.period > 0, "variant swap needs a non-zero period");
+        let mut trace = match &spec.background {
+            Some(bg) => Trace::synthetic(bg),
+            None => Trace::default(),
+        };
+        let job = spec.background.as_ref().map_or(0, |bg| bg.loads as u64) + 1;
+        let deadline = |tick: u64| spec.deadline_slack.map(|s| tick + s);
+        trace.events.push(TraceEvent {
+            tick: spec.start,
+            op: TraceOp::Load {
+                job,
+                task: spec.variants[0].clone(),
+                priority: spec.priority,
+                deadline: deadline(spec.start),
+            },
+        });
+        let mut tick = spec.start;
+        for i in 1..=spec.swaps {
+            tick += spec.period;
+            let task = spec.variants[i % spec.variants.len()].clone();
+            trace.events.push(TraceEvent {
+                tick,
+                op: TraceOp::Swap {
+                    job,
+                    task,
+                    priority: spec.priority,
+                    deadline: deadline(tick),
+                },
+            });
+        }
+        trace.events.push(TraceEvent {
+            tick: tick + spec.period,
+            op: TraceOp::Unload { job },
+        });
+        trace.normalize();
+        trace
+    }
+
+    /// Sorts events by tick; within a tick departures come first, then
+    /// swaps, then arrivals (so swaps can reuse freed area before new
+    /// loads compete for it).
     pub fn normalize(&mut self) {
         self.events.sort_by_key(|e| {
             (
                 e.tick,
-                matches!(e.op, TraceOp::Load { .. }) as u8,
                 match &e.op {
-                    TraceOp::Load { job, .. } | TraceOp::Unload { job } => *job,
+                    TraceOp::Unload { .. } => 0u8,
+                    TraceOp::Swap { .. } => 1,
+                    TraceOp::Load { .. } => 2,
+                },
+                match &e.op {
+                    TraceOp::Load { job, .. }
+                    | TraceOp::Unload { job }
+                    | TraceOp::Swap { job, .. } => *job,
                 },
             )
         });
@@ -201,12 +321,7 @@ impl Trace {
                     priority,
                     deadline,
                 } => {
-                    if task.is_empty()
-                        || task.starts_with('#')
-                        || task.chars().any(char::is_whitespace)
-                    {
-                        return Err(TraceError::BadTaskName { name: task.clone() });
-                    }
+                    check_task_name(task)?;
                     out.push_str(&format!(
                         "load {} {} {} {}",
                         event.tick, job, task, priority
@@ -218,6 +333,22 @@ impl Trace {
                 }
                 TraceOp::Unload { job } => {
                     out.push_str(&format!("unload {} {}\n", event.tick, job));
+                }
+                TraceOp::Swap {
+                    job,
+                    task,
+                    priority,
+                    deadline,
+                } => {
+                    check_task_name(task)?;
+                    out.push_str(&format!(
+                        "swap {} {} {} {}",
+                        event.tick, job, task, priority
+                    ));
+                    if let Some(d) = deadline {
+                        out.push_str(&format!(" {d}"));
+                    }
+                    out.push('\n');
                 }
             }
         }
@@ -244,7 +375,7 @@ impl Trace {
             let mut fields = line.split_whitespace();
             let op = fields.next().expect("non-empty line has a first field");
             match op {
-                "load" => {
+                "load" | "swap" => {
                     let tick = parse_u64(fields.next(), "tick").map_err(|e| malformed(&e))?;
                     let job = parse_u64(fields.next(), "job").map_err(|e| malformed(&e))?;
                     let task = fields
@@ -262,15 +393,22 @@ impl Trace {
                     if fields.next().is_some() {
                         return Err(malformed("trailing fields"));
                     }
-                    events.push(TraceEvent {
-                        tick,
-                        op: TraceOp::Load {
+                    let op = if op == "load" {
+                        TraceOp::Load {
                             job,
                             task,
                             priority,
                             deadline,
-                        },
-                    });
+                        }
+                    } else {
+                        TraceOp::Swap {
+                            job,
+                            task,
+                            priority,
+                            deadline,
+                        }
+                    };
+                    events.push(TraceEvent { tick, op });
                 }
                 "unload" => {
                     let tick = parse_u64(fields.next(), "tick").map_err(|e| malformed(&e))?;
@@ -290,6 +428,15 @@ impl Trace {
         trace.normalize();
         Ok(trace)
     }
+}
+
+fn check_task_name(task: &str) -> Result<(), TraceError> {
+    if task.is_empty() || task.starts_with('#') || task.chars().any(char::is_whitespace) {
+        return Err(TraceError::BadTaskName {
+            name: task.to_string(),
+        });
+    }
+    Ok(())
 }
 
 fn parse_u64(field: Option<&str>, what: &str) -> Result<u64, String> {
@@ -352,6 +499,104 @@ mod tests {
             trace.to_text(),
             Err(TraceError::BadTaskName { .. })
         ));
+    }
+
+    #[test]
+    fn swap_roundtrips_and_orders_between_unload_and_load() {
+        let mut trace = Trace::default();
+        trace.events.push(TraceEvent {
+            tick: 5,
+            op: TraceOp::Load {
+                job: 1,
+                task: "a".into(),
+                priority: 2,
+                deadline: None,
+            },
+        });
+        trace.events.push(TraceEvent {
+            tick: 5,
+            op: TraceOp::Swap {
+                job: 2,
+                task: "b".into(),
+                priority: 1,
+                deadline: Some(9),
+            },
+        });
+        trace.events.push(TraceEvent {
+            tick: 5,
+            op: TraceOp::Unload { job: 3 },
+        });
+        trace.normalize();
+        assert!(matches!(trace.events[0].op, TraceOp::Unload { .. }));
+        assert!(matches!(trace.events[1].op, TraceOp::Swap { .. }));
+        assert!(matches!(trace.events[2].op, TraceOp::Load { .. }));
+        let text = trace.to_text().unwrap();
+        assert!(text.contains("swap 5 2 b 1 9\n"), "{text}");
+        assert_eq!(Trace::from_text(&text).unwrap(), trace);
+    }
+
+    #[test]
+    fn variant_swap_generates_the_scenario() {
+        let spec = VariantSwapSpec {
+            variants: vec!["t@s".into(), "t@m".into(), "t@l".into()],
+            swaps: 5,
+            period: 10,
+            deadline_slack: Some(3),
+            priority: 2,
+            start: 4,
+            background: None,
+        };
+        let trace = Trace::variant_swap(&spec);
+        // 1 load + 5 swaps + 1 unload.
+        assert_eq!(trace.len(), 7);
+        assert_eq!(
+            trace.events[0].op,
+            TraceOp::Load {
+                job: 1,
+                task: "t@s".into(),
+                priority: 2,
+                deadline: Some(7),
+            }
+        );
+        // Swaps cycle through the variants.
+        assert_eq!(
+            trace.events[1].op,
+            TraceOp::Swap {
+                job: 1,
+                task: "t@m".into(),
+                priority: 2,
+                deadline: Some(17),
+            }
+        );
+        assert_eq!(trace.events[6].op, TraceOp::Unload { job: 1 });
+        assert_eq!(trace.events[6].tick, 4 + 6 * 10);
+        // Deterministic.
+        assert_eq!(trace, Trace::variant_swap(&spec));
+    }
+
+    #[test]
+    fn variant_swap_merges_background_after_its_job_ids() {
+        let spec = VariantSwapSpec {
+            variants: vec!["v".into()],
+            background: Some(super::super::trace::WorkloadSpec {
+                tasks: vec!["bg".into()],
+                loads: 10,
+                ..WorkloadSpec::default()
+            }),
+            ..VariantSwapSpec::default()
+        };
+        let trace = Trace::variant_swap(&spec);
+        // Background jobs 1..=10, the variant job is 11.
+        let swap_jobs: Vec<u64> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.op {
+                TraceOp::Swap { job, .. } => Some(*job),
+                _ => None,
+            })
+            .collect();
+        assert!(swap_jobs.iter().all(|&j| j == 11), "{swap_jobs:?}");
+        assert_eq!(trace.len(), 10 * 2 + 1 + spec.swaps + 1);
     }
 
     #[test]

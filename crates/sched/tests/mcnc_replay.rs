@@ -1,0 +1,104 @@
+//! Replays the checked-in MCNC corpus (`tests/traces/mcnc/` at the
+//! workspace root) through the single- and multi-fabric schedulers and
+//! compares the counters bit-for-bit against `replay.golden`.
+//!
+//! The corpus is the standing realism oracle: every stream in it came from
+//! a real place/route/encode run over a BLIF-parsed circuit, so a change
+//! anywhere in the pipeline (parser, placer, router, encoder, scheduler)
+//! that shifts observable behavior shows up here as an explicit counter
+//! diff. To update deliberately, rebuild the corpus and commit the diff:
+//!
+//! ```text
+//! cargo run --release -p vbs-bench --bin mcnc_corpus
+//! ```
+//!
+//! See `crates/sched/README.md` for the full workflow.
+
+use std::collections::HashSet;
+use vbs_sched::{McncCorpus, TraceOp};
+
+fn corpus() -> McncCorpus {
+    McncCorpus::load(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/traces/mcnc"
+    ))
+    .expect("checked-in corpus loads")
+}
+
+#[test]
+fn corpus_covers_at_least_five_circuits() {
+    let corpus = corpus();
+    // Distinct Table II circuits (variants collapse onto their base name).
+    let circuits: HashSet<&str> = corpus
+        .tasks
+        .iter()
+        .map(|t| t.name.split('@').next().unwrap())
+        .collect();
+    assert!(
+        circuits.len() >= 5,
+        "corpus must span at least five MCNC circuits, got {circuits:?}"
+    );
+    // Every manifest task has a non-empty stream behind it.
+    for task in &corpus.tasks {
+        let size = corpus
+            .repository
+            .stored_size(&task.name)
+            .unwrap_or_else(|| panic!("task `{}` missing from repository", task.name));
+        assert!(size > 0, "task `{}` has an empty stream", task.name);
+    }
+}
+
+#[test]
+fn replay_counters_match_golden() {
+    let corpus = corpus();
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/traces/mcnc/replay.golden"
+    );
+    let text = std::fs::read_to_string(golden_path)
+        .unwrap_or_else(|e| panic!("read {golden_path}: {e} — rebuild with the mcnc_corpus bin"));
+    let expected: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let actual = corpus.golden_lines();
+    assert_eq!(
+        actual, expected,
+        "MCNC replay counters drifted from replay.golden — if intended, \
+         regenerate with `cargo run --release -p vbs-bench --bin mcnc_corpus`"
+    );
+}
+
+#[test]
+fn variant_trace_swaps_through_every_variant() {
+    let corpus = corpus();
+    let trace = corpus.trace("variant").expect("variant trace present");
+    let swapped: HashSet<&str> = trace
+        .events
+        .iter()
+        .filter_map(|e| match &e.op {
+            TraceOp::Swap { task, .. } => Some(task.as_str()),
+            _ => None,
+        })
+        .collect();
+    let variants: HashSet<&str> = corpus
+        .tasks
+        .iter()
+        .filter(|t| t.name.contains('@'))
+        .map(|t| t.name.as_str())
+        .collect();
+    assert!(!variants.is_empty(), "corpus carries a variant set");
+    for variant in &variants {
+        // The initial load covers variants[0]; every other variant must be
+        // reached by an on-the-fly swap.
+        let initial = trace
+            .events
+            .iter()
+            .any(|e| matches!(&e.op, TraceOp::Load { task, .. } if task == variant));
+        assert!(
+            swapped.contains(variant) || initial,
+            "variant `{variant}` never enters the scenario"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Chaos determinism gate: replays the MCNC steady trace through the
+//! 2-fabric fleet under the seeded fault schedules
+//! (`McncCorpus::CHAOS_PLANS` — scattered write faults on both fabrics
+//! plus a mid-trace outage of fabric 0), twice, and diffs the counters.
+//! Any divergence between the two runs means a nondeterministic fault
+//! path; any drift from `chaos.golden` means observable fault-handling
+//! behavior changed.
+//!
+//! ```text
+//! cargo run --release -p vbs-bench --bin chaos            # rewrite chaos.golden
+//! cargo run --release -p vbs-bench --bin chaos -- --check # fail on drift
+//! ```
+//!
+//! CI runs the `--check` form next to the corpus drift check; see
+//! `crates/sched/README.md` for the regen workflow.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vbs_sched::McncCorpus;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/traces/mcnc"
+    ))
+}
+
+fn main() -> ExitCode {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let dir = corpus_dir();
+    let corpus = match McncCorpus::load(&dir) {
+        Ok(corpus) => corpus,
+        Err(e) => {
+            eprintln!("load corpus: {e} — build it first with the mcnc_corpus bin");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The determinism gate proper: two seeded runs, bit-identical counters.
+    let first = corpus.chaos_lines();
+    let second = corpus.chaos_lines();
+    if first != second {
+        eprintln!("NONDETERMINISM: two seeded chaos replays diverged");
+        for (a, b) in first.iter().zip(&second) {
+            if a != b {
+                eprintln!("  run 1: {a}\n  run 2: {b}");
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let mut golden = String::from(
+        "# Golden counters of the seeded chaos replay (fault schedules in\n\
+         # McncCorpus::CHAOS_PLANS; line format in McncCorpus::chaos_lines).\n\
+         # Regenerate: cargo run --release -p vbs-bench --bin chaos\n",
+    );
+    for line in &first {
+        golden.push_str(line);
+        golden.push('\n');
+    }
+    let path = dir.join("chaos.golden");
+
+    if check_mode {
+        match std::fs::read_to_string(&path) {
+            Ok(on_disk) if on_disk == golden => {
+                println!("chaos goldens up to date ({} lines)", first.len());
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!(
+                    "DRIFT: {} differs from a fresh replay; regenerate with \
+                     `cargo run --release -p vbs-bench --bin chaos` and commit the diff",
+                    path.display()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("DRIFT: {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        if let Err(e) = std::fs::write(&path, &golden) {
+            eprintln!("write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+        for line in &first {
+            println!("  {line}");
+        }
+        ExitCode::SUCCESS
+    }
+}

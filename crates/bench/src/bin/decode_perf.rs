@@ -45,6 +45,12 @@
 //! and the fleet with a telemetry registry attached, so the Load-stage
 //! tail is gated in CI alongside the counters.
 //!
+//! The **fault** arm records the integrity machinery's cost: the corpus
+//! steady trace replayed with readback verification off vs on (the
+//! `verify_overhead` ratio), plus the seeded chaos fleet replay (write
+//! faults, corruption, mid-trace outage) as the degraded-mode throughput
+//! reference.
+//!
 //! Usage: `cargo run --release -p vbs-bench --bin decode_perf --
 //!         [--loads N] [--fabric WxH] [--fabrics K] [--seed S]
 //!         [--quick] [--out PATH]`
@@ -784,6 +790,76 @@ fn mcnc_arm(options: &Options) -> (McncCorpus, Vec<PathResult>, Vec<McncReplay>)
     (corpus, paths, replays)
 }
 
+/// One replay of the fault arm: the corpus steady trace with a given
+/// integrity posture, so the fault plane's cost is tracked per PR.
+struct FaultReplay {
+    name: &'static str,
+    elapsed: Duration,
+    events: usize,
+    accepted: u64,
+    verify_scrubs: u64,
+}
+
+impl FaultReplay {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"events_per_sec\": {:.1}, \"elapsed_ms\": {:.2}, \"accepted\": {}, \"verify_scrubs\": {}}}",
+            self.events_per_sec(),
+            self.elapsed.as_secs_f64() * 1e3,
+            self.accepted,
+            self.verify_scrubs
+        )
+    }
+}
+
+/// The fault arm: readback-verification overhead on the corpus steady
+/// trace (single scheduler, verify off vs on — identical fault-free
+/// workload, the only delta is the post-write `verify_region` readback),
+/// plus the seeded chaos fleet replay (`McncCorpus::CHAOS_PLANS`: write
+/// faults, corruption, and a mid-trace outage) as the degraded-mode
+/// throughput reference. Returns the three replays and the verify
+/// overhead ratio (verify-on elapsed over verify-off elapsed).
+fn fault_arm(corpus: &McncCorpus) -> (Vec<FaultReplay>, f64) {
+    let trace = corpus.trace("steady").expect("steady trace");
+
+    let run_single = |name: &'static str, verify: bool| {
+        let mut sched = corpus.single_scheduler();
+        sched.set_verify(verify);
+        let start = Instant::now();
+        let report = replay(&mut sched, trace);
+        FaultReplay {
+            name,
+            elapsed: start.elapsed(),
+            events: report.events,
+            accepted: report.sched.loads_accepted,
+            verify_scrubs: report.sched.verify_scrubs,
+        }
+    };
+    // Warm-up pass so the first measured replay does not pay cold-cache
+    // decode costs the second one skips.
+    run_single("warmup", false);
+    let off = run_single("verify_off", false);
+    let on = run_single("verify_on", true);
+    let overhead = on.elapsed.as_secs_f64() / off.elapsed.as_secs_f64().max(1e-12);
+
+    let mut fleet = corpus.chaos_fleet_scheduler();
+    let start = Instant::now();
+    let report = replay_multi(&mut fleet, trace);
+    let chaos = FaultReplay {
+        name: "chaos",
+        elapsed: start.elapsed(),
+        events: report.events,
+        accepted: report.multi.loads_accepted,
+        verify_scrubs: report.shard_totals().verify_scrubs,
+    };
+
+    (vec![off, on, chaos], overhead)
+}
+
 fn main() {
     let options = parse_args();
     let repository = sched_repository();
@@ -922,6 +998,23 @@ fn main() {
         );
     }
 
+    let (fault_replays, verify_overhead) = fault_arm(&corpus);
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>8}",
+        "fault", "events/s", "elapsed ms", "accepted", "scrubs"
+    );
+    for f in &fault_replays {
+        println!(
+            "{:<12} {:>12.1} {:>12.2} {:>10} {:>8}",
+            f.name,
+            f.events_per_sec(),
+            f.elapsed.as_secs_f64() * 1e3,
+            f.accepted,
+            f.verify_scrubs
+        );
+    }
+    println!("readback verification overhead: {verify_overhead:.2}x on the steady trace");
+
     let parallel_json = parallel
         .iter()
         .flat_map(|(pooled, fresh)| {
@@ -955,8 +1048,13 @@ fn main() {
         .map(|r| format!("      \"{}\": {}", r.name, r.json()))
         .collect::<Vec<_>>()
         .join(",\n");
+    let fault_json = fault_replays
+        .iter()
+        .map(|f| format!("    \"{}\": {}", f.name, f.json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"latency\": {{\n{}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"parallel\": {{\n{},\n    \"speedup_pooled4_vs_scratch\": {:.3},\n    \"speedup_pooled4_vs_fresh4\": {:.3}\n  }},\n  \"compaction\": {{\n    \"batch\": {},\n    \"greedy\": {}\n  }},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }},\n  \"mcnc\": {{\n    \"single\": \"{}x{}\",\n    \"fleet\": \"{}x{}x{}\",\n    \"tasks\": {{\n{}\n    }},\n    \"replays\": {{\n{}\n    }}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"latency\": {{\n{}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"parallel\": {{\n{},\n    \"speedup_pooled4_vs_scratch\": {:.3},\n    \"speedup_pooled4_vs_fresh4\": {:.3}\n  }},\n  \"compaction\": {{\n    \"batch\": {},\n    \"greedy\": {}\n  }},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }},\n  \"mcnc\": {{\n    \"single\": \"{}x{}\",\n    \"fleet\": \"{}x{}x{}\",\n    \"tasks\": {{\n{}\n    }},\n    \"replays\": {{\n{}\n    }}\n  }},\n  \"fault\": {{\n{},\n    \"verify_overhead\": {:.3}\n  }}\n}}\n",
         options.loads,
         options.fabric.0,
         options.fabric.1,
@@ -986,6 +1084,8 @@ fn main() {
         corpus.fleet.2,
         mcnc_tasks_json,
         mcnc_replays_json,
+        fault_json,
+        verify_overhead,
     );
     std::fs::write(&options.out, json).expect("write baseline json");
     println!("wrote {}", options.out);

@@ -1,0 +1,130 @@
+//! CRC-32 (IEEE 802.3) over bytes and frame words.
+//!
+//! One checksum primitive shared by the whole stack: the VBS binary format
+//! appends it as a stream footer (format version 2), and the runtime's
+//! integrity sidecar keeps one per configuration-memory frame so a readback
+//! verify can detect corrupted writes. The table is built at compile time;
+//! checksumming is a plain byte loop — integrity checks are off the hot
+//! path (verify is opt-in), so portability beats throughput here.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial
+/// (`0xEDB88320`), generated at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// A streaming CRC-32 accumulator (IEEE polynomial, reflected).
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub const fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds a byte slice into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &byte in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xff) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Folds a word slice in (little-endian byte order, so the digest is
+    /// platform independent).
+    pub fn update_words(&mut self, words: &[u64]) {
+        for &word in words {
+            self.update(&word.to_le_bytes());
+        }
+    }
+
+    /// The final checksum value.
+    pub const fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// CRC-32 of a byte slice in one call.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// CRC-32 of a word slice (little-endian bytes) in one call.
+pub fn crc32_words(words: &[u64]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update_words(words);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_ieee_check_value() {
+        // The canonical CRC-32 check: crc32(b"123456789") == 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(crc32(&[]), 0);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut streaming = Crc32::new();
+        streaming.update(&data[..100]);
+        streaming.update(&data[100..]);
+        assert_eq!(streaming.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn words_digest_is_byte_order_defined() {
+        let words = [0x0123_4567_89ab_cdefu64, 0xfeed_face_dead_beef];
+        let mut bytes = Vec::new();
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(crc32_words(&words), crc32(&bytes));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let base = crc32(b"virtual bit-stream");
+        for i in 0..8 {
+            let mut mutated = b"virtual bit-stream".to_vec();
+            mutated[3] ^= 1 << i;
+            assert_ne!(crc32(&mutated), base, "bit {i} flip went undetected");
+        }
+    }
+}

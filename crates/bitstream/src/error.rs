@@ -33,6 +33,12 @@ pub enum BitstreamError {
         /// Number of bytes found.
         found: usize,
     },
+    /// A readback verify found a frame whose contents do not match the
+    /// checksum recorded when it was written.
+    CrcMismatch {
+        /// The corrupted frame's coordinate (device-absolute).
+        at: Coord,
+    },
 }
 
 impl fmt::Display for BitstreamError {
@@ -58,6 +64,9 @@ impl fmt::Display for BitstreamError {
                     f,
                     "serialized bit-stream truncated: expected {expected} bytes, found {found}"
                 )
+            }
+            BitstreamError::CrcMismatch { at } => {
+                write!(f, "frame {at} failed its readback checksum")
             }
         }
     }

@@ -103,6 +103,14 @@ impl<'a> FrameRef<'a> {
         (copy.layout().lb_config_range().end..copy.len()).map(move |i| copy.bit(i))
     }
 
+    /// CRC-32 of the frame's words (little-endian byte order). Padding bits
+    /// past `N_raw` are zero by invariant, so equal frames always digest
+    /// equal — this is the per-frame checksum the runtime's integrity
+    /// sidecar records and the readback verify recomputes.
+    pub fn crc32(&self) -> u32 {
+        crate::crc::crc32_words(self.words)
+    }
+
     /// Number of differing bits between two frames — a word-level XOR
     /// popcount (padding bits are zero on both sides by invariant).
     ///

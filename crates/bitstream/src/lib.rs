@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crc;
 mod error;
 mod frame;
 mod generate;
@@ -50,6 +51,7 @@ mod memory;
 mod store;
 mod task;
 
+pub use crc::{crc32, crc32_words, Crc32};
 pub use error::BitstreamError;
 pub use frame::{FrameMut, FrameRef};
 pub use generate::{configured_switches, edge_to_switch, generate_bitstream, SwitchSetting};

@@ -30,6 +30,11 @@ use vbs_arch::{ArchSpec, Coord};
 /// Format version written in the preamble.
 pub const FORMAT_VERSION: u8 = 1;
 
+/// Format version of the checksummed framing ([`Vbs::to_bytes_checked`]):
+/// the version-1 body followed by a CRC-32 footer over every preceding
+/// byte. [`Vbs::from_bytes`] accepts both versions.
+pub const FORMAT_VERSION_CHECKED: u8 = 2;
+
 /// One coded connection: the signal enters the cluster at `input` and must
 /// reach `output`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -225,10 +230,26 @@ impl Vbs {
         self.size_bits() as f64 / raw_bits as f64
     }
 
-    /// Serializes the stream to bytes.
+    /// Serializes the stream to bytes (format version 1, no checksum).
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.body_bytes(FORMAT_VERSION)
+    }
+
+    /// Serializes the stream with the checksummed framing (format version
+    /// 2): the same bit-packed body, followed by a little-endian CRC-32
+    /// footer over every preceding byte. [`Vbs::from_bytes`] verifies the
+    /// footer before parsing, so any corruption of a checked stream is
+    /// rejected instead of decoding into a different task.
+    pub fn to_bytes_checked(&self) -> Vec<u8> {
+        let mut bytes = self.body_bytes(FORMAT_VERSION_CHECKED);
+        let crc = vbs_bitstream::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    fn body_bytes(&self, version: u8) -> Vec<u8> {
         let mut w = BitWriter::new();
-        w.write_bits(FORMAT_VERSION as u64, 4);
+        w.write_bits(version as u64, 4);
         w.write_bits(self.cluster_size as u64, 8);
         w.write_bits(self.spec.lut_size() as u64, 4);
         w.write_bits(self.spec.channel_width() as u64, 9);
@@ -262,19 +283,50 @@ impl Vbs {
         w.into_bytes()
     }
 
-    /// Parses a stream serialized by [`Vbs::to_bytes`].
+    /// Parses a stream serialized by [`Vbs::to_bytes`] or
+    /// [`Vbs::to_bytes_checked`] (the version nibble selects the framing;
+    /// checked streams have their CRC-32 footer verified before any field
+    /// is interpreted).
     ///
     /// # Errors
     ///
-    /// Returns [`VbsError::Malformed`] on truncated or inconsistent input.
+    /// Returns [`VbsError::Malformed`] on truncated, corrupted or
+    /// inconsistent input. Never panics, whatever the bytes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, VbsError> {
         let mut r = BitReader::new(bytes);
         let version = r.read_bits(4)? as u8;
-        if version != FORMAT_VERSION {
-            return Err(VbsError::Malformed {
+        match version {
+            FORMAT_VERSION => Self::parse_body(bytes),
+            FORMAT_VERSION_CHECKED => {
+                if bytes.len() < 5 {
+                    return Err(VbsError::Malformed {
+                        reason: "checked stream shorter than its crc footer".to_string(),
+                    });
+                }
+                let (body, footer) = bytes.split_at(bytes.len() - 4);
+                let expected = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+                let actual = vbs_bitstream::crc32(body);
+                if actual != expected {
+                    return Err(VbsError::Malformed {
+                        reason: format!(
+                            "stream checksum mismatch: footer {expected:#010x}, \
+                             contents digest {actual:#010x}"
+                        ),
+                    });
+                }
+                Self::parse_body(body)
+            }
+            _ => Err(VbsError::Malformed {
                 reason: format!("unsupported format version {version}"),
-            });
+            }),
         }
+    }
+
+    /// Parses the bit-packed body shared by both framings (the version
+    /// nibble has already been validated by [`Vbs::from_bytes`]).
+    fn parse_body(bytes: &[u8]) -> Result<Self, VbsError> {
+        let mut r = BitReader::new(bytes);
+        let _version = r.read_bits(4)?;
         let cluster_size = r.read_bits(8)? as u16;
         let lut_size = r.read_bits(4)? as u8;
         let channel_width = r.read_bits(9)? as u16;
@@ -413,6 +465,44 @@ mod tests {
             Vbs::from_bytes(&bytes),
             Err(VbsError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn checked_roundtrip_preserves_everything() {
+        let v = sample_vbs();
+        let bytes = v.to_bytes_checked();
+        // 4 bits of version difference inside the body, 4 footer bytes.
+        assert_eq!(bytes.len(), v.to_bytes().len() + 4);
+        assert_eq!(Vbs::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn checked_streams_reject_any_bit_flip() {
+        let v = sample_vbs();
+        let bytes = v.to_bytes_checked();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mutated = bytes.clone();
+                mutated[i] ^= 1 << bit;
+                match Vbs::from_bytes(&mutated) {
+                    Err(_) => {}
+                    // The only acceptable Ok is a bit-identical image.
+                    Ok(back) => assert_eq!(back, v, "byte {i} bit {bit} decoded differently"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checked_streams_reject_truncation() {
+        let v = sample_vbs();
+        let bytes = v.to_bytes_checked();
+        for cut in 0..bytes.len() {
+            assert!(
+                Vbs::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} bytes must fail"
+            );
+        }
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The reconfiguration controller: fetch, de-virtualize, write.
 
 use crate::error::RuntimeError;
+use crate::fault::{FaultAction, FaultHook};
 use crate::parallel::DecodeWorkerPool;
 use crate::pool::ScratchPool;
+use std::sync::Arc;
 use std::time::Instant;
 use vbs_arch::{Coord, Device, Rect};
 use vbs_bitstream::{BitstreamError, ConfigMemory, FrameRef, TaskBitstream};
@@ -37,6 +39,97 @@ pub struct ReconfigurationController {
     device: Device,
     memory: ConfigMemory,
     decoder: DecodeWorkerPool,
+    /// Injected fault model; `None` means a fault-free fabric.
+    fault: Option<Arc<dyn FaultHook>>,
+    /// Per-frame CRC sidecar for readback verification; `None` until
+    /// [`ReconfigurationController::enable_integrity`].
+    integrity: Option<IntegrityMap>,
+}
+
+/// The per-frame checksum sidecar behind
+/// [`ReconfigurationController::verify_region`].
+///
+/// Checksums are recorded from the *source* image of each write (the
+/// decoded task in hand), never from a readback — otherwise a corrupted
+/// write would checksum its own corruption and verify clean. Region
+/// operations mirror the configuration memory's semantics: loads record
+/// the task's frame digests, clears record the zero-frame digest, moves
+/// carry digests along and zero the vacated cells.
+#[derive(Debug)]
+struct IntegrityMap {
+    width: u16,
+    crcs: Vec<u32>,
+    /// Digest of an all-zero frame of this architecture.
+    zero_crc: u32,
+}
+
+impl IntegrityMap {
+    fn of(memory: &ConfigMemory) -> Self {
+        let (width, height) = (memory.width(), memory.height());
+        let mut crcs = Vec::with_capacity(width as usize * height as usize);
+        for y in 0..height {
+            for x in 0..width {
+                crcs.push(memory.frame(Coord::new(x, y)).crc32());
+            }
+        }
+        let stride = memory.store().stride();
+        IntegrityMap {
+            width,
+            crcs,
+            zero_crc: vbs_bitstream::crc32_words(&vec![0u64; stride]),
+        }
+    }
+
+    fn index(&self, at: Coord) -> usize {
+        at.y as usize * self.width as usize + at.x as usize
+    }
+
+    fn record(&mut self, at: Coord, crc: u32) {
+        let i = self.index(at);
+        self.crcs[i] = crc;
+    }
+
+    fn expected(&self, at: Coord) -> u32 {
+        self.crcs[self.index(at)]
+    }
+
+    /// Records the digests of a task image loaded at `origin`.
+    fn record_load(&mut self, task: &TaskBitstream, origin: Coord) {
+        for y in 0..task.height() {
+            for x in 0..task.width() {
+                let crc = task.frame(Coord::new(x, y)).crc32();
+                self.record(Coord::new(origin.x + x, origin.y + y), crc);
+            }
+        }
+    }
+
+    /// Records a cleared region (every frame back to the zero digest).
+    fn record_clear(&mut self, region: Rect) {
+        for y in region.origin.y..region.origin.y + region.height {
+            for x in region.origin.x..region.origin.x + region.width {
+                let crc = self.zero_crc;
+                self.record(Coord::new(x, y), crc);
+            }
+        }
+    }
+
+    /// Mirrors [`ConfigMemory::move_region`]: digests travel with their
+    /// frames, vacated cells fall back to the zero digest.
+    fn record_move(&mut self, from: Rect, to: Coord) {
+        let mut moved = Vec::with_capacity(from.area() as usize);
+        for y in 0..from.height {
+            for x in 0..from.width {
+                moved.push(self.expected(Coord::new(from.origin.x + x, from.origin.y + y)));
+            }
+        }
+        self.record_clear(from);
+        for y in 0..from.height {
+            for x in 0..from.width {
+                let crc = moved[y as usize * from.width as usize + x as usize];
+                self.record(Coord::new(to.x + x, to.y + y), crc);
+            }
+        }
+    }
 }
 
 impl ReconfigurationController {
@@ -48,6 +141,8 @@ impl ReconfigurationController {
             device,
             memory,
             decoder: DecodeWorkerPool::new(1),
+            fault: None,
+            integrity: None,
         }
     }
 
@@ -111,6 +206,121 @@ impl ReconfigurationController {
         &self.memory
     }
 
+    /// Installs a fault model consulted around every configuration-memory
+    /// mutation (see [`FaultHook`]); `None` restores the fault-free
+    /// fabric.
+    pub fn set_fault_hook(&mut self, hook: Option<Arc<dyn FaultHook>>) {
+        self.fault = hook;
+    }
+
+    /// Whether the installed fault model reports the fabric offline. A
+    /// fabric with no hook is always online.
+    pub fn is_offline(&self) -> bool {
+        self.fault.as_ref().is_some_and(|h| h.offline())
+    }
+
+    /// Forwards the driver's logical clock to the fault model (see
+    /// [`FaultHook::on_tick`]). A no-op on fault-free fabrics.
+    pub fn advance_clock(&self, tick: u64) {
+        if let Some(hook) = &self.fault {
+            hook.on_tick(tick);
+        }
+    }
+
+    /// Switches on the per-frame checksum sidecar, snapshotting the
+    /// current memory contents as the trusted state. Subsequent loads,
+    /// clears and moves keep the sidecar current from their *source* data,
+    /// and [`ReconfigurationController::verify_region`] compares readback
+    /// against it.
+    pub fn enable_integrity(&mut self) {
+        if self.integrity.is_none() {
+            self.integrity = Some(IntegrityMap::of(&self.memory));
+        }
+    }
+
+    /// Whether the checksum sidecar is live.
+    pub fn integrity_enabled(&self) -> bool {
+        self.integrity.is_some()
+    }
+
+    /// Readback-verifies a region: recomputes every frame's CRC-32 from
+    /// the configuration memory and compares it against the sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::FabricOffline`] when the fabric cannot be
+    /// read, [`RuntimeError::Memory`] with
+    /// [`BitstreamError::CrcMismatch`] naming the first corrupted frame,
+    /// or [`BitstreamError::OutOfTask`]-style bounds errors. A controller
+    /// without the sidecar enabled verifies trivially.
+    pub fn verify_region(&self, region: Rect) -> Result<(), RuntimeError> {
+        if self.is_offline() {
+            return Err(RuntimeError::FabricOffline);
+        }
+        let Some(integrity) = &self.integrity else {
+            return Ok(());
+        };
+        if region.origin.x as u32 + region.width as u32 > self.memory.width() as u32
+            || region.origin.y as u32 + region.height as u32 > self.memory.height() as u32
+        {
+            return Err(RuntimeError::Memory(BitstreamError::DoesNotFit {
+                origin: region.origin,
+                width: region.width,
+                height: region.height,
+            }));
+        }
+        for y in region.origin.y..region.origin.y + region.height {
+            for x in region.origin.x..region.origin.x + region.width {
+                let at = Coord::new(x, y);
+                if self.memory.frame(at).crc32() != integrity.expected(at) {
+                    return Err(RuntimeError::Memory(BitstreamError::CrcMismatch { at }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Consults the fault model about a region write. `Ok(Some(bit))`
+    /// means "write, then corrupt this bit".
+    fn gate_write(&self, region: Rect) -> Result<Option<u64>, RuntimeError> {
+        if self.is_offline() {
+            return Err(RuntimeError::FabricOffline);
+        }
+        match self.fault.as_ref().map(|h| h.on_region_write(region)) {
+            None | Some(FaultAction::Pass) => Ok(None),
+            Some(FaultAction::FailTransient) => Err(RuntimeError::WriteFault {
+                region,
+                transient: true,
+            }),
+            Some(FaultAction::FailPersistent) => Err(RuntimeError::WriteFault {
+                region,
+                transient: false,
+            }),
+            Some(FaultAction::Corrupt { bit }) => Ok(Some(bit)),
+        }
+    }
+
+    /// Flips one seed-derived bit inside a just-written region without
+    /// updating the sidecar — the injected-corruption half of
+    /// [`FaultAction::Corrupt`].
+    fn apply_corruption(&mut self, region: Rect, bit: u64) {
+        let frame_bits = self.memory.store().spec().raw_bits_per_macro() as u64;
+        let total = region.area() as u64 * frame_bits;
+        if total == 0 {
+            return;
+        }
+        let index = bit % total;
+        let frame = (index / frame_bits) as u32;
+        let offset = (index % frame_bits) as usize;
+        let at = Coord::new(
+            region.origin.x + (frame % region.width as u32) as u16,
+            region.origin.y + (frame / region.width as u32) as u16,
+        );
+        let mut target = self.memory.frame_mut(at);
+        let old = target.bit(offset);
+        target.set_bit(offset, !old);
+    }
+
     /// De-virtualizes `vbs` without writing it to the fabric, returning the
     /// raw task configuration (checked out of the scratch pool — return it
     /// with [`ScratchPool::put`] to recycle) and a timing report. Used by
@@ -167,15 +377,30 @@ impl ReconfigurationController {
                 .pool()
                 .checkout(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
         let outcome = match self.decoder.decode_into(vbs, &mut staging) {
-            Ok(report) => self
-                .memory
-                .load_task(&staging, origin)
-                .map(|()| report)
-                .map_err(RuntimeError::Memory),
+            Ok(report) => self.write_decoded(&staging, origin).map(|()| report),
             Err(e) => Err(e),
         };
         self.decoder.pool().put(staging);
         outcome
+    }
+
+    /// The gated write path every load funnels through: consult the fault
+    /// model, write, keep the sidecar current from the source image, then
+    /// apply any injected corruption (which the sidecar, fed from the
+    /// source, will catch on verify).
+    fn write_decoded(&mut self, task: &TaskBitstream, origin: Coord) -> Result<(), RuntimeError> {
+        let region = Rect::new(origin, task.width(), task.height());
+        let corrupt = self.gate_write(region)?;
+        self.memory
+            .load_task(task, origin)
+            .map_err(RuntimeError::Memory)?;
+        if let Some(integrity) = &mut self.integrity {
+            integrity.record_load(task, origin);
+        }
+        if let Some(bit) = corrupt {
+            self.apply_corruption(region, bit);
+        }
+        Ok(())
     }
 
     /// De-virtualizes `vbs` **into** the configuration memory at `origin`,
@@ -216,6 +441,8 @@ impl ReconfigurationController {
                 height: h,
             }));
         }
+        let region = Rect::new(origin, w, h);
+        let corrupt = self.gate_write(region)?;
         let telemetry = self.decoder.pool().telemetry();
         let start = telemetry.now();
         let devirtualizer = Devirtualizer::new(vbs)?;
@@ -230,11 +457,19 @@ impl ReconfigurationController {
             // Frames already streamed would leave the region half
             // configured: blank it so a failed load never leaves partial
             // state behind (the region held no resident task — the caller
-            // checked — so blank is what it was).
-            self.memory
-                .clear_region(Rect::new(origin, w, h))
-                .expect("target region validated above");
+            // checked — so blank is what it was). The region was bounds
+            // validated above, so the clear cannot fail.
+            let _ = self.memory.clear_region(region);
+            if let Some(integrity) = &mut self.integrity {
+                integrity.record_clear(region);
+            }
             return Err(RuntimeError::Decode(e));
+        }
+        if let Some(integrity) = &mut self.integrity {
+            integrity.record_load(staging, origin);
+        }
+        if let Some(bit) = corrupt {
+            self.apply_corruption(region, bit);
         }
         Ok(DecodeReport {
             records: vbs.records().len(),
@@ -257,17 +492,23 @@ impl ReconfigurationController {
         task: &TaskBitstream,
         origin: Coord,
     ) -> Result<(), RuntimeError> {
-        self.memory.load_task(task, origin)?;
-        Ok(())
+        self.write_decoded(task, origin)
     }
 
     /// Clears a region of the configuration memory (task removal).
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::Memory`] when the region is out of bounds.
+    /// Returns [`RuntimeError::Memory`] when the region is out of bounds,
+    /// or [`RuntimeError::FabricOffline`] when the fabric is unreachable.
     pub fn unload(&mut self, region: Rect) -> Result<(), RuntimeError> {
+        if self.is_offline() {
+            return Err(RuntimeError::FabricOffline);
+        }
         self.memory.clear_region(region)?;
+        if let Some(integrity) = &mut self.integrity {
+            integrity.record_clear(region);
+        }
         Ok(())
     }
 
@@ -282,7 +523,33 @@ impl ReconfigurationController {
     /// Returns [`RuntimeError::Memory`] when either rectangle is out of
     /// bounds; the memory is left untouched in that case.
     pub fn move_region(&mut self, from: Rect, to: Coord) -> Result<(), RuntimeError> {
+        if self.is_offline() {
+            return Err(RuntimeError::FabricOffline);
+        }
         self.memory.move_region(from, to)?;
+        if let Some(integrity) = &mut self.integrity {
+            integrity.record_move(from, to);
+        }
+        Ok(())
+    }
+
+    /// Wipes the whole configuration memory (and sidecar) back to blank —
+    /// the recovery path after a fabric outage, when whatever the dead
+    /// fabric held can no longer be trusted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::FabricOffline`] while the fabric is still
+    /// unreachable.
+    pub fn reset_memory(&mut self) -> Result<(), RuntimeError> {
+        if self.is_offline() {
+            return Err(RuntimeError::FabricOffline);
+        }
+        let all = Rect::at_origin(self.memory.width(), self.memory.height());
+        self.memory.clear_region(all)?;
+        if let Some(integrity) = &mut self.integrity {
+            integrity.record_clear(all);
+        }
         Ok(())
     }
 }
@@ -489,6 +756,164 @@ mod tests {
         assert_eq!(stats.fresh, 1, "one staging buffer serves every load");
         assert_eq!(stats.scratch_fresh, 1, "one scratch serves every load");
         assert!(stats.reused >= 2, "later loads recycle: {stats:?}");
+    }
+
+    #[derive(Debug, Default)]
+    struct ScriptedHook {
+        actions: std::sync::Mutex<std::collections::VecDeque<FaultAction>>,
+        offline: std::sync::atomic::AtomicBool,
+    }
+
+    impl ScriptedHook {
+        fn push(&self, action: FaultAction) {
+            self.actions.lock().unwrap().push_back(action);
+        }
+
+        fn set_offline(&self, offline: bool) {
+            self.offline
+                .store(offline, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    impl FaultHook for ScriptedHook {
+        fn on_region_write(&self, _region: Rect) -> FaultAction {
+            self.actions
+                .lock()
+                .unwrap()
+                .pop_front()
+                .unwrap_or(FaultAction::Pass)
+        }
+
+        fn offline(&self) -> bool {
+            self.offline.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn write_faults_refuse_the_load_and_leave_memory_untouched() {
+        let (device, vbs, _) = task_vbs();
+        let mut controller = ReconfigurationController::new(device);
+        let hook = Arc::new(ScriptedHook::default());
+        controller.set_fault_hook(Some(hook.clone()));
+
+        hook.push(FaultAction::FailTransient);
+        assert!(matches!(
+            controller.load(&vbs, Coord::new(2, 2)),
+            Err(RuntimeError::WriteFault {
+                transient: true,
+                ..
+            })
+        ));
+        assert_eq!(controller.memory().occupied_macros(), 0);
+
+        hook.push(FaultAction::FailPersistent);
+        assert!(matches!(
+            controller.load(&vbs, Coord::new(2, 2)),
+            Err(RuntimeError::WriteFault {
+                transient: false,
+                ..
+            })
+        ));
+
+        // With the script drained the hook passes and the load lands.
+        controller.load(&vbs, Coord::new(2, 2)).unwrap();
+        assert!(controller.memory().occupied_macros() > 0);
+    }
+
+    #[test]
+    fn verify_catches_injected_corruption_and_a_rewrite_scrubs_it() {
+        let (device, vbs, raw) = task_vbs();
+        let mut controller = ReconfigurationController::new(device);
+        controller.enable_integrity();
+        assert!(controller.integrity_enabled());
+        let hook = Arc::new(ScriptedHook::default());
+        controller.set_fault_hook(Some(hook.clone()));
+
+        let origin = Coord::new(4, 3);
+        let region = Rect::new(origin, vbs.width(), vbs.height());
+        hook.push(FaultAction::Corrupt { bit: 987_654_321 });
+        controller.load(&vbs, origin).unwrap();
+        // The sidecar recorded the intended image, so readback disagrees.
+        let err = controller.verify_region(region).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Memory(BitstreamError::CrcMismatch { .. })
+        ));
+
+        // A scrub rewrite of the same image (fault-free this time) heals it.
+        controller.load_decoded(&raw, origin).unwrap();
+        controller.verify_region(region).unwrap();
+
+        // Clearing and moving keep the sidecar mirrored too.
+        controller.move_region(region, Coord::new(9, 1)).unwrap();
+        let moved = Rect::new(Coord::new(9, 1), vbs.width(), vbs.height());
+        controller.verify_region(moved).unwrap();
+        controller.verify_region(region).unwrap();
+        controller.unload(moved).unwrap();
+        let whole = Rect::at_origin(controller.memory().width(), controller.memory().height());
+        controller.verify_region(whole).unwrap();
+    }
+
+    #[test]
+    fn verify_catches_silent_bit_rot() {
+        let (device, vbs, _) = task_vbs();
+        let mut controller = ReconfigurationController::new(device);
+        controller.enable_integrity();
+        let origin = Coord::new(0, 0);
+        let region = Rect::new(origin, vbs.width(), vbs.height());
+        controller.load(&vbs, origin).unwrap();
+        controller.verify_region(region).unwrap();
+
+        // Flip one configuration bit behind the controller's back.
+        let mut frame = controller.memory.frame_mut(Coord::new(1, 1));
+        let old = frame.bit(3);
+        frame.set_bit(3, !old);
+        let err = controller.verify_region(region).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Memory(BitstreamError::CrcMismatch { at }) if at == Coord::new(1, 1)
+        ));
+    }
+
+    #[test]
+    fn an_offline_fabric_refuses_every_operation_until_recovery() {
+        let (device, vbs, _) = task_vbs();
+        let mut controller = ReconfigurationController::new(device);
+        controller.enable_integrity();
+        controller.load(&vbs, Coord::new(1, 1)).unwrap();
+        let region = Rect::new(Coord::new(1, 1), vbs.width(), vbs.height());
+
+        let hook = Arc::new(ScriptedHook::default());
+        controller.set_fault_hook(Some(hook.clone()));
+        hook.set_offline(true);
+        assert!(controller.is_offline());
+        assert!(matches!(
+            controller.load(&vbs, Coord::new(8, 1)),
+            Err(RuntimeError::FabricOffline)
+        ));
+        assert!(matches!(
+            controller.unload(region),
+            Err(RuntimeError::FabricOffline)
+        ));
+        assert!(matches!(
+            controller.move_region(region, Coord::new(8, 1)),
+            Err(RuntimeError::FabricOffline)
+        ));
+        assert!(matches!(
+            controller.verify_region(region),
+            Err(RuntimeError::FabricOffline)
+        ));
+        assert!(matches!(
+            controller.reset_memory(),
+            Err(RuntimeError::FabricOffline)
+        ));
+
+        // Recovery: back online, wipe to a trusted blank state.
+        hook.set_offline(false);
+        controller.reset_memory().unwrap();
+        assert_eq!(controller.memory().occupied_macros(), 0);
+        let whole = Rect::at_origin(controller.memory().width(), controller.memory().height());
+        controller.verify_region(whole).unwrap();
     }
 
     #[test]

@@ -31,6 +31,27 @@ pub enum RuntimeError {
     Decode(vbs_core::VbsError),
     /// Writing to the configuration memory failed.
     Memory(vbs_bitstream::BitstreamError),
+    /// A configuration-memory write was refused by the fabric (injected or
+    /// device-reported). Transient faults are worth retrying; persistent
+    /// ones are not.
+    WriteFault {
+        /// The region whose write failed.
+        region: Rect,
+        /// Whether a retry of the same write may succeed.
+        transient: bool,
+    },
+    /// The whole fabric is offline: every configuration-memory operation
+    /// fails until it recovers.
+    FabricOffline,
+    /// A decode lane panicked mid-load. The worker pool contains the panic
+    /// and keeps serving later loads; the interrupted load fails with this
+    /// error.
+    LanePanic {
+        /// Index of the lane that panicked.
+        lane: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -46,6 +67,19 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Decode(e) => write!(f, "de-virtualization failed: {e}"),
             RuntimeError::Memory(e) => write!(f, "configuration memory error: {e}"),
+            RuntimeError::WriteFault { region, transient } => write!(
+                f,
+                "{} write fault in region {region}",
+                if *transient {
+                    "transient"
+                } else {
+                    "persistent"
+                }
+            ),
+            RuntimeError::FabricOffline => write!(f, "fabric is offline"),
+            RuntimeError::LanePanic { lane, message } => {
+                write!(f, "decode lane {lane} panicked: {message}")
+            }
         }
     }
 }

@@ -1,0 +1,80 @@
+//! The fault-injection seam of the runtime: a hook the
+//! [`crate::ReconfigurationController`] consults before every
+//! configuration-memory mutation.
+//!
+//! Real reconfiguration ports fail: a frame write can be refused
+//! transiently (bus contention, ECC retry) or persistently (a dead
+//! column), and a whole fabric can drop off the management network and
+//! come back later. The controller models all of that through one trait so
+//! the scheduler's self-healing paths (retry, re-placement, quarantine)
+//! can be driven deterministically by an injected implementation — see
+//! `vbs-sched`'s `FaultInjector` — while production controllers simply run
+//! with no hook installed and pay one `Option` check per region write.
+
+use std::fmt;
+use vbs_arch::Rect;
+
+/// What a [`FaultHook`] decides about one region write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The write proceeds untouched.
+    Pass,
+    /// The write is refused; a retry may succeed.
+    FailTransient,
+    /// The write is refused; retries will keep failing.
+    FailPersistent,
+    /// The write proceeds, but the fabric then flips one bit inside the
+    /// written region (`bit` indexes the region's frame bits row-major,
+    /// taken modulo the actual bit count). The integrity sidecar records
+    /// the *intended* contents, so a readback verify catches this.
+    Corrupt {
+        /// Seed-derived index of the bit to flip.
+        bit: u64,
+    },
+}
+
+/// A fault model consulted by the controller around configuration-memory
+/// mutations. Implementations must be deterministic given their own seed
+/// and call sequence — the chaos goldens replay them twice and diff.
+pub trait FaultHook: Send + Sync + fmt::Debug {
+    /// Decides the fate of a region write (task load, scrub rewrite). The
+    /// controller calls this exactly once per attempted region mutation,
+    /// *after* the offline check.
+    fn on_region_write(&self, region: Rect) -> FaultAction;
+
+    /// Whether the whole fabric is currently offline. While true, every
+    /// controller operation fails with
+    /// [`crate::RuntimeError::FabricOffline`] without consulting
+    /// [`FaultHook::on_region_write`].
+    fn offline(&self) -> bool {
+        false
+    }
+
+    /// Observes the driver's logical clock. The controller forwards every
+    /// clock advance here so time-keyed fault models (outage windows) track
+    /// replay time without a side channel to the driver.
+    fn on_tick(&self, _tick: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct AlwaysPass;
+    impl FaultHook for AlwaysPass {
+        fn on_region_write(&self, _region: Rect) -> FaultAction {
+            FaultAction::Pass
+        }
+    }
+
+    #[test]
+    fn hooks_default_to_online() {
+        let hook = AlwaysPass;
+        assert!(!hook.offline());
+        assert_eq!(
+            hook.on_region_write(Rect::at_origin(1, 1)),
+            FaultAction::Pass
+        );
+    }
+}

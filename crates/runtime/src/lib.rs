@@ -32,6 +32,7 @@
 
 mod controller;
 mod error;
+mod fault;
 mod manager;
 mod parallel;
 pub mod placement;
@@ -42,6 +43,7 @@ pub use controller::{
     devirtualize_into, devirtualize_stream, DecodeReport, ReconfigurationController,
 };
 pub use error::RuntimeError;
+pub use fault::{FaultAction, FaultHook};
 pub use manager::{LoadedTask, TaskHandle, TaskManager};
 pub use parallel::DecodeWorkerPool;
 pub use placement::{BestFit, BottomLeftSkyline, FabricId, FabricView, FirstFit, PlacementPolicy};

@@ -110,6 +110,23 @@ impl TaskManager {
         &self.controller
     }
 
+    /// Mutable access to the controller — the seam the scheduler uses to
+    /// install a fault hook, enable integrity tracking and scrub-rewrite a
+    /// resident after a readback mismatch.
+    pub fn controller_mut(&mut self) -> &mut ReconfigurationController {
+        &mut self.controller
+    }
+
+    /// Forgets every resident without touching the hardware — the
+    /// evacuation path when the fabric itself has failed: there is nothing
+    /// to clear (the device is unreachable), but the bookkeeping must be
+    /// emptied so the survivors of a later recovery start from a blank
+    /// fabric. Returns the abandoned residents, oldest first, so the
+    /// caller can re-place them elsewhere.
+    pub fn evacuate(&mut self) -> Vec<LoadedTask> {
+        std::mem::take(&mut self.loaded)
+    }
+
     /// Installs a (typically fleet-shared) scratch pool on the controller,
     /// so every decode this manager performs recycles through it.
     pub fn set_scratch_pool(&mut self, pool: ScratchPool) {

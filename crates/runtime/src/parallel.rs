@@ -41,8 +41,9 @@
 use crate::error::RuntimeError;
 use crate::pool::ScratchPool;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU16, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use vbs_arch::ArchSpec;
 use vbs_bitstream::TaskBitstream;
@@ -252,7 +253,7 @@ impl DecodeWorkerPool {
         } else {
             // One dispatcher at a time: the job slot and completion counter
             // belong to exactly one in-flight job (see the safety contract).
-            let _dispatch = self.dispatch.lock().expect("dispatch lock never poisoned");
+            let _dispatch = lock_unpoisoned(&self.dispatch);
             task.reset(*vbs.spec(), width, height);
             let job = Job {
                 devirt: (&devirtualizer as *const Devirtualizer<'_>).cast(),
@@ -271,30 +272,32 @@ impl DecodeWorkerPool {
                 fabric,
             };
             {
-                let mut state = self.shared.state.lock().expect("pool state never poisoned");
+                let mut state = lock_unpoisoned(&self.shared.state);
                 state.job = Some(&job as *const Job);
                 state.active = self.threads.len();
                 state.epoch += 1;
                 self.shared.work.notify_all();
             }
-            // Lane 0 is the dispatcher itself.
-            run_lane(&job, &self.shared.pool, 0);
+            // Lane 0 is the dispatcher itself. A panic here must not
+            // propagate before the completion wait below — the published
+            // job pointers would dangle — so it is caught and converted
+            // into the job's failure slot like any worker-lane panic.
+            let lane0 = catch_unwind(AssertUnwindSafe(|| run_lane(&job, &self.shared.pool, 0)));
             {
-                let mut state = self.shared.state.lock().expect("pool state never poisoned");
+                let mut state = lock_unpoisoned(&self.shared.state);
                 while state.active > 0 {
                     state = self
                         .shared
                         .done
                         .wait(state)
-                        .expect("pool state never poisoned");
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 state.job = None;
             }
-            let failure = job
-                .error
-                .lock()
-                .expect("job error slot never poisoned")
-                .take();
+            if let Err(payload) = lane0 {
+                fail(&job, lane_panic_error(0, payload.as_ref()));
+            }
+            let failure = lock_unpoisoned(&job.error).take();
             if let Some(error) = failure {
                 return Err(error);
             }
@@ -312,7 +315,7 @@ impl DecodeWorkerPool {
 impl Drop for DecodeWorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool state never poisoned");
+            let mut state = lock_unpoisoned(&self.shared.state);
             state.shutdown = true;
             self.shared.work.notify_all();
         }
@@ -322,13 +325,33 @@ impl Drop for DecodeWorkerPool {
     }
 }
 
+/// Locks a mutex, recovering the data even when a panicking lane poisoned
+/// it — a single bad decode must not take the pool down for later loads.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Converts a caught lane panic payload into the typed error reported to
+/// the interrupted load.
+fn lane_panic_error(lane: usize, payload: &(dyn std::any::Any + Send)) -> RuntimeError {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    RuntimeError::LanePanic { lane, message }
+}
+
 /// One worker thread: park on the condvar, run every published job once,
-/// signal completion, repeat until shutdown.
+/// signal completion, repeat until shutdown. A panic inside the lane is
+/// caught here: the completion signal must fire regardless (the dispatcher
+/// is blocked on it), and the panic surfaces as the job's
+/// [`RuntimeError::LanePanic`] instead of tearing the thread down.
 fn worker_loop(shared: &Shared, lane: u16) {
     let mut seen = 0u64;
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("pool state never poisoned");
+            let mut state = lock_unpoisoned(&shared.state);
             loop {
                 if state.shutdown {
                     return;
@@ -339,14 +362,20 @@ fn worker_loop(shared: &Shared, lane: u16) {
                         break job;
                     }
                 }
-                state = shared.work.wait(state).expect("pool state never poisoned");
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: the dispatcher keeps the job (and everything it points
         // at) alive until `active` reaches zero, which this thread only
         // signals below, after its last use of `job`.
-        run_lane(unsafe { &*job }, &shared.pool, lane);
-        let mut state = shared.state.lock().expect("pool state never poisoned");
+        let job = unsafe { &*job };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_lane(job, &shared.pool, lane))) {
+            fail(job, lane_panic_error(lane as usize, payload.as_ref()));
+        }
+        let mut state = lock_unpoisoned(&shared.state);
         state.active -= 1;
         if state.active == 0 {
             shared.done.notify_all();
@@ -358,6 +387,8 @@ fn worker_loop(shared: &Shared, lane: u16) {
 /// pooled partial image on a pooled scratch, then word-OR the partial into
 /// the target under the merge lock.
 fn run_lane(job: &Job, pool: &ScratchPool, lane_index: u16) {
+    #[cfg(test)]
+    tests::maybe_inject_panic();
     // SAFETY: see the Job contract — the record slice outlives the job.
     let records = unsafe { std::slice::from_raw_parts(job.records, job.records_len) };
     // SAFETY: ditto; the cast reverses the lifetime erasure of dispatch.
@@ -403,7 +434,7 @@ fn run_lane(job: &Job, pool: &ScratchPool, lane_index: u16) {
 
     if let Some((scratch, partial)) = lane {
         if !job.failed.load(Ordering::Relaxed) {
-            let _guard = job.merge.lock().expect("merge lock never poisoned");
+            let _guard = lock_unpoisoned(&job.merge);
             // SAFETY: the target is only touched under the merge lock and
             // outlives the job (dispatcher's &mut borrow).
             let target = unsafe { &mut *job.target };
@@ -427,7 +458,7 @@ fn run_lane(job: &Job, pool: &ScratchPool, lane_index: u16) {
 
 /// Records the first failure and stops the other lanes claiming work.
 fn fail(job: &Job, error: RuntimeError) {
-    let mut slot = job.error.lock().expect("job error slot never poisoned");
+    let mut slot = lock_unpoisoned(&job.error);
     if slot.is_none() {
         *slot = Some(error);
     }
@@ -439,6 +470,16 @@ mod tests {
     use super::*;
     use vbs_flow::CadFlow;
     use vbs_netlist::generate::SyntheticSpec;
+
+    /// Arms a one-shot panic in the next lane that starts a job — the
+    /// injection seam for the containment test below.
+    static INJECT_LANE_PANIC: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn maybe_inject_panic() {
+        if INJECT_LANE_PANIC.swap(false, Ordering::SeqCst) {
+            panic!("injected lane panic");
+        }
+    }
 
     fn fixture() -> (Vbs, TaskBitstream) {
         let netlist = SyntheticSpec::new("pp", 24, 4, 4)
@@ -543,5 +584,30 @@ mod tests {
         assert!(pool.decode_into(&bad, &mut task).is_err());
         // The pool survives the failure and decodes good streams again.
         pool.decode_into(&vbs, &mut task).unwrap();
+    }
+
+    #[test]
+    fn a_panicking_lane_is_contained_and_reported() {
+        let (vbs, raw) = fixture();
+        let pool = DecodeWorkerPool::new(4);
+        let mut task = TaskBitstream::empty(*vbs.spec(), 1, 1);
+        pool.decode_into(&vbs, &mut task).unwrap();
+
+        // Silence the default panic hook around the injected panic so the
+        // test log stays readable; the panic itself is caught by the pool.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        INJECT_LANE_PANIC.store(true, Ordering::SeqCst);
+        let err = pool.decode_into(&vbs, &mut task).unwrap_err();
+        std::panic::set_hook(hook);
+        assert!(matches!(err, RuntimeError::LanePanic { .. }), "{err:?}");
+        assert!(err.to_string().contains("injected lane panic"));
+
+        // The interrupted load failed, but the pool is not poisoned: the
+        // same lanes keep decoding later loads bit-perfectly.
+        for _ in 0..3 {
+            pool.decode_into(&vbs, &mut task).unwrap();
+            assert_eq!(task.diff_count(&raw).unwrap(), 0);
+        }
     }
 }

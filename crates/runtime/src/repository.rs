@@ -56,6 +56,12 @@ impl VbsRepository {
         self.streams.get(name).map(Vec::len)
     }
 
+    /// The raw serialized bytes of a stored task — what a fault injector
+    /// mutates to model external-memory corruption.
+    pub fn bytes(&self, name: &str) -> Option<&[u8]> {
+        self.streams.get(name).map(Vec::as_slice)
+    }
+
     /// Names of the stored tasks, sorted.
     pub fn task_names(&self) -> Vec<&str> {
         self.streams.keys().map(String::as_str).collect()

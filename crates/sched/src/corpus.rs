@@ -24,6 +24,7 @@
 //! layouts, so a corpus mixing architectures could never replay.
 
 use crate::evict::LruEviction;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::multi::{MultiConfig, MultiFabricScheduler};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::shard::{shard_policy_by_name, SHARD_POLICY_NAMES};
@@ -31,6 +32,7 @@ use crate::sim::{replay, replay_multi};
 use crate::trace::{Trace, TraceError};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use vbs_arch::{ArchSpec, Device};
 use vbs_runtime::{FabricId, FirstFit, ReconfigurationController, TaskManager, VbsRepository};
 
@@ -331,6 +333,74 @@ impl McncCorpus {
                 }
                 lines.push(line);
             }
+        }
+        lines
+    }
+
+    /// The seeded fault schedules of the chaos replay, one plan per fleet
+    /// fabric (see `crate::fault` for the format). Fabric 0 suffers
+    /// scattered write faults plus a whole-fabric outage over the middle of
+    /// the steady trace; fabric 1 stays reachable but flaky, so the
+    /// survivors' self-healing (retry, scrub, re-placement) is exercised
+    /// while it absorbs the evacuated residents.
+    pub const CHAOS_PLANS: [&'static str; 2] = [
+        "seed 42\nwrite 3 transient\nwrite 9 corrupt\nwrite 14 persistent\noutage 55 90\n",
+        "seed 43\nwrite 5 transient\nwrite 11 corrupt\nwrite 20 transient\n",
+    ];
+
+    /// The fleet replay scheduler with the chaos fault schedules installed:
+    /// readback verification on, one [`FaultInjector`] per fabric replaying
+    /// [`Self::CHAOS_PLANS`].
+    pub fn chaos_fleet_scheduler(&self) -> MultiFabricScheduler {
+        let mut fleet = self
+            .fleet_scheduler("round-robin")
+            .expect("round-robin resolves");
+        for (i, plan) in Self::CHAOS_PLANS
+            .iter()
+            .enumerate()
+            .take(fleet.fabric_count())
+        {
+            let plan = FaultPlan::parse(plan).expect("chaos plans parse");
+            let fabric = fleet.fabric_mut(i);
+            fabric.set_verify(true);
+            fabric.set_fault_hook(Some(Arc::new(FaultInjector::new(plan))));
+        }
+        fleet
+    }
+
+    /// Replays the steady trace through the fleet under the chaos fault
+    /// schedules and renders deterministic counter lines — the chaos
+    /// goldens. Two runs of this function must produce identical lines;
+    /// the chaos test and the `chaos` CI binary both pin that.
+    ///
+    /// ```text
+    /// chaos steady fleet <accepted> <rejected> <migrations> <quarantines> <recoveries> <requeued> <degraded>
+    /// chaos steady fabric<i> <accepted> <rejected> <write_faults> <write_retries> <crc_mismatches> <verify_scrubs>
+    /// ```
+    pub fn chaos_lines(&self) -> Vec<String> {
+        let mut fleet = self.chaos_fleet_scheduler();
+        let trace = self.trace("steady").expect("steady trace present");
+        let report = replay_multi(&mut fleet, trace);
+        let mut lines = vec![format!(
+            "chaos steady fleet {} {} {} {} {} {} {}",
+            report.multi.loads_accepted,
+            report.multi.loads_rejected,
+            report.multi.migrations,
+            report.multi.quarantines,
+            report.multi.recoveries,
+            report.multi.residents_requeued,
+            report.multi.degraded_accepts,
+        )];
+        for (i, fabric) in report.fabrics.iter().enumerate() {
+            lines.push(format!(
+                "chaos steady fabric{i} {} {} {} {} {} {}",
+                fabric.sched.loads_accepted,
+                fabric.sched.loads_rejected,
+                fabric.sched.write_faults,
+                fabric.sched.write_retries,
+                fabric.sched.crc_mismatches,
+                fabric.sched.verify_scrubs,
+            ));
         }
         lines
     }

@@ -40,6 +40,7 @@
 mod cache;
 mod corpus;
 mod evict;
+mod fault;
 mod multi;
 mod pool;
 mod scheduler;
@@ -50,9 +51,12 @@ mod trace;
 pub use cache::{CacheStats, DecodeCache};
 pub use corpus::{CorpusError, CorpusTask, McncCorpus};
 pub use evict::{EvictionPolicy, LruEviction, PriorityEviction, ResidentInfo};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultPlanError, Outage};
 pub use multi::{MultiConfig, MultiFabricScheduler, MultiMetrics};
 pub use pool::{BitstreamPool, PoolStats};
-pub use scheduler::{Outcome, RejectReason, Request, SchedMetrics, Scheduler, SchedulerConfig};
+pub use scheduler::{
+    EvacuatedJob, Outcome, RejectReason, Request, SchedMetrics, Scheduler, SchedulerConfig,
+};
 pub use shard::{
     shard_policy_by_name, CacheAffinity, FabricStatus, LeastLoaded, RoundRobin, ShardPolicy,
     SHARD_POLICY_NAMES,

@@ -25,7 +25,7 @@
 //! ids.
 
 use crate::pool::BitstreamPool;
-use crate::scheduler::{Outcome, RejectReason, Request, SchedMetrics, Scheduler};
+use crate::scheduler::{EvacuatedJob, Outcome, RejectReason, Request, SchedMetrics, Scheduler};
 use crate::shard::{FabricStatus, ShardPolicy};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
@@ -87,6 +87,16 @@ pub struct MultiMetrics {
     pub pipeline_stall_micros: u64,
     /// Processing rounds executed (≥1 per `process_pending` call).
     pub process_rounds: u64,
+    /// Fabrics quarantined after going offline.
+    pub quarantines: u64,
+    /// Quarantined fabrics that recovered and rejoined the fleet.
+    pub recoveries: u64,
+    /// Residents of quarantined fabrics re-queued for re-placement on the
+    /// survivors.
+    pub residents_requeued: u64,
+    /// Re-queued residents that landed on a surviving fabric (degraded-mode
+    /// acceptance; the original load already counted in `loads_accepted`).
+    pub degraded_accepts: u64,
 }
 
 impl MultiMetrics {
@@ -108,6 +118,10 @@ struct PendingLoad {
     /// as the set a migrating load must not retry; the local ids let a
     /// final rejection prune every id mapping the load created.
     dispatched: Vec<(usize, u64)>,
+    /// Whether this is a re-placement of a resident evacuated from a
+    /// quarantined fabric (books as a degraded-mode acceptance, not a
+    /// fresh fleet load).
+    replacement: bool,
 }
 
 impl PendingLoad {
@@ -136,6 +150,10 @@ pub struct MultiFabricScheduler {
     /// Global load job → its current `(fabric, local job)` home.
     route: HashMap<u64, (usize, u64)>,
     pending_loads: HashMap<u64, PendingLoad>,
+    /// Per-fabric quarantine flags: a fabric found offline after a round is
+    /// quarantined (no new routing, residents re-queued elsewhere) until its
+    /// fault hook reports it reachable again.
+    quarantined: Vec<bool>,
     /// Outcomes answered without touching any fabric (unroutable targets).
     synthesized: Vec<(u64, Outcome)>,
     next_job: u64,
@@ -173,6 +191,7 @@ impl MultiFabricScheduler {
                 fabric.set_streaming(true);
             }
         }
+        let quarantined = vec![false; fabrics.len()];
         MultiFabricScheduler {
             fabrics,
             policy,
@@ -181,6 +200,7 @@ impl MultiFabricScheduler {
             request_tags: HashMap::new(),
             route: HashMap::new(),
             pending_loads: HashMap::new(),
+            quarantined,
             synthesized: Vec::new(),
             next_job: 1,
             metrics: MultiMetrics::default(),
@@ -220,6 +240,18 @@ impl MultiFabricScheduler {
     /// Read access to one shard's scheduler.
     pub fn fabric(&self, index: usize) -> &Scheduler {
         &self.fabrics[index]
+    }
+
+    /// Mutable access to one shard's scheduler — the seam chaos drivers use
+    /// to install per-fabric fault hooks and verification.
+    pub fn fabric_mut(&mut self, index: usize) -> &mut Scheduler {
+        &mut self.fabrics[index]
+    }
+
+    /// Whether a fabric is currently quarantined (offline and routed
+    /// around).
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.quarantined[index]
     }
 
     /// Read access to every shard.
@@ -267,22 +299,32 @@ impl MultiFabricScheduler {
     }
 
     fn statuses(&self, task: &str) -> Vec<FabricStatus> {
-        self.fabrics
+        let status_of = |(i, s): (usize, &Scheduler)| {
+            let view = s.manager().fabric_view();
+            FabricStatus {
+                fabric: i,
+                id: view.id(),
+                free_area: view.free_area(),
+                total_area: view.total_area(),
+                queued_loads: s.queued_loads(),
+                residents: s.manager().loaded_tasks().len(),
+                holds_decoded: s.holds_decoded(task),
+            }
+        };
+        // Quarantined fabrics take no new work. If the whole fleet is down
+        // the unfiltered list keeps the policy fed (the load then fails on
+        // the offline fabric and is reported, not silently dropped here).
+        let healthy: Vec<FabricStatus> = self
+            .fabrics
             .iter()
             .enumerate()
-            .map(|(i, s)| {
-                let view = s.manager().fabric_view();
-                FabricStatus {
-                    fabric: i,
-                    id: view.id(),
-                    free_area: view.free_area(),
-                    total_area: view.total_area(),
-                    queued_loads: s.queued_loads(),
-                    residents: s.manager().loaded_tasks().len(),
-                    holds_decoded: s.holds_decoded(task),
-                }
-            })
-            .collect()
+            .filter(|&(i, _)| !self.quarantined[i])
+            .map(status_of)
+            .collect();
+        if !healthy.is_empty() {
+            return healthy;
+        }
+        self.fabrics.iter().enumerate().map(status_of).collect()
     }
 
     /// Enqueues a request, routing loads through the shard policy, and
@@ -312,6 +354,7 @@ impl MultiFabricScheduler {
                         task: task.clone(),
                         request,
                         dispatched: vec![(fabric, local)],
+                        replacement: false,
                     },
                 );
             }
@@ -376,20 +419,108 @@ impl MultiFabricScheduler {
                     (global, self.translate_outcome(fabric, outcome))
                 })
                 .collect();
-            let mut migrated_any = false;
+            // Probe fabric health before settling: a fabric that went
+            // offline during the round is quarantined *now*, so this very
+            // round's runtime rejections from it migrate to survivors
+            // instead of dropping, and its evacuated residents re-queue.
+            let mut more_work = self.check_fabric_health();
             for (global, outcome) in translated {
                 if self.try_migrate(global, &outcome) {
-                    migrated_any = true;
+                    more_work = true;
                     continue; // final outcome pending on another fabric
                 }
                 self.settle(global, &outcome);
                 results.push((global, outcome));
             }
-            if !migrated_any {
+            if !more_work {
                 break;
             }
         }
         results
+    }
+
+    /// Probes every fabric's reachability after a round. A newly offline
+    /// fabric is quarantined: its residents are evacuated (bookkeeping
+    /// only — the device is unreachable) and re-queued on the survivors
+    /// under their original fleet-global ids. A quarantined fabric whose
+    /// hook reports it reachable again is wiped ([`Scheduler`]
+    /// `reset_after_recovery`) and rejoins the routing set. Returns whether
+    /// any resident was re-queued (another round must run to place it).
+    fn check_fabric_health(&mut self) -> bool {
+        let mut requeued = false;
+        for i in 0..self.fabrics.len() {
+            let offline = self.fabrics[i].is_offline();
+            if offline && !self.quarantined[i] {
+                self.quarantined[i] = true;
+                self.metrics.quarantines += 1;
+                let evacuated = self.fabrics[i].evacuate();
+                self.telemetry.event(
+                    EventKind::Quarantine,
+                    FLEET_FABRIC,
+                    0,
+                    i as u64,
+                    evacuated.len() as u64,
+                );
+                for job in evacuated {
+                    requeued |= self.requeue_resident(i, job);
+                }
+            } else if !offline && self.quarantined[i] {
+                // Nothing written during the outage can be trusted, so the
+                // shard rejoins empty; if the wipe itself fails the fabric
+                // stays quarantined and is re-probed next round.
+                if self.fabrics[i].reset_after_recovery().is_ok() {
+                    self.quarantined[i] = false;
+                    self.metrics.recoveries += 1;
+                    self.telemetry
+                        .event(EventKind::Recover, FLEET_FABRIC, 0, i as u64, 0);
+                }
+            }
+        }
+        requeued
+    }
+
+    /// Re-queues one evacuated resident of quarantined fabric `from` as a
+    /// replacement load on a surviving fabric, re-using its fleet-global
+    /// id. Returns whether a new dispatch was created.
+    fn requeue_resident(&mut self, from: usize, job: EvacuatedJob) -> bool {
+        let Some(global) = self.local_to_global.remove(&(from, job.job)) else {
+            // Not routed by this dispatcher (shard driven directly).
+            return false;
+        };
+        self.route.remove(&global);
+        self.metrics.residents_requeued += 1;
+        let statuses = self.statuses(&job.task);
+        if statuses.iter().all(|s| self.quarantined[s.fabric]) {
+            // Whole fleet down: the resident is lost until re-submitted.
+            return false;
+        }
+        let request = Request::Load {
+            task: job.task.clone(),
+            priority: job.priority,
+            deadline: None,
+        };
+        let pick = self.policy.choose(&job.task, &statuses);
+        let target = statuses[pick].fabric;
+        self.telemetry.event(
+            EventKind::ShardDecision,
+            FLEET_FABRIC,
+            0,
+            global,
+            target as u64,
+        );
+        let local = self.fabrics[target].submit(request.clone());
+        self.local_to_global.insert((target, local), global);
+        self.route.insert(global, (target, local));
+        self.pending_loads.insert(
+            global,
+            PendingLoad {
+                task: job.task,
+                request,
+                dispatched: vec![(target, local)],
+                replacement: true,
+            },
+        );
+        true
     }
 
     /// Books the final outcome of a request in the fleet counters and
@@ -398,9 +529,13 @@ impl MultiFabricScheduler {
         if let Some(pending) = self.pending_loads.remove(&global) {
             match outcome {
                 Outcome::Loaded { .. } => {
-                    self.metrics.loads_accepted += 1;
-                    if pending.dispatched.len() > 1 {
-                        self.metrics.migrated_accepts += 1;
+                    if pending.replacement {
+                        self.metrics.degraded_accepts += 1;
+                    } else {
+                        self.metrics.loads_accepted += 1;
+                        if pending.dispatched.len() > 1 {
+                            self.metrics.migrated_accepts += 1;
+                        }
                     }
                     // Mappings of the fabrics that rejected the load are no
                     // longer reachable; only the accepting one stays.
@@ -413,7 +548,13 @@ impl MultiFabricScheduler {
                     }
                 }
                 Outcome::Rejected { .. } => {
-                    self.metrics.loads_rejected += 1;
+                    // A failed *re-placement* is not a fresh fleet
+                    // rejection — the original load already counted as
+                    // accepted; the gap between `residents_requeued` and
+                    // `degraded_accepts` is where lost residents show.
+                    if !pending.replacement {
+                        self.metrics.loads_rejected += 1;
+                    }
                     self.route.remove(&global);
                     for dispatch in pending.dispatched {
                         self.local_to_global.remove(&dispatch);
@@ -442,16 +583,29 @@ impl MultiFabricScheduler {
         if !self.config.migration {
             return false;
         }
-        let Outcome::Rejected {
-            reason: RejectReason::NoCapacity,
-            ..
-        } = outcome
-        else {
-            return false;
-        };
         let Some(pending) = self.pending_loads.get(&global) else {
             return false;
         };
+        let migratable = match outcome {
+            Outcome::Rejected {
+                reason: RejectReason::NoCapacity,
+                ..
+            } => true,
+            // A load caught in flight by an outage fails with a runtime
+            // error on the dead fabric; once that fabric is quarantined
+            // the load deserves a surviving fabric, not a drop.
+            Outcome::Rejected {
+                reason: RejectReason::Runtime(_),
+                ..
+            } => pending
+                .dispatched
+                .last()
+                .is_some_and(|&(f, _)| self.quarantined[f]),
+            _ => false,
+        };
+        if !migratable {
+            return false;
+        }
         let task = pending.task.clone();
         let request = pending.request.clone();
         let untried: Vec<FabricStatus> = {

@@ -15,7 +15,7 @@ use crate::pool::BitstreamPool;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use vbs_arch::{Coord, Rect};
-use vbs_bitstream::TaskBitstream;
+use vbs_bitstream::{BitstreamError, TaskBitstream};
 use vbs_core::Vbs;
 use vbs_runtime::{RuntimeError, TaskHandle, TaskManager};
 use vbs_telemetry::{CounterBank, EventKind, Stage, Telemetry};
@@ -40,6 +40,10 @@ mod slot {
     pub const FRAGMENTATION_SUM: usize = 12;
     /// f64 slot.
     pub const UTILIZATION_SUM: usize = 13;
+    pub const WRITE_RETRIES: usize = 14;
+    pub const WRITE_FAULTS: usize = 15;
+    pub const CRC_MISMATCHES: usize = 16;
+    pub const VERIFY_SCRUBS: usize = 17;
 }
 
 /// Packs an origin into one event payload word (`x` high, `y` low).
@@ -132,6 +136,18 @@ pub enum Outcome {
     },
 }
 
+/// A resident abandoned by [`Scheduler::evacuate`] when its fabric went
+/// offline, carrying exactly what a re-placement load needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvacuatedJob {
+    /// The job id the resident was loaded under.
+    pub job: u64,
+    /// Task name in the repository.
+    pub task: String,
+    /// The priority it was originally loaded with.
+    pub priority: u8,
+}
+
 /// Tunables of the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerConfig {
@@ -149,6 +165,17 @@ pub struct SchedulerConfig {
     /// memory are bit-identical to the buffered path (the differential
     /// suite pins this down); only the latency profile changes.
     pub streaming: bool,
+    /// Maximum retries of a transiently refused configuration write
+    /// before the load is re-placed elsewhere (and, failing that,
+    /// rejected). The retry budget is the bounded-backoff knob: retries
+    /// are immediate in the simulation (the logical clock never advances
+    /// mid-request), so bounding their count is what bounds the backoff.
+    pub write_retry_limit: u32,
+    /// Whether every accepted load is readback-verified against the
+    /// per-frame checksum sidecar, with a corrupted frame scrubbed once
+    /// (rewritten from the decoded image) before the load counts as
+    /// placed. Off by default: fault-free goldens stay bit-identical.
+    pub verify: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -158,6 +185,8 @@ impl Default for SchedulerConfig {
             compaction: true,
             cache_capacity: 16,
             streaming: false,
+            write_retry_limit: 2,
+            verify: false,
         }
     }
 }
@@ -198,6 +227,14 @@ pub struct SchedMetrics {
     /// Sum of sampled fabric-utilization values (occupied / total area, one
     /// sample per processed request, sharing `fragmentation_samples`).
     pub utilization_sum: f64,
+    /// Transiently refused configuration writes that were retried.
+    pub write_retries: u64,
+    /// Configuration-write faults observed (transient and persistent).
+    pub write_faults: u64,
+    /// Frames a readback verify caught disagreeing with their checksum.
+    pub crc_mismatches: u64,
+    /// Scrub rewrites performed after a verify mismatch.
+    pub verify_scrubs: u64,
 }
 
 impl SchedMetrics {
@@ -368,6 +405,66 @@ impl Scheduler {
         self.config.streaming = streaming;
     }
 
+    /// Installs a fault model on this fabric's controller (see
+    /// [`vbs_runtime::FaultHook`]); `None` restores the fault-free fabric.
+    pub fn set_fault_hook(&mut self, hook: Option<Arc<dyn vbs_runtime::FaultHook>>) {
+        self.manager.controller_mut().set_fault_hook(hook);
+    }
+
+    /// Whether the fabric's fault model currently reports it offline.
+    pub fn is_offline(&self) -> bool {
+        self.manager.controller().is_offline()
+    }
+
+    /// Switches readback verification of accepted loads on or off (see
+    /// [`SchedulerConfig::verify`]). Enabling it switches on the
+    /// controller's per-frame checksum sidecar.
+    pub fn set_verify(&mut self, verify: bool) {
+        self.config.verify = verify;
+        if verify {
+            self.manager.controller_mut().enable_integrity();
+        }
+    }
+
+    /// Abandons every resident without touching the hardware — the
+    /// quarantine path when this fabric has gone offline: its residents
+    /// can no longer be cleared (the device is unreachable), so the
+    /// bookkeeping is emptied and the abandoned jobs returned, oldest
+    /// first, for re-placement on surviving fabrics.
+    pub fn evacuate(&mut self) -> Vec<EvacuatedJob> {
+        let abandoned = self.manager.evacuate();
+        abandoned
+            .iter()
+            .filter_map(|t| {
+                let job = self
+                    .residents
+                    .iter()
+                    .find(|(_, r)| r.handle == t.handle)
+                    .map(|(&job, _)| job)?;
+                let resident = self.residents.remove(&job)?;
+                Some(EvacuatedJob {
+                    job,
+                    task: resident.name,
+                    priority: resident.priority,
+                })
+            })
+            .collect()
+    }
+
+    /// Brings a recovered fabric back to a trusted blank state: drops any
+    /// leftover resident bookkeeping and wipes the configuration memory
+    /// (and checksum sidecar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::FabricOffline`] while the fabric is still
+    /// unreachable.
+    pub fn reset_after_recovery(&mut self) -> Result<(), RuntimeError> {
+        self.residents.clear();
+        let _ = self.manager.evacuate();
+        self.manager.controller_mut().reset_memory()
+    }
+
     /// Read access to the underlying task manager (fabric + repository).
     pub fn manager(&self) -> &TaskManager {
         &self.manager
@@ -493,6 +590,10 @@ impl Scheduler {
             fragmentation_samples: self.counters.get(slot::FRAGMENTATION_SAMPLES),
             fragmentation_sum: self.counters.float_total(slot::FRAGMENTATION_SUM),
             utilization_sum: self.counters.float_total(slot::UTILIZATION_SUM),
+            write_retries: self.counters.get(slot::WRITE_RETRIES),
+            write_faults: self.counters.get(slot::WRITE_FAULTS),
+            crc_mismatches: self.counters.get(slot::CRC_MISMATCHES),
+            verify_scrubs: self.counters.get(slot::VERIFY_SCRUBS),
         }
     }
 
@@ -525,6 +626,8 @@ impl Scheduler {
     /// Advances the logical clock (monotonic; earlier ticks are ignored).
     pub fn advance_to(&mut self, tick: u64) {
         self.clock = self.clock.max(tick);
+        // Time-keyed fault models (outage windows) follow the same clock.
+        self.manager.controller().advance_clock(self.clock);
     }
 
     /// Enqueues a request and returns its job id (for loads, the id the
@@ -778,9 +881,17 @@ impl Scheduler {
             } => self.process_load(job, &task, priority, deadline, enqueued_at),
             Request::Unload { job: target } => match self.residents.remove(&target) {
                 Some(resident) => {
-                    self.manager
-                        .unload(resident.handle)
-                        .expect("resident handles are always valid");
+                    // The manager drops the resident from its bookkeeping
+                    // before clearing the hardware, so even when the clear
+                    // is refused (offline fabric, write fault) the job is
+                    // gone — report it unloaded; the stale frames are
+                    // overwritten by whichever load lands there next.
+                    if let Err(e) = self.manager.unload(resident.handle) {
+                        debug_assert!(
+                            !matches!(e, RuntimeError::UnknownHandle { .. }),
+                            "resident handles are always valid"
+                        );
+                    }
                     self.telemetry
                         .event(EventKind::Unload, self.fabric, 0, target, 0);
                     Outcome::Unloaded { job: target }
@@ -920,9 +1031,9 @@ impl Scheduler {
                 .residents
                 .remove(&victim)
                 .expect("eviction candidates are resident");
-            self.manager
-                .unload(resident.handle)
-                .expect("resident handles are always valid");
+            // As with explicit unloads: the bookkeeping entry is gone even
+            // when the fabric refuses the clear, so the eviction stands.
+            let _ = self.manager.unload(resident.handle);
             self.counters.add(slot::EVICTIONS, 1);
             self.telemetry
                 .event(EventKind::Evict, self.fabric, 0, victim, job);
@@ -940,8 +1051,30 @@ impl Scheduler {
             };
         };
         let write_start = self.telemetry.now();
-        match self.manager.load_decoded_at(task, &stream, origin) {
-            Ok(handle) => {
+        let written = match self.write_with_retry(job, task, &stream, origin) {
+            Ok(handle) => Ok((handle, origin)),
+            Err(e)
+                if matches!(
+                    e,
+                    RuntimeError::WriteFault { .. }
+                        | RuntimeError::Memory(BitstreamError::CrcMismatch { .. })
+                ) =>
+            {
+                // Self-healing re-placement: this region looks bad (a dead
+                // column, transients that never dissolve, unverifiable
+                // frames), so offer the load one alternative region with
+                // the failed rectangle masked busy.
+                match self.replacement_origin(w, h, origin) {
+                    Some(alt) => self
+                        .write_with_retry(job, task, &stream, alt)
+                        .map(|handle| (handle, alt)),
+                    None => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        };
+        match written {
+            Ok((handle, origin)) => {
                 self.telemetry.record_span(Stage::Write, write_start);
                 self.telemetry.event_span(
                     EventKind::FrameWrite,
@@ -981,6 +1114,106 @@ impl Scheduler {
         }
     }
 
+    /// One load's gated write with the self-healing retry loop: a
+    /// transiently refused write is retried up to
+    /// [`SchedulerConfig::write_retry_limit`] times, and (with verify on)
+    /// an accepted write must pass readback verification — a mismatching
+    /// frame is scrubbed and re-verified by
+    /// [`Scheduler::verify_and_scrub`]; an unverifiable write is torn
+    /// down and spends a retry like a refused one. Persistent refusals
+    /// fail immediately: by definition retrying the same region cannot
+    /// help (re-placement happens in the caller).
+    fn write_with_retry(
+        &mut self,
+        job: u64,
+        name: &str,
+        stream: &TaskBitstream,
+        origin: Coord,
+    ) -> Result<TaskHandle, RuntimeError> {
+        let mut attempts = 0u32;
+        loop {
+            let error = match self.manager.load_decoded_at(name, stream, origin) {
+                Ok(handle) => {
+                    if !self.config.verify {
+                        return Ok(handle);
+                    }
+                    match self.verify_and_scrub(job, stream, origin) {
+                        Ok(()) => return Ok(handle),
+                        Err(e) => {
+                            // Unverifiable even after the scrub: tear the
+                            // instance down (at least the bookkeeping — an
+                            // offline fabric cannot clear) and retry.
+                            let _ = self.manager.unload(handle);
+                            e
+                        }
+                    }
+                }
+                Err(e @ RuntimeError::WriteFault { .. }) => {
+                    self.counters.add(slot::WRITE_FAULTS, 1);
+                    if !matches!(
+                        e,
+                        RuntimeError::WriteFault {
+                            transient: true,
+                            ..
+                        }
+                    ) {
+                        return Err(e);
+                    }
+                    e
+                }
+                Err(e) => return Err(e),
+            };
+            if attempts >= self.config.write_retry_limit {
+                return Err(error);
+            }
+            attempts += 1;
+            self.counters.add(slot::WRITE_RETRIES, 1);
+            self.telemetry
+                .event(EventKind::WriteRetry, self.fabric, 0, job, attempts as u64);
+        }
+    }
+
+    /// Readback-verifies a just-written load and scrubs one mismatch: the
+    /// corrupted region is rewritten from the decoded image in hand (a
+    /// write gated by the fault model like any other) and verified again.
+    fn verify_and_scrub(
+        &mut self,
+        job: u64,
+        stream: &TaskBitstream,
+        origin: Coord,
+    ) -> Result<(), RuntimeError> {
+        let region = Rect::new(origin, stream.width(), stream.height());
+        match self.manager.controller().verify_region(region) {
+            Ok(()) => Ok(()),
+            Err(RuntimeError::Memory(BitstreamError::CrcMismatch { at })) => {
+                self.counters.add(slot::CRC_MISMATCHES, 1);
+                self.telemetry
+                    .event(EventKind::CrcMismatch, self.fabric, 0, job, pack_origin(at));
+                self.counters.add(slot::VERIFY_SCRUBS, 1);
+                self.manager.controller_mut().load_decoded(stream, origin)?;
+                self.manager.controller().verify_region(region)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One alternative origin for a load whose target region refused or
+    /// corrupted its writes: the placement policy runs again with the
+    /// failed rectangle masked busy, so an answer is always a different
+    /// spot.
+    fn replacement_origin(&self, width: u16, height: u16, failed: Coord) -> Option<Coord> {
+        let view = self.manager.fabric_view();
+        let mut busy: Vec<Rect> = self
+            .manager
+            .loaded_tasks()
+            .iter()
+            .map(|t| t.region)
+            .collect();
+        busy.push(Rect::new(failed, width, height));
+        let masked = vbs_runtime::FabricView::new(view.width(), view.height(), busy);
+        self.manager.policy().place(width, height, &masked)
+    }
+
     /// The streaming fast path of a load: when the task needs a fresh
     /// decode *and* a free region exists without eviction or compaction,
     /// decode and configuration-memory writes overlap within the load
@@ -995,6 +1228,11 @@ impl Scheduler {
     /// the two paths, which the differential suite pins down.
     fn try_load_streaming(&mut self, job: u64, name: &str, priority: u8) -> StreamingAttempt {
         if self.staged.contains_key(name) {
+            return StreamingAttempt::Buffered(None);
+        }
+        // Verified loads take the buffered path, where the readback /
+        // scrub / retry machinery lives.
+        if self.config.verify {
             return StreamingAttempt::Buffered(None);
         }
         // Warm cache (any spec): nothing to stream — and nothing worth
@@ -1063,6 +1301,15 @@ impl Scheduler {
             }
             Err(e) => {
                 self.pool.put(staging);
+                if matches!(e, RuntimeError::WriteFault { .. }) {
+                    // The fabric refused the streamed write before any
+                    // frame landed (the gate runs up front): count the
+                    // fault and fall back to the buffered path, whose
+                    // retry / re-placement machinery can still save the
+                    // load.
+                    self.counters.add(slot::WRITE_FAULTS, 1);
+                    return StreamingAttempt::Buffered(Some(vbs));
+                }
                 self.counters.add(slot::LOADS_REJECTED, 1);
                 StreamingAttempt::Done(Outcome::Rejected {
                     job,

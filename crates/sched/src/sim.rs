@@ -298,6 +298,10 @@ impl MultiSimReport {
             total.fragmentation_samples += m.fragmentation_samples;
             total.fragmentation_sum += m.fragmentation_sum;
             total.utilization_sum += m.utilization_sum;
+            total.write_retries += m.write_retries;
+            total.write_faults += m.write_faults;
+            total.crc_mismatches += m.crc_mismatches;
+            total.verify_scrubs += m.verify_scrubs;
         }
         total
     }
@@ -382,6 +386,10 @@ fn multi_metrics_delta(after: &MultiMetrics, before: &MultiMetrics) -> MultiMetr
         staged_decodes: after.staged_decodes - before.staged_decodes,
         pipeline_stall_micros: after.pipeline_stall_micros - before.pipeline_stall_micros,
         process_rounds: after.process_rounds - before.process_rounds,
+        quarantines: after.quarantines - before.quarantines,
+        recoveries: after.recoveries - before.recoveries,
+        residents_requeued: after.residents_requeued - before.residents_requeued,
+        degraded_accepts: after.degraded_accepts - before.degraded_accepts,
     }
 }
 
@@ -402,6 +410,10 @@ fn metrics_delta(after: SchedMetrics, before: &SchedMetrics) -> SchedMetrics {
         fragmentation_samples: after.fragmentation_samples - before.fragmentation_samples,
         fragmentation_sum: after.fragmentation_sum - before.fragmentation_sum,
         utilization_sum: after.utilization_sum - before.utilization_sum,
+        write_retries: after.write_retries - before.write_retries,
+        write_faults: after.write_faults - before.write_faults,
+        crc_mismatches: after.crc_mismatches - before.crc_mismatches,
+        verify_scrubs: after.verify_scrubs - before.verify_scrubs,
     }
 }
 

@@ -1,0 +1,98 @@
+//! Chaos replay of the MCNC corpus: the steady trace runs on the 2-fabric
+//! fleet under the seeded fault schedules (`McncCorpus::CHAOS_PLANS` —
+//! scattered transient/persistent/corrupting write faults on both fabrics
+//! plus a mid-trace outage of fabric 0), with readback verification on.
+//!
+//! Pinned here: two identical seeded runs produce bit-identical counters
+//! (the determinism gate), the counters match the checked-in
+//! `chaos.golden`, and the outage actually exercises the self-healing
+//! machinery — quarantine, resident re-placement on the survivor, and
+//! recovery. Regenerate the golden deliberately with:
+//!
+//! ```text
+//! cargo run --release -p vbs-bench --bin chaos
+//! ```
+
+use vbs_sched::{replay_multi, McncCorpus};
+
+fn corpus() -> McncCorpus {
+    McncCorpus::load(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/traces/mcnc"
+    ))
+    .expect("checked-in corpus loads")
+}
+
+#[test]
+fn chaos_replay_is_deterministic_and_matches_golden() {
+    let corpus = corpus();
+    let first = corpus.chaos_lines();
+    let second = corpus.chaos_lines();
+    assert_eq!(
+        first, second,
+        "two seeded chaos replays must produce bit-identical counters"
+    );
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/traces/mcnc/chaos.golden"
+    );
+    let text = std::fs::read_to_string(golden_path)
+        .unwrap_or_else(|e| panic!("read {golden_path}: {e} — rebuild with the chaos bin"));
+    let expected: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    assert_eq!(
+        first, expected,
+        "chaos counters drifted from chaos.golden — if intended, regenerate \
+         with `cargo run --release -p vbs-bench --bin chaos`"
+    );
+}
+
+#[test]
+fn chaos_outage_quarantines_replaces_and_recovers() {
+    let corpus = corpus();
+    let mut fleet = corpus.chaos_fleet_scheduler();
+    let trace = corpus.trace("steady").expect("steady trace");
+    let report = replay_multi(&mut fleet, trace);
+
+    // The fabric-0 outage window opened and closed during the trace.
+    assert_eq!(report.multi.quarantines, 1, "{:?}", report.multi);
+    assert_eq!(report.multi.recoveries, 1, "{:?}", report.multi);
+    assert!(
+        !fleet.is_quarantined(0),
+        "fabric 0 must have rejoined the fleet"
+    );
+    // The dead fabric's residents were re-queued and landed on the
+    // survivor (degraded-mode acceptance, not fresh fleet loads).
+    assert!(report.multi.residents_requeued >= 1, "{:?}", report.multi);
+    assert_eq!(
+        report.multi.degraded_accepts, report.multi.residents_requeued,
+        "every evacuated resident must land on the survivor"
+    );
+    // The injected write faults hit both fabrics and every corruption was
+    // caught by readback verification and scrubbed.
+    let totals = report.shard_totals();
+    assert!(totals.write_faults >= 3, "{totals:?}");
+    assert!(totals.write_retries >= 2, "{totals:?}");
+    assert_eq!(totals.crc_mismatches, 2, "one corrupt write per fabric");
+    assert_eq!(totals.verify_scrubs, 2, "every mismatch is scrubbed");
+    // Degraded-mode accounting: fleet acceptance only counts original
+    // submissions.
+    assert_eq!(
+        report.multi.loads_accepted + report.multi.loads_rejected,
+        report.multi.loads_submitted,
+        "{:?}",
+        report.multi
+    );
+    // After recovery both fabrics verify clean end to end.
+    for i in 0..fleet.fabric_count() {
+        let controller = fleet.fabric(i).manager().controller();
+        let device = controller.device();
+        controller
+            .verify_region(vbs_arch::Rect::at_origin(device.width(), device.height()))
+            .unwrap_or_else(|e| panic!("fabric {i} fails post-chaos verify: {e}"));
+    }
+}

@@ -105,6 +105,21 @@ pub enum EventKind {
     /// A fabric utilization sample (`a` = occupied per-mille, `b` =
     /// fragmentation per-mille).
     Utilization,
+    /// The fault plane injected a fault (`a` = kind: 0 transient write,
+    /// 1 persistent write, 2 corruption, 3 outage; `b` = payload).
+    FaultInjected,
+    /// A refused configuration write is being retried (`a` = job,
+    /// `b` = attempt number).
+    WriteRetry,
+    /// A readback verify found a frame disagreeing with its recorded
+    /// checksum (`a` = job, `b` = packed frame coordinate).
+    CrcMismatch,
+    /// A fabric was quarantined after going offline (`a` = fabric,
+    /// `b` = residents evacuated).
+    Quarantine,
+    /// A quarantined fabric recovered and rejoined the fleet
+    /// (`a` = fabric).
+    Recover,
 }
 
 impl EventKind {
@@ -126,6 +141,11 @@ impl EventKind {
             EventKind::CheckoutHit => "checkout_hit",
             EventKind::CheckoutMiss => "checkout_miss",
             EventKind::Utilization => "utilization",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::WriteRetry => "write_retry",
+            EventKind::CrcMismatch => "crc_mismatch",
+            EventKind::Quarantine => "quarantine",
+            EventKind::Recover => "recover",
         }
     }
 }

@@ -59,7 +59,7 @@ use std::time::{Duration, Instant};
 use vbs_arch::{ArchSpec, Coord, Device, Rect};
 use vbs_bench::sched_workload::{sched_device, sched_fleet, sched_repository, sched_trace};
 use vbs_bench::{allocations, CountingAllocator};
-use vbs_bitstream::TaskBitstream;
+use vbs_bitstream::{Kernels, TaskBitstream};
 use vbs_core::{DecodeScratch, Devirtualizer, Vbs};
 use vbs_runtime::{
     devirtualize_into, devirtualize_stream, BestFit, FabricView, ReconfigurationController,
@@ -383,11 +383,13 @@ impl CompactionResult {
 }
 
 /// Builds a fragmented scheduler: fill the fabric with the task mix, then
-/// unload every other job, leaving a checkerboard of holes.
-fn fragmented_scheduler(options: &Options, repository: &VbsRepository) -> Scheduler {
+/// unload every other job, leaving a checkerboard of holes. `budget` is the
+/// per-pass compaction frame budget (0 = unbounded).
+fn fragmented_scheduler(options: &Options, repository: &VbsRepository, budget: u64) -> Scheduler {
     let config = SchedulerConfig {
         eviction_limit: 0,
         compaction: false,
+        compaction_frame_budget: budget,
         ..SchedulerConfig::default()
     };
     let mut sched = vbs_bench::sched_workload::sched_scheduler(
@@ -426,7 +428,7 @@ fn fragmented_scheduler(options: &Options, repository: &VbsRepository) -> Schedu
 /// on identically fragmented fabrics.
 fn compaction_paths(options: &Options, repository: &VbsRepository) -> Vec<CompactionResult> {
     // Batch: the shipped planner; pause metrics come from SchedMetrics.
-    let mut batch = fragmented_scheduler(options, repository);
+    let mut batch = fragmented_scheduler(options, repository, 0);
     let before_metrics = batch.metrics();
     let before_cache = batch.cache_stats();
     let moves = batch.compact();
@@ -443,7 +445,7 @@ fn compaction_paths(options: &Options, repository: &VbsRepository) -> Vec<Compac
 
     // Greedy: up to four live bottom-left sweeps, every improvement
     // executed immediately as its own relocation (the pre-batch behavior).
-    let mut greedy = fragmented_scheduler(options, repository);
+    let mut greedy = fragmented_scheduler(options, repository, 0);
     let before_metrics = greedy.metrics();
     let before_cache = greedy.cache_stats();
     let mut moves = 0usize;
@@ -501,6 +503,257 @@ fn compaction_paths(options: &Options, repository: &VbsRepository) -> Vec<Compac
     };
 
     vec![batch_result, greedy_result]
+}
+
+/// The budgeted compaction study: the same fragmented fabric defragged with
+/// `compaction_frame_budget` set to the largest workload task's area, so a
+/// pass never rewrites more than one big task's worth of frames. Repeated
+/// passes converge to the unbounded fixpoint; the per-pass pause histogram
+/// (the `Stage::CompactionPause` spans the scheduler records) is the payoff
+/// being measured.
+struct BudgetedCompaction {
+    budget: u64,
+    passes: usize,
+    moves: usize,
+    frames_rewritten: u64,
+    max_frames_per_pass: u64,
+    truncated_passes: u64,
+    /// `Stage::CompactionPause` summary, microseconds.
+    pause: HistogramSummary,
+}
+
+impl BudgetedCompaction {
+    fn json(&self) -> String {
+        format!(
+            "{{\"budget\": {}, \"passes\": {}, \"moves\": {}, \"frames_rewritten\": {}, \"max_frames_per_pass\": {}, \"truncated_passes\": {}, \"pause_p50_us\": {}, \"pause_p99_us\": {}, \"pause_max_us\": {}}}",
+            self.budget,
+            self.passes,
+            self.moves,
+            self.frames_rewritten,
+            self.max_frames_per_pass,
+            self.truncated_passes,
+            self.pause.p50,
+            self.pause.p99,
+            self.pause.max
+        )
+    }
+}
+
+fn budgeted_compaction(options: &Options, repository: &VbsRepository) -> BudgetedCompaction {
+    // The largest task area is the smallest budget that keeps every
+    // individual move inside the bound (the planner always grants a pass
+    // its first move, so a smaller budget could still exceed itself).
+    let budget = streams(repository)
+        .iter()
+        .map(|v| v.width() as u64 * v.height() as u64)
+        .max()
+        .expect("workload streams");
+    let mut sched = fragmented_scheduler(options, repository, budget);
+    let telemetry = Telemetry::new();
+    sched.set_telemetry(telemetry.clone(), 0);
+    let mut passes = 0usize;
+    let mut moves = 0usize;
+    let mut max_frames_per_pass = 0u64;
+    for _ in 0..20 {
+        let before = sched.metrics().compaction_frames_moved;
+        let pass_moves = sched.compact();
+        if pass_moves == 0 {
+            break;
+        }
+        passes += 1;
+        moves += pass_moves;
+        max_frames_per_pass =
+            max_frames_per_pass.max(sched.metrics().compaction_frames_moved - before);
+    }
+    let metrics = sched.metrics();
+    BudgetedCompaction {
+        budget,
+        passes,
+        moves,
+        frames_rewritten: metrics.compaction_frames_moved,
+        max_frames_per_pass,
+        truncated_passes: metrics.compaction_truncated,
+        pause: telemetry.histogram(Stage::CompactionPause).summary(),
+    }
+}
+
+/// One dispatched-vs-portable measurement of a single word kernel.
+struct KernelOp {
+    name: &'static str,
+    dispatched: Duration,
+    portable: Duration,
+    words_swept: u64,
+}
+
+impl KernelOp {
+    fn gwords(&self, elapsed: Duration) -> f64 {
+        self.words_swept as f64 / elapsed.as_secs_f64().max(1e-12) / 1e9
+    }
+
+    fn speedup(&self) -> f64 {
+        self.portable.as_secs_f64() / self.dispatched.as_secs_f64().max(1e-12)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"dispatched_gwords_per_sec\": {:.2}, \"portable_gwords_per_sec\": {:.2}, \"speedup\": {:.2}}}",
+            self.gwords(self.dispatched),
+            self.gwords(self.portable),
+            self.speedup()
+        )
+    }
+}
+
+/// The kernel microbench: the process-selected [`Kernels`] backend against
+/// the portable chunked-`u64` backend, each sweeping the same 64 Ki-word
+/// (512 KiB) buffers — larger than any task region, so the sweeps stream
+/// memory the way a full-device scrub does.
+fn kernel_paths(options: &Options) -> (&'static str, Vec<KernelOp>) {
+    const WORDS: usize = 1 << 16;
+    let active = Kernels::active();
+    let portable = Kernels::portable();
+    let a: Vec<u64> = (0..WORDS as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i << 9))
+        .collect();
+    let b: Vec<u64> = a
+        .iter()
+        .map(|w| w.rotate_left(29) ^ 0x5555_aaaa_0ff0_f00f)
+        .collect();
+    let mut dst = vec![0u64; WORDS];
+    let iters = (options.loads.max(1) * 2).clamp(64, 2000);
+    let words_swept = (WORDS * iters) as u64;
+
+    let timed = |op: &mut dyn FnMut(&'static Kernels) -> u64, k: &'static Kernels| {
+        let mut sink = op(k); // warm-up
+        let start = Instant::now();
+        for _ in 0..iters {
+            sink ^= op(k);
+        }
+        let elapsed = start.elapsed();
+        std::hint::black_box(sink);
+        elapsed
+    };
+
+    let mut ops = Vec::new();
+    let mut copy = |k: &'static Kernels| {
+        k.copy(&mut dst, &a);
+        0u64
+    };
+    ops.push(KernelOp {
+        name: "copy",
+        dispatched: timed(&mut copy, active),
+        portable: timed(&mut copy, portable),
+        words_swept,
+    });
+    let mut dst = vec![0u64; WORDS];
+    let mut or_into = |k: &'static Kernels| {
+        k.or_into(&mut dst, &b);
+        0u64
+    };
+    ops.push(KernelOp {
+        name: "or_into",
+        dispatched: timed(&mut or_into, active),
+        portable: timed(&mut or_into, portable),
+        words_swept,
+    });
+    let mut xor_popcount = |k: &'static Kernels| k.xor_popcount(&a, &b) as u64;
+    ops.push(KernelOp {
+        name: "xor_popcount",
+        dispatched: timed(&mut xor_popcount, active),
+        portable: timed(&mut xor_popcount, portable),
+        words_swept,
+    });
+    let mut crc32 = |k: &'static Kernels| k.crc32_words(!0, &a) as u64;
+    ops.push(KernelOp {
+        name: "crc32_words",
+        dispatched: timed(&mut crc32, active),
+        portable: timed(&mut crc32, portable),
+        words_swept,
+    });
+    (active.name(), ops)
+}
+
+/// One fabric size of the scaling curve: raw word-path frame writes tiled
+/// across the whole arena, and the pooled end-to-end load path on a device
+/// of that size.
+struct ScalingResult {
+    label: String,
+    frame_write_mframes_per_sec: f64,
+    pooled: PathResult,
+}
+
+impl ScalingResult {
+    fn json(&self) -> String {
+        let s = self.pooled.latency.summary();
+        format!(
+            "{{\"frame_write_mframes_per_sec\": {:.1}, \"loads_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+            self.frame_write_mframes_per_sec,
+            self.pooled.loads_per_sec(),
+            s.p50,
+            s.p99,
+            s.max
+        )
+    }
+}
+
+/// The scaling arm: the same workload on fabrics from the paper's 11x11
+/// example up to 100x100, pinning how frame-write and load throughput hold
+/// up as the arena grows from cache-resident to multi-megabyte.
+fn scaling_paths(options: &Options, repository: &VbsRepository) -> Vec<ScalingResult> {
+    let sizes: [(u16, u16); 4] = [(11, 11), (32, 32), (64, 64), (100, 100)];
+    let streams_v = streams(repository);
+    let largest = streams_v
+        .iter()
+        .max_by_key(|v| v.width() as u64 * v.height() as u64)
+        .expect("workload streams");
+    let (task, _) = devirtualize_stream(largest, 1, &ScratchPool::default()).expect("decode");
+    let (tw, th) = (task.width(), task.height());
+    let iterations = options.loads.max(1);
+    let origin = Coord::new(0, 0);
+    let mut results = Vec::new();
+    for (w, h) in sizes {
+        let device = sched_device(w, h);
+        // Frame writes tile the task across every position of the arena so
+        // the sweep touches the full footprint, not one hot corner.
+        let mut memory = vbs_bitstream::ConfigMemory::new(&device);
+        let positions: Vec<Coord> = (0..h - th + 1)
+            .step_by(th as usize)
+            .flat_map(|y| {
+                (0..w - tw + 1)
+                    .step_by(tw as usize)
+                    .map(move |x| Coord::new(x, y))
+            })
+            .collect();
+        memory.load_task(&task, positions[0]).expect("warm");
+        let start = Instant::now();
+        for i in 0..iterations {
+            memory
+                .load_task(&task, positions[i % positions.len()])
+                .expect("load");
+        }
+        let elapsed = start.elapsed();
+        let frames = tw as u64 * th as u64 * iterations as u64;
+        let frame_write_mframes_per_sec = frames as f64 / elapsed.as_secs_f64().max(1e-12) / 1e6;
+
+        let sized = Options {
+            loads: options.loads,
+            fabric: (w, h),
+            fabrics: options.fabrics,
+            seed: options.seed,
+            out: String::new(),
+        };
+        let mut controller = ReconfigurationController::new(device).with_workers(4);
+        controller.warm(largest).expect("warm");
+        let pooled = run_path(format!("pooled_{w}x{h}"), &sized, &streams_v, |vbs| {
+            controller.load(vbs, origin).expect("load");
+        });
+        results.push(ScalingResult {
+            label: format!("{w}x{h}"),
+            frame_write_mframes_per_sec,
+            pooled,
+        });
+    }
+    results
 }
 
 /// One region-op measurement of the `frame_write` arm: the word-level flat
@@ -927,6 +1180,17 @@ fn main() {
         "pooled 4-lane load path: {speedup_pooled4_vs_scratch:.2}x vs 1-thread scratch, \
          {speedup_pooled4_vs_fresh4:.2}x vs fresh 4-worker"
     );
+    // The adaptive-lane regression gate: configuring more lanes than the
+    // load can use must never cost throughput (the pool falls back to a
+    // sequential decode below its record threshold). 0.95 absorbs run
+    // noise, not a real regression.
+    let pooled1 = &parallel[0].0;
+    assert!(
+        pooled4.loads_per_sec() >= pooled1.loads_per_sec() * 0.95,
+        "pooled 4-lane path regressed below 1-lane: {:.1} vs {:.1} loads/s",
+        pooled4.loads_per_sec(),
+        pooled1.loads_per_sec()
+    );
 
     let compaction = compaction_paths(&options, &repository);
     println!(
@@ -939,6 +1203,23 @@ fn main() {
             c.name, c.moves, c.frames_rewritten, c.pause_micros, c.decodes, c.cache_fetches
         );
     }
+    let budgeted = budgeted_compaction(&options, &repository);
+    println!(
+        "compaction budgeted: {} frames/pass budget, {} passes ({} truncated), \
+         {} moves, max {} frames/pass, pause p99 {} µs",
+        budgeted.budget,
+        budgeted.passes,
+        budgeted.truncated_passes,
+        budgeted.moves,
+        budgeted.max_frames_per_pass,
+        budgeted.pause.p99
+    );
+    assert!(
+        budgeted.max_frames_per_pass <= budgeted.budget,
+        "a budgeted pass rewrote {} frames against a budget of {}",
+        budgeted.max_frames_per_pass,
+        budgeted.budget
+    );
 
     let frame_write = frame_write_paths(&options, &repository);
     println!(
@@ -952,6 +1233,38 @@ fn main() {
             f.mframes_per_sec(f.word),
             f.mframes_per_sec(f.scalar),
             f.speedup()
+        );
+    }
+
+    let (kernel_backend, kernel_ops) = kernel_paths(&options);
+    println!(
+        "{:<12} {:>18} {:>18} {:>10}   (backend: {kernel_backend})",
+        "kernels", "dispatched Gw/s", "portable Gw/s", "speedup"
+    );
+    for op in &kernel_ops {
+        println!(
+            "{:<12} {:>18.2} {:>18.2} {:>9.2}x",
+            op.name,
+            op.gwords(op.dispatched),
+            op.gwords(op.portable),
+            op.speedup()
+        );
+    }
+
+    let scaling = scaling_paths(&options, &repository);
+    println!(
+        "{:<12} {:>20} {:>12} {:>10} {:>10}",
+        "scaling", "frame-write Mfr/s", "loads/s", "p50 µs", "p99 µs"
+    );
+    for s in &scaling {
+        let lat = s.pooled.latency.summary();
+        println!(
+            "{:<12} {:>20.1} {:>12.1} {:>10.1} {:>10.1}",
+            s.label,
+            s.frame_write_mframes_per_sec,
+            s.pooled.loads_per_sec(),
+            lat.p50 as f64 / 1e3,
+            lat.p99 as f64 / 1e3
         );
     }
 
@@ -1053,8 +1366,18 @@ fn main() {
         .map(|f| format!("    \"{}\": {}", f.name, f.json()))
         .collect::<Vec<_>>()
         .join(",\n");
+    let kernels_json = kernel_ops
+        .iter()
+        .map(|op| format!("      \"{}\": {}", op.name, op.json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let scaling_json = scaling
+        .iter()
+        .map(|s| format!("    \"{}\": {}", s.label, s.json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"latency\": {{\n{}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"parallel\": {{\n{},\n    \"speedup_pooled4_vs_scratch\": {:.3},\n    \"speedup_pooled4_vs_fresh4\": {:.3}\n  }},\n  \"compaction\": {{\n    \"batch\": {},\n    \"greedy\": {}\n  }},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }},\n  \"mcnc\": {{\n    \"single\": \"{}x{}\",\n    \"fleet\": \"{}x{}x{}\",\n    \"tasks\": {{\n{}\n    }},\n    \"replays\": {{\n{}\n    }}\n  }},\n  \"fault\": {{\n{},\n    \"verify_overhead\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"latency\": {{\n{}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"parallel\": {{\n{},\n    \"speedup_pooled4_vs_scratch\": {:.3},\n    \"speedup_pooled4_vs_fresh4\": {:.3}\n  }},\n  \"compaction\": {{\n    \"batch\": {},\n    \"greedy\": {},\n    \"budgeted\": {}\n  }},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {},\n    \"kernels\": {{\n      \"backend\": \"{}\",\n{}\n    }}\n  }},\n  \"scaling\": {{\n{}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }},\n  \"mcnc\": {{\n    \"single\": \"{}x{}\",\n    \"fleet\": \"{}x{}x{}\",\n    \"tasks\": {{\n{}\n    }},\n    \"replays\": {{\n{}\n    }}\n  }},\n  \"fault\": {{\n{},\n    \"verify_overhead\": {:.3}\n  }}\n}}\n",
         options.loads,
         options.fabric.0,
         options.fabric.1,
@@ -1072,9 +1395,13 @@ fn main() {
         speedup_pooled4_vs_fresh4,
         compaction[0].json(),
         compaction[1].json(),
+        budgeted.json(),
         frame_write[0].json(),
         frame_write[1].json(),
         frame_write[2].json(),
+        kernel_backend,
+        kernels_json,
+        scaling_json,
         fleet_buffered.json(),
         fleet_streaming.json(),
         corpus.single.0,

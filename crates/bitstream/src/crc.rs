@@ -3,14 +3,22 @@
 //! One checksum primitive shared by the whole stack: the VBS binary format
 //! appends it as a stream footer (format version 2), and the runtime's
 //! integrity sidecar keeps one per configuration-memory frame so a readback
-//! verify can detect corrupted writes. The table is built at compile time;
-//! checksumming is a plain byte loop — integrity checks are off the hot
-//! path (verify is opt-in), so portability beats throughput here.
+//! verify can detect corrupted writes. Verify moved onto the scrub path, so
+//! throughput now matters: byte folding runs slice-by-8 (eight table
+//! lookups per 64-bit chunk instead of one per byte), and word folding
+//! dispatches through [`crate::Kernels`] — slice-by-8 portably, PCLMULQDQ
+//! folding where the host has carry-less multiply. The original
+//! byte-at-a-time loop is retained as [`crc32_scalar`] /
+//! [`crc32_words_scalar`], the differential oracle every faster path is
+//! pinned against.
 
-/// The 256-entry lookup table for the reflected IEEE polynomial
-/// (`0xEDB88320`), generated at compile time.
-const TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+use crate::kernels::Kernels;
+
+/// Slice-by-8 lookup tables for the reflected IEEE polynomial
+/// (`0xEDB88320`), generated at compile time. `TABLES[0]` is the classic
+/// byte-at-a-time table; `TABLES[k]` advances a byte `k` extra positions.
+const TABLES: [[u32; 256]; 8] = {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -23,11 +31,63 @@ const TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = crc;
+        t[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[k][i] = (t[k - 1][i] >> 8) ^ t[0][(t[k - 1][i] & 0xff) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
 };
+
+/// Folds one little-endian 64-bit chunk into the raw CRC state with eight
+/// parallel table lookups.
+#[inline]
+fn fold_chunk(crc: u32, chunk: u64) -> u32 {
+    let x = chunk ^ crc as u64;
+    TABLES[7][(x & 0xff) as usize]
+        ^ TABLES[6][((x >> 8) & 0xff) as usize]
+        ^ TABLES[5][((x >> 16) & 0xff) as usize]
+        ^ TABLES[4][((x >> 24) & 0xff) as usize]
+        ^ TABLES[3][((x >> 32) & 0xff) as usize]
+        ^ TABLES[2][((x >> 40) & 0xff) as usize]
+        ^ TABLES[1][((x >> 48) & 0xff) as usize]
+        ^ TABLES[0][((x >> 56) & 0xff) as usize]
+}
+
+#[inline]
+fn fold_byte(crc: u32, byte: u8) -> u32 {
+    (crc >> 8) ^ TABLES[0][((crc ^ byte as u32) & 0xff) as usize]
+}
+
+/// Slice-by-8 fold of a byte slice into a raw (inverted) CRC state.
+pub(crate) fn crc32_bytes_slice8(mut crc: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        // The try_into cannot fail on an exact 8-byte chunk.
+        crc = fold_chunk(crc, u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    for &byte in chunks.remainder() {
+        crc = fold_byte(crc, byte);
+    }
+    crc
+}
+
+/// Slice-by-8 fold of a word slice (little-endian byte order) into a raw
+/// (inverted) CRC state. This is the portable word kernel; the SIMD CRC
+/// paths also use it for short inputs and ragged tails.
+pub(crate) fn crc32_words_slice8(mut crc: u32, words: &[u64]) -> u32 {
+    for &word in words {
+        crc = fold_chunk(crc, word);
+    }
+    crc
+}
 
 /// A streaming CRC-32 accumulator (IEEE polynomial, reflected).
 #[derive(Debug, Clone, Copy)]
@@ -49,19 +109,13 @@ impl Crc32 {
 
     /// Folds a byte slice into the checksum.
     pub fn update(&mut self, bytes: &[u8]) {
-        let mut crc = self.state;
-        for &byte in bytes {
-            crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xff) as usize];
-        }
-        self.state = crc;
+        self.state = crc32_bytes_slice8(self.state, bytes);
     }
 
     /// Folds a word slice in (little-endian byte order, so the digest is
     /// platform independent).
     pub fn update_words(&mut self, words: &[u64]) {
-        for &word in words {
-            self.update(&word.to_le_bytes());
-        }
+        self.state = Kernels::active().crc32_words(self.state, words);
     }
 
     /// The final checksum value.
@@ -84,6 +138,27 @@ pub fn crc32_words(words: &[u64]) -> u32 {
     crc.finish()
 }
 
+/// CRC-32 of a byte slice by the original byte-at-a-time loop — the
+/// differential oracle for the slice-by-8 and SIMD paths.
+pub fn crc32_scalar(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = fold_byte(crc, byte);
+    }
+    !crc
+}
+
+/// CRC-32 of a word slice by the byte-at-a-time oracle.
+pub fn crc32_words_scalar(words: &[u64]) -> u32 {
+    let mut crc = !0u32;
+    for &word in words {
+        for byte in word.to_le_bytes() {
+            crc = fold_byte(crc, byte);
+        }
+    }
+    !crc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,11 +167,13 @@ mod tests {
     fn matches_the_ieee_check_value() {
         // The canonical CRC-32 check: crc32(b"123456789") == 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_scalar(b"123456789"), 0xCBF4_3926);
     }
 
     #[test]
     fn empty_input_is_zero() {
         assert_eq!(crc32(&[]), 0);
+        assert_eq!(crc32_scalar(&[]), 0);
     }
 
     #[test]
@@ -106,6 +183,34 @@ mod tests {
         streaming.update(&data[..100]);
         streaming.update(&data[100..]);
         assert_eq!(streaming.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn slice8_matches_the_byte_oracle_at_every_length() {
+        let data: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(167).wrapping_add(13) & 0xff) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_scalar(&data[..len]),
+                "slice-by-8 diverged at byte length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn word_fold_matches_the_byte_oracle_at_every_length() {
+        let words: Vec<u64> = (0..48u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i << 23))
+            .collect();
+        for len in 0..words.len() {
+            assert_eq!(
+                crc32_words(&words[..len]),
+                crc32_words_scalar(&words[..len]),
+                "word fold diverged at word length {len}"
+            );
+        }
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub enum BitstreamError {
         /// The corrupted frame's coordinate (device-absolute).
         at: Coord,
     },
+    /// A frame run does not fit inside its store.
+    RunOutOfBounds {
+        /// First frame of the run.
+        start: usize,
+        /// Number of frames in the run.
+        count: usize,
+        /// Number of frames the store holds.
+        frames: usize,
+    },
 }
 
 impl fmt::Display for BitstreamError {
@@ -68,6 +77,14 @@ impl fmt::Display for BitstreamError {
             BitstreamError::CrcMismatch { at } => {
                 write!(f, "frame {at} failed its readback checksum")
             }
+            BitstreamError::RunOutOfBounds {
+                start,
+                count,
+                frames,
+            } => write!(
+                f,
+                "frame run {start}..{start}+{count} exceeds a store of {frames} frames"
+            ),
         }
     }
 }

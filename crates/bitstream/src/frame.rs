@@ -67,7 +67,7 @@ impl<'a> FrameRef<'a> {
 
     /// Number of bits currently set.
     pub fn popcount(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        crate::Kernels::active().popcount(self.words)
     }
 
     /// Reads the logic-block section back as `(truth table, registered)`.
@@ -122,11 +122,7 @@ impl<'a> FrameRef<'a> {
             self.spec, other.spec,
             "comparing frames of different layouts"
         );
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        crate::Kernels::active().xor_popcount(self.words, other.words)
     }
 }
 
@@ -218,7 +214,7 @@ impl<'a> FrameMut<'a> {
 
     /// Zeroes every bit of the frame.
     pub fn clear(&mut self) {
-        self.words.fill(0);
+        crate::Kernels::active().fill_zero(self.words);
     }
 
     /// Copies the contents of `other` into this frame — one word-level
@@ -234,7 +230,7 @@ impl<'a> FrameMut<'a> {
             *other.spec(),
             "copying between frames of different layouts"
         );
-        self.words.copy_from_slice(other.words());
+        crate::Kernels::active().copy(self.words, other.words());
     }
 
     /// Writes the logic-block section: LUT truth table plus flip-flop bypass.

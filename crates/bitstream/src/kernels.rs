@@ -1,0 +1,485 @@
+//! Runtime-dispatched word-sweep kernels.
+//!
+//! Every hot loop of the frame arena funnels through this module: the bulk
+//! copies and clears behind [`crate::FrameStore::copy_run_from`] /
+//! [`crate::FrameStore::clear_run`], the XOR-popcount behind `diff_count`,
+//! the OR sweep behind `merge_disjoint`, plain popcounts, and the CRC-32
+//! word fold used by readback verify and the VBS stream footer. A
+//! [`Kernels`] value is a table of function pointers for those six sweeps;
+//! the table is selected **once** per process:
+//!
+//! * `VBS_KERNELS=portable` in the environment forces the portable backend
+//!   (CI uses this to keep the fallback covered on AVX2 hosts);
+//! * otherwise, on x86-64, `is_x86_feature_detected!` picks the AVX2
+//!   backend — with a PCLMULQDQ-folded CRC when carry-less multiply and
+//!   SSE4.1 are also present;
+//! * everywhere else the portable chunked-`u64` backend runs.
+//!
+//! The portable backend is not a straw man: it is the same
+//! `copy_from_slice` / `fill` / word-loop code the arena ran before dispatch
+//! existed, and every SIMD path is proptest-pinned bit-identical against it
+//! (`tests/kernels_diff.rs`). The byte-at-a-time CRC oracle stays in
+//! [`crate::crc`] as `crc32_words_scalar`.
+//!
+//! # Safety
+//!
+//! This is the one module of the crate that contains `unsafe`: the
+//! `#[target_feature]` intrinsics bodies, and the dereference of the
+//! `AtomicPtr` dispatch slot (which only ever holds `&'static Kernels`).
+//! Each backend's safe wrappers are installed into the table only after the
+//! features they require were detected at runtime.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// A resolved backend: one function pointer per hot word sweep.
+///
+/// Obtain the process-wide selection with [`Kernels::active`], or a specific
+/// backend with [`Kernels::portable`] / [`Kernels::detected`] (the
+/// differential tests and the bench compare backends directly, bypassing the
+/// global slot).
+pub struct Kernels {
+    name: &'static str,
+    copy: fn(&mut [u64], &[u64]),
+    fill_zero: fn(&mut [u64]),
+    or_into: fn(&mut [u64], &[u64]),
+    xor_popcount: fn(&[u64], &[u64]) -> usize,
+    popcount: fn(&[u64]) -> usize,
+    crc32_words: fn(u32, &[u64]) -> u32,
+}
+
+/// The process-wide dispatch slot. Null until first use; only ever stores
+/// pointers derived from `&'static Kernels`.
+static ACTIVE: AtomicPtr<Kernels> = AtomicPtr::new(std::ptr::null_mut());
+
+impl Kernels {
+    /// The backend every arena sweep dispatches through, selected on first
+    /// call (environment override first, then feature detection).
+    pub fn active() -> &'static Kernels {
+        let p = ACTIVE.load(Ordering::Acquire);
+        if p.is_null() {
+            let selected = Self::select();
+            ACTIVE.store(
+                selected as *const Kernels as *mut Kernels,
+                Ordering::Release,
+            );
+            selected
+        } else {
+            // SAFETY: ACTIVE only ever holds pointers cast from
+            // `&'static Kernels` (here and in `force`).
+            unsafe { &*p }
+        }
+    }
+
+    /// Overrides the process-wide selection — a bench/test hook for
+    /// comparing backends without re-execing with `VBS_KERNELS` set.
+    pub fn force(kernels: &'static Kernels) {
+        ACTIVE.store(kernels as *const Kernels as *mut Kernels, Ordering::Release);
+    }
+
+    fn select() -> &'static Kernels {
+        if std::env::var("VBS_KERNELS").as_deref() == Ok("portable") {
+            return Self::portable();
+        }
+        Self::detected()
+    }
+
+    /// The portable chunked-`u64` backend (the pre-dispatch scalar code).
+    pub fn portable() -> &'static Kernels {
+        &PORTABLE
+    }
+
+    /// The best backend the host supports, ignoring the environment
+    /// override.
+    pub fn detected() -> &'static Kernels {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("popcnt")
+            {
+                if std::arch::is_x86_feature_detected!("pclmulqdq")
+                    && std::arch::is_x86_feature_detected!("sse4.1")
+                {
+                    return &x86::AVX2_PCLMUL;
+                }
+                return &x86::AVX2;
+            }
+        }
+        &PORTABLE
+    }
+
+    /// The backend's name (`"portable"`, `"avx2"`, `"avx2+pclmul"`).
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Copies `src` into `dst` (equal lengths required).
+    pub fn copy(&self, dst: &mut [u64], src: &[u64]) {
+        assert_eq!(dst.len(), src.len(), "kernel copy length mismatch");
+        (self.copy)(dst, src);
+    }
+
+    /// Zeroes every word of `words`.
+    pub fn fill_zero(&self, words: &mut [u64]) {
+        (self.fill_zero)(words);
+    }
+
+    /// ORs `src` into `dst` word-wise (equal lengths required).
+    pub fn or_into(&self, dst: &mut [u64], src: &[u64]) {
+        assert_eq!(dst.len(), src.len(), "kernel or length mismatch");
+        (self.or_into)(dst, src);
+    }
+
+    /// Number of bits where `a` and `b` differ (equal lengths required).
+    pub fn xor_popcount(&self, a: &[u64], b: &[u64]) -> usize {
+        assert_eq!(a.len(), b.len(), "kernel diff length mismatch");
+        (self.xor_popcount)(a, b)
+    }
+
+    /// Number of set bits in `words`.
+    pub fn popcount(&self, words: &[u64]) -> usize {
+        (self.popcount)(words)
+    }
+
+    /// Folds `words` (little-endian byte order) into a raw CRC-32 state.
+    ///
+    /// `state` and the return value are the *internal* (inverted) CRC
+    /// register — [`crate::Crc32`] owns the pre/post inversion.
+    pub fn crc32_words(&self, state: u32, words: &[u64]) -> u32 {
+        (self.crc32_words)(state, words)
+    }
+}
+
+impl std::fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernels").field("name", &self.name).finish()
+    }
+}
+
+static PORTABLE: Kernels = Kernels {
+    name: "portable",
+    copy: portable::copy,
+    fill_zero: portable::fill_zero,
+    or_into: portable::or_into,
+    xor_popcount: portable::xor_popcount,
+    popcount: portable::popcount,
+    crc32_words: portable::crc32_words,
+};
+
+mod portable {
+    use crate::crc;
+
+    pub(super) fn copy(dst: &mut [u64], src: &[u64]) {
+        dst.copy_from_slice(src);
+    }
+
+    pub(super) fn fill_zero(words: &mut [u64]) {
+        words.fill(0);
+    }
+
+    pub(super) fn or_into(dst: &mut [u64], src: &[u64]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d |= *s;
+        }
+    }
+
+    pub(super) fn xor_popcount(a: &[u64], b: &[u64]) -> usize {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x ^ y).count_ones() as usize)
+            .sum()
+    }
+
+    pub(super) fn popcount(words: &[u64]) -> usize {
+        words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub(super) fn crc32_words(state: u32, words: &[u64]) -> u32 {
+        crc::crc32_words_slice8(state, words)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::Kernels;
+    use crate::crc;
+    use std::arch::x86_64::*;
+
+    pub(super) static AVX2: Kernels = Kernels {
+        name: "avx2",
+        copy,
+        fill_zero,
+        or_into,
+        xor_popcount,
+        popcount,
+        crc32_words: crc_slice8,
+    };
+
+    pub(super) static AVX2_PCLMUL: Kernels = Kernels {
+        name: "avx2+pclmul",
+        copy,
+        fill_zero,
+        or_into,
+        xor_popcount,
+        popcount,
+        crc32_words: crc_pclmul,
+    };
+
+    // Safe wrappers: these are only ever installed into a `Kernels` table
+    // that `detected()` returns after the required features tested present,
+    // so the `#[target_feature]` bodies cannot execute on a host without
+    // them.
+
+    fn copy(dst: &mut [u64], src: &[u64]) {
+        // SAFETY: AVX2 detected before this backend is selected.
+        unsafe { copy_avx2(dst, src) }
+    }
+
+    fn fill_zero(words: &mut [u64]) {
+        // SAFETY: AVX2 detected before this backend is selected.
+        unsafe { fill_zero_avx2(words) }
+    }
+
+    fn or_into(dst: &mut [u64], src: &[u64]) {
+        // SAFETY: AVX2 detected before this backend is selected.
+        unsafe { or_into_avx2(dst, src) }
+    }
+
+    fn xor_popcount(a: &[u64], b: &[u64]) -> usize {
+        // SAFETY: AVX2 + POPCNT detected before this backend is selected.
+        unsafe { xor_popcount_avx2(a, b) }
+    }
+
+    fn popcount(words: &[u64]) -> usize {
+        // SAFETY: AVX2 + POPCNT detected before this backend is selected.
+        unsafe { popcount_avx2(words) }
+    }
+
+    fn crc_slice8(state: u32, words: &[u64]) -> u32 {
+        crc::crc32_words_slice8(state, words)
+    }
+
+    fn crc_pclmul(state: u32, words: &[u64]) -> u32 {
+        // SAFETY: PCLMULQDQ + SSE4.1 detected before this backend is
+        // selected.
+        unsafe { crc32_words_clmul(state, words) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn copy_avx2(dst: &mut [u64], src: &[u64]) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut i = 0;
+        while i + 16 <= n {
+            let a = _mm256_loadu_si256(s.add(i) as *const __m256i);
+            let b = _mm256_loadu_si256(s.add(i + 4) as *const __m256i);
+            let c = _mm256_loadu_si256(s.add(i + 8) as *const __m256i);
+            let e = _mm256_loadu_si256(s.add(i + 12) as *const __m256i);
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, a);
+            _mm256_storeu_si256(d.add(i + 4) as *mut __m256i, b);
+            _mm256_storeu_si256(d.add(i + 8) as *mut __m256i, c);
+            _mm256_storeu_si256(d.add(i + 12) as *mut __m256i, e);
+            i += 16;
+        }
+        while i + 4 <= n {
+            let a = _mm256_loadu_si256(s.add(i) as *const __m256i);
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, a);
+            i += 4;
+        }
+        if i < n {
+            dst[i..].copy_from_slice(&src[i..]);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn fill_zero_avx2(words: &mut [u64]) {
+        let n = words.len();
+        let d = words.as_mut_ptr();
+        let zero = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 16 <= n {
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, zero);
+            _mm256_storeu_si256(d.add(i + 4) as *mut __m256i, zero);
+            _mm256_storeu_si256(d.add(i + 8) as *mut __m256i, zero);
+            _mm256_storeu_si256(d.add(i + 12) as *mut __m256i, zero);
+            i += 16;
+        }
+        while i + 4 <= n {
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, zero);
+            i += 4;
+        }
+        if i < n {
+            words[i..].fill(0);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn or_into_avx2(dst: &mut [u64], src: &[u64]) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            let a = _mm256_loadu_si256(d.add(i) as *const __m256i);
+            let b = _mm256_loadu_si256(s.add(i) as *const __m256i);
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, _mm256_or_si256(a, b));
+            i += 4;
+        }
+        while i < n {
+            dst[i] |= src[i];
+            i += 1;
+        }
+    }
+
+    // The popcounts stay scalar loops *inside* a `#[target_feature]` body:
+    // the baseline x86-64 target lacks POPCNT, so `count_ones` otherwise
+    // compiles to the bit-twiddling fallback. With `popcnt` (and AVX2 for
+    // the vectorizer) enabled the loop body becomes hardware popcounts.
+
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn xor_popcount_avx2(a: &[u64], b: &[u64]) -> usize {
+        let mut total = 0usize;
+        for i in 0..a.len() {
+            total += (a[i] ^ b[i]).count_ones() as usize;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn popcount_avx2(words: &[u64]) -> usize {
+        let mut total = 0usize;
+        for &w in words {
+            total += w.count_ones() as usize;
+        }
+        total
+    }
+
+    // CRC-32 by PCLMULQDQ folding — the classic zlib/Intel "Fast CRC
+    // Computation Using PCLMULQDQ" schedule for the reflected IEEE
+    // polynomial: fold 64-byte stripes with (k1, k2), collapse to one
+    // 128-bit accumulator and fold 16-byte blocks with (k3, k4), then
+    // reduce 128 → 64 → 32 bits with k5 and a Barrett step. Word slices
+    // on a little-endian target are exactly the byte stream the reflected
+    // CRC consumes, so blocks load straight from the `u64` buffer.
+
+    #[target_feature(enable = "pclmulqdq,sse4.1")]
+    unsafe fn crc32_words_clmul(state: u32, words: &[u64]) -> u32 {
+        // Fold an even-word prefix of at least 64 bytes; slice-by-8
+        // finishes any tail (and handles short inputs entirely).
+        let n2 = words.len() & !1;
+        if n2 < 8 {
+            return crc::crc32_words_slice8(state, words);
+        }
+        let p = words.as_ptr() as *const __m128i;
+        let blocks = n2 / 2;
+        let k1k2 = _mm_set_epi64x(0x0001_c6e4_1596, 0x0001_5444_2bd4);
+        let k3k4 = _mm_set_epi64x(0x0000_ccaa_009e, 0x0001_7519_97d0);
+
+        let mut x1 = _mm_loadu_si128(p);
+        let mut x2 = _mm_loadu_si128(p.add(1));
+        let mut x3 = _mm_loadu_si128(p.add(2));
+        let mut x4 = _mm_loadu_si128(p.add(3));
+        x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(state as i32));
+
+        let mut i = 4;
+        while i + 4 <= blocks {
+            x1 = fold(x1, _mm_loadu_si128(p.add(i)), k1k2);
+            x2 = fold(x2, _mm_loadu_si128(p.add(i + 1)), k1k2);
+            x3 = fold(x3, _mm_loadu_si128(p.add(i + 2)), k1k2);
+            x4 = fold(x4, _mm_loadu_si128(p.add(i + 3)), k1k2);
+            i += 4;
+        }
+        x1 = fold(x1, x2, k3k4);
+        x1 = fold(x1, x3, k3k4);
+        x1 = fold(x1, x4, k3k4);
+        while i < blocks {
+            x1 = fold(x1, _mm_loadu_si128(p.add(i)), k3k4);
+            i += 1;
+        }
+
+        // 128 → 64 bits.
+        let mask = _mm_set_epi32(0, -1, 0, -1);
+        let t = _mm_clmulepi64_si128(x1, k3k4, 0x10);
+        x1 = _mm_xor_si128(_mm_srli_si128(x1, 8), t);
+
+        let k5 = _mm_set_epi64x(0, 0x0001_63cd_6124);
+        let t = _mm_srli_si128(x1, 4);
+        x1 = _mm_and_si128(x1, mask);
+        x1 = _mm_clmulepi64_si128(x1, k5, 0x00);
+        x1 = _mm_xor_si128(x1, t);
+
+        // Barrett reduction 64 → 32 bits.
+        let poly = _mm_set_epi64x(0x0001_f701_1641, 0x0001_db71_0641);
+        let mut t = _mm_and_si128(x1, mask);
+        t = _mm_clmulepi64_si128(t, poly, 0x10);
+        t = _mm_and_si128(t, mask);
+        t = _mm_clmulepi64_si128(t, poly, 0x00);
+        x1 = _mm_xor_si128(x1, t);
+
+        let folded = _mm_extract_epi32(x1, 1) as u32;
+        crc::crc32_words_slice8(folded, &words[n2..])
+    }
+
+    #[target_feature(enable = "pclmulqdq")]
+    unsafe fn fold(acc: __m128i, data: __m128i, k: __m128i) -> __m128i {
+        let lo = _mm_clmulepi64_si128(acc, k, 0x00);
+        let hi = _mm_clmulepi64_si128(acc, k, 0x11);
+        _mm_xor_si128(_mm_xor_si128(lo, hi), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_backend_matches_the_obvious_loops() {
+        let k = Kernels::portable();
+        assert_eq!(k.name(), "portable");
+        let src = [1u64, 2, 3];
+        let mut dst = [0u64; 3];
+        k.copy(&mut dst, &src);
+        assert_eq!(dst, src);
+        k.or_into(&mut dst, &[4, 4, 4]);
+        assert_eq!(dst, [5, 6, 7]);
+        assert_eq!(k.xor_popcount(&dst, &src), 3);
+        assert_eq!(k.popcount(&dst), 2 + 2 + 3);
+        k.fill_zero(&mut dst);
+        assert_eq!(dst, [0; 3]);
+    }
+
+    #[test]
+    fn detected_backend_is_bit_identical_on_a_smoke_buffer() {
+        let det = Kernels::detected();
+        let port = Kernels::portable();
+        let a: Vec<u64> = (0..997u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i << 7))
+            .collect();
+        let b: Vec<u64> = a
+            .iter()
+            .map(|w| w.rotate_left(13) ^ 0x0f0f_f0f0_00ff_ff00)
+            .collect();
+        let mut d1 = vec![0u64; a.len()];
+        let mut d2 = vec![0u64; a.len()];
+        det.copy(&mut d1, &a);
+        port.copy(&mut d2, &a);
+        assert_eq!(d1, d2);
+        det.or_into(&mut d1, &b);
+        port.or_into(&mut d2, &b);
+        assert_eq!(d1, d2);
+        assert_eq!(det.xor_popcount(&a, &b), port.xor_popcount(&a, &b));
+        assert_eq!(det.popcount(&a), port.popcount(&a));
+        assert_eq!(det.crc32_words(!0, &a), port.crc32_words(!0, &a));
+        det.fill_zero(&mut d1);
+        port.fill_zero(&mut d2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn active_selection_is_sticky() {
+        let first = Kernels::active();
+        assert!(std::ptr::eq(first, Kernels::active()));
+    }
+}

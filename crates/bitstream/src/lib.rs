@@ -40,21 +40,27 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place: the
+// `kernels` module, whose `#[target_feature]` SIMD bodies need it (each is
+// guarded by runtime feature detection and pinned bit-identical to a safe
+// scalar twin).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod crc;
 mod error;
 mod frame;
 mod generate;
+mod kernels;
 mod memory;
 mod store;
 mod task;
 
-pub use crc::{crc32, crc32_words, Crc32};
+pub use crc::{crc32, crc32_scalar, crc32_words, crc32_words_scalar, Crc32};
 pub use error::BitstreamError;
 pub use frame::{FrameMut, FrameRef};
 pub use generate::{configured_switches, edge_to_switch, generate_bitstream, SwitchSetting};
+pub use kernels::Kernels;
 pub use memory::ConfigMemory;
 pub use store::FrameStore;
 pub use task::TaskBitstream;

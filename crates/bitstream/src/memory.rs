@@ -88,7 +88,7 @@ impl ConfigMemory {
         let dev_w = self.width as usize;
         for row in 0..th {
             let dst = (origin.y as usize + row) * dev_w + origin.x as usize;
-            self.store.copy_run_from(dst, task.store(), row * tw, tw);
+            self.store.copy_run_from(dst, task.store(), row * tw, tw)?;
         }
         Ok(())
     }
@@ -152,7 +152,7 @@ impl ConfigMemory {
         let (rw, rh) = (region.width as usize, region.height as usize);
         for row in 0..rh {
             let start = (region.origin.y as usize + row) * dev_w + region.origin.x as usize;
-            self.store.clear_run(start, rw);
+            self.store.clear_run(start, rw)?;
         }
         Ok(())
     }
@@ -250,18 +250,19 @@ impl ConfigMemory {
             } else {
                 None
             };
-            let mut clear_span = |a: u16, b: u16| {
+            let mut clear_span = |a: u16, b: u16| -> Result<(), BitstreamError> {
                 if a < b {
                     let start = y as usize * dev_w + a as usize;
-                    self.store.clear_run(start, (b - a) as usize);
+                    self.store.clear_run(start, (b - a) as usize)?;
                 }
+                Ok(())
             };
             match covered {
                 Some((cx0, cx1)) => {
-                    clear_span(x0, cx0);
-                    clear_span(cx1, x1);
+                    clear_span(x0, cx0)?;
+                    clear_span(cx1, x1)?;
                 }
-                None => clear_span(x0, x1),
+                None => clear_span(x0, x1)?,
             }
         }
         Ok(())
@@ -296,7 +297,7 @@ impl ConfigMemory {
         for row in 0..region.height as usize {
             let src = (region.origin.y as usize + row) * dev_w + region.origin.x as usize;
             task.store_mut()
-                .copy_run_from(row * rw, &self.store, src, rw);
+                .copy_run_from(row * rw, &self.store, src, rw)?;
         }
         Ok(task)
     }

@@ -20,7 +20,9 @@
 //! only ever copy padding that is itself zero. Word-level comparisons
 //! (`popcount`, `diff_count`, `is_empty`) rely on this invariant.
 
+use crate::error::BitstreamError;
 use crate::frame::{FrameMut, FrameRef};
+use crate::kernels::Kernels;
 use serde::{Deserialize, Serialize};
 use vbs_arch::ArchSpec;
 
@@ -150,31 +152,57 @@ impl FrameStore {
         &mut self.words[start * self.stride..(start + count) * self.stride]
     }
 
+    /// Checks that the run `start..start + count` lies inside this store.
+    fn check_run(&self, start: usize, count: usize) -> Result<(), BitstreamError> {
+        match start.checked_add(count) {
+            Some(end) if end <= self.len => Ok(()),
+            _ => Err(BitstreamError::RunOutOfBounds {
+                start,
+                count,
+                frames: self.len,
+            }),
+        }
+    }
+
     /// Copies `count` frames from `src`'s run starting at `src_start` into
-    /// this store starting at `dst_start` — one `copy_from_slice` no matter
+    /// this store starting at `dst_start` — one bulk kernel sweep no matter
     /// how many frames are covered.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on out-of-range runs or when the two stores have different
-    /// architectures.
+    /// [`BitstreamError::LayoutMismatch`] when the two stores have different
+    /// architectures (a mismatched copy would silently clip or smear frame
+    /// boundaries); [`BitstreamError::RunOutOfBounds`] when either run falls
+    /// outside its store.
     pub fn copy_run_from(
         &mut self,
         dst_start: usize,
         src: &FrameStore,
         src_start: usize,
         count: usize,
-    ) {
-        assert_eq!(
-            self.spec, src.spec,
-            "copying frames between stores of different layouts"
+    ) -> Result<(), BitstreamError> {
+        if self.spec != src.spec {
+            return Err(BitstreamError::LayoutMismatch);
+        }
+        debug_assert_eq!(
+            self.stride, src.stride,
+            "equal specs must derive equal strides"
         );
-        self.run_mut(dst_start, count)
-            .copy_from_slice(src.run(src_start, count));
+        self.check_run(dst_start, count)?;
+        src.check_run(src_start, count)?;
+        let words = count * self.stride;
+        let dst = dst_start * self.stride;
+        Kernels::active().copy(
+            &mut self.words[dst..dst + words],
+            &src.words[src_start * self.stride..src_start * self.stride + words],
+        );
+        Ok(())
     }
 
     /// Copies `count` frames from `src_start` to `dst_start` within this
-    /// store, with `memmove` semantics (overlap-safe).
+    /// store, with `memmove` semantics (overlap-safe). Disjoint runs take
+    /// the dispatched bulk-copy kernel; overlapping runs fall back to
+    /// `copy_within`.
     ///
     /// # Panics
     ///
@@ -184,21 +212,35 @@ impl FrameStore {
         let src = src_start * self.stride;
         let dst = dst_start * self.stride;
         assert!(src + words <= self.words.len() && dst + words <= self.words.len());
-        self.words.copy_within(src..src + words, dst);
+        if src == dst || words == 0 {
+            return;
+        }
+        if src + words <= dst {
+            let (lo, hi) = self.words.split_at_mut(dst);
+            Kernels::active().copy(&mut hi[..words], &lo[src..src + words]);
+        } else if dst + words <= src {
+            let (lo, hi) = self.words.split_at_mut(src);
+            Kernels::active().copy(&mut lo[dst..dst + words], &hi[..words]);
+        } else {
+            self.words.copy_within(src..src + words, dst);
+        }
     }
 
-    /// Zeroes `count` frames starting at `start` — one `fill` call.
+    /// Zeroes `count` frames starting at `start` — one bulk kernel sweep.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `start + count > len()`.
-    pub fn clear_run(&mut self, start: usize, count: usize) {
-        self.run_mut(start, count).fill(0);
+    /// [`BitstreamError::RunOutOfBounds`] when the run falls outside the
+    /// store.
+    pub fn clear_run(&mut self, start: usize, count: usize) -> Result<(), BitstreamError> {
+        self.check_run(start, count)?;
+        Kernels::active().fill_zero(self.run_mut(start, count));
+        Ok(())
     }
 
     /// Number of set bits over the whole store.
     pub fn popcount(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        Kernels::active().popcount(&self.words)
     }
 }
 
@@ -243,13 +285,50 @@ mod tests {
         a.frame_mut(0).set_bit(1, true);
         a.frame_mut(1).set_bit(283, true);
         let mut b = FrameStore::new(spec(), 4);
-        b.copy_run_from(2, &a, 0, 2);
+        b.copy_run_from(2, &a, 0, 2).unwrap();
         assert!(b.frame(2).bit(1));
         assert!(b.frame(3).bit(283));
         b.copy_run_within(2, 0, 2);
         assert!(b.frame(0).bit(1));
         assert_eq!(b.popcount(), 4);
-        b.clear_run(0, 4);
+        b.clear_run(0, 4).unwrap();
         assert_eq!(b.popcount(), 0);
+    }
+
+    #[test]
+    fn mismatched_or_out_of_range_runs_are_typed_errors() {
+        let mut a = FrameStore::new(spec(), 4);
+        let other = FrameStore::new(ArchSpec::paper_evaluation(), 4);
+        assert_eq!(
+            a.copy_run_from(0, &other, 0, 2),
+            Err(BitstreamError::LayoutMismatch)
+        );
+        let same = FrameStore::new(spec(), 4);
+        assert_eq!(
+            a.copy_run_from(3, &same, 0, 2),
+            Err(BitstreamError::RunOutOfBounds {
+                start: 3,
+                count: 2,
+                frames: 4
+            })
+        );
+        assert_eq!(
+            a.copy_run_from(0, &same, 4, 1),
+            Err(BitstreamError::RunOutOfBounds {
+                start: 4,
+                count: 1,
+                frames: 4
+            })
+        );
+        assert_eq!(
+            a.clear_run(2, usize::MAX),
+            Err(BitstreamError::RunOutOfBounds {
+                start: 2,
+                count: usize::MAX,
+                frames: 4
+            })
+        );
+        // A failed copy leaves the destination untouched.
+        assert_eq!(a.popcount(), 0);
     }
 }

@@ -141,14 +141,7 @@ impl TaskBitstream {
         if self.spec() != other.spec() || self.width != other.width || self.height != other.height {
             return Err(BitstreamError::LayoutMismatch);
         }
-        for (a, b) in self
-            .store
-            .words_mut()
-            .iter_mut()
-            .zip(other.store.words().iter())
-        {
-            *a |= b;
-        }
+        crate::Kernels::active().or_into(self.store.words_mut(), other.store.words());
         Ok(())
     }
 
@@ -173,13 +166,7 @@ impl TaskBitstream {
         if self.spec() != other.spec() || self.width != other.width || self.height != other.height {
             return Err(BitstreamError::LayoutMismatch);
         }
-        Ok(self
-            .store
-            .words()
-            .iter()
-            .zip(other.store.words().iter())
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum())
+        Ok(crate::Kernels::active().xor_popcount(self.store.words(), other.store.words()))
     }
 
     /// Serializes the bit-stream to bytes (frames concatenated LSB-first,

@@ -16,7 +16,10 @@ use vbs_telemetry::Telemetry;
 pub struct DecodeReport {
     /// Number of records expanded.
     pub records: usize,
-    /// Number of worker threads used (1 = sequential).
+    /// Number of decode lanes configured on the pool that ran this load
+    /// (1 = sequential pool). An adaptive multi-lane pool may still have
+    /// decoded sequentially when the record count fell below its
+    /// threshold — see `DecodeWorkerPool::set_sequential_threshold`.
     pub workers: usize,
     /// Wall-clock decode time in microseconds (saturating; a u64 of
     /// microseconds spans ~585k years, so saturation is theoretical).
@@ -152,8 +155,10 @@ impl ReconfigurationController {
     pub fn with_workers(mut self, workers: usize) -> Self {
         let pool = self.decoder.pool().clone();
         let fabric = self.decoder.fabric();
+        let threshold = self.decoder.sequential_threshold();
         self.decoder = DecodeWorkerPool::with_pool(workers, pool);
         self.decoder.set_fabric(fabric);
+        self.decoder.set_sequential_threshold(threshold);
         self
     }
 
@@ -162,8 +167,16 @@ impl ReconfigurationController {
     /// decodes everywhere. The decode lanes are rebuilt onto the new pool.
     pub fn set_scratch_pool(&mut self, pool: ScratchPool) {
         let fabric = self.decoder.fabric();
+        let threshold = self.decoder.sequential_threshold();
         self.decoder = DecodeWorkerPool::with_pool(self.decoder.workers(), pool);
         self.decoder.set_fabric(fabric);
+        self.decoder.set_sequential_threshold(threshold);
+    }
+
+    /// Sets the decode pool's sequential-fallback threshold (see
+    /// [`DecodeWorkerPool::set_sequential_threshold`]).
+    pub fn set_decode_threshold(&self, records: usize) {
+        self.decoder.set_sequential_threshold(records);
     }
 
     /// The number of de-virtualization decode lanes.
@@ -657,6 +670,8 @@ mod tests {
         let (device, vbs, raw) = task_vbs();
         let sequential = ReconfigurationController::new(device.clone());
         let parallel = ReconfigurationController::new(device).with_workers(4);
+        // Force real fan-out so this differential compares the two paths.
+        parallel.set_decode_threshold(2);
         let (a, ra) = sequential.devirtualize(&vbs).unwrap();
         let (b, rb) = parallel.devirtualize(&vbs).unwrap();
         assert_eq!(a.diff_count(&b).unwrap(), 0);

@@ -114,13 +114,39 @@ struct Shared {
     fabric: AtomicU16,
 }
 
+/// Record count below which a load decodes sequentially on a multi-lane
+/// pool (when the host has more than one hardware thread; single-core
+/// hosts always decode sequentially). Fanning a load out costs a condvar
+/// broadcast, per-lane partial checkouts and a merge sweep per lane —
+/// measured against the 500-load bench workload, streams under a few
+/// dozen records finish faster on the dispatcher's lane alone.
+pub const DEFAULT_SEQUENTIAL_THRESHOLD: usize = 32;
+
+/// The pool's initial sequential threshold: the default record-count
+/// cutoff, or "always sequential" when the host cannot actually run lanes
+/// concurrently (fan-out is pure dispatch overhead there).
+fn default_threshold() -> usize {
+    match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => DEFAULT_SEQUENTIAL_THRESHOLD,
+        _ => usize::MAX,
+    }
+}
+
 /// A persistent pool of de-virtualization lanes sharing one
 /// [`ScratchPool`] (see the module docs). `workers == 1` keeps no threads
 /// at all: decodes run sequentially on a pooled scratch.
+///
+/// Multi-lane pools are *adaptive*: a load whose record count falls below
+/// the sequential threshold (see
+/// [`DecodeWorkerPool::set_sequential_threshold`]) skips the fan-out and
+/// decodes on the dispatcher's lane, because waking lanes for a handful of
+/// records costs more than the records themselves.
 pub struct DecodeWorkerPool {
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
     workers: usize,
+    /// Record count below which loads stay sequential.
+    sequential_threshold: AtomicUsize,
     /// Serializes dispatchers: the job slot holds exactly one job, and the
     /// safety contract (the published pointers outlive the job) requires
     /// that no second caller republish the slot while lanes are mid-job.
@@ -170,8 +196,23 @@ impl DecodeWorkerPool {
             shared,
             threads,
             workers,
+            sequential_threshold: AtomicUsize::new(default_threshold()),
             dispatch: Mutex::new(()),
         }
+    }
+
+    /// Sets the record count below which a load decodes sequentially even
+    /// on a multi-lane pool. `2` restores unconditional fan-out (every
+    /// stream with at least two records is split); `usize::MAX` forces
+    /// every load sequential.
+    pub fn set_sequential_threshold(&self, records: usize) {
+        self.sequential_threshold
+            .store(records.max(2), Ordering::Relaxed);
+    }
+
+    /// The current sequential-fallback threshold.
+    pub fn sequential_threshold(&self) -> usize {
+        self.sequential_threshold.load(Ordering::Relaxed)
     }
 
     /// The number of decode lanes (1 = sequential, no threads).
@@ -233,7 +274,8 @@ impl DecodeWorkerPool {
         let records = vbs.records();
         let (width, height) = (vbs.width().max(1), vbs.height().max(1));
 
-        if self.threads.is_empty() || records.len() < 2 {
+        let threshold = self.sequential_threshold.load(Ordering::Relaxed);
+        if self.threads.is_empty() || records.len() < threshold {
             // Sequential: decode straight into the target on one pooled
             // scratch (decode_into reshapes the target itself).
             telemetry.event(EventKind::DecodeStart, fabric, 0, 0, 0);
@@ -255,6 +297,15 @@ impl DecodeWorkerPool {
             // belong to exactly one in-flight job (see the safety contract).
             let _dispatch = lock_unpoisoned(&self.dispatch);
             task.reset(*vbs.spec(), width, height);
+            // Size chunks so every participating lane gets a worthwhile
+            // share (half the sequential threshold): a load just past the
+            // cutoff fans out to two lanes, not to every lane with a
+            // two-record crumb each.
+            let min_share = (threshold / 2).max(1);
+            let lanes = self
+                .workers
+                .min(records.len() / min_share)
+                .clamp(2, self.workers);
             let job = Job {
                 devirt: (&devirtualizer as *const Devirtualizer<'_>).cast(),
                 records: records.as_ptr(),
@@ -262,7 +313,7 @@ impl DecodeWorkerPool {
                 spec: *vbs.spec(),
                 width,
                 height,
-                chunk_len: records.len().div_ceil(self.workers),
+                chunk_len: records.len().div_ceil(lanes),
                 next: AtomicUsize::new(0),
                 target: task as *mut TaskBitstream,
                 merge: Mutex::new(()),
@@ -500,6 +551,9 @@ mod tests {
         let (vbs, raw) = fixture();
         for workers in [1usize, 2, 4] {
             let pool = DecodeWorkerPool::new(workers);
+            // Pin the fan-out path regardless of host parallelism — this is
+            // the parallel-vs-sequential bit-identity differential.
+            pool.set_sequential_threshold(2);
             let mut task = TaskBitstream::empty(*vbs.spec(), 1, 1);
             let report = pool.decode_into(&vbs, &mut task).unwrap();
             assert_eq!(report.workers, workers);
@@ -515,6 +569,7 @@ mod tests {
     fn lanes_recycle_scratches_and_partials_through_the_pool() {
         let (vbs, _) = fixture();
         let pool = DecodeWorkerPool::new(3);
+        pool.set_sequential_threshold(2);
         pool.warm(&vbs).unwrap();
         let warmed = pool.pool().stats();
         assert_eq!(warmed.scratch_fresh, 3);
@@ -532,12 +587,40 @@ mod tests {
     }
 
     #[test]
+    fn small_loads_fall_back_to_one_sequential_lane() {
+        let (vbs, raw) = fixture();
+        let pool = DecodeWorkerPool::new(4);
+        // Record count below the threshold: the load must stay on the
+        // dispatcher's lane — no partial images are ever checked out.
+        pool.set_sequential_threshold(vbs.records().len() + 1);
+        let mut task = TaskBitstream::empty(*vbs.spec(), 1, 1);
+        let report = pool.decode_into(&vbs, &mut task).unwrap();
+        assert_eq!(report.records, vbs.records().len());
+        assert_eq!(task.diff_count(&raw).unwrap(), 0);
+        assert_eq!(
+            pool.pool().stats().fresh,
+            0,
+            "a sequential fallback must not touch partial buffers"
+        );
+        // Lowering the threshold fans the very same stream out, with
+        // bit-identical results.
+        pool.set_sequential_threshold(2);
+        pool.decode_into(&vbs, &mut task).unwrap();
+        assert_eq!(task.diff_count(&raw).unwrap(), 0);
+        assert!(
+            pool.pool().stats().fresh > 0,
+            "the fan-out path merges through pooled partials"
+        );
+    }
+
+    #[test]
     fn concurrent_dispatchers_serialize_on_one_pool() {
         // Two threads share one pool and decode simultaneously: the
         // dispatch mutex must serialize the job slot so both get complete,
         // bit-identical results.
         let (vbs, raw) = fixture();
         let pool = DecodeWorkerPool::new(3);
+        pool.set_sequential_threshold(2);
         std::thread::scope(|scope| {
             for _ in 0..2 {
                 let pool = &pool;
@@ -580,6 +663,7 @@ mod tests {
         )
         .expect("positions are untouched, so construction succeeds");
         let pool = DecodeWorkerPool::new(4);
+        pool.set_sequential_threshold(2);
         let mut task = TaskBitstream::empty(*vbs.spec(), 1, 1);
         assert!(pool.decode_into(&bad, &mut task).is_err());
         // The pool survives the failure and decodes good streams again.
@@ -590,6 +674,9 @@ mod tests {
     fn a_panicking_lane_is_contained_and_reported() {
         let (vbs, raw) = fixture();
         let pool = DecodeWorkerPool::new(4);
+        // The injection seam lives in `run_lane`, so the fan-out path must
+        // actually run.
+        pool.set_sequential_threshold(2);
         let mut task = TaskBitstream::empty(*vbs.spec(), 1, 1);
         pool.decode_into(&vbs, &mut task).unwrap();
 

@@ -44,6 +44,7 @@ mod slot {
     pub const WRITE_FAULTS: usize = 15;
     pub const CRC_MISMATCHES: usize = 16;
     pub const VERIFY_SCRUBS: usize = 17;
+    pub const COMPACTION_TRUNCATED: usize = 18;
 }
 
 /// Packs an origin into one event payload word (`x` high, `y` low).
@@ -176,6 +177,16 @@ pub struct SchedulerConfig {
     /// (rewritten from the decoded image) before the load counts as
     /// placed. Off by default: fault-free goldens stay bit-identical.
     pub verify: bool,
+    /// Maximum configuration frames a single [`Scheduler::compact`] pass
+    /// may rewrite (`0` = unbounded). A pass that hits the budget stops
+    /// executing its move plan and reports truncation in
+    /// [`SchedMetrics::compaction_truncated`]; the next pass re-plans from
+    /// the current layout and continues toward the same fixpoint, so a
+    /// bounded budget spreads one long defragmentation pause over several
+    /// short ones. The first move of a pass is always allowed, so
+    /// compaction makes progress even when one task alone exceeds the
+    /// budget.
+    pub compaction_frame_budget: u64,
 }
 
 impl Default for SchedulerConfig {
@@ -187,6 +198,7 @@ impl Default for SchedulerConfig {
             streaming: false,
             write_retry_limit: 2,
             verify: false,
+            compaction_frame_budget: 0,
         }
     }
 }
@@ -235,6 +247,10 @@ pub struct SchedMetrics {
     pub crc_mismatches: u64,
     /// Scrub rewrites performed after a verify mismatch.
     pub verify_scrubs: u64,
+    /// Compaction passes cut short by
+    /// [`SchedulerConfig::compaction_frame_budget`] (the remainder of the
+    /// move plan deferred to a later pass).
+    pub compaction_truncated: u64,
 }
 
 impl SchedMetrics {
@@ -594,6 +610,7 @@ impl Scheduler {
             write_faults: self.counters.get(slot::WRITE_FAULTS),
             crc_mismatches: self.counters.get(slot::CRC_MISMATCHES),
             verify_scrubs: self.counters.get(slot::VERIFY_SCRUBS),
+            compaction_truncated: self.counters.get(slot::COMPACTION_TRUNCATED),
         }
     }
 
@@ -710,6 +727,13 @@ impl Scheduler {
     /// relocation; the pass records its pause cost (frames moved + wall
     /// microseconds) in [`SchedMetrics`]. Returns the number of
     /// relocations.
+    ///
+    /// With a nonzero [`SchedulerConfig::compaction_frame_budget`] the pass
+    /// stops executing its plan once the budget is spent (after at least
+    /// one move); the deferred moves are re-planned by the next pass from
+    /// wherever the layout stands, so repeated bounded passes converge to
+    /// the same fixpoint as one unbounded pass, in several short pauses
+    /// instead of one long one.
     pub fn compact(&mut self) -> usize {
         let pause_start = self.telemetry.now();
         self.counters.add(slot::COMPACTION_PASSES, 1);
@@ -762,26 +786,39 @@ impl Scheduler {
             .filter(|(job, region)| original.get(job) != Some(region))
             .collect();
         plan.sort_by_key(|(_, region)| (region.origin.y, region.origin.x));
+        let budget = self.config.compaction_frame_budget;
         let mut moves = 0usize;
         let mut frames = 0u64;
+        let mut truncated = false;
         while !plan.is_empty() {
             let before = moves;
-            plan.retain(
-                |&(job, region)| match self.relocate_resident(job, region.origin) {
+            plan.retain(|&(job, region)| {
+                // Over-budget moves stay planned but unexecuted: the next
+                // pass re-plans them from the layout this one leaves
+                // behind. The first move always runs, so a task bigger
+                // than the whole budget cannot wedge compaction.
+                if budget != 0 && moves > 0 && frames + region.area() as u64 > budget {
+                    truncated = true;
+                    return true;
+                }
+                match self.relocate_resident(job, region.origin) {
                     Ok(()) => {
                         moves += 1;
                         frames += region.area() as u64;
                         false
                     }
                     Err(_blocked) => true,
-                },
-            );
+                }
+            });
             if moves == before {
                 break;
             }
         }
         self.counters.add(slot::RELOCATIONS, moves as u64);
         self.counters.add(slot::COMPACTION_FRAMES_MOVED, frames);
+        if truncated {
+            self.counters.add(slot::COMPACTION_TRUNCATED, 1);
+        }
         // The pause span doubles as the counter source, so the histogram
         // and the golden-counter total always agree.
         let pause = self

@@ -302,6 +302,7 @@ impl MultiSimReport {
             total.write_faults += m.write_faults;
             total.crc_mismatches += m.crc_mismatches;
             total.verify_scrubs += m.verify_scrubs;
+            total.compaction_truncated += m.compaction_truncated;
         }
         total
     }
@@ -414,6 +415,7 @@ fn metrics_delta(after: SchedMetrics, before: &SchedMetrics) -> SchedMetrics {
         write_faults: after.write_faults - before.write_faults,
         crc_mismatches: after.crc_mismatches - before.crc_mismatches,
         verify_scrubs: after.verify_scrubs - before.verify_scrubs,
+        compaction_truncated: after.compaction_truncated - before.compaction_truncated,
     }
 }
 

@@ -254,6 +254,81 @@ fn batch_compaction_matches_the_greedy_sweeps_bit_for_bit() {
     assert_fabric_invariants(&greedy);
 }
 
+/// A frame budget bounds every individual pass (the pause) without changing
+/// where compaction ends up: repeated budgeted passes converge to the same
+/// layout and the same memory bits as one unbounded pass, and the truncated
+/// passes are counted.
+#[test]
+fn budgeted_passes_converge_to_the_unbounded_layout() {
+    let base = SchedulerConfig {
+        eviction_limit: 0,
+        compaction: false,
+        ..SchedulerConfig::default()
+    };
+    let budget = 20u64; // below one 5x5 task, well below a full plan
+    let bounded_cfg = SchedulerConfig {
+        compaction_frame_budget: budget,
+        ..base
+    };
+    let mut unbounded = scheduler(11, 11, 0, Box::new(BestFit), base);
+    let mut bounded = scheduler(11, 11, 0, Box::new(BestFit), bounded_cfg);
+    assert_eq!(fragment(&mut unbounded), fragment(&mut bounded));
+
+    let unbounded_moves = unbounded.compact();
+    assert!(unbounded_moves > 1, "fixture must need several moves");
+    let unbounded_frames = unbounded.metrics().compaction_frames_moved;
+
+    // Drive the bounded scheduler to its fixpoint, checking the per-pass
+    // bound on the way: a pass may only exceed the budget through its
+    // guaranteed first move.
+    let mut total_moves = 0usize;
+    for pass in 0..50 {
+        let before = bounded.metrics();
+        let moves = bounded.compact();
+        let pass_frames =
+            bounded.metrics().compaction_frames_moved - before.compaction_frames_moved;
+        assert!(
+            pass_frames <= budget || moves == 1,
+            "pass {pass} rewrote {pass_frames} frames in {moves} moves \
+             against a budget of {budget}"
+        );
+        total_moves += moves;
+        if moves == 0 {
+            break;
+        }
+    }
+    let bounded_metrics = bounded.metrics();
+    assert!(
+        bounded_metrics.compaction_truncated >= 1,
+        "a {budget}-frame budget must truncate at least one pass: {bounded_metrics:?}"
+    );
+    assert_eq!(
+        bounded_metrics.compaction_frames_moved, unbounded_frames,
+        "budgeting must split the rewrites, not add any"
+    );
+    assert!(total_moves >= unbounded_moves);
+
+    // Same fixpoint: layout and memory bits match the unbounded pass.
+    let layout = |sched: &Scheduler| {
+        let mut r: Vec<(u64, Rect)> = sched
+            .residents()
+            .iter()
+            .map(|i| (i.job, i.region))
+            .collect();
+        r.sort_by_key(|&(job, _)| job);
+        r
+    };
+    assert_eq!(layout(&bounded), layout(&unbounded));
+    assert_eq!(
+        full_memory_image(&bounded)
+            .diff_count(&full_memory_image(&unbounded))
+            .unwrap(),
+        0
+    );
+    assert_fabric_invariants(&bounded);
+    assert_fabric_invariants(&unbounded);
+}
+
 /// Compaction triggered from the load path (placement failure) stays
 /// decode-free too, and every resident's frames survive the moves intact.
 #[test]

@@ -66,8 +66,8 @@ use vbs_runtime::{
     ScratchPool, VbsRepository,
 };
 use vbs_sched::{
-    replay, replay_multi, LeastLoaded, McncCorpus, MultiConfig, Outcome, Request, Scheduler,
-    SchedulerConfig,
+    replay, replay_multi, CacheBudget, CacheStats, LeastLoaded, McncCorpus, MultiConfig, Outcome,
+    Request, Scheduler, SchedulerConfig, Trace,
 };
 use vbs_telemetry::{HistogramSummary, LatencyHistogram, Stage, Telemetry};
 
@@ -295,24 +295,46 @@ fn parallel_paths(options: &Options, repository: &VbsRepository) -> Vec<(PathRes
         .iter()
         .max_by_key(|v| v.width() as u64 * v.height() as u64)
         .expect("workload streams");
+    let lanes = [1usize, 2, 4];
+    let device = sched_device(options.fabric.0, options.fabric.1);
+    // Deterministic warm-up: one warm scratch and staging buffer per
+    // lane, pre-reserved for the largest stream, so no lane allocates
+    // mid-measurement no matter how the lanes interleave.
+    let mut controllers: Vec<ReconfigurationController> = lanes
+        .iter()
+        .map(|&workers| {
+            let controller = ReconfigurationController::new(device.clone()).with_workers(workers);
+            controller.warm(largest).expect("warm");
+            controller
+        })
+        .collect();
+    // Interleave the reps round-robin across lane counts, keeping each
+    // lane's best run: the 1-vs-4-lane regression gate compares what is
+    // (below the pool's sequential threshold) the same code path, so a
+    // slow-machine phase must not land on one lane count only.
+    let mut pooled: Vec<Option<PathResult>> = vec![None, None, None];
+    for _ in 0..3 {
+        for (i, &workers) in lanes.iter().enumerate() {
+            let controller = &mut controllers[i];
+            let run = run_path(format!("pooled_w{workers}"), options, &streams, |vbs| {
+                controller.load(vbs, origin).expect("load");
+            });
+            if pooled[i]
+                .as_ref()
+                .is_none_or(|best| run.elapsed < best.elapsed)
+            {
+                pooled[i] = Some(run);
+            }
+        }
+    }
     let mut results = Vec::new();
-    for workers in [1usize, 2, 4] {
-        let device = sched_device(options.fabric.0, options.fabric.1);
-        let mut controller = ReconfigurationController::new(device.clone()).with_workers(workers);
-        // Deterministic warm-up: one warm scratch and staging buffer per
-        // lane, pre-reserved for the largest stream, so no lane allocates
-        // mid-measurement no matter how the lanes interleave.
-        controller.warm(largest).expect("warm");
-        let pooled = run_path(format!("pooled_w{workers}"), options, &streams, |vbs| {
-            controller.load(vbs, origin).expect("load");
-        });
-
-        let mut controller = ReconfigurationController::new(device);
+    for (i, &workers) in lanes.iter().enumerate() {
+        let mut controller = ReconfigurationController::new(device.clone());
         let fresh = run_path(format!("fresh_w{workers}"), options, &streams, |vbs| {
             let task = fresh_parallel_decode(vbs, workers);
             controller.load_decoded(&task, origin).expect("load");
         });
-        results.push((pooled, fresh));
+        results.push((pooled[i].take().expect("pooled lane measured"), fresh));
     }
     results
 }
@@ -1113,6 +1135,189 @@ fn fault_arm(corpus: &McncCorpus) -> (Vec<FaultReplay>, f64) {
     (vec![off, on, chaos], overhead)
 }
 
+/// One point of a cache-budget sweep: a full trace replay under one
+/// [`CacheBudget`], best-of-3 elapsed over fresh schedulers.
+struct MemoryPoint {
+    label: &'static str,
+    budget: CacheBudget,
+    elapsed: Duration,
+    events: usize,
+    accepted: u64,
+    /// End-of-replay cache state (byte gauges are absolute, counters are
+    /// per-replay deltas).
+    cache: CacheStats,
+}
+
+impl MemoryPoint {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn loads_per_sec(&self) -> f64 {
+        self.accepted as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"hot_budget_bytes\": {}, \"warm_budget_bytes\": {}, \"resident_bytes\": {}, \"hot_bytes\": {}, \"warm_bytes\": {}, \"hit_rate\": {:.3}, \"warm_hits\": {}, \"demotions\": {}, \"loads_per_sec\": {:.1}, \"events_per_sec\": {:.1}}}",
+            self.budget.hot_bytes,
+            self.budget.warm_bytes,
+            self.cache.resident_bytes(),
+            self.cache.hot_bytes,
+            self.cache.warm_bytes,
+            self.cache.hit_rate(),
+            self.cache.warm_hits,
+            self.cache.demotions,
+            self.loads_per_sec(),
+            self.events_per_sec(),
+        )
+    }
+}
+
+/// Replays `trace` under `budget` on fresh schedulers from `make`: one
+/// warm-up replay, then one timed one (the replays are deterministic, so
+/// counters and byte gauges are identical across reps). Further reps run
+/// through [`remeasure`], interleaved across the sweep's points.
+fn memory_point(
+    label: &'static str,
+    budget: CacheBudget,
+    trace: &Trace,
+    make: &dyn Fn(CacheBudget) -> Scheduler,
+) -> MemoryPoint {
+    let mut sched = make(budget);
+    replay(&mut sched, trace); // warm-up: page faults, lazy parses
+    let mut sched = make(budget);
+    let start = Instant::now();
+    let report = replay(&mut sched, trace);
+    let elapsed = start.elapsed();
+    MemoryPoint {
+        label,
+        budget,
+        elapsed,
+        events: report.events,
+        accepted: report.sched.loads_accepted,
+        cache: report.cache,
+    }
+}
+
+/// One more timed replay of `point`'s budget, keeping the faster elapsed.
+fn remeasure(point: &mut MemoryPoint, trace: &Trace, make: &dyn Fn(CacheBudget) -> Scheduler) {
+    let mut sched = make(point.budget);
+    let start = Instant::now();
+    replay(&mut sched, trace);
+    point.elapsed = point.elapsed.min(start.elapsed());
+}
+
+/// Sweeps a replay across cache budgets: unbounded first (measuring the
+/// unbounded hot tier's resident bytes), then total budgets at 50%, 25%
+/// and 12.5% of that footprint. Each finite point gives three quarters of
+/// its total to decoded arenas and one quarter to compressed warm bytes,
+/// so `hot + warm` — everything the tiers hold resident — is bounded by
+/// the named fraction. Returns the points in sweep order.
+fn memory_sweep(trace: &Trace, make: &dyn Fn(CacheBudget) -> Scheduler) -> Vec<MemoryPoint> {
+    let unbounded = memory_point("unbounded", CacheBudget::UNBOUNDED, trace, make);
+    let full = unbounded.cache.hot_bytes.max(1);
+    let mut points = vec![unbounded];
+    for (label, fraction) in [("total50", 2u64), ("total25", 4), ("total12", 8)] {
+        let total = (full / fraction).max(4);
+        let budget = CacheBudget {
+            hot_bytes: total * 3 / 4,
+            warm_bytes: total / 4,
+        };
+        points.push(memory_point(label, budget, trace, make));
+    }
+    // Two more reps per point, interleaved round-robin so machine-load
+    // drift lands on every budget equally — the headline compares
+    // point-to-point throughput ratios, which sequential best-of-N leaves
+    // at the mercy of when each point happened to run.
+    for _ in 0..2 {
+        for point in &mut points {
+            remeasure(point, trace, make);
+        }
+    }
+    points
+}
+
+/// The memory arm: cache-budget sweeps over the synthetic workload on the
+/// `--fabric` device and over the MCNC steady trace on a 100×100
+/// production-scale device, plus the warm re-decode allocation gate (the
+/// pooled `redecode_into` seam re-decoding a held stream into a reused
+/// arena must allocate nothing).
+fn memory_arm(
+    options: &Options,
+    repository: &VbsRepository,
+    corpus: &McncCorpus,
+) -> (Vec<MemoryPoint>, Vec<MemoryPoint>, PathResult) {
+    let trace = vbs_bench::sched_workload::sched_trace(options.loads, options.seed);
+    let config = SchedulerConfig {
+        eviction_limit: 1,
+        compaction: true,
+        ..SchedulerConfig::default()
+    };
+    let synthetic = memory_sweep(&trace, &|budget| {
+        vbs_bench::sched_workload::sched_scheduler(
+            repository,
+            options.fabric.0,
+            options.fabric.1,
+            0,
+            Box::new(BestFit),
+            SchedulerConfig {
+                cache_budget: budget,
+                ..config
+            },
+        )
+    });
+
+    // The production-scale scenario: a 100×100 fabric serving a fleet
+    // population of MCNC task instances under a skewed steady workload —
+    // the unbounded hot tier holds every instance's decoded arena, the
+    // budgeted points must find the hot working set.
+    let instances = 48;
+    let scaled_repo = corpus.scaled_repository(instances);
+    let scaled_trace = corpus.scaled_steady_trace(instances, 960, options.seed);
+    let mcnc = memory_sweep(&scaled_trace, &|budget| {
+        corpus.scheduler_over(
+            scaled_repo.clone(),
+            100,
+            100,
+            SchedulerConfig {
+                cache_budget: budget,
+                // Never let the count cap bind: byte budgets are the knob
+                // under test, and the unbounded baseline must actually hold
+                // every instance hot.
+                cache_capacity: instances,
+                ..McncCorpus::replay_config()
+            },
+        )
+    });
+
+    // Warm re-decode gate: the exact inner work of a warm hit — the pooled
+    // lanes re-decoding an already-parsed stream into a reused arena.
+    let spec = ArchSpec::new(corpus.channel_width, corpus.lut_size).expect("corpus arch");
+    let largest = corpus
+        .tasks
+        .iter()
+        .max_by_key(|t| t.width as u64 * t.height as u64)
+        .expect("corpus tasks");
+    let vbs = corpus.repository.fetch(&largest.name).expect("stream");
+    let device = Device::new(spec, vbs.width(), vbs.height()).expect("device");
+    let controller = ReconfigurationController::new(device).with_workers(2);
+    controller.warm(&vbs).expect("warm");
+    let mut staging = TaskBitstream::empty(*vbs.spec(), vbs.width(), vbs.height());
+    let redecode = run_path(
+        "warm_redecode",
+        options,
+        std::slice::from_ref(&vbs),
+        |vbs| {
+            controller
+                .redecode_into(vbs, &mut staging)
+                .expect("redecode");
+        },
+    );
+
+    (synthetic, mcnc, redecode)
+}
+
 fn main() {
     let options = parse_args();
     let repository = sched_repository();
@@ -1328,6 +1533,70 @@ fn main() {
     }
     println!("readback verification overhead: {verify_overhead:.2}x on the steady trace");
 
+    let (memory_synth, memory_mcnc, warm_redecode) = memory_arm(&options, &repository, &corpus);
+    for (section, points) in [
+        ("memory 11x11", &memory_synth),
+        ("memory 100x100", &memory_mcnc),
+    ] {
+        println!(
+            "{:<15} {:>12} {:>12} {:>9} {:>10} {:>10} {:>10}",
+            section, "hot budget", "resident", "hit rate", "warm hits", "demotions", "loads/s"
+        );
+        for p in points {
+            println!(
+                "{:<15} {:>12} {:>12} {:>9.3} {:>10} {:>10} {:>10.1}",
+                p.label,
+                p.budget.hot_bytes,
+                p.cache.resident_bytes(),
+                p.cache.hit_rate(),
+                p.cache.warm_hits,
+                p.cache.demotions,
+                p.loads_per_sec()
+            );
+        }
+    }
+    // Every finite point must honor its budget, and the 25% point is the
+    // headline: a quarter of the unbounded hot footprint at near-unbounded
+    // throughput (the ≥0.9× gate itself lives in CI, off the JSON).
+    for p in memory_synth.iter().chain(&memory_mcnc) {
+        if !p.budget.is_unbounded() {
+            assert!(
+                p.cache.hot_bytes <= p.budget.hot_bytes
+                    && p.cache.warm_bytes <= p.budget.warm_bytes,
+                "{}: cache exceeded its budget ({} hot / {} warm over {:?})",
+                p.label,
+                p.cache.hot_bytes,
+                p.cache.warm_bytes,
+                p.budget
+            );
+        }
+    }
+    let mcnc_unbounded = &memory_mcnc[0];
+    let mcnc_total25 = memory_mcnc
+        .iter()
+        .find(|p| p.label == "total25")
+        .expect("total25 sweep point");
+    let headline_resident_fraction = mcnc_total25.cache.resident_bytes() as f64
+        / mcnc_unbounded.cache.resident_bytes().max(1) as f64;
+    let headline_throughput_ratio = mcnc_total25.loads_per_sec() / mcnc_unbounded.loads_per_sec();
+    println!(
+        "memory headline (mcnc steady @ 100x100): {:.1}% of unbounded cache bytes \
+         at {:.2}x unbounded loads/s",
+        headline_resident_fraction * 100.0,
+        headline_throughput_ratio
+    );
+    println!(
+        "warm re-decode: {:.0} ns/load, {:.1} allocs/load",
+        warm_redecode.ns_per_load(),
+        warm_redecode.allocs_per_load()
+    );
+    assert!(
+        warm_redecode.allocs_per_load() == 0.0,
+        "warm re-decode through the pooled lanes must be allocation-free, \
+         got {:.1} allocs/load",
+        warm_redecode.allocs_per_load()
+    );
+
     let parallel_json = parallel
         .iter()
         .flat_map(|(pooled, fresh)| {
@@ -1376,8 +1645,26 @@ fn main() {
         .map(|s| format!("    \"{}\": {}", s.label, s.json()))
         .collect::<Vec<_>>()
         .join(",\n");
+    let memory_points = |points: &[MemoryPoint]| {
+        points
+            .iter()
+            .map(|p| format!("        \"{}\": {}", p.label, p.json()))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let memory_json = format!(
+        "{{\n    \"synthetic\": {{\n      \"fabric\": \"{}x{}\",\n      \"points\": {{\n{}\n      }}\n    }},\n    \"mcnc_steady\": {{\n      \"fabric\": \"100x100\",\n      \"points\": {{\n{}\n      }},\n      \"headline\": {{\"budget_fraction\": 0.25, \"resident_fraction\": {:.3}, \"throughput_ratio\": {:.3}}}\n    }},\n    \"warm_redecode\": {{\"ns_per_load\": {:.0}, \"allocs_per_load\": {:.1}}}\n  }}",
+        options.fabric.0,
+        options.fabric.1,
+        memory_points(&memory_synth),
+        memory_points(&memory_mcnc),
+        headline_resident_fraction,
+        headline_throughput_ratio,
+        warm_redecode.ns_per_load(),
+        warm_redecode.allocs_per_load(),
+    );
     let json = format!(
-        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"latency\": {{\n{}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"parallel\": {{\n{},\n    \"speedup_pooled4_vs_scratch\": {:.3},\n    \"speedup_pooled4_vs_fresh4\": {:.3}\n  }},\n  \"compaction\": {{\n    \"batch\": {},\n    \"greedy\": {},\n    \"budgeted\": {}\n  }},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {},\n    \"kernels\": {{\n      \"backend\": \"{}\",\n{}\n    }}\n  }},\n  \"scaling\": {{\n{}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }},\n  \"mcnc\": {{\n    \"single\": \"{}x{}\",\n    \"fleet\": \"{}x{}x{}\",\n    \"tasks\": {{\n{}\n    }},\n    \"replays\": {{\n{}\n    }}\n  }},\n  \"fault\": {{\n{},\n    \"verify_overhead\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"decode_perf\",\n  \"loads\": {},\n  \"fabric\": \"{}x{}\",\n  \"fabrics\": {},\n  \"seed\": {},\n  \"paths\": {{\n    \"legacy\": {},\n    \"buffered\": {},\n    \"scratch\": {},\n    \"streaming\": {}\n  }},\n  \"latency\": {{\n{}\n  }},\n  \"speedup_streaming_vs_legacy\": {:.3},\n  \"speedup_streaming_vs_buffered\": {:.3},\n  \"parallel\": {{\n{},\n    \"speedup_pooled4_vs_scratch\": {:.3},\n    \"speedup_pooled4_vs_fresh4\": {:.3}\n  }},\n  \"compaction\": {{\n    \"batch\": {},\n    \"greedy\": {},\n    \"budgeted\": {}\n  }},\n  \"frame_write\": {{\n    \"load\": {},\n    \"clear\": {},\n    \"relocate\": {},\n    \"kernels\": {{\n      \"backend\": \"{}\",\n{}\n    }}\n  }},\n  \"scaling\": {{\n{}\n  }},\n  \"fleet\": {{\n    \"pipelined\": {},\n    \"streaming\": {}\n  }},\n  \"mcnc\": {{\n    \"single\": \"{}x{}\",\n    \"fleet\": \"{}x{}x{}\",\n    \"tasks\": {{\n{}\n    }},\n    \"replays\": {{\n{}\n    }}\n  }},\n  \"fault\": {{\n{},\n    \"verify_overhead\": {:.3}\n  }},\n  \"memory\": {}\n}}\n",
         options.loads,
         options.fabric.0,
         options.fabric.1,
@@ -1413,6 +1700,7 @@ fn main() {
         mcnc_replays_json,
         fault_json,
         verify_overhead,
+        memory_json,
     );
     std::fs::write(&options.out, json).expect("write baseline json");
     println!("wrote {}", options.out);

@@ -82,6 +82,13 @@ impl TaskBitstream {
         self.store.len() as u64 * self.spec().raw_bits_per_macro() as u64
     }
 
+    /// Resident memory of the decoded word arena, in bytes. This is what a
+    /// decoded cache entry actually holds, as opposed to [`Self::size_bits`]
+    /// which counts the logical frame bits.
+    pub fn size_bytes(&self) -> u64 {
+        self.store.words().len() as u64 * 8
+    }
+
     /// The frame of the macro at task-relative coordinates `at`.
     ///
     /// # Panics

@@ -40,7 +40,7 @@ use crate::cluster::{ClusterGrid, ClusterIo};
 use crate::error::VbsError;
 use crate::format::{ClusterRecord, ClusterRoutes, Connection, Vbs};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use vbs_arch::WireRef;
 use vbs_arch::{ArchSpec, Coord, Device, Rect};
 use vbs_bitstream::{edge_to_switch, FrameRef, SwitchSetting, TaskBitstream};
@@ -158,6 +158,7 @@ impl FrameSink for NullSink {
 pub struct DecodeScratch {
     search: SearchScratch,
     nets: NetScratch,
+    adj: AdjCache,
     claimed: Vec<WireRef>,
     emitted: Vec<bool>,
     staging: Option<TaskBitstream>,
@@ -236,7 +237,7 @@ impl DecodeScratch {
         // plus interior wires of one cluster bound the working set.
         let k = vbs.cluster_size().max(1) as usize;
         let wires_per_cluster = 2 * vbs.spec().channel_width() as usize * k * (k + 1);
-        self.nets.reserve(max_routes, wires_per_cluster);
+        self.nets.reserve(max_routes, nodes, geometry.wire_count());
         self.claimed.reserve(wires_per_cluster);
     }
 }
@@ -246,7 +247,7 @@ impl DecodeScratch {
 #[derive(Debug, Default)]
 struct SearchScratch {
     cost: Vec<f32>,
-    parent: Vec<RrNode>,
+    parent: Vec<u32>,
     stamp: Vec<u32>,
     generation: u32,
     heap: BinaryHeap<Entry>,
@@ -254,16 +255,11 @@ struct SearchScratch {
     neighbors: Vec<RrNode>,
 }
 
-const PARENT_PLACEHOLDER: RrNode = RrNode::Pin {
-    site: Coord { x: 0, y: 0 },
-    pin: 0,
-};
-
 impl SearchScratch {
     fn reserve(&mut self, nodes: usize) {
         if self.cost.len() < nodes {
             self.cost.resize(nodes, 0.0);
-            self.parent.resize(nodes, PARENT_PLACEHOLDER);
+            self.parent.resize(nodes, 0);
             self.stamp.resize(nodes, 0);
         }
         // The worklists are bounded by the node count too; reserving them
@@ -294,27 +290,193 @@ impl SearchScratch {
     }
 }
 
+/// Cluster-relative facts about one wire node, precomputed so the Dijkstra
+/// relaxation never reconstructs a [`WireRef`] or re-derives cluster
+/// membership. A wire touches at most two clusters; `c0`/`c1` pack their
+/// coordinates (`x << 16 | y`, [`AdjTable::NO_CLUSTER`] when the forward
+/// macro falls outside the task).
+#[derive(Debug, Clone, Copy)]
+struct WireMeta {
+    c0: u32,
+    c1: u32,
+    /// Both touching macros sit in the same cluster — the wire never
+    /// crosses a cluster boundary, so it is free to route through (cost
+    /// 1.0); boundary-crossing wires cost 6.0 unallocated.
+    interior: bool,
+}
+
+/// The routing-resource graph of one task geometry, flattened to CSR form.
+///
+/// [`RrGraph`] computes neighbours arithmetically per call, which is fine
+/// for one search but dominates when a stream expands hundreds of coded
+/// connections: every relaxation rebuilds `WireRef`s, re-validates them
+/// against the device and re-derives cluster membership. This table runs
+/// that arithmetic once per *geometry* — edge lists (`offsets`/`edges`,
+/// dense node indices, neighbour order identical to
+/// [`RrGraph::neighbors_into`]), the index → node table and per-wire
+/// [`WireMeta`] — turning the inner loop into pure array reads. Keyed by
+/// `(spec, width, height, cluster size)`.
+#[derive(Debug, Default)]
+struct AdjTable {
+    key: Option<(ArchSpec, u16, u16, u16)>,
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+    nodes: Vec<RrNode>,
+    wire_meta: Vec<WireMeta>,
+    wire_nodes: usize,
+}
+
+impl AdjTable {
+    const NO_CLUSTER: u32 = u32::MAX;
+
+    fn pack(cluster_x: u16, cluster_y: u16) -> u32 {
+        (u32::from(cluster_x) << 16) | u32::from(cluster_y)
+    }
+
+    /// Rebuilds the table for `geometry` clustered at `k`, reusing both its
+    /// own buffers and the caller's `neighbors` scratch.
+    fn rebuild(
+        &mut self,
+        geometry: &Device,
+        k: u16,
+        key: (ArchSpec, u16, u16, u16),
+        neighbors: &mut Vec<RrNode>,
+    ) {
+        let graph = RrGraph::new(geometry);
+        let n = graph.node_count();
+        self.nodes.clear();
+        self.nodes.extend((0..n).map(|i| graph.node(i)));
+        // Counting pass first: the CSR then builds with at most one
+        // allocation per buffer, keeping a cold decode inside the
+        // per-buffer allocation budget pinned in `zero_alloc.rs`.
+        let mut total_edges = 0usize;
+        for &node in &self.nodes {
+            graph.neighbors_into(node, neighbors);
+            total_edges += neighbors.len();
+        }
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        self.edges.clear();
+        self.edges.reserve(total_edges);
+        for &node in &self.nodes {
+            self.offsets.push(self.edges.len() as u32);
+            graph.neighbors_into(node, neighbors);
+            self.edges
+                .extend(neighbors.iter().map(|&nb| graph.index(nb) as u32));
+        }
+        self.offsets.push(self.edges.len() as u32);
+        self.wire_nodes = graph.wire_count();
+        self.wire_meta.clear();
+        self.wire_meta.reserve(self.wire_nodes);
+        let k = k.max(1);
+        for &node in &self.nodes[..self.wire_nodes] {
+            let RrNode::Wire(w) = node else {
+                unreachable!("wire indices precede pin indices");
+            };
+            let [owner, fwd] = w.touching_macros();
+            let c0 = Self::pack(owner.x / k, owner.y / k);
+            let c1 = if geometry.contains(fwd) {
+                Self::pack(fwd.x / k, fwd.y / k)
+            } else {
+                Self::NO_CLUSTER
+            };
+            self.wire_meta.push(WireMeta {
+                c0,
+                c1,
+                interior: c1 == c0,
+            });
+        }
+        self.key = Some(key);
+    }
+
+    fn neighbors_of(&self, idx: usize) -> &[u32] {
+        &self.edges[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
+    }
+}
+
+/// A small set of [`AdjTable`]s cached across decodes, so a scratch (or a
+/// pooled decode lane) serving a *mix* of task shapes — the steady state
+/// of a fleet workload — rebuilds nothing once every shape in rotation has
+/// been seen. Misses past the slot cap replace tables round-robin, reusing
+/// the victim's buffers; a hit is a scan of at most [`AdjCache::SLOTS`]
+/// key comparisons.
+#[derive(Debug, Default)]
+struct AdjCache {
+    tables: Vec<AdjTable>,
+    /// Next round-robin replacement slot once all [`Self::SLOTS`] are full.
+    victim: usize,
+    /// Neighbour scratch shared across rebuilds.
+    neighbors: Vec<RrNode>,
+}
+
+impl AdjCache {
+    const SLOTS: usize = 8;
+
+    /// Returns the table for `geometry` clustered at `k`, rebuilding one
+    /// slot only when the shape has not been seen (or was replaced).
+    fn ensure(&mut self, geometry: &Device, k: u16) -> &AdjTable {
+        let key = (*geometry.spec(), geometry.width(), geometry.height(), k);
+        if let Some(i) = self.tables.iter().position(|t| t.key == Some(key)) {
+            return &self.tables[i];
+        }
+        let slot = if self.tables.len() < Self::SLOTS {
+            self.tables.push(AdjTable::default());
+            self.tables.len() - 1
+        } else {
+            let slot = self.victim;
+            self.victim = (self.victim + 1) % Self::SLOTS;
+            slot
+        };
+        self.tables[slot].rebuild(geometry, k, key, &mut self.neighbors);
+        &self.tables[slot]
+    }
+}
+
 /// Per-record net bookkeeping: which net group owns each wire, with
-/// union-find over groups (fanout merging). Replaces an allocation of three
-/// containers per record with reusable ones.
+/// union-find over groups (fanout merging).
+///
+/// Ownership and endpoint groups live in dense arrays indexed by
+/// [`RrGraph::index`] and reset in O(1) through a generation stamp — the
+/// Dijkstra inner loop consults `owner` once per wire neighbour, and a
+/// hashed lookup there (SipHash over a 6-byte `WireRef`) costs more than
+/// the rest of the relaxation combined.
 #[derive(Debug, Default)]
 struct NetScratch {
-    wire_owner: HashMap<WireRef, u32>,
-    endpoint_group: HashMap<RrNode, u32>,
+    /// Wire → owning group, dense by wire index.
+    owner_gen: Vec<u32>,
+    owner_group: Vec<u32>,
+    /// Wires claimed this record, in first-claim order.
+    claimed: Vec<WireRef>,
+    /// Endpoint node → group, dense by node index.
+    ep_gen: Vec<u32>,
+    ep_group: Vec<u32>,
+    generation: u32,
     parent: Vec<u32>,
     next_group: u32,
 }
 
 impl NetScratch {
-    fn reserve(&mut self, routes: usize, wires: usize) {
-        self.wire_owner.reserve(wires);
-        self.endpoint_group.reserve(2 * routes);
+    fn reserve(&mut self, routes: usize, nodes: usize, wires: usize) {
+        if self.owner_gen.len() < wires {
+            self.owner_gen.resize(wires, 0);
+            self.owner_group.resize(wires, 0);
+        }
+        if self.ep_gen.len() < nodes {
+            self.ep_gen.resize(nodes, 0);
+            self.ep_group.resize(nodes, 0);
+        }
+        self.claimed.reserve(wires.min(64));
         self.parent.reserve(2 * routes);
     }
 
     fn clear(&mut self) {
-        self.wire_owner.clear();
-        self.endpoint_group.clear();
+        if self.generation == u32::MAX {
+            self.owner_gen.fill(0);
+            self.ep_gen.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.claimed.clear();
         self.parent.clear();
         self.next_group = 0;
     }
@@ -362,42 +524,50 @@ impl NetScratch {
     /// Connections sharing an endpoint (transitively) describe the same
     /// electrical net — an I/O can only carry one signal — so their groups
     /// are merged; a fresh group is created when neither endpoint is known.
-    fn group_of_endpoints(&mut self, source: RrNode, target: RrNode) -> u32 {
-        let existing_source = self.endpoint_node_group(source);
-        let existing_target = self.endpoint_node_group(target);
+    fn group_of_endpoints(&mut self, graph: &RrGraph<'_>, source: RrNode, target: RrNode) -> u32 {
+        let existing_source = self.endpoint_node_group(graph, source);
+        let existing_target = self.endpoint_node_group(graph, target);
         let group = match (existing_source, existing_target) {
             (None, None) => self.fresh(),
             (Some(g), None) | (None, Some(g)) => self.find(g),
             (Some(a), Some(b)) => self.union(a, b),
         };
-        self.endpoint_group.insert(source, group);
-        self.endpoint_group.insert(target, group);
-        if let RrNode::Wire(w) = source {
-            self.claim(w, group);
-        }
-        if let RrNode::Wire(w) = target {
-            self.claim(w, group);
+        for node in [source, target] {
+            let idx = graph.index(node);
+            self.ep_gen[idx] = self.generation;
+            self.ep_group[idx] = group;
+            if let RrNode::Wire(w) = node {
+                self.claim(graph, w, group);
+            }
         }
         group
     }
 
-    fn endpoint_node_group(&self, node: RrNode) -> Option<u32> {
+    fn endpoint_node_group(&self, graph: &RrGraph<'_>, node: RrNode) -> Option<u32> {
         match node {
             RrNode::Wire(w) => self
-                .wire_owner
-                .get(&w)
-                .copied()
-                .or_else(|| self.endpoint_group.get(&node).copied()),
-            RrNode::Pin { .. } => self.endpoint_group.get(&node).copied(),
+                .owner(graph, w)
+                .or_else(|| self.endpoint_slot(graph.index(node))),
+            RrNode::Pin { .. } => self.endpoint_slot(graph.index(node)),
         }
     }
 
-    fn owner(&self, wire: WireRef) -> Option<u32> {
-        self.wire_owner.get(&wire).copied()
+    fn endpoint_slot(&self, idx: usize) -> Option<u32> {
+        (self.ep_gen[idx] == self.generation).then(|| self.ep_group[idx])
     }
 
-    fn claim(&mut self, wire: WireRef, group: u32) {
-        self.wire_owner.insert(wire, group);
+    fn owner(&self, graph: &RrGraph<'_>, wire: WireRef) -> Option<u32> {
+        let idx = graph.index(RrNode::Wire(wire));
+        (self.owner_gen[idx] == self.generation).then(|| self.owner_group[idx])
+    }
+
+    fn claim(&mut self, graph: &RrGraph<'_>, wire: WireRef, group: u32) {
+        let idx = graph.index(RrNode::Wire(wire));
+        if self.owner_gen[idx] != self.generation {
+            self.owner_gen[idx] = self.generation;
+            self.claimed.push(wire);
+        }
+        self.owner_group[idx] = group;
     }
 }
 
@@ -622,18 +792,21 @@ impl<'a> Devirtualizer<'a> {
             }
             ClusterRoutes::Coded(connections) => {
                 scratch.nets.clear();
+                let adj = scratch.adj.ensure(&self.geometry, k);
+                scratch
+                    .nets
+                    .reserve(connections.len(), adj.nodes.len(), adj.wire_nodes);
                 for connection in connections {
                     self.route_connection(
                         cluster,
                         connection,
+                        adj,
                         &mut scratch.nets,
                         &mut scratch.search,
                         task,
                     )?;
                 }
-                scratch
-                    .claimed
-                    .extend(scratch.nets.wire_owner.keys().copied());
+                scratch.claimed.extend_from_slice(&scratch.nets.claimed);
                 scratch.claimed.sort_unstable();
             }
         }
@@ -642,24 +815,25 @@ impl<'a> Devirtualizer<'a> {
 
     /// Routes one coded connection inside its cluster and writes the switches
     /// it programs.
+    #[allow(clippy::too_many_arguments)]
     fn route_connection(
         &self,
         cluster: Coord,
         connection: &Connection,
+        adj: &AdjTable,
         nets: &mut NetScratch,
         search: &mut SearchScratch,
         task: &mut TaskBitstream,
     ) -> Result<(), VbsError> {
         let source = self.io_node(cluster, connection.input)?;
         let target = self.io_node(cluster, connection.output)?;
-        let group = nets.group_of_endpoints(source, target);
+        let graph = RrGraph::new(&self.geometry);
+        let group = nets.group_of_endpoints(&graph, source, target);
 
         if source == target {
             return Ok(());
         }
-
-        let graph = RrGraph::new(&self.geometry);
-        if !self.local_dijkstra(cluster, &graph, source, target, group, search, nets) {
+        if !self.local_dijkstra(cluster, &graph, adj, source, target, group, search, nets) {
             return Err(VbsError::DecodeNoPath {
                 cluster,
                 connection: connection.to_string(),
@@ -689,7 +863,7 @@ impl<'a> Devirtualizer<'a> {
         }
         for node in &search.path {
             if let RrNode::Wire(w) = node {
-                nets.claim(*w, group);
+                nets.claim(&graph, *w, group);
             }
         }
         Ok(())
@@ -736,6 +910,7 @@ impl<'a> Devirtualizer<'a> {
         &self,
         cluster: Coord,
         graph: &RrGraph<'_>,
+        adj: &AdjTable,
         source: RrNode,
         target: RrNode,
         group: u32,
@@ -751,93 +926,95 @@ impl<'a> Devirtualizer<'a> {
             generation,
             heap,
             path,
-            neighbors,
+            ..
         } = search;
         let generation = *generation;
+        let cluster_key = AdjTable::pack(cluster.x, cluster.y);
+        let group_root = nets.resolve(group);
 
         let si = graph.index(source);
+        let ti = graph.index(target);
         stamp[si] = generation;
         cost[si] = 0.0;
-        parent[si] = source;
+        parent[si] = si as u32;
         heap.push(Entry {
             cost: 0.0,
             node: source,
+            idx: si as u32,
         });
 
         while let Some(Entry {
             cost: node_cost,
-            node,
+            idx: ni,
+            ..
         }) = heap.pop()
         {
-            let ni = graph.index(node);
+            let ni = ni as usize;
             if stamp[ni] == generation && node_cost > cost[ni] {
                 continue;
             }
-            if node == target {
+            if ni == ti {
                 // Rebuild the path.
                 path.push(target);
-                let mut cursor = target;
-                while cursor != source {
-                    cursor = parent[graph.index(cursor)];
-                    path.push(cursor);
+                let mut cursor = ti;
+                while cursor != si {
+                    cursor = parent[cursor] as usize;
+                    path.push(adj.nodes[cursor]);
                 }
                 path.reverse();
                 return true;
             }
-            // Pins other than the endpoints are never expanded through.
-            if matches!(node, RrNode::Pin { .. }) && node != source {
+            // Pins other than the endpoints are never expanded through
+            // (pin indices follow all wire indices).
+            if ni >= adj.wire_nodes && ni != si {
                 continue;
             }
-            graph.neighbors_into(node, neighbors);
-            for &next in neighbors.iter() {
-                let step = match next {
-                    RrNode::Pin { .. } => {
-                        if next != target {
-                            continue;
-                        }
-                        1.0
+            for &next_u in adj.neighbors_of(ni) {
+                let next = next_u as usize;
+                let step = if next >= adj.wire_nodes {
+                    // A pin: only the target pin may terminate the path.
+                    if next != ti {
+                        continue;
                     }
-                    RrNode::Wire(w) => {
-                        if !self.grid.wire_touches(cluster, w) {
+                    1.0
+                } else {
+                    let meta = adj.wire_meta[next];
+                    if meta.c0 != cluster_key && meta.c1 != cluster_key {
+                        continue;
+                    }
+                    if nets.owner_gen[next] == nets.generation {
+                        // A wire already carrying a different net can never
+                        // be reused; resources of the same net are nearly
+                        // free, which makes fanout share its trunk.
+                        if nets.resolve(nets.owner_group[next]) != group_root {
                             continue;
                         }
-                        match nets.owner(w) {
-                            // A wire already carrying a different net can
-                            // never be reused.
-                            Some(owner) if nets.resolve(owner) != nets.resolve(group) => continue,
-                            // Resources of the same net are nearly free,
-                            // which makes fanout share its trunk.
-                            Some(_) => 0.1,
-                            None => {
-                                if self.grid.wire_io(cluster, w).is_some() {
-                                    // Unallocated boundary-crossing wire:
-                                    // strongly discouraged (it is shared with
-                                    // a neighbouring cluster), used only when
-                                    // no interior path exists. The encoder's
-                                    // feedback loop verifies such choices
-                                    // against the original routing.
-                                    6.0
-                                } else {
-                                    1.0
-                                }
-                            }
-                        }
+                        0.1
+                    } else if meta.interior {
+                        1.0
+                    } else {
+                        // Unallocated boundary-crossing wire: strongly
+                        // discouraged (it is shared with a neighbouring
+                        // cluster), used only when no interior path exists.
+                        // The encoder's feedback loop verifies such choices
+                        // against the original routing.
+                        6.0
                     }
                 };
                 let next_cost = node_cost + step;
-                let idx = graph.index(next);
-                let better = if stamp[idx] == generation {
-                    next_cost < cost[idx] - f32::EPSILON
+                let better = if stamp[next] == generation {
+                    next_cost < cost[next] - f32::EPSILON
                 } else {
                     true
                 };
                 if better {
-                    stamp[idx] = generation;
-                    cost[idx] = next_cost;
-                    parent[idx] = node;
+                    stamp[next] = generation;
+                    cost[next] = next_cost;
+                    parent[next] = ni as u32;
                     heap.push(Entry {
                         cost: next_cost,
-                        node: next,
+                        node: adj.nodes[next],
+                        idx: next_u,
                     });
                 }
             }
@@ -850,6 +1027,9 @@ impl<'a> Devirtualizer<'a> {
 struct Entry {
     cost: f32,
     node: RrNode,
+    /// Dense index of `node` — carried so the pop path never recomputes it.
+    /// Never compared: `node` determines it.
+    idx: u32,
 }
 
 impl Eq for Entry {}

@@ -224,6 +224,11 @@ impl Vbs {
         bits
     }
 
+    /// Total size of the serialized stream, in whole bytes (rounded up).
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bits().div_ceil(8)
+    }
+
     /// Compression ratio against a raw bit-stream of `raw_bits` bits
     /// (`VBS size / raw size`, the percentage plotted in Figures 4 and 5).
     pub fn compression_ratio(&self, raw_bits: u64) -> f64 {

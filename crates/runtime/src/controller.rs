@@ -374,6 +374,24 @@ impl ReconfigurationController {
         self.decoder.decode_into(vbs, task)
     }
 
+    /// Re-expands a stream whose decoded image was demoted to compressed
+    /// bytes — the warm-hit path of a tiered decode cache. The machinery is
+    /// exactly [`ReconfigurationController::decode_into`] (pooled lanes,
+    /// zero allocations once the pools are warm); the separate entry point
+    /// exists so cache re-decodes are a named seam callers and telemetry
+    /// can distinguish from first decodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Decode`] when the stream cannot be expanded.
+    pub fn redecode_into(
+        &self,
+        vbs: &Vbs,
+        task: &mut TaskBitstream,
+    ) -> Result<DecodeReport, RuntimeError> {
+        self.decoder.decode_into(vbs, task)
+    }
+
     /// De-virtualizes `vbs` and writes it into the configuration memory with
     /// its lower-left corner at `origin` — the full run-time load path. The
     /// staging image and every decode buffer come from the scratch pool, so

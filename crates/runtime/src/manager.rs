@@ -188,6 +188,23 @@ impl TaskManager {
         self.controller.decode_into(vbs, staging)
     }
 
+    /// Re-expands a stream whose decoded image fell out of a tiered cache's
+    /// hot tier (see [`ReconfigurationController::redecode_into`]): same
+    /// pooled lanes and zero steady-state allocations as
+    /// [`TaskManager::devirtualize_into`], kept as a separate seam so
+    /// warm-hit re-decodes stay distinguishable from first decodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Decode`] when the stream cannot be expanded.
+    pub fn redevirtualize_into(
+        &mut self,
+        vbs: &Vbs,
+        staging: &mut TaskBitstream,
+    ) -> Result<DecodeReport, RuntimeError> {
+        self.controller.redecode_into(vbs, staging)
+    }
+
     /// Loads an already-decoded task bit-stream at an explicit position —
     /// the cache-hit path of the scheduler: a repeated load of the same task
     /// skips the fetch and de-virtualization entirely.

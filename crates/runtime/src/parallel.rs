@@ -118,9 +118,11 @@ struct Shared {
 /// pool (when the host has more than one hardware thread; single-core
 /// hosts always decode sequentially). Fanning a load out costs a condvar
 /// broadcast, per-lane partial checkouts and a merge sweep per lane —
-/// measured against the 500-load bench workload, streams under a few
-/// dozen records finish faster on the dispatcher's lane alone.
-pub const DEFAULT_SEQUENTIAL_THRESHOLD: usize = 32;
+/// with the indexed-adjacency decoder a coded record costs only a few
+/// microseconds, so streams under a couple hundred records finish faster
+/// on the dispatcher's lane alone (re-measured against the bench's 11x11
+/// corpus after the dense-scratch decoder rework).
+pub const DEFAULT_SEQUENTIAL_THRESHOLD: usize = 192;
 
 /// The pool's initial sequential threshold: the default record-count
 /// cutoff, or "always sequential" when the host cannot actually run lanes

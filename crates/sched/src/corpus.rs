@@ -29,7 +29,9 @@ use crate::multi::{MultiConfig, MultiFabricScheduler};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::shard::{shard_policy_by_name, SHARD_POLICY_NAMES};
 use crate::sim::{replay, replay_multi};
-use crate::trace::{Trace, TraceError};
+use crate::trace::{Trace, TraceError, TraceEvent, TraceOp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -254,13 +256,23 @@ impl McncCorpus {
     }
 
     fn scheduler_on(&self, width: u16, height: u16, fabric: u32) -> Scheduler {
+        self.scheduler_on_with(width, height, fabric, Self::replay_config())
+    }
+
+    fn scheduler_on_with(
+        &self,
+        width: u16,
+        height: u16,
+        fabric: u32,
+        config: SchedulerConfig,
+    ) -> Scheduler {
         let manager = TaskManager::new(
             ReconfigurationController::new(self.device(width, height)),
             self.repository.clone(),
         )
         .with_policy(Box::new(FirstFit))
         .with_fabric_id(FabricId(fabric));
-        Scheduler::with_config(manager, Box::new(LruEviction), Self::replay_config())
+        Scheduler::with_config(manager, Box::new(LruEviction), config)
     }
 
     /// The single-fabric replay scheduler over the corpus repository.
@@ -268,13 +280,156 @@ impl McncCorpus {
         self.scheduler_on(self.single.0, self.single.1, 0)
     }
 
+    /// The single-fabric replay scheduler under an explicit configuration —
+    /// the finite-cache-budget replays verify their goldens through this.
+    pub fn single_scheduler_with(&self, config: SchedulerConfig) -> Scheduler {
+        self.scheduler_on_with(self.single.0, self.single.1, 0, config)
+    }
+
+    /// A replay scheduler over the corpus repository on an arbitrary fabric
+    /// shape — the memory-budget benchmarks replay the corpus traces on
+    /// production-scale (100×100) devices through this.
+    pub fn scheduler_sized(&self, width: u16, height: u16, config: SchedulerConfig) -> Scheduler {
+        self.scheduler_on_with(width, height, 0, config)
+    }
+
+    /// A replay scheduler over an explicit repository (e.g. the scaled
+    /// instance population of [`McncCorpus::scaled_repository`]) on an
+    /// arbitrary fabric shape.
+    pub fn scheduler_over(
+        &self,
+        repository: VbsRepository,
+        width: u16,
+        height: u16,
+        config: SchedulerConfig,
+    ) -> Scheduler {
+        let manager = TaskManager::new(
+            ReconfigurationController::new(self.device(width, height)),
+            repository,
+        )
+        .with_policy(Box::new(FirstFit))
+        .with_fabric_id(FabricId(0));
+        Scheduler::with_config(manager, Box::new(LruEviction), config)
+    }
+
+    /// The corpus circuits without their `@` variants — the base library a
+    /// scaled fleet population draws from.
+    fn base_tasks(&self) -> Vec<&CorpusTask> {
+        self.tasks
+            .iter()
+            .filter(|t| !t.name.contains('@'))
+            .collect()
+    }
+
+    fn instance_name(base: &str, i: usize) -> String {
+        format!("{base}#{i:02}")
+    }
+
+    /// A production-scale task population: `instances` instance names
+    /// (`circuit#NN`, round-robin over the corpus base circuits), each
+    /// backed by that circuit's checked-in stream bytes — a fleet serving
+    /// many deployed tasks compiled from a small circuit library.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is 0.
+    pub fn scaled_repository(&self, instances: usize) -> VbsRepository {
+        assert!(instances > 0, "population needs at least one instance");
+        let bases = self.base_tasks();
+        let mut repository = VbsRepository::new();
+        for i in 0..instances {
+            let base = &bases[i % bases.len()];
+            let bytes = self
+                .repository
+                .bytes(&base.name)
+                .expect("base stream present")
+                .to_vec();
+            repository.store_bytes(Self::instance_name(&base.name, i), bytes);
+        }
+        repository
+    }
+
+    /// The steady-state trace over that population: `loads` arrivals where
+    /// a 4-member dominant working set (the head) draws ~94% of the traffic
+    /// and the remaining ~6% spreads uniformly over the cold tail — the
+    /// steady-fleet texture, where a few tasks cycle constantly while the
+    /// long tail of registered instances is touched only occasionally.
+    /// Uniform inter-arrival and resident-duration draws like
+    /// [`Trace::synthetic`]. Same `(instances, loads, seed)` →
+    /// bit-identical trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` or `loads` is 0.
+    pub fn scaled_steady_trace(&self, instances: usize, loads: usize, seed: u64) -> Trace {
+        assert!(instances > 0, "population needs at least one instance");
+        assert!(loads > 0, "workload needs at least one load");
+        let bases = self.base_tasks();
+        let names: Vec<String> = (0..instances)
+            .map(|i| Self::instance_name(&bases[i % bases.len()].name, i))
+            .collect();
+        // Head ranks split 940k total weight, tail ranks split 60k: with
+        // the default 48-instance population that is a ~172:1 per-rank
+        // odds ratio between a head member and a tail member.
+        let head = 4usize.min(instances);
+        let tail = (instances - head).max(1) as u64;
+        let weights: Vec<u64> = (0..instances)
+            .map(|r| {
+                if r < head {
+                    940_000 / head as u64
+                } else {
+                    (60_000 / tail).max(1)
+                }
+            })
+            .collect();
+        let total: u64 = weights.iter().sum();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5ca1_ab1e_f1ee_7000);
+        let mut events = Vec::with_capacity(loads * 2);
+        let mut tick = 0u64;
+        for job in 1..=loads as u64 {
+            tick += rng.gen_range(1u64..=6);
+            let mut pick = rng.gen_range(0..total);
+            let mut rank = 0usize;
+            while pick >= weights[rank] {
+                pick -= weights[rank];
+                rank += 1;
+            }
+            events.push(TraceEvent {
+                tick,
+                op: TraceOp::Load {
+                    job,
+                    task: names[rank].clone(),
+                    priority: (job % 4) as u8,
+                    deadline: Some(tick + 64),
+                },
+            });
+            events.push(TraceEvent {
+                tick: tick + rng.gen_range(1u64..=48),
+                op: TraceOp::Unload { job },
+            });
+        }
+        let mut trace = Trace { events };
+        trace.normalize();
+        trace
+    }
+
     /// The fleet replay scheduler, dispatching through the shard policy
     /// named `policy` (`None` for unknown names).
     pub fn fleet_scheduler(&self, policy: &str) -> Option<MultiFabricScheduler> {
+        self.fleet_scheduler_with(policy, Self::replay_config())
+    }
+
+    /// The fleet replay scheduler under an explicit per-fabric scheduler
+    /// configuration.
+    pub fn fleet_scheduler_with(
+        &self,
+        policy: &str,
+        config: SchedulerConfig,
+    ) -> Option<MultiFabricScheduler> {
         let shard = shard_policy_by_name(policy)?;
         let (k, width, height) = self.fleet;
         let fabrics = (0..k)
-            .map(|i| self.scheduler_on(width, height, i as u32))
+            .map(|i| self.scheduler_on_with(width, height, i as u32, config))
             .collect();
         Some(MultiFabricScheduler::new(
             fabrics,
@@ -295,9 +450,21 @@ impl McncCorpus {
     /// These lines are the corpus goldens: the replay test and the CI drift
     /// check compare them verbatim against `replay.golden`.
     pub fn golden_lines(&self) -> Vec<String> {
+        self.golden_lines_with(Self::replay_config())
+    }
+
+    /// [`Self::golden_lines`] under an explicit scheduler configuration.
+    ///
+    /// The golden counters pin only budget-invariant behavior (accepted,
+    /// rejected, migrations, evictions, relocations, deadlines), so a
+    /// finite-cache-budget replay must reproduce them line for line — as
+    /// long as the warm tier is roomy enough to retain every task name,
+    /// since [`crate::CacheAffinity`] routes on name retention. The
+    /// finite-budget re-verification tests call this.
+    pub fn golden_lines_with(&self, config: SchedulerConfig) -> Vec<String> {
         let mut lines = Vec::new();
         for (name, trace) in &self.traces {
-            let mut single = self.single_scheduler();
+            let mut single = self.single_scheduler_with(config);
             let report = replay(&mut single, trace);
             lines.push(format!(
                 "{name} single {} {} {} {} {}",
@@ -309,7 +476,7 @@ impl McncCorpus {
             ));
             for &policy in SHARD_POLICY_NAMES {
                 let mut fleet = self
-                    .fleet_scheduler(policy)
+                    .fleet_scheduler_with(policy, config)
                     .expect("SHARD_POLICY_NAMES are resolvable");
                 let report = replay_multi(&mut fleet, trace);
                 let mut line = format!(
@@ -352,8 +519,15 @@ impl McncCorpus {
     /// readback verification on, one [`FaultInjector`] per fabric replaying
     /// [`Self::CHAOS_PLANS`].
     pub fn chaos_fleet_scheduler(&self) -> MultiFabricScheduler {
+        self.chaos_fleet_scheduler_with(Self::replay_config())
+    }
+
+    /// [`Self::chaos_fleet_scheduler`] under an explicit per-fabric
+    /// configuration — the finite-cache-budget chaos re-verification
+    /// replays the chaos goldens through this.
+    pub fn chaos_fleet_scheduler_with(&self, config: SchedulerConfig) -> MultiFabricScheduler {
         let mut fleet = self
-            .fleet_scheduler("round-robin")
+            .fleet_scheduler_with("round-robin", config)
             .expect("round-robin resolves");
         for (i, plan) in Self::CHAOS_PLANS
             .iter()
@@ -378,7 +552,16 @@ impl McncCorpus {
     /// chaos steady fabric<i> <accepted> <rejected> <write_faults> <write_retries> <crc_mismatches> <verify_scrubs>
     /// ```
     pub fn chaos_lines(&self) -> Vec<String> {
-        let mut fleet = self.chaos_fleet_scheduler();
+        self.chaos_lines_with(Self::replay_config())
+    }
+
+    /// [`Self::chaos_lines`] under an explicit per-fabric configuration —
+    /// the finite-cache-budget chaos re-verification replays the chaos
+    /// goldens through this. Every pinned chaos counter (faults, retries,
+    /// CRC mismatches, scrubs included) is budget-invariant: a warm re-
+    /// decode still fetches and writes through the same faultable path.
+    pub fn chaos_lines_with(&self, config: SchedulerConfig) -> Vec<String> {
+        let mut fleet = self.chaos_fleet_scheduler_with(config);
         let trace = self.trace("steady").expect("steady trace present");
         let report = replay_multi(&mut fleet, trace);
         let mut lines = vec![format!(

@@ -48,7 +48,7 @@ mod shard;
 mod sim;
 mod trace;
 
-pub use cache::{CacheStats, DecodeCache};
+pub use cache::{CacheBudget, CacheLookup, CacheStats, DecodeCache, InsertOutcome};
 pub use corpus::{CorpusError, CorpusTask, McncCorpus};
 pub use evict::{EvictionPolicy, LruEviction, PriorityEviction, ResidentInfo};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultPlanError, Outage};

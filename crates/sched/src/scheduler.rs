@@ -9,12 +9,12 @@
 //! compaction move is a run-time relocation of an unchanged Virtual
 //! Bit-Stream.
 
-use crate::cache::{CacheStats, DecodeCache};
+use crate::cache::{CacheBudget, CacheLookup, CacheStats, DecodeCache};
 use crate::evict::{EvictionPolicy, LruEviction, ResidentInfo};
 use crate::pool::BitstreamPool;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use vbs_arch::{Coord, Rect};
+use vbs_arch::{ArchSpec, Coord, Rect};
 use vbs_bitstream::{BitstreamError, TaskBitstream};
 use vbs_core::Vbs;
 use vbs_runtime::{RuntimeError, TaskHandle, TaskManager};
@@ -45,6 +45,7 @@ mod slot {
     pub const CRC_MISMATCHES: usize = 16;
     pub const VERIFY_SCRUBS: usize = 17;
     pub const COMPACTION_TRUNCATED: usize = 18;
+    pub const REDECODE_MICROS: usize = 19;
 }
 
 /// Packs an origin into one event payload word (`x` high, `y` low).
@@ -187,6 +188,14 @@ pub struct SchedulerConfig {
     /// compaction makes progress even when one task alone exceeds the
     /// budget.
     pub compaction_frame_budget: u64,
+    /// Byte budgets of the two decode-cache tiers (hot decoded arenas /
+    /// warm compressed bytes). The default — unbounded on both tiers —
+    /// reproduces the classic count-capped LRU bit-identically: nothing is
+    /// ever demoted and every counter matches. A finite budget caps the
+    /// cache's resident bytes: entries over the hot budget fall back to
+    /// their compressed VBS bytes and re-decode through the pooled lanes
+    /// on their next hit (see [`CacheBudget`]).
+    pub cache_budget: CacheBudget,
 }
 
 impl Default for SchedulerConfig {
@@ -199,6 +208,7 @@ impl Default for SchedulerConfig {
             write_retry_limit: 2,
             verify: false,
             compaction_frame_budget: 0,
+            cache_budget: CacheBudget::UNBOUNDED,
         }
     }
 }
@@ -251,6 +261,22 @@ pub struct SchedMetrics {
     /// [`SchedulerConfig::compaction_frame_budget`] (the remainder of the
     /// move plan deferred to a later pass).
     pub compaction_truncated: u64,
+    /// Cache lookups served by the warm tier: the compressed bytes were
+    /// resident and the stream re-decoded through the pooled lanes. A
+    /// subset of the decode-cache misses (warm hits still decode).
+    pub warm_hits: u64,
+    /// Time spent re-decoding warm cache entries, in microseconds (a
+    /// subset of `decode_micros`).
+    pub redecode_micros: u64,
+    /// Hot→warm decode-cache demotions (decoded arena released under byte
+    /// pressure, compressed bytes kept).
+    pub cache_demotions: u64,
+    /// Warm→hot decode-cache promotions (a re-decoded entry earned its
+    /// arena back).
+    pub cache_promotions: u64,
+    /// Bytes currently resident in the decode cache, both tiers
+    /// (point-in-time, not cumulative).
+    pub cache_resident_bytes: u64,
 }
 
 impl SchedMetrics {
@@ -342,6 +368,10 @@ pub struct Scheduler {
     /// Recycled decoded-image buffers: cache evictions return here, decodes
     /// check out of here. Shared fleet-wide in multi-fabric deployments.
     pool: BitstreamPool,
+    /// A budget-truncated compaction pass left moves unexecuted; the next
+    /// idle tick ([`Scheduler::advance_to`] with an empty queue) resumes
+    /// the plan instead of burning passes back-to-back.
+    deferred_compaction: bool,
 }
 
 impl Scheduler {
@@ -358,7 +388,7 @@ impl Scheduler {
         eviction: Box<dyn EvictionPolicy>,
         config: SchedulerConfig,
     ) -> Self {
-        let cache = DecodeCache::new(config.cache_capacity);
+        let cache = DecodeCache::with_budget(config.cache_capacity, config.cache_budget);
         // Share the controller's scratch pool: images the cache evicts feed
         // the controller's decode lanes and vice versa.
         let pool = manager.controller().scratch_pool().clone();
@@ -377,6 +407,7 @@ impl Scheduler {
             fabric: 0,
             staged: HashMap::new(),
             pool,
+            deferred_compaction: false,
         }
     }
 
@@ -523,10 +554,12 @@ impl Scheduler {
     }
 
     /// Whether this scheduler already holds decode state for task `name`
-    /// (decode cache, any spec, or a staged stream). Cache-affinity shard
-    /// routing keys on this; counters are not touched.
+    /// (decode cache — hot *or* warm tier, any spec — or a staged stream).
+    /// Cache-affinity shard routing keys on this; a warm entry still makes
+    /// this fabric the cheap place to route the task (a pooled re-decode
+    /// beats a cold miss). Counters are not touched.
     pub fn holds_decoded(&self, name: &str) -> bool {
-        self.cache.contains_name(name) || self.staged.contains_key(name)
+        self.cache.retains_name(name) || self.staged.contains_key(name)
     }
 
     /// Number of requests of any kind currently queued.
@@ -591,6 +624,7 @@ impl Scheduler {
     /// Aggregate counters so far — a snapshot view over the scheduler's
     /// telemetry counter bank.
     pub fn metrics(&self) -> SchedMetrics {
+        let cache = self.cache.stats();
         SchedMetrics {
             loads_submitted: self.counters.get(slot::LOADS_SUBMITTED),
             loads_accepted: self.counters.get(slot::LOADS_ACCEPTED),
@@ -611,6 +645,11 @@ impl Scheduler {
             crc_mismatches: self.counters.get(slot::CRC_MISMATCHES),
             verify_scrubs: self.counters.get(slot::VERIFY_SCRUBS),
             compaction_truncated: self.counters.get(slot::COMPACTION_TRUNCATED),
+            warm_hits: cache.warm_hits,
+            redecode_micros: self.counters.get(slot::REDECODE_MICROS),
+            cache_demotions: cache.demotions,
+            cache_promotions: cache.promotions,
+            cache_resident_bytes: cache.resident_bytes(),
         }
     }
 
@@ -641,10 +680,26 @@ impl Scheduler {
     }
 
     /// Advances the logical clock (monotonic; earlier ticks are ignored).
+    ///
+    /// An idle tick — the clock actually advances and no requests are
+    /// queued — resumes a budget-truncated compaction plan with one more
+    /// bounded pass, so a long defragmentation spreads over the gaps
+    /// between request bursts instead of burning its passes back-to-back
+    /// inside one placement. With an unbounded
+    /// [`SchedulerConfig::compaction_frame_budget`] passes never truncate
+    /// and idle ticks never compact, so default-config behavior (and every
+    /// golden trace) is unchanged.
     pub fn advance_to(&mut self, tick: u64) {
+        let advanced = tick > self.clock;
         self.clock = self.clock.max(tick);
         // Time-keyed fault models (outage windows) follow the same clock.
         self.manager.controller().advance_clock(self.clock);
+        if advanced && self.deferred_compaction && self.queue.is_empty() {
+            // One bounded pass per idle tick; compact() re-arms the flag
+            // if the budget truncates the plan again.
+            self.deferred_compaction = false;
+            self.compact();
+        }
     }
 
     /// Enqueues a request and returns its job id (for loads, the id the
@@ -819,6 +874,9 @@ impl Scheduler {
         if truncated {
             self.counters.add(slot::COMPACTION_TRUNCATED, 1);
         }
+        // A truncated plan waits for the next idle tick (see advance_to);
+        // a completed pass disarms any pending resumption.
+        self.deferred_compaction = truncated;
         // The pause span doubles as the counter source, so the histogram
         // and the golden-counter total always agree.
         let pause = self
@@ -855,44 +913,69 @@ impl Scheduler {
     }
 
     /// Fetches the decoded stream of `name` through the cache (counting the
-    /// hit or the miss + decode), optionally reusing a stream the caller
-    /// already fetched (the streaming fast path fetches before deciding to
-    /// fall back — the fallback must not deserialize the VBS twice).
-    /// Returns the stream and whether it was a cache hit.
+    /// hot hit, the warm hit + pooled re-decode, or the miss + decode),
+    /// optionally reusing a stream the caller already fetched (the
+    /// streaming fast path fetches before deciding to fall back — the
+    /// fallback must not deserialize the VBS twice).
+    /// Returns the stream and whether it was a (hot) cache hit.
+    ///
+    /// A warm hit accounts exactly like a miss in the classic counters
+    /// (miss + decode + decode micros) — that invariance is what keeps
+    /// every golden trace bit-identical under any budget — and
+    /// *additionally* bumps the warm-hit counters. It still fetches from
+    /// the repository first: the repository owns the authoritative bytes,
+    /// so a stream corrupted there surfaces as the same decode error a
+    /// cold miss would report instead of being masked by stale cache state.
     fn decoded_with(
         &mut self,
+        job: u64,
         name: &str,
         prefetched: Option<Vbs>,
     ) -> Result<(Arc<TaskBitstream>, bool), RuntimeError> {
         // A stream the decode pipeline expanded ahead of time: it carries
         // the spec of the stream it was decoded from (this round's fetch),
         // so the repository fetch is skipped entirely. Accounting matches
-        // the on-demand path: the cache lookup still counts the miss and
+        // the on-demand path: the cache lookup still counts the miss (plus
+        // the warm hit when the pipeline re-staged a demoted entry) and
         // the worker-measured decode time is folded in.
         if let Some((task, micros)) = self.staged.remove(name) {
             let spec = *task.spec();
-            if let Some(cached) = self.cache.get(name, &spec) {
-                return Ok((cached, true));
-            }
+            let warm = match self.cache.get(name, &spec) {
+                CacheLookup::Hot(cached) => return Ok((cached, true)),
+                CacheLookup::Warm => true,
+                CacheLookup::Miss => false,
+            };
             self.counters.add(slot::DECODES, 1);
             self.counters.add(slot::DECODE_MICROS, micros);
             self.telemetry.record_micros(Stage::Decode, micros);
-            if let Some(evicted) = self.cache.insert(name, spec, Arc::clone(&task)) {
-                self.pool.recycle(evicted);
+            if warm {
+                self.counters.add(slot::REDECODE_MICROS, micros);
+                self.telemetry.record_micros(Stage::Redecode, micros);
+                self.telemetry
+                    .event(EventKind::WarmHit, self.fabric, 0, job, 0);
             }
+            self.cache_insert(name, spec, Arc::clone(&task), micros);
             return Ok((task, false));
         }
         let vbs: Vbs = match prefetched {
             Some(vbs) => vbs,
             None => self.manager.repository().fetch(name)?,
         };
-        if let Some(cached) = self.cache.get(name, vbs.spec()) {
-            return Ok((cached, true));
-        }
+        let warm = match self.cache.get(name, vbs.spec()) {
+            CacheLookup::Hot(cached) => return Ok((cached, true)),
+            CacheLookup::Warm => true,
+            CacheLookup::Miss => false,
+        };
+        let redecode_start = self.telemetry.now();
         let mut staging = self
             .pool
             .checkout(*vbs.spec(), vbs.width().max(1), vbs.height().max(1));
-        let report = match self.manager.devirtualize_into(&vbs, &mut staging) {
+        let decode = if warm {
+            self.manager.redevirtualize_into(&vbs, &mut staging)
+        } else {
+            self.manager.devirtualize_into(&vbs, &mut staging)
+        };
+        let report = match decode {
             Ok(report) => report,
             Err(e) => {
                 self.pool.put(staging);
@@ -902,11 +985,58 @@ impl Scheduler {
         self.counters.add(slot::DECODES, 1);
         self.counters.add(slot::DECODE_MICROS, report.micros);
         self.telemetry.record_micros(Stage::Decode, report.micros);
-        let task = Arc::new(staging);
-        if let Some(evicted) = self.cache.insert(name, *vbs.spec(), Arc::clone(&task)) {
-            self.pool.recycle(evicted);
+        if warm {
+            self.counters.add(slot::REDECODE_MICROS, report.micros);
+            self.telemetry.record_micros(Stage::Redecode, report.micros);
+            self.telemetry.event_span(
+                EventKind::WarmHit,
+                self.fabric,
+                0,
+                job,
+                vbs.size_bytes(),
+                redecode_start,
+            );
         }
+        let task = Arc::new(staging);
+        self.cache_insert(name, *vbs.spec(), Arc::clone(&task), report.micros);
         Ok((task, false))
+    }
+
+    /// Inserts a freshly decoded stream into the tiered cache with the
+    /// metadata its cost model runs on (compressed bytes + measured decode
+    /// micros), recycles every displaced arena into the shared pool, and
+    /// records tier-transition events. Under an unbounded budget nothing
+    /// is ever demoted, so the compressed copy is skipped entirely and the
+    /// behavior is byte-for-byte the classic LRU insert.
+    fn cache_insert(&mut self, name: &str, spec: ArchSpec, task: Arc<TaskBitstream>, micros: u64) {
+        let compressed = if self.cache.budget().is_unbounded() {
+            Vec::new()
+        } else {
+            self.manager
+                .repository()
+                .bytes(name)
+                .map(<[u8]>::to_vec)
+                .unwrap_or_default()
+        };
+        let outcome = self.cache.insert(name, spec, task, compressed, micros);
+        for displaced in outcome.displaced {
+            self.pool.recycle(displaced);
+        }
+        if outcome.demoted > 0 {
+            let stats = self.cache.stats();
+            self.telemetry.event(
+                EventKind::Demote,
+                self.fabric,
+                0,
+                outcome.demoted,
+                stats.hot_bytes,
+            );
+        }
+        if outcome.promoted {
+            let stats = self.cache.stats();
+            self.telemetry
+                .event(EventKind::Promote, self.fabric, 0, 1, stats.hot_bytes);
+        }
     }
 
     fn process_one(&mut self, job: u64, request: Request, enqueued_at: u64) -> Outcome {
@@ -1010,7 +1140,7 @@ impl Scheduler {
                 StreamingAttempt::Buffered(vbs) => prefetched = vbs,
             }
         }
-        let decoded = match self.decoded_with(task, prefetched) {
+        let decoded = match self.decoded_with(job, task, prefetched) {
             Ok(d) => d,
             Err(RuntimeError::UnknownTask { .. }) => {
                 self.counters.add(slot::LOADS_REJECTED, 1);
@@ -1048,13 +1178,23 @@ impl Scheduler {
         // free region. Compaction-pause spans nest inside it.
         let placement_start = self.telemetry.now();
         let mut evicted = Vec::new();
+        // Once a budgeted pass truncates, this request stops re-compacting:
+        // the rest of the plan belongs to idle ticks (see advance_to), not
+        // to back-to-back passes inside one placement. Unbudgeted passes
+        // never truncate, so the classic retry-after-eviction loop is
+        // unchanged.
+        let mut compaction_exhausted = false;
         let origin = loop {
             if let Some(origin) = self.manager.find_free_region(w, h) {
                 break Some(origin);
             }
-            if self.config.compaction && self.compact() > 0 {
-                if let Some(origin) = self.manager.find_free_region(w, h) {
-                    break Some(origin);
+            if self.config.compaction && !compaction_exhausted {
+                let moved = self.compact();
+                compaction_exhausted = self.deferred_compaction;
+                if moved > 0 {
+                    if let Some(origin) = self.manager.find_free_region(w, h) {
+                        break Some(origin);
+                    }
                 }
             }
             if evicted.len() >= self.config.eviction_limit {
@@ -1272,8 +1412,10 @@ impl Scheduler {
         if self.config.verify {
             return StreamingAttempt::Buffered(None);
         }
-        // Warm cache (any spec): nothing to stream — and nothing worth
-        // fetching; the buffered path resolves the hit by itself.
+        // Hot cache (any spec): nothing to stream — and nothing worth
+        // fetching; the buffered path resolves the hit by itself. A *warm*
+        // entry streams like a miss: it needs its decode anyway, so the
+        // overlapped decode→write path is exactly right for it.
         if self.cache.contains_name(name) {
             return StreamingAttempt::Buffered(None);
         }
@@ -1287,10 +1429,14 @@ impl Scheduler {
             return StreamingAttempt::Buffered(Some(vbs));
         };
         // Committed to streaming. From here the order of cache and counter
-        // updates mirrors the buffered path exactly: one cache miss, then
-        // decode, then the insert.
-        let miss = self.cache.get(name, vbs.spec());
-        debug_assert!(miss.is_none(), "contains() checked above");
+        // updates mirrors the buffered path exactly: one cache miss (a warm
+        // hit for a demoted entry), then decode, then the insert.
+        let lookup = self.cache.get(name, vbs.spec());
+        debug_assert!(
+            !matches!(lookup, CacheLookup::Hot(_)),
+            "contains() checked above"
+        );
+        let warm = matches!(lookup, CacheLookup::Warm);
         let mut staging = self.pool.checkout(*vbs.spec(), w, h);
         let write_start = self.telemetry.now();
         match self
@@ -1304,6 +1450,18 @@ impl Scheduler {
                 // the whole overlapped region is the write span, and the
                 // decode histogram gets the report's decode measurement.
                 self.telemetry.record_micros(Stage::Decode, report.micros);
+                if warm {
+                    self.counters.add(slot::REDECODE_MICROS, report.micros);
+                    self.telemetry.record_micros(Stage::Redecode, report.micros);
+                    self.telemetry.event_span(
+                        EventKind::WarmHit,
+                        self.fabric,
+                        0,
+                        job,
+                        vbs.size_bytes(),
+                        write_start,
+                    );
+                }
                 self.telemetry.record_span(Stage::Write, write_start);
                 self.telemetry.event_span(
                     EventKind::FrameWrite,
@@ -1314,9 +1472,7 @@ impl Scheduler {
                     write_start,
                 );
                 let image = Arc::new(staging);
-                if let Some(evicted) = self.cache.insert(name, *vbs.spec(), Arc::clone(&image)) {
-                    self.pool.recycle(evicted);
-                }
+                self.cache_insert(name, *vbs.spec(), Arc::clone(&image), report.micros);
                 self.residents.insert(
                     job,
                     Resident {

@@ -303,6 +303,11 @@ impl MultiSimReport {
             total.crc_mismatches += m.crc_mismatches;
             total.verify_scrubs += m.verify_scrubs;
             total.compaction_truncated += m.compaction_truncated;
+            total.warm_hits += m.warm_hits;
+            total.redecode_micros += m.redecode_micros;
+            total.cache_demotions += m.cache_demotions;
+            total.cache_promotions += m.cache_promotions;
+            total.cache_resident_bytes += m.cache_resident_bytes;
         }
         total
     }
@@ -416,6 +421,12 @@ fn metrics_delta(after: SchedMetrics, before: &SchedMetrics) -> SchedMetrics {
         crc_mismatches: after.crc_mismatches - before.crc_mismatches,
         verify_scrubs: after.verify_scrubs - before.verify_scrubs,
         compaction_truncated: after.compaction_truncated - before.compaction_truncated,
+        warm_hits: after.warm_hits - before.warm_hits,
+        redecode_micros: after.redecode_micros - before.redecode_micros,
+        cache_demotions: after.cache_demotions - before.cache_demotions,
+        cache_promotions: after.cache_promotions - before.cache_promotions,
+        // Point-in-time residency, not a counter: report the final value.
+        cache_resident_bytes: after.cache_resident_bytes,
     }
 }
 
@@ -425,7 +436,14 @@ fn cache_delta(after: CacheStats, before: CacheStats) -> CacheStats {
     CacheStats {
         hits: after.hits - before.hits,
         misses: after.misses - before.misses,
+        warm_hits: after.warm_hits - before.warm_hits,
+        demotions: after.demotions - before.demotions,
+        promotions: after.promotions - before.promotions,
+        warm_admissions: after.warm_admissions - before.warm_admissions,
         entries: after.entries,
+        warm_entries: after.warm_entries,
         capacity: after.capacity,
+        hot_bytes: after.hot_bytes,
+        warm_bytes: after.warm_bytes,
     }
 }

@@ -13,7 +13,7 @@
 //! cargo run --release -p vbs-bench --bin chaos
 //! ```
 
-use vbs_sched::{replay_multi, McncCorpus};
+use vbs_sched::{replay_multi, CacheBudget, McncCorpus, SchedulerConfig};
 
 fn corpus() -> McncCorpus {
     McncCorpus::load(concat!(
@@ -48,6 +48,38 @@ fn chaos_replay_is_deterministic_and_matches_golden() {
         first, expected,
         "chaos counters drifted from chaos.golden — if intended, regenerate \
          with `cargo run --release -p vbs-bench --bin chaos`"
+    );
+}
+
+/// The chaos goldens hold under a finite cache budget too: warm re-decodes
+/// fetch and write through the same faultable path, so every pinned fault
+/// counter (write faults, retries, CRC mismatches, scrubs) and the whole
+/// self-healing sequence replay bit-identically while the budget squeezes
+/// the hot tier.
+#[test]
+fn chaos_golden_holds_under_finite_cache_budget() {
+    let corpus = corpus();
+    let config = SchedulerConfig {
+        cache_budget: CacheBudget {
+            hot_bytes: 24 * 1024,
+            warm_bytes: 64 * 1024,
+        },
+        ..McncCorpus::replay_config()
+    };
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/traces/mcnc/chaos.golden"
+    );
+    let text = std::fs::read_to_string(golden_path).expect("golden present");
+    let expected: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    assert_eq!(
+        corpus.chaos_lines_with(config),
+        expected,
+        "a finite cache budget changed golden-pinned chaos counters"
     );
 }
 

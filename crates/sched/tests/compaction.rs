@@ -329,6 +329,83 @@ fn budgeted_passes_converge_to_the_unbounded_layout() {
     assert_fabric_invariants(&unbounded);
 }
 
+/// A truncated pass re-arms itself: after one explicit `compact()` call is
+/// cut short by the frame budget, every idle tick (the clock advances with
+/// no pending work) resumes exactly one more budgeted pass, until the
+/// schedule converges to the unbounded fixpoint with no further explicit
+/// calls. Once converged, idle ticks relocate nothing.
+#[test]
+fn idle_ticks_resume_truncated_compaction_to_the_fixpoint() {
+    let base = SchedulerConfig {
+        eviction_limit: 0,
+        compaction: false,
+        ..SchedulerConfig::default()
+    };
+    let bounded_cfg = SchedulerConfig {
+        compaction_frame_budget: 20,
+        ..base
+    };
+    let mut unbounded = scheduler(11, 11, 0, Box::new(BestFit), base);
+    let mut bounded = scheduler(11, 11, 0, Box::new(BestFit), bounded_cfg);
+    assert_eq!(fragment(&mut unbounded), fragment(&mut bounded));
+
+    assert!(unbounded.compact() > 1, "fixture must need several moves");
+    let unbounded_frames = unbounded.metrics().compaction_frames_moved;
+
+    // One explicit pass, cut short by the budget; everything after rides
+    // on idle ticks alone.
+    assert!(bounded.compact() > 0);
+    assert!(
+        bounded.metrics().compaction_truncated >= 1,
+        "the 20-frame budget must truncate the first pass"
+    );
+
+    let mut resumed = 0usize;
+    for t in 0..50u64 {
+        let passes_before = bounded.metrics().compaction_passes;
+        bounded.advance_to(1_000 + t);
+        if bounded.metrics().compaction_passes == passes_before {
+            break; // the deferral cleared: nothing left to resume
+        }
+        resumed += 1;
+    }
+    assert!(resumed >= 1, "idle ticks must resume the truncated pass");
+    assert_eq!(
+        bounded.metrics().compaction_frames_moved,
+        unbounded_frames,
+        "idle-tick resumption must split the rewrites, not add any"
+    );
+
+    // Same fixpoint as the single unbounded pass: layout and memory bits.
+    let layout = |sched: &Scheduler| {
+        let mut r: Vec<(u64, Rect)> = sched
+            .residents()
+            .iter()
+            .map(|i| (i.job, i.region))
+            .collect();
+        r.sort_by_key(|&(job, _)| job);
+        r
+    };
+    assert_eq!(layout(&bounded), layout(&unbounded));
+    assert_eq!(
+        full_memory_image(&bounded)
+            .diff_count(&full_memory_image(&unbounded))
+            .unwrap(),
+        0
+    );
+
+    // At the fixpoint further idle ticks are inert.
+    let relocations = bounded.metrics().relocations;
+    bounded.advance_to(10_000);
+    assert_eq!(
+        bounded.metrics().relocations,
+        relocations,
+        "a converged scheduler must not relocate on idle ticks"
+    );
+    assert_fabric_invariants(&bounded);
+    assert_fabric_invariants(&unbounded);
+}
+
 /// Compaction triggered from the load path (placement failure) stays
 /// decode-free too, and every resident's frames survive the moves intact.
 #[test]

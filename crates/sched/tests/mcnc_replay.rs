@@ -15,7 +15,7 @@
 //! See `crates/sched/README.md` for the full workflow.
 
 use std::collections::HashSet;
-use vbs_sched::{McncCorpus, TraceOp};
+use vbs_sched::{CacheBudget, McncCorpus, SchedulerConfig, TraceOp};
 
 fn corpus() -> McncCorpus {
     McncCorpus::load(concat!(
@@ -67,6 +67,53 @@ fn replay_counters_match_golden() {
         actual, expected,
         "MCNC replay counters drifted from replay.golden — if intended, \
          regenerate with `cargo run --release -p vbs-bench --bin mcnc_corpus`"
+    );
+}
+
+/// The goldens pin only budget-invariant counters, so replaying under a
+/// finite cache budget — tight enough on the hot tier to force real
+/// demotions and warm re-decodes, roomy enough on the warm tier to retain
+/// every task name for `CacheAffinity` — must reproduce `replay.golden`
+/// line for line.
+#[test]
+fn replay_counters_match_golden_under_finite_cache_budget() {
+    let corpus = corpus();
+    let budget = CacheBudget {
+        hot_bytes: 24 * 1024,
+        warm_bytes: 64 * 1024,
+    };
+    let config = SchedulerConfig {
+        cache_budget: budget,
+        ..McncCorpus::replay_config()
+    };
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/traces/mcnc/replay.golden"
+    );
+    let text = std::fs::read_to_string(golden_path).expect("golden present");
+    let expected: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let actual = corpus.golden_lines_with(config);
+    assert_eq!(
+        actual, expected,
+        "a finite cache budget changed golden-pinned replay counters"
+    );
+
+    // Guard against vacuity: the budget must have actually squeezed the
+    // hot tier during at least one replay.
+    let mut single = corpus.single_scheduler_with(config);
+    let trace = corpus.trace("steady").expect("steady trace present");
+    vbs_sched::replay(&mut single, trace);
+    let stats = single.cache_stats();
+    assert!(stats.hot_bytes <= budget.hot_bytes);
+    assert!(stats.warm_bytes <= budget.warm_bytes);
+    assert!(
+        stats.demotions + stats.warm_admissions > 0 && stats.warm_hits > 0,
+        "the 24 KiB hot budget must force hot-tier pressure (demotions or \
+         gated admissions) and warm re-decodes on the steady trace: {stats:?}"
     );
 }
 

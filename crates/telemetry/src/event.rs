@@ -22,11 +22,15 @@ pub enum Stage {
     Load,
     /// One decode lane's busy time within a parallel decode.
     LaneBusy,
+    /// Re-expanding a warm (compressed-only) cache entry through the pooled
+    /// decode lanes. Also recorded under [`Stage::Decode`] so aggregate
+    /// decode latency keeps covering every de-virtualization.
+    Redecode,
 }
 
 impl Stage {
     /// Number of stages (the registry preallocates one histogram each).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All stages, in display order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -37,6 +41,7 @@ impl Stage {
         Stage::CompactionPause,
         Stage::Load,
         Stage::LaneBusy,
+        Stage::Redecode,
     ];
 
     /// The stage's histogram slot.
@@ -54,6 +59,7 @@ impl Stage {
             Stage::CompactionPause => "compaction_pause",
             Stage::Load => "load",
             Stage::LaneBusy => "lane_busy",
+            Stage::Redecode => "redecode",
         }
     }
 }
@@ -120,6 +126,16 @@ pub enum EventKind {
     /// A quarantined fabric recovered and rejoined the fleet
     /// (`a` = fabric).
     Recover,
+    /// A cache lookup hit the warm tier and re-decoded the compressed
+    /// stream (`a` = job, `b` = compressed bytes, duration attached).
+    WarmHit,
+    /// Hot cache entries fell back to their compressed bytes under byte
+    /// pressure (`a` = entries demoted by the insert, `b` = hot-tier
+    /// bytes after).
+    Demote,
+    /// A warm entry earned a decoded arena back (`a` = 1, `b` = hot-tier
+    /// bytes after).
+    Promote,
 }
 
 impl EventKind {
@@ -146,6 +162,9 @@ impl EventKind {
             EventKind::CrcMismatch => "crc_mismatch",
             EventKind::Quarantine => "quarantine",
             EventKind::Recover => "recover",
+            EventKind::WarmHit => "warm_hit",
+            EventKind::Demote => "demote",
+            EventKind::Promote => "promote",
         }
     }
 }

@@ -1,20 +1,22 @@
 //! Fixed-size, log-bucketed latency histograms (HDR-style).
 //!
 //! A [`LatencyHistogram`] covers the whole `u64` value range with
-//! preallocated buckets: exact buckets below 2^4 and 16 linear sub-buckets
+//! preallocated buckets: exact buckets below 2^6 and 64 linear sub-buckets
 //! per power of two above it, bounding the relative quantization error at
-//! 1/16 (6.25%). Every bucket is an [`AtomicU64`], so recording is one
+//! 1/64 (~1.6%). Every bucket is an [`AtomicU64`], so recording is one
 //! relaxed `fetch_add` plus min/max/sum updates — **lock-free and
 //! allocation-free**, cheap enough for the zero-alloc decode hot path.
-//! Percentiles are computed at read time by scanning the bucket array.
+//! Percentiles are computed at read time by scanning the bucket array and
+//! interpolating linearly inside the bucket the rank lands in, so quantiles
+//! move with the distribution instead of clamping to bucket bounds.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave.
-const SUB_BITS: u32 = 4;
+/// Sub-bucket resolution: 2^6 = 64 linear sub-buckets per octave.
+const SUB_BITS: u32 = 6;
 const SUB_COUNT: usize = 1 << SUB_BITS;
-/// Exact buckets `[0, 16)`, then 16 sub-buckets for each of the 60
-/// remaining octaves `[2^4, 2^64)`.
+/// Exact buckets `[0, 64)`, then 64 sub-buckets for each of the 58
+/// remaining octaves `[2^6, 2^64)`.
 const BUCKETS: usize = SUB_COUNT + (64 - SUB_BITS as usize) * SUB_COUNT;
 
 /// Maps a value to its bucket index (total order preserving).
@@ -121,14 +123,15 @@ impl LatencyHistogram {
         self.sum() as f64 / count as f64
     }
 
-    /// The value at quantile `q` in `[0, 1]` — the upper bound of the
-    /// bucket holding the rank-`ceil(q · count)` value, so the report never
-    /// under-states the true latency (relative error ≤ 1/16). Clamped to
-    /// the exact recorded max: when the rank lands in the topmost occupied
-    /// bucket the max still bounds everything in it, and lower buckets'
-    /// bounds are below the max by construction — so reported quantiles
-    /// stay monotone up to and including the max. Returns 0 when the
-    /// histogram is empty.
+    /// The value at quantile `q` in `[0, 1]`: the rank-`ceil(q · count)`
+    /// value, interpolated linearly within the bucket it lands in (rank k
+    /// of n bucket occupants maps to `lower + span·k/n`). Interpolated
+    /// values stay inside the bucket (relative error ≤ 1/64) and are exact
+    /// when occupants fill the bucket uniformly; distinct ranks in one
+    /// bucket report distinct values instead of all clamping to the bucket
+    /// bound. Clamped to the exact recorded max, and monotone in `q` by
+    /// construction (each bucket's interpolation starts above the previous
+    /// bucket's upper bound). Returns 0 when the histogram is empty.
     pub fn value_at_quantile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -137,9 +140,23 @@ impl LatencyHistogram {
         let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (index, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
+            let occupants = bucket.load(Ordering::Relaxed);
+            if occupants == 0 {
+                continue;
+            }
+            seen += occupants;
             if seen >= rank {
-                return bucket_upper_bound(index).min(self.max());
+                let upper = bucket_upper_bound(index);
+                let lower = if index == 0 {
+                    0
+                } else {
+                    bucket_upper_bound(index - 1) + 1
+                };
+                // The rank is the k-th (1-based) of this bucket's occupants.
+                let k = rank - (seen - occupants);
+                let span = (upper - lower) as u128;
+                let step = (span * k as u128 / occupants as u128) as u64;
+                return (lower + step).min(self.max());
             }
         }
         // Counters raced ahead of bucket stores; the max is the honest
@@ -230,10 +247,46 @@ mod tests {
 
     #[test]
     fn small_values_use_exact_buckets() {
-        for v in 0..16u64 {
+        for v in 0..SUB_COUNT as u64 {
             assert_eq!(bucket_index(v), v as usize);
             assert_eq!(bucket_upper_bound(v as usize), v);
         }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        // 2976..3008 fills one 32-wide sub-bucket of the [2048, 4096)
+        // octave exactly; uniform occupancy makes interpolation exact.
+        let h = LatencyHistogram::new();
+        for v in 2976..3008u64 {
+            assert_eq!(bucket_index(v), bucket_index(2976), "value {v}");
+            h.record(v);
+        }
+        assert_eq!(h.value_at_quantile(0.25), 2983); // 8th of 32
+        assert_eq!(h.value_at_quantile(0.50), 2991); // 16th of 32
+        assert_eq!(h.value_at_quantile(0.75), 2999); // 24th of 32
+        assert_eq!(h.value_at_quantile(1.0), 3007);
+        // The pre-interpolation failure mode: every quantile clamped to the
+        // same bucket bound. Distinct ranks must now report distinct values.
+        assert!(h.value_at_quantile(0.25) < h.value_at_quantile(0.50));
+        assert!(h.value_at_quantile(0.50) < h.value_at_quantile(0.75));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded_by_max() {
+        let h = LatencyHistogram::new();
+        for v in [1u64, 7, 90, 91, 1_500, 122_879, 122_880, 9_000_000] {
+            h.record(v);
+        }
+        let mut previous = 0u64;
+        for step in 0..=100 {
+            let q = step as f64 / 100.0;
+            let value = h.value_at_quantile(q);
+            assert!(value >= previous, "quantile {q} regressed");
+            assert!(value <= h.max(), "quantile {q} above max");
+            previous = value;
+        }
+        assert_eq!(h.value_at_quantile(1.0), h.max());
     }
 
     #[test]
@@ -260,10 +313,10 @@ mod tests {
             assert!(index < BUCKETS, "value {v} → out-of-range bucket {index}");
             let upper = bucket_upper_bound(index);
             assert!(upper >= v, "value {v} above its bucket bound {upper}");
-            // Quantization error bounded by 1/16 of the value.
+            // Quantization error bounded by 1/64 of the value.
             assert!(
-                upper - v <= v / 16 + 1,
-                "value {v}: bound {upper} overshoots by more than 1/16"
+                upper - v <= v / 64 + 1,
+                "value {v}: bound {upper} overshoots by more than 1/64"
             );
         }
         let mut previous = 0u64;
